@@ -1,0 +1,49 @@
+// BenchCommon.h - shared helpers for the table/figure reproduction benches.
+#pragma once
+
+#include "flow/Flow.h"
+
+#include <cstdio>
+#include <string>
+
+namespace mha::bench {
+
+/// The default experiment configuration used across tables (pipeline II=1,
+/// modest partitioning — the "optimized design point" both flows share).
+inline flow::KernelConfig defaultConfig() {
+  flow::KernelConfig config;
+  config.pipelineII = 1;
+  config.unrollFactor = 1;
+  config.partitionFactor = 2;
+  return config;
+}
+
+/// Runs a flow and asserts success (aborts the bench with a message).
+inline flow::FlowResult mustRun(flow::FlowResult result, const char *what) {
+  if (!result.ok) {
+    std::fprintf(stderr, "BENCH FAILURE (%s):\n%s\n", what,
+                 result.diagnostics.c_str());
+    std::exit(1);
+  }
+  return result;
+}
+
+/// Verifies functional equivalence; aborts on mismatch (a bench must never
+/// report numbers for wrong results).
+inline void mustCosim(const flow::FlowResult &result,
+                      const flow::KernelSpec &spec) {
+  std::string error;
+  if (!flow::cosimAgainstReference(result, spec, error)) {
+    std::fprintf(stderr, "BENCH FAILURE (cosim %s): %s\n",
+                 spec.name.c_str(), error.c_str());
+    std::exit(1);
+  }
+}
+
+inline void printRule(int width) {
+  for (int i = 0; i < width; ++i)
+    std::putchar('-');
+  std::putchar('\n');
+}
+
+} // namespace mha::bench

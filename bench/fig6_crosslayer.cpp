@@ -1,0 +1,55 @@
+// Figure 6 (extension) — cross-layer unrolling: the same unroll directive
+// honoured at the MLIR level (replicating the affine body before either
+// bridge) versus in the HLS backend (Vitis-style directive). The paper's
+// premise is that a direct IR bridge lets optimizations move freely
+// between abstraction levels; here both placements must produce equivalent
+// hardware through both flows.
+#include "BenchCommon.h"
+
+using namespace mha;
+using namespace mha::bench;
+
+int main() {
+  std::printf("Figure 6: unroll at the MLIR level vs in the HLS backend "
+              "(factor 4, partition 4)\n");
+  std::printf("%-10s | %14s %14s | %14s %14s\n", "", "adaptor flow", "",
+              "hls-c++ flow", "");
+  std::printf("%-10s | %14s %14s | %14s %14s\n", "kernel", "backend",
+              "mlir-level", "backend", "mlir-level");
+  printRule(74);
+  for (const char *name : {"gemm", "jacobi2d", "conv2d", "fir"}) {
+    const flow::KernelSpec *spec = flow::findKernel(name);
+    flow::KernelConfig config;
+    config.pipelineII = 1;
+    config.unrollFactor = 4;
+    config.partitionFactor = 4;
+
+    flow::FlowOptions backend;
+    flow::FlowOptions mlirLevel;
+    mlirLevel.unrollAtMlirLevel = true;
+
+    flow::FlowResult aBackend =
+        mustRun(flow::runAdaptorFlow(*spec, config, backend), "a/backend");
+    mustCosim(aBackend, *spec);
+    flow::FlowResult aMlir =
+        mustRun(flow::runAdaptorFlow(*spec, config, mlirLevel), "a/mlir");
+    mustCosim(aMlir, *spec);
+    flow::FlowResult cBackend =
+        mustRun(flow::runHlsCppFlow(*spec, config, backend), "c/backend");
+    mustCosim(cBackend, *spec);
+    flow::FlowResult cMlir =
+        mustRun(flow::runHlsCppFlow(*spec, config, mlirLevel), "c/mlir");
+    mustCosim(cMlir, *spec);
+
+    std::printf("%-10s | %14lld %14lld | %14lld %14lld\n", name,
+                static_cast<long long>(aBackend.synth.top()->latencyCycles),
+                static_cast<long long>(aMlir.synth.top()->latencyCycles),
+                static_cast<long long>(cBackend.synth.top()->latencyCycles),
+                static_cast<long long>(cMlir.synth.top()->latencyCycles));
+  }
+  std::printf("\nMLIR-level unrolling produces pre-unrolled IR (adaptor "
+              "path) or pre-unrolled C++ (emission\npath); the backend "
+              "variant carries the directive. All four land on equivalent "
+              "schedules.\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Figure 7 (extension) — resource-constrained synthesis: latency vs the
+// floating-point multiplier allocation budget (Vitis `allocation`
+// directive model) for conv2d with an unrolled, partitioned inner loop.
+// Fewer units -> serialized multiplies -> higher II; the DSP bill shrinks
+// in exchange. Both flows must trace the same area/latency trade-off.
+#include "BenchCommon.h"
+
+using namespace mha;
+using namespace mha::bench;
+
+int main() {
+  const flow::KernelSpec *spec = flow::findKernel("conv2d");
+  std::printf("Figure 7: conv2d latency vs fmul allocation budget "
+              "(unroll=2, partition=4)\n");
+  std::printf("%-10s %14s %10s | %14s %10s | %9s\n", "fmul units",
+              "hls-c++", "c++ DSP", "adaptor", "a DSP", "ratio");
+  printRule(78);
+  for (int limit : {0, 8, 4, 2, 1}) { // 0 = unlimited
+    flow::KernelConfig config;
+    config.pipelineII = 1;
+    config.unrollFactor = 2;
+    config.partitionFactor = 4;
+    flow::FlowOptions options;
+    if (limit > 0)
+      options.synthesis.target.fuLimits["fmul"] = limit;
+
+    flow::FlowResult cpp =
+        mustRun(flow::runHlsCppFlow(*spec, config, options), "hls-c++");
+    mustCosim(cpp, *spec);
+    flow::FlowResult adaptorFlow =
+        mustRun(flow::runAdaptorFlow(*spec, config, options), "adaptor");
+    mustCosim(adaptorFlow, *spec);
+    int64_t c = cpp.synth.top()->latencyCycles;
+    int64_t a = adaptorFlow.synth.top()->latencyCycles;
+    char label[16];
+    std::snprintf(label, sizeof label, limit ? "%d" : "unlimited", limit);
+    std::printf("%-10s %14lld %10lld | %14lld %10lld | %9.3f\n", label,
+                static_cast<long long>(c),
+                static_cast<long long>(cpp.synth.top()->resources.dsp),
+                static_cast<long long>(a),
+                static_cast<long long>(
+                    adaptorFlow.synth.top()->resources.dsp),
+                static_cast<double>(a) / static_cast<double>(c));
+  }
+  return 0;
+}

@@ -1,0 +1,138 @@
+// Figure 8 (extension) — MLIR-level loop interchange as a cross-layer
+// optimization. Matrix multiply with the reduction loop innermost (ijk) is
+// recurrence-bound: C[i][j] accumulates through a 7-cycle fadd chain, so
+// the pipeline clamps at II=7. Interchanging j and k at the *MLIR* level
+// (mir::interchangeAffineLoops) makes the store address vary every
+// iteration — no carried recurrence — and the same backend reaches II=1.
+// This is exactly the cross-layer benefit the paper's introduction argues
+// a direct IR bridge enables; both flows profit identically.
+#include "BenchCommon.h"
+#include "mir/transforms/MirTransforms.h"
+
+using namespace mha;
+using namespace mha::bench;
+
+namespace {
+
+constexpr int64_t N = 32;
+
+/// gemm with a separate zero-init nest so the (j,k) pair is perfectly
+/// nested and legally interchangeable.
+flow::KernelSpec makeGemm(bool interchange) {
+  flow::KernelSpec spec;
+  spec.name = "gemmx";
+  spec.description = "gemm, separate init nest";
+  spec.bufferShapes = {{N, N}, {N, N}, {N, N}};
+  spec.outputs = {2};
+  spec.build = [interchange](mir::MContext &ctx,
+                             const flow::KernelConfig &cfg) {
+    mir::OpBuilder b(ctx);
+    mir::OwnedModule module = mir::OpBuilder::createModule();
+    b.setInsertPoint(module.get().body());
+    mir::Type *m = ctx.memrefTy({N, N}, ctx.f64());
+    mir::FuncOp fn = b.createFunc("gemmx", ctx.fnTy({m, m, m}, {}));
+    b.setInsertPoint(fn.entryBlock());
+    mir::Value *A = fn.arg(0), *B = fn.arg(1), *C = fn.arg(2);
+    if (cfg.applyDirectives && cfg.partitionFactor > 1) {
+      mir::addArrayPartitionDirective(fn, 1, 1, cfg.partitionFactor,
+                                      "cyclic"); // B columns (j)
+      mir::addArrayPartitionDirective(fn, 2, 1, cfg.partitionFactor,
+                                      "cyclic"); // C columns (j)
+    }
+    mir::AffineMap id = mir::AffineMap::identity(ctx, 2);
+
+    // init: C = 0
+    mir::ForOp i0 = b.affineFor(0, N);
+    b.setInsertPointToLoopBody(i0);
+    mir::ForOp j0 = b.affineFor(0, N);
+    if (cfg.applyDirectives && cfg.pipelineII > 0)
+      mir::setPipelineDirective(j0, cfg.pipelineII);
+    b.setInsertPointToLoopBody(j0);
+    b.affineStore(b.constantFloat(0.0, ctx.f64()), C, id,
+                  {i0.inductionVar(), j0.inductionVar()});
+    b.setInsertPoint(fn.entryBlock());
+
+    // compute: for i { for j { for k { C[i][j] += A[i][k]*B[k][j] } } }
+    mir::ForOp iLoop = b.affineFor(0, N);
+    b.setInsertPointToLoopBody(iLoop);
+    mir::ForOp jLoop = b.affineFor(0, N);
+    b.setInsertPointToLoopBody(jLoop);
+    mir::ForOp kLoop = b.affineFor(0, N);
+    if (cfg.applyDirectives && cfg.pipelineII > 0)
+      mir::setPipelineDirective(kLoop, cfg.pipelineII);
+    b.setInsertPointToLoopBody(kLoop);
+    mir::Value *i = iLoop.inductionVar();
+    mir::Value *j = jLoop.inductionVar();
+    mir::Value *k = kLoop.inductionVar();
+    mir::Value *prod = b.binary(mir::ops::MulF,
+                                b.affineLoad(A, id, {i, k}),
+                                b.affineLoad(B, id, {k, j}));
+    b.affineStore(
+        b.binary(mir::ops::AddF, b.affineLoad(C, id, {i, j}), prod), C, id,
+        {i, j});
+    b.setInsertPoint(fn.entryBlock());
+    b.createReturn();
+
+    if (interchange) {
+      // Swap j and k: the directive (on the innermost loop) stays with
+      // the inner position; the recurrence becomes per-column.
+      bool ok = mir::interchangeAffineLoops(jLoop);
+      if (!ok) {
+        std::fprintf(stderr, "interchange failed\n");
+        std::exit(1);
+      }
+    }
+    return module;
+  };
+  spec.reference = [](flow::Buffers &buf) {
+    auto &A = buf[0], &B = buf[1], &C = buf[2];
+    for (int64_t i = 0; i < N; ++i)
+      for (int64_t j = 0; j < N; ++j)
+        C[i * N + j] = 0.0;
+    // Interchange permutes the j/k iteration order, but each C[i][j]
+    // still accumulates its k terms in increasing order, so the FP result
+    // is bit-identical for both variants.
+    for (int64_t i = 0; i < N; ++i)
+      for (int64_t j = 0; j < N; ++j)
+        for (int64_t k = 0; k < N; ++k)
+          C[i * N + j] = C[i * N + j] + A[i * N + k] * B[k * N + j];
+  };
+  return spec;
+}
+
+} // namespace
+
+int main() {
+  std::printf("Figure 8: MLIR-level loop interchange on gemm "
+              "(ijk vs ikj-equivalent)\n");
+  std::printf("%-14s %14s %14s %9s | %10s\n", "variant", "hls-c++",
+              "adaptor", "ratio", "inner II");
+  printRule(70);
+  for (bool interchange : {false, true}) {
+    flow::KernelSpec spec = makeGemm(interchange);
+    flow::KernelConfig config;
+    config.pipelineII = 1;
+    config.partitionFactor = 2;
+    flow::FlowResult cpp =
+        mustRun(flow::runHlsCppFlow(spec, config), "hls-c++");
+    mustCosim(cpp, spec);
+    flow::FlowResult adaptorFlow =
+        mustRun(flow::runAdaptorFlow(spec, config), "adaptor");
+    mustCosim(adaptorFlow, spec);
+    int64_t innerII = 0;
+    for (const vhls::LoopReport &loop : adaptorFlow.synth.top()->loops)
+      if (loop.pipelined)
+        innerII = std::max(innerII, loop.achievedII);
+    int64_t c = cpp.synth.top()->latencyCycles;
+    int64_t a = adaptorFlow.synth.top()->latencyCycles;
+    std::printf("%-14s %14lld %14lld %9.3f | %10lld\n",
+                interchange ? "interchanged" : "reduction-inner",
+                static_cast<long long>(c), static_cast<long long>(a),
+                static_cast<double>(a) / static_cast<double>(c),
+                static_cast<long long>(innerII));
+  }
+  std::printf("\nInterchange moves the C[i][j] accumulation out of the "
+              "innermost loop: the carried\nrecurrence disappears and the "
+              "same scheduler drops from II=7 to port-limited II.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Table 3 — what the adaptor actually fixes: per kernel, the number of
+// HLS-frontend violations in the raw MLIR-lowered IR (by category) and the
+// adaptor's rewrite statistics. After the adaptor every kernel is accepted
+// with zero violations — the paper's "without the gap of unsupported
+// syntax" claim, quantified.
+#include "BenchCommon.h"
+#include "lir/HlsCompat.h"
+#include "lowering/Lowering.h"
+#include "mir/MContext.h"
+#include "mir/Pass.h"
+#include "mir/transforms/MirTransforms.h"
+
+using namespace mha;
+using namespace mha::bench;
+
+int main() {
+  std::printf("Table 3: HLS-frontend violations before the adaptor and "
+              "adaptor activity\n");
+  std::printf("%-10s %7s %7s %7s %7s %7s | %7s %7s %7s | %s\n", "kernel",
+              "opaque", "descr", "intrin", "mdata", "attrs", "flatten",
+              "delin", "legal", "after");
+  printRule(96);
+
+  for (const flow::KernelSpec &spec : flow::allKernels()) {
+    flow::KernelConfig config = defaultConfig();
+
+    // Raw lowered IR (pre-adaptor): count violations.
+    mir::MContext mctx;
+    DiagnosticEngine diags;
+    mir::OwnedModule mod = spec.build(mctx, config);
+    mir::MPassManager pm;
+    pm.add(mir::createCanonicalizePass());
+    pm.add(mir::createAffineToScfPass());
+    pm.add(mir::createCanonicalizePass());
+    if (!pm.run(mod.get(), diags))
+      return 1;
+    lir::LContext lctx;
+    auto module = lowering::lowerToLIR(mod.get(), lctx, {}, diags);
+    if (!module)
+      return 1;
+    DiagnosticEngine compatDiags;
+    lir::HlsCompatReport before =
+        lir::checkHlsCompatibility(*module, compatDiags);
+
+    // Full adaptor flow for the rewrite statistics + final verdict.
+    flow::FlowResult result =
+        mustRun(flow::runAdaptorFlow(spec, config), "adaptor");
+    auto stat = [&](const char *key) {
+      auto it = result.adaptorStats.find(key);
+      return it == result.adaptorStats.end() ? 0 : it->second;
+    };
+    std::printf(
+        "%-10s %7lld %7lld %7lld %7lld %7lld | %7lld %7lld %7lld | %s\n",
+        spec.name.c_str(),
+        static_cast<long long>(before.violations["opaque-pointers"]),
+        static_cast<long long>(before.violations["descriptor-arg"]),
+        static_cast<long long>(before.violations["intrinsic-call"]),
+        static_cast<long long>(before.violations["modern-metadata"]),
+        static_cast<long long>(before.violations["bad-attribute"]),
+        static_cast<long long>(stat("adaptor.descriptors-eliminated")),
+        static_cast<long long>(stat("adaptor.geps-delinearized")),
+        static_cast<long long>(stat("adaptor.fmuladd-expanded") +
+                               stat("adaptor.memcpy-expanded") +
+                               stat("adaptor.math-calls-retargeted") +
+                               stat("adaptor.minmax-expanded")),
+        result.synth.accepted && result.synth.compat.warnings == 0
+            ? "ACCEPT"
+            : "REJECT");
+  }
+  std::printf("\ncolumns: violations in raw MLIR-lowered IR (opaque "
+              "pointers, descriptor args,\nintrinsic calls, modern "
+              "metadata, modern attributes) | adaptor rewrites\n(descriptor "
+              "groups flattened, GEPs delinearized, intrinsics legalized) | "
+              "final verdict\n");
+  return 0;
+}

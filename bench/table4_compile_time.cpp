@@ -1,0 +1,84 @@
+// Table 4 — compile time of the two flows (google-benchmark timing).
+// The direct-IR adaptor flow skips C++ emission and re-parsing, which is
+// the practical argument the paper makes for a direct IR bridge.
+#include "BenchCommon.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace mha;
+using namespace mha::bench;
+
+namespace {
+
+void BM_AdaptorFlow(benchmark::State &state, const std::string &kernel) {
+  const flow::KernelSpec *spec = flow::findKernel(kernel);
+  flow::KernelConfig config = defaultConfig();
+  for (auto _ : state) {
+    flow::FlowResult result = flow::runAdaptorFlow(*spec, config);
+    if (!result.ok)
+      state.SkipWithError("adaptor flow failed");
+    benchmark::DoNotOptimize(result.synth.functions.size());
+  }
+}
+
+void BM_HlsCppFlow(benchmark::State &state, const std::string &kernel) {
+  const flow::KernelSpec *spec = flow::findKernel(kernel);
+  flow::KernelConfig config = defaultConfig();
+  for (auto _ : state) {
+    flow::FlowResult result = flow::runHlsCppFlow(*spec, config);
+    if (!result.ok)
+      state.SkipWithError("hls-c++ flow failed");
+    benchmark::DoNotOptimize(result.synth.functions.size());
+  }
+}
+
+void BM_BridgeOnly_Adaptor(benchmark::State &state,
+                           const std::string &kernel) {
+  // Stage timing: lowering+adaptor leg only (excludes shared MLIR opts and
+  // the backend).
+  const flow::KernelSpec *spec = flow::findKernel(kernel);
+  flow::KernelConfig config = defaultConfig();
+  for (auto _ : state) {
+    flow::FlowResult result = flow::runAdaptorFlow(*spec, config);
+    state.SetIterationTime(result.timings.bridgeMs / 1000.0);
+  }
+}
+
+void BM_BridgeOnly_HlsCpp(benchmark::State &state,
+                          const std::string &kernel) {
+  const flow::KernelSpec *spec = flow::findKernel(kernel);
+  flow::KernelConfig config = defaultConfig();
+  for (auto _ : state) {
+    flow::FlowResult result = flow::runHlsCppFlow(*spec, config);
+    state.SetIterationTime(result.timings.bridgeMs / 1000.0);
+  }
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  for (const flow::KernelSpec &spec : flow::allKernels()) {
+    benchmark::RegisterBenchmark(("table4/full/adaptor/" + spec.name).c_str(),
+                                 BM_AdaptorFlow, spec.name)
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark(("table4/full/hls-c++/" + spec.name).c_str(),
+                                 BM_HlsCppFlow, spec.name)
+        ->Unit(benchmark::kMillisecond);
+  }
+  // Bridge-leg comparison on a representative subset.
+  for (const char *kernel : {"gemm", "atax", "conv2d"}) {
+    benchmark::RegisterBenchmark(
+        (std::string("table4/bridge/adaptor/") + kernel).c_str(),
+        BM_BridgeOnly_Adaptor, std::string(kernel))
+        ->UseManualTime()
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark(
+        (std::string("table4/bridge/hls-c++/") + kernel).c_str(),
+        BM_BridgeOnly_HlsCpp, std::string(kernel))
+        ->UseManualTime()
+        ->Unit(benchmark::kMillisecond);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,141 @@
+// adaptor_tool - a developer-facing CLI around the HLS adaptor.
+//
+//   adaptor_tool <kernel> [options]
+//     --print-before        dump the raw MLIR-lowered LLVM IR
+//     --print-after         dump the HLS-readable IR after the adaptor
+//     --print-mlir          dump the MLIR the kernel starts from
+//     --no-descriptor-elim / --no-intrinsic-legalize / --no-gep-canon /
+//     --no-ptr-recovery / --no-metadata-convert / --no-attr-scrub
+//                           disable an adaptor stage (ablation)
+//     --strict              reject on acceptance warnings too
+//     --json                print the synthesis report as JSON
+//
+// Shows the version gap concretely: run with --print-before --print-after
+// and diff the two dumps.
+#include "adaptor/Adaptor.h"
+#include "flow/Kernels.h"
+#include "lir/HlsCompat.h"
+#include "lir/LContext.h"
+#include "lir/Printer.h"
+#include "lowering/Lowering.h"
+#include "mir/MContext.h"
+#include "mir/Pass.h"
+#include "mir/Printer.h"
+#include "mir/transforms/MirTransforms.h"
+#include "vhls/Vhls.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+using namespace mha;
+
+int main(int argc, char **argv) {
+  std::string kernelName = "gemm";
+  bool printBefore = false, printAfter = false, printMlir = false;
+  bool strict = false, json = false;
+  adaptor::AdaptorOptions options;
+  options.verifyCompat = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--print-before")
+      printBefore = true;
+    else if (arg == "--print-after")
+      printAfter = true;
+    else if (arg == "--print-mlir")
+      printMlir = true;
+    else if (arg == "--strict")
+      strict = true;
+    else if (arg == "--json")
+      json = true;
+    else if (arg == "--no-descriptor-elim")
+      options.runDescriptorElimination = false;
+    else if (arg == "--no-intrinsic-legalize")
+      options.runIntrinsicLegalize = false;
+    else if (arg == "--no-gep-canon")
+      options.runGepCanonicalize = false;
+    else if (arg == "--no-ptr-recovery")
+      options.runPointerTypeRecovery = false;
+    else if (arg == "--no-metadata-convert")
+      options.runMetadataConvert = false;
+    else if (arg == "--no-attr-scrub")
+      options.runAttributeScrub = false;
+    else if (arg[0] != '-')
+      kernelName = arg;
+    else {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  const flow::KernelSpec *spec = flow::findKernel(kernelName);
+  if (!spec) {
+    std::fprintf(stderr, "unknown kernel '%s'. available:", kernelName.c_str());
+    for (const flow::KernelSpec &s : flow::allKernels())
+      std::fprintf(stderr, " %s", s.name.c_str());
+    std::fprintf(stderr, "\n");
+    return 2;
+  }
+
+  flow::KernelConfig config;
+  config.pipelineII = 1;
+  config.partitionFactor = 2;
+
+  DiagnosticEngine diags;
+  mir::MContext mctx;
+  mir::OwnedModule mlirModule = spec->build(mctx, config);
+  if (printMlir)
+    std::printf("=== MLIR (affine level) ===\n%s\n",
+                mir::printModule(mlirModule.get()).c_str());
+
+  mir::MPassManager mpm;
+  mpm.add(mir::createCanonicalizePass());
+  mpm.add(mir::createAffineToScfPass());
+  mpm.add(mir::createCanonicalizePass());
+  if (!mpm.run(mlirModule.get(), diags)) {
+    std::fprintf(stderr, "MLIR pipeline failed:\n%s\n", diags.str().c_str());
+    return 1;
+  }
+
+  lir::LContext lctx;
+  auto module = lowering::lowerToLIR(mlirModule.get(), lctx, {}, diags);
+  if (!module) {
+    std::fprintf(stderr, "lowering failed:\n%s\n", diags.str().c_str());
+    return 1;
+  }
+  if (printBefore)
+    std::printf("=== LLVM IR before the adaptor (modern conventions) ===\n"
+                "%s\n",
+                lir::printModule(*module).c_str());
+
+  lir::PassManager pm(/*verifyEach=*/true);
+  adaptor::buildAdaptorPipeline(pm, options);
+  if (!pm.run(*module, diags)) {
+    std::fprintf(stderr, "adaptor failed:\n%s\n", diags.str().c_str());
+    return 1;
+  }
+  if (printAfter)
+    std::printf("=== HLS-readable IR after the adaptor ===\n%s\n",
+                lir::printModule(*module).c_str());
+
+  std::printf("=== adaptor pass activity ===\n");
+  for (const lir::PassRunRecord &record : pm.records()) {
+    std::printf("%-32s %s (%.2f ms)\n", record.passName.c_str(),
+                record.changed ? "changed" : "no-op", record.millis);
+    for (const auto &[key, value] : record.stats)
+      std::printf("    %-36s %lld\n", key.c_str(),
+                  static_cast<long long>(value));
+  }
+
+  vhls::SynthesisOptions synthOptions;
+  synthOptions.topFunction = spec->name;
+  synthOptions.strictAcceptance = strict;
+  DiagnosticEngine synthDiags;
+  vhls::SynthesisReport report =
+      vhls::synthesize(*module, synthOptions, synthDiags);
+  std::printf("\n%s", json ? report.json().c_str() : report.str().c_str());
+  if (!synthDiags.diagnostics().empty())
+    std::printf("\nfrontend diagnostics:\n%s", synthDiags.str().c_str());
+  return report.accepted ? 0 : 1;
+}

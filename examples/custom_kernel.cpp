@@ -1,0 +1,124 @@
+// custom_kernel - shows the library as an API: define your own kernel with
+// the MiniMLIR builder (here: fused AXPY + dot-product postprocessing
+// y = a*x + y; s[0] = sum(y*y)), give it a host reference, and push it
+// through both flows like any built-in benchmark.
+#include "flow/Flow.h"
+#include "mir/transforms/MirTransforms.h"
+
+#include <cstdio>
+
+using namespace mha;
+
+namespace {
+
+constexpr int64_t N = 64;
+
+/// y = 2.5*x + y, then s[0] = sum over y[i]^2.
+flow::KernelSpec makeAxpyDotKernel() {
+  flow::KernelSpec spec;
+  spec.name = "axpydot";
+  spec.description = "fused AXPY + self-dot (custom user kernel)";
+  spec.bufferShapes = {{N}, {N}, {1}};
+  spec.outputs = {1, 2};
+
+  spec.build = [](mir::MContext &ctx, const flow::KernelConfig &cfg) {
+    mir::OpBuilder b(ctx);
+    mir::OwnedModule module = mir::OpBuilder::createModule();
+    b.setInsertPoint(module.get().body());
+    mir::FuncOp fn = b.createFunc(
+        "axpydot", ctx.fnTy({ctx.memrefTy({N}, ctx.f64()),
+                             ctx.memrefTy({N}, ctx.f64()),
+                             ctx.memrefTy({1}, ctx.f64())},
+                            {}));
+    b.setInsertPoint(fn.entryBlock());
+    mir::Value *x = fn.arg(0), *y = fn.arg(1), *s = fn.arg(2);
+    mir::AffineMap id1 = mir::AffineMap::identity(ctx, 1);
+
+    // Loop 1: y = 2.5*x + y (streaming, pipelines at II=1).
+    mir::ForOp axpy = b.affineFor(0, N);
+    if (cfg.applyDirectives && cfg.pipelineII > 0)
+      mir::setPipelineDirective(axpy, cfg.pipelineII);
+    b.setInsertPointToLoopBody(axpy);
+    mir::Value *i = axpy.inductionVar();
+    mir::Value *xi = b.affineLoad(x, id1, {i});
+    mir::Value *yi = b.affineLoad(y, id1, {i});
+    mir::Value *scaled =
+        b.binary(mir::ops::MulF, b.constantFloat(2.5, ctx.f64()), xi);
+    b.affineStore(b.binary(mir::ops::AddF, scaled, yi), y, id1, {i});
+    b.setInsertPoint(fn.entryBlock());
+
+    // s[0] = 0; Loop 2: s[0] += y[i]*y[i] (recurrence-bound).
+    mir::AffineMap zeroMap(0, 0, {ctx.affineConst(0)});
+    b.affineStore(b.constantFloat(0.0, ctx.f64()), s, zeroMap, {});
+    mir::ForOp dot = b.affineFor(0, N);
+    if (cfg.applyDirectives && cfg.pipelineII > 0)
+      mir::setPipelineDirective(dot, cfg.pipelineII);
+    b.setInsertPointToLoopBody(dot);
+    mir::Value *j = dot.inductionVar();
+    mir::Value *yj = b.affineLoad(y, id1, {j});
+    mir::Value *sq = b.binary(mir::ops::MulF, yj, yj);
+    mir::Value *acc = b.affineLoad(s, zeroMap, {});
+    b.affineStore(b.binary(mir::ops::AddF, acc, sq), s, zeroMap, {});
+
+    b.setInsertPoint(fn.entryBlock());
+    b.createReturn();
+    return module;
+  };
+
+  spec.reference = [](flow::Buffers &buf) {
+    auto &x = buf[0];
+    auto &y = buf[1];
+    auto &s = buf[2];
+    for (int64_t i = 0; i < N; ++i)
+      y[i] = (2.5 * x[i]) + y[i];
+    s[0] = 0.0;
+    for (int64_t j = 0; j < N; ++j)
+      s[0] = s[0] + y[j] * y[j];
+  };
+  return spec;
+}
+
+} // namespace
+
+int main() {
+  flow::KernelSpec spec = makeAxpyDotKernel();
+  flow::KernelConfig config;
+  config.pipelineII = 1;
+
+  std::printf("custom kernel: %s — %s\n\n", spec.name.c_str(),
+              spec.description.c_str());
+
+  flow::FlowResult adaptorFlow = flow::runAdaptorFlow(spec, config);
+  flow::FlowResult cppFlow = flow::runHlsCppFlow(spec, config);
+  if (!adaptorFlow.ok || !cppFlow.ok) {
+    std::fprintf(stderr, "flow failed:\n%s\n%s\n",
+                 adaptorFlow.diagnostics.c_str(),
+                 cppFlow.diagnostics.c_str());
+    return 1;
+  }
+  std::string error;
+  bool cosimA = flow::cosimAgainstReference(adaptorFlow, spec, error);
+  std::printf("adaptor flow: latency=%lld cycles, co-sim %s\n",
+              static_cast<long long>(adaptorFlow.synth.top()->latencyCycles),
+              cosimA ? "PASS" : error.c_str());
+  bool cosimC = flow::cosimAgainstReference(cppFlow, spec, error);
+  std::printf("hls-c++ flow: latency=%lld cycles, co-sim %s\n",
+              static_cast<long long>(cppFlow.synth.top()->latencyCycles),
+              cosimC ? "PASS" : error.c_str());
+
+  std::printf("\nloop detail (adaptor flow):\n");
+  for (const vhls::LoopReport &loop : adaptorFlow.synth.top()->loops) {
+    std::printf("  %-14s trip=%-4lld %s", loop.name.c_str(),
+                static_cast<long long>(loop.tripCount),
+                loop.pipelined ? "pipelined" : "sequential");
+    if (loop.pipelined)
+      std::printf(" II=%lld (RecMII=%lld)",
+                  static_cast<long long>(loop.achievedII),
+                  static_cast<long long>(loop.recMII));
+    std::printf(" latency=%lld\n", static_cast<long long>(loop.totalLatency));
+  }
+  std::printf("\nthe AXPY loop streams at II=1 while the dot loop is "
+              "recurrence-limited by the\nfloating-point accumulation — "
+              "identically in both flows.\n");
+  return (cosimA && cosimC) ? 0 : 1;
+}

@@ -1,0 +1,57 @@
+// AttributeScrub - remove modern-only attributes the legacy frontend
+// chokes on (stage 6): mustprogress/nofree/nosync/willreturn/memory(...)
+// and any argument attribute outside the legacy whitelist.
+#include "adaptor/Adaptor.h"
+#include "lir/Function.h"
+#include "lir/HlsCompat.h"
+#include "lir/LContext.h"
+#include "support/StringUtils.h"
+
+#include <set>
+
+namespace mha::adaptor {
+
+namespace {
+
+class AttributeScrub : public lir::ModulePass {
+public:
+  std::string name() const override { return "attribute-scrub"; }
+
+  bool run(lir::Module &module, lir::PassStats &stats,
+           DiagnosticEngine &) override {
+    bool changed = false;
+    for (lir::Function *fn : module.functions()) {
+      changed |= scrub(fn->attrs(), &lir::isLegacyFnAttr, stats,
+                       "adaptor.fn-attrs-scrubbed");
+      for (const auto &arg : fn->args())
+        changed |= scrub(arg->attrs(), &lir::isLegacyArgAttr, stats,
+                         "adaptor.arg-attrs-scrubbed");
+    }
+    return changed;
+  }
+
+private:
+  bool scrub(std::set<std::string> &attrs, bool (*isLegacy)(const std::string &),
+             lir::PassStats &stats, const char *counter) {
+    bool changed = false;
+    for (auto it = attrs.begin(); it != attrs.end();) {
+      // xlx.* attributes are the frontend's own dialect: always kept.
+      if (!isLegacy(*it) && !startsWith(*it, "xlx.")) {
+        it = attrs.erase(it);
+        stats[counter]++;
+        changed = true;
+      } else {
+        ++it;
+      }
+    }
+    return changed;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<lir::ModulePass> createAttributeScrubPass() {
+  return std::make_unique<AttributeScrub>();
+}
+
+} // namespace mha::adaptor

@@ -1,0 +1,160 @@
+// DescriptorElimination - collapse MLIR memref descriptor argument groups
+// into single array pointers (stage 1 of the adaptor).
+//
+// The MLIR lowering passes each memref as (allocPtr, alignedPtr, offset,
+// size0..N, stride0..N). HLS top functions need one pointer per array with
+// a static shape, so the pass rewrites the signature and constant-folds the
+// geometry: offset -> 0, sizes/strides -> the static shape recorded in the
+// !mha.memref group metadata. The surviving pointer carries !mha.shape for
+// the later delinearization/typing stages.
+#include "adaptor/Adaptor.h"
+#include "adaptor/ShapeInfo.h"
+#include "lir/LContext.h"
+#include "lowering/Lowering.h"
+#include "support/StringUtils.h"
+
+namespace mha::adaptor {
+
+namespace {
+
+class DescriptorElimination : public lir::ModulePass {
+public:
+  std::string name() const override { return "memref-descriptor-elimination"; }
+
+  bool run(lir::Module &module, lir::PassStats &stats,
+           DiagnosticEngine &diags) override {
+    bool changed = false;
+    for (lir::Function *fn : module.functions()) {
+      if (fn->isDeclaration())
+        continue;
+      changed |= runOnFunction(*fn, module, stats, diags);
+    }
+    return changed;
+  }
+
+private:
+  bool runOnFunction(lir::Function &fn, lir::Module &module,
+                     lir::PassStats &stats, DiagnosticEngine &diags) {
+    lir::LContext &ctx = module.context();
+
+    struct Plan {
+      // Either a plain pass-through scalar or a descriptor group.
+      bool isGroup = false;
+      unsigned firstOldArg = 0;
+      unsigned numOldArgs = 1;
+      ShapeInfo shape;
+      std::string displayName;
+      lir::Type *newType = nullptr;
+      std::set<std::string> carriedAttrs;
+    };
+    std::vector<Plan> plans;
+    bool anyGroup = false;
+    for (unsigned i = 0; i < fn.numArgs();) {
+      lir::Argument *arg = fn.arg(i);
+      const lir::MDNode *groupMD =
+          arg->getMetadata(lowering::kMemRefGroupMD);
+      if (!groupMD) {
+        Plan p;
+        p.firstOldArg = i;
+        p.newType = arg->type();
+        p.displayName = arg->name();
+        p.carriedAttrs = arg->attrs();
+        plans.push_back(p);
+        ++i;
+        continue;
+      }
+      auto shape = parseShapeMD(groupMD, ctx, /*firstIdx=*/1);
+      if (!shape || !groupMD->isString(0)) {
+        diags.error(strfmt("malformed %s metadata on @%s",
+                           lowering::kMemRefGroupMD, fn.name().c_str()));
+        return false;
+      }
+      Plan p;
+      p.isGroup = true;
+      p.firstOldArg = i;
+      p.numOldArgs = 3 + 2 * shape->rank();
+      p.shape = *shape;
+      p.displayName = groupMD->getString(0);
+      p.newType = ctx.emitOpaquePointers
+                      ? static_cast<lir::Type *>(ctx.opaquePtrTy())
+                      : static_cast<lir::Type *>(
+                            ctx.ptrTy(shape->arrayType(ctx)));
+      plans.push_back(p);
+      anyGroup = true;
+      i += p.numOldArgs;
+      if (p.firstOldArg + p.numOldArgs > fn.numArgs()) {
+        diags.error(strfmt("descriptor group overruns signature of @%s",
+                           fn.name().c_str()));
+        return false;
+      }
+    }
+    if (!anyGroup)
+      return false;
+
+    // Phase 1: detach every old-argument use onto placeholders/constants.
+    std::vector<std::unique_ptr<lir::Instruction>> placeholders;
+    std::vector<lir::Value *> newArgStandIns;
+    for (Plan &p : plans) {
+      auto placeholder =
+          std::make_unique<lir::Instruction>(lir::Opcode::Freeze, p.newType);
+      placeholder->setName("newarg");
+      lir::Value *standIn = placeholder.get();
+      newArgStandIns.push_back(standIn);
+      placeholders.push_back(std::move(placeholder));
+
+      if (!p.isGroup) {
+        fn.arg(p.firstOldArg)->replaceAllUsesWith(standIn);
+        continue;
+      }
+      unsigned base = p.firstOldArg;
+      std::vector<int64_t> strides = p.shape.strides();
+      fn.arg(base + 0)->replaceAllUsesWith(standIn); // allocated ptr
+      fn.arg(base + 1)->replaceAllUsesWith(standIn); // aligned ptr
+      fn.arg(base + 2)->replaceAllUsesWith(ctx.constI64(0)); // offset
+      for (unsigned d = 0; d < p.shape.rank(); ++d) {
+        fn.arg(base + 3 + d)
+            ->replaceAllUsesWith(ctx.constI64(p.shape.dims[d]));
+        fn.arg(base + 3 + p.shape.rank() + d)
+            ->replaceAllUsesWith(ctx.constI64(strides[d]));
+      }
+      stats["adaptor.descriptor-args-folded"] += p.numOldArgs - 1;
+    }
+
+    // Phase 2: install the flattened signature.
+    std::vector<lir::Type *> params;
+    for (const Plan &p : plans)
+      params.push_back(p.newType);
+    std::vector<lir::Argument *> newArgs =
+        fn.resetSignature(ctx.fnTy(fn.returnType(), params));
+
+    // Phase 3: swap placeholders for the real arguments.
+    for (unsigned i = 0; i < plans.size(); ++i) {
+      const Plan &p = plans[i];
+      newArgStandIns[i]->replaceAllUsesWith(newArgs[i]);
+      if (p.isGroup) {
+        newArgs[i]->setName(p.displayName);
+        newArgs[i]->attrs().insert("noalias");
+        auto shapeMD = std::make_unique<lir::MDNode>();
+        shapeMD->addString(p.shape.elemTy->str());
+        shapeMD->addInt(p.shape.rank());
+        for (int64_t d : p.shape.dims)
+          shapeMD->addInt(d);
+        newArgs[i]->metadata()["mha.shape"] = std::move(shapeMD);
+        stats["adaptor.descriptors-eliminated"]++;
+      } else {
+        newArgs[i]->setName(p.displayName.empty() ? strfmt("arg%u", i)
+                                                  : p.displayName);
+        newArgs[i]->attrs() = p.carriedAttrs;
+      }
+    }
+    return true;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<lir::ModulePass> createDescriptorEliminationPass() {
+  return std::make_unique<DescriptorElimination>();
+}
+
+} // namespace mha::adaptor

@@ -1,0 +1,157 @@
+// GepCanonicalize - delinearize flat address arithmetic into shaped GEPs
+// (stage 3 of the adaptor).
+//
+// The MLIR lowering computes `offset + i*stride0 + j*stride1` and indexes
+// `gep f64, ptr, linear`. The HLS backend needs the array structure back
+// to map BRAMs and apply partitioning, so this pass decomposes each linear
+// address into per-dimension indices using the static shape recorded in
+// !mha.shape and rewrites to `gep [N x [M x f64]], ptr, 0, i, j`.
+// Decomposition assumes in-bounds subscripts (each recovered index stays
+// below its dimension), the standard delinearization contract.
+#include "adaptor/Adaptor.h"
+#include "adaptor/ShapeInfo.h"
+#include "lir/IRBuilder.h"
+#include "lir/LContext.h"
+
+namespace mha::adaptor {
+
+namespace {
+
+class GepCanonicalize : public lir::ModulePass {
+public:
+  std::string name() const override { return "gep-canonicalize"; }
+
+  bool run(lir::Module &module, lir::PassStats &stats,
+           DiagnosticEngine &) override {
+    ctx_ = &module.context();
+    bool changed = false;
+    for (lir::Function *fn : module.functions()) {
+      if (fn->isDeclaration())
+        continue;
+      changed |= reshapeAllocas(*fn, stats);
+      changed |= rewriteGeps(*fn, stats);
+    }
+    return changed;
+  }
+
+private:
+  /// [total x T] allocas regain their logical [d0 x [d1 x T]] type.
+  bool reshapeAllocas(lir::Function &fn, lir::PassStats &stats) {
+    bool changed = false;
+    for (lir::BasicBlock *bb : fn.blockPtrs()) {
+      for (auto &inst : *bb) {
+        if (inst->opcode() != lir::Opcode::Alloca)
+          continue;
+        auto shape = shapeOf(inst.get(), *ctx_);
+        if (!shape || shape->rank() < 1)
+          continue;
+        lir::ArrayType *shapedTy = shape->arrayType(*ctx_);
+        if (inst->allocatedType() == shapedTy)
+          continue;
+        inst->setAllocatedType(shapedTy);
+        stats["adaptor.allocas-reshaped"]++;
+        changed = true;
+      }
+    }
+    return changed;
+  }
+
+  bool rewriteGeps(lir::Function &fn, lir::PassStats &stats) {
+    bool changed = false;
+    std::vector<lir::Instruction *> worklist;
+    for (lir::BasicBlock *bb : fn.blockPtrs())
+      for (auto &inst : *bb)
+        if (inst->opcode() == lir::Opcode::GEP)
+          worklist.push_back(inst.get());
+
+    for (lir::Instruction *gep : worklist) {
+      // Only flat single-index GEPs rooted directly at a shaped base.
+      if (gep->numOperands() != 2)
+        continue;
+      lir::Value *base = gep->operand(0);
+      auto shape = shapeOf(base, *ctx_);
+      if (!shape)
+        continue;
+      if (gep->sourceElemType() != shape->elemTy)
+        continue;
+
+      auto linear = decomposeLinear(gep->operand(1));
+      if (!linear)
+        continue;
+      std::vector<int64_t> strides = shape->strides();
+
+      // Assign each term to the outermost dimension whose stride divides
+      // its coefficient; distribute the constant likewise.
+      std::vector<LinearAddr> perDim(shape->rank());
+      bool ok = true;
+      for (auto &[value, coef] : linear->terms) {
+        bool assigned = false;
+        for (unsigned d = 0; d < shape->rank(); ++d) {
+          if (coef % strides[d] != 0)
+            continue;
+          int64_t q = coef / strides[d];
+          // A quotient at/above the next-outer extent belongs further out.
+          if (q == 0)
+            continue;
+          perDim[d].terms.push_back({value, q});
+          assigned = true;
+          break;
+        }
+        if (!assigned) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        // Truncating division distributes both positive and negative
+        // stencil offsets (in[i-1][j] -> constant -stride0 lands on dim 0;
+        // in[i][j-1] -> constant -1 lands on the innermost dim).
+        int64_t c = linear->constant;
+        for (unsigned d = 0; d < shape->rank(); ++d) {
+          perDim[d].constant = c / strides[d];
+          c %= strides[d];
+        }
+        ok = c == 0;
+      }
+      if (!ok) {
+        stats["adaptor.geps-kept-flat"]++;
+        continue;
+      }
+
+      // Materialize per-dimension index expressions before the GEP.
+      lir::IRBuilder builder(*ctx_);
+      builder.setInsertPointBefore(gep);
+      std::vector<lir::Value *> indices{ctx_->constI64(0)};
+      for (unsigned d = 0; d < shape->rank(); ++d) {
+        lir::Value *idx = ctx_->constI64(perDim[d].constant);
+        for (auto &[value, q] : perDim[d].terms) {
+          lir::Value *scaled =
+              q == 1 ? value
+                     : builder.createMul(value, ctx_->constI64(q), "idx.mul");
+          idx = (isa<lir::ConstantInt>(idx) &&
+                 cast<lir::ConstantInt>(idx)->isZero())
+                    ? scaled
+                    : builder.createAdd(idx, scaled, "idx.add");
+        }
+        indices.push_back(idx);
+      }
+      lir::Instruction *shaped = builder.createGEP(
+          shape->arrayType(*ctx_), base, indices, gep->name() + ".shaped");
+      gep->replaceAllUsesWith(shaped);
+      gep->eraseFromParent();
+      stats["adaptor.geps-delinearized"]++;
+      changed = true;
+    }
+    return changed;
+  }
+
+  lir::LContext *ctx_ = nullptr;
+};
+
+} // namespace
+
+std::unique_ptr<lir::ModulePass> createGepCanonicalizePass() {
+  return std::make_unique<GepCanonicalize>();
+}
+
+} // namespace mha::adaptor

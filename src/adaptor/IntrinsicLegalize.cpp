@@ -1,0 +1,223 @@
+// IntrinsicLegalize - replace modern llvm.* intrinsics with constructs the
+// HLS frontend digests (stage 2 of the adaptor).
+//
+//   llvm.memcpy            -> an explicit rank-deep copy loop nest (shaped
+//                             accesses, so it also pipelines/partitions)
+//   llvm.fmuladd.*         -> fmul + fadd (the frontend re-fuses into DSPs)
+//   llvm.smax/smin.*       -> icmp + select
+//   llvm.sqrt/exp/fabs.*   -> calls into the hls_* math library
+#include "adaptor/Adaptor.h"
+#include "adaptor/ShapeInfo.h"
+#include "lir/IRBuilder.h"
+#include "lir/Intrinsics.h"
+#include "lir/LContext.h"
+#include "lir/Utils.h"
+#include "support/StringUtils.h"
+
+namespace mha::adaptor {
+
+namespace {
+
+class IntrinsicLegalize : public lir::ModulePass {
+public:
+  std::string name() const override { return "intrinsic-legalize"; }
+
+  bool run(lir::Module &module, lir::PassStats &stats,
+           DiagnosticEngine &diags) override {
+    module_ = &module;
+    ctx_ = &module.context();
+    bool changed = false;
+    for (lir::Function *fn : module.functions()) {
+      if (fn->isDeclaration())
+        continue;
+      changed |= runOnFunction(*fn, stats, diags);
+    }
+    changed |= dropDeadIntrinsicDecls(module, stats);
+    return changed;
+  }
+
+private:
+  bool runOnFunction(lir::Function &fn, lir::PassStats &stats,
+                     DiagnosticEngine &diags) {
+    bool changed = false;
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (lir::BasicBlock *bb : fn.blockPtrs()) {
+        for (auto &instPtr : *bb) {
+          lir::Instruction *inst = instPtr.get();
+          if (inst->opcode() != lir::Opcode::Call)
+            continue;
+          lir::Function *callee = inst->calledFunction();
+          if (!callee || !lir::isModernIntrinsic(*callee))
+            continue;
+          if (legalizeCall(inst, *callee, stats, diags)) {
+            progress = changed = true;
+            break; // CFG / list may have changed
+          }
+        }
+        if (progress)
+          break;
+      }
+    }
+    return changed;
+  }
+
+  bool legalizeCall(lir::Instruction *call, lir::Function &callee,
+                    lir::PassStats &stats, DiagnosticEngine &diags) {
+    const std::string &name = callee.name();
+    lir::IRBuilder builder(*ctx_);
+    if (startsWith(name, "llvm.fmuladd.")) {
+      builder.setInsertPointBefore(call);
+      lir::Value *mul =
+          builder.createFMul(call->arg(0), call->arg(1), "fma.mul");
+      lir::Value *add = builder.createFAdd(mul, call->arg(2), "fma.add");
+      call->replaceAllUsesWith(add);
+      call->eraseFromParent();
+      stats["adaptor.fmuladd-expanded"]++;
+      return true;
+    }
+    if (startsWith(name, "llvm.smax.") || startsWith(name, "llvm.smin.")) {
+      builder.setInsertPointBefore(call);
+      bool isMax = startsWith(name, "llvm.smax.");
+      lir::Value *cmp = builder.createICmp(
+          isMax ? lir::CmpPred::SGT : lir::CmpPred::SLT, call->arg(0),
+          call->arg(1), "minmax.cmp");
+      lir::Value *sel = builder.createSelect(cmp, call->arg(0), call->arg(1),
+                                             "minmax.sel");
+      call->replaceAllUsesWith(sel);
+      call->eraseFromParent();
+      stats["adaptor.minmax-expanded"]++;
+      return true;
+    }
+    for (const char *op : {"sqrt", "exp", "fabs", "log", "sin", "cos"}) {
+      if (name == strfmt("llvm.%s.f64", op) ||
+          name == strfmt("llvm.%s.f32", op)) {
+        builder.setInsertPointBefore(call);
+        lir::Function *hlsFn =
+            lir::getHlsMathFunction(*module_, op, call->type());
+        lir::Value *repl = builder.createCall(hlsFn, {call->arg(0)},
+                                              strfmt("hls.%s", op));
+        call->replaceAllUsesWith(repl);
+        call->eraseFromParent();
+        stats["adaptor.math-calls-retargeted"]++;
+        return true;
+      }
+    }
+    if (startsWith(name, "llvm.memcpy.")) {
+      if (expandMemcpy(call, stats, diags))
+        return true;
+      return false;
+    }
+    diags.error(strfmt("adaptor: no legalization for intrinsic @%s",
+                       name.c_str()));
+    return false;
+  }
+
+  bool expandMemcpy(lir::Instruction *call, lir::PassStats &stats,
+                    DiagnosticEngine &diags) {
+    lir::Value *dst = call->arg(0);
+    lir::Value *src = call->arg(1);
+    auto dstShape = shapeOf(dst, *ctx_);
+    auto srcShape = shapeOf(src, *ctx_);
+    ShapeInfo shape;
+    if (dstShape)
+      shape = *dstShape;
+    else if (srcShape)
+      shape = *srcShape;
+    else {
+      // Unknown geometry: byte-wise copy.
+      auto *bytes = dyn_cast<lir::ConstantInt>(call->arg(2));
+      if (!bytes) {
+        diags.error("adaptor: memcpy with non-constant size");
+        return false;
+      }
+      shape.elemTy = ctx_->i8();
+      shape.dims = {bytes->value()};
+    }
+
+    // Split so the nest slots between the call's block and its tail.
+    lir::BasicBlock *origBB = call->parent();
+    lir::BasicBlock *cont = lir::splitBlockBefore(call, "memcpy.cont");
+    call->eraseFromParent();
+    origBB->terminator()->eraseFromParent();
+
+    lir::IRBuilder builder(*ctx_);
+    builder.setInsertPoint(origBB);
+    std::vector<lir::Value *> ivs;
+    emitCopyNest(builder, shape, dst, src, 0, ivs, cont);
+    stats["adaptor.memcpy-expanded"]++;
+    return true;
+  }
+
+  /// Emits loop level `d`; when all levels are open, copies one element.
+  void emitCopyNest(lir::IRBuilder &builder, const ShapeInfo &shape,
+                    lir::Value *dst, lir::Value *src, unsigned d,
+                    std::vector<lir::Value *> &ivs, lir::BasicBlock *cont) {
+    lir::Function *fn = builder.insertBlock()->parent();
+    lir::BasicBlock *header = fn->createBlock(strfmt("copy%u.header", d));
+    lir::BasicBlock *body = fn->createBlock(strfmt("copy%u.body", d));
+    lir::BasicBlock *exit =
+        d == 0 ? cont : fn->createBlock(strfmt("copy%u.exit", d));
+
+    lir::BasicBlock *pre = builder.insertBlock();
+    builder.createBr(header);
+    builder.setInsertPoint(header);
+    lir::Instruction *iv = builder.createPhi(ctx_->i64(),
+                                             strfmt("copy.iv%u", d));
+    iv->addIncoming(ctx_->constI64(0), pre);
+    lir::Value *cmp = builder.createICmp(
+        lir::CmpPred::SLT, iv, ctx_->constI64(shape.dims[d]), "copy.cmp");
+    builder.createCondBr(cmp, body, exit);
+
+    builder.setInsertPoint(body);
+    ivs.push_back(iv);
+    if (d + 1 == shape.rank()) {
+      std::vector<lir::Value *> indices{ctx_->constI64(0)};
+      indices.insert(indices.end(), ivs.begin(), ivs.end());
+      lir::ArrayType *arrTy = shape.arrayType(*ctx_);
+      lir::Value *srcAddr = builder.createGEP(arrTy, src, indices, "copy.s");
+      lir::Value *val = builder.createLoad(shape.elemTy, srcAddr, "copy.v");
+      lir::Value *dstAddr = builder.createGEP(arrTy, dst, indices, "copy.d");
+      builder.createStore(val, dstAddr);
+    } else {
+      emitCopyNest(builder, shape, dst, src, d + 1, ivs, cont);
+    }
+    ivs.pop_back();
+    lir::Value *ivNext =
+        builder.createAdd(iv, ctx_->constI64(1), "copy.iv.next");
+    lir::Instruction *latch = builder.createBr(header);
+    if (d + 1 == shape.rank()) {
+      // Innermost copy loops pipeline perfectly; say so.
+      latch->setMetadata(xlx::Pipeline, lir::MDNode::ofInt(1));
+      latch->setMetadata(xlx::TripCount,
+                         lir::MDNode::ofInt(shape.dims[d]));
+    }
+    iv->addIncoming(ivNext, builder.insertBlock());
+    builder.setInsertPoint(exit);
+  }
+
+  bool dropDeadIntrinsicDecls(lir::Module &module, lir::PassStats &stats) {
+    bool changed = false;
+    for (lir::Function *fn : module.functions()) {
+      if (fn->isDeclaration() && lir::isModernIntrinsic(*fn) &&
+          !fn->hasUses()) {
+        module.eraseFunction(fn);
+        stats["adaptor.intrinsic-decls-removed"]++;
+        changed = true;
+      }
+    }
+    return changed;
+  }
+
+  lir::Module *module_ = nullptr;
+  lir::LContext *ctx_ = nullptr;
+};
+
+} // namespace
+
+std::unique_ptr<lir::ModulePass> createIntrinsicLegalizePass() {
+  return std::make_unique<IntrinsicLegalize>();
+}
+
+} // namespace mha::adaptor

@@ -1,0 +1,120 @@
+// PointerTypeRecovery - opaque -> typed pointer downgrade (stage 4).
+//
+// The legacy HLS frontend predates opaque pointers; every pointer must be
+// typed. Pointee types are reconstructed from how each pointer is
+// produced: arguments from their !mha.shape geometry, allocas from the
+// allocated type, GEPs by navigating their source element type. The
+// !mha.shape markers are consumed here (the shape now lives in the type),
+// and the module leaves opaque-pointer mode.
+#include "adaptor/Adaptor.h"
+#include "adaptor/ShapeInfo.h"
+#include "lir/LContext.h"
+#include "support/StringUtils.h"
+
+namespace mha::adaptor {
+
+namespace {
+
+class PointerTypeRecovery : public lir::ModulePass {
+public:
+  std::string name() const override { return "pointer-type-recovery"; }
+
+  bool run(lir::Module &module, lir::PassStats &stats,
+           DiagnosticEngine &diags) override {
+    lir::LContext &ctx = module.context();
+    bool changed = false;
+
+    for (lir::Function *fn : module.functions()) {
+      // Arguments first (signature update).
+      bool signatureChanged = false;
+      std::vector<lir::Type *> params;
+      for (const auto &arg : fn->args()) {
+        lir::Type *newTy = arg->type();
+        if (auto *pt = dyn_cast<lir::PointerType>(arg->type());
+            pt && pt->isOpaque()) {
+          auto shape = shapeOf(arg.get(), ctx);
+          if (shape) {
+            newTy = ctx.ptrTy(shape->arrayType(ctx));
+          } else if (!fn->isDeclaration()) {
+            // Leave it opaque; the compatibility check will flag it (this
+            // happens when descriptor elimination was skipped).
+            diags.warning(strfmt(
+                "adaptor: cannot recover pointee type of argument %%%s in "
+                "@%s (no shape information)",
+                arg->name().c_str(), fn->name().c_str()));
+          }
+        }
+        if (newTy != arg->type()) {
+          arg->setType(newTy);
+          stats["adaptor.pointers-typed"]++;
+          signatureChanged = changed = true;
+        }
+        arg->metadata().erase("mha.shape");
+        params.push_back(newTy);
+      }
+      if (signatureChanged)
+        fn->setType(ctx.fnTy(fn->returnType(), params));
+
+      if (fn->isDeclaration())
+        continue;
+
+      // Instructions in layout order: producers before consumers for the
+      // straight-line pointer chains our pipeline creates.
+      for (lir::BasicBlock *bb : fn->blockPtrs()) {
+        for (auto &inst : *bb) {
+          auto *pt = dyn_cast<lir::PointerType>(inst->type());
+          if (!pt || !pt->isOpaque())
+            continue;
+          switch (inst->opcode()) {
+          case lir::Opcode::Alloca:
+            inst->setType(ctx.ptrTy(inst->allocatedType()));
+            inst->metadata().erase("mha.shape");
+            stats["adaptor.pointers-typed"]++;
+            changed = true;
+            break;
+          case lir::Opcode::GEP: {
+            lir::Type *pointee = inst->sourceElemType();
+            for (unsigned i = 2; i < inst->numOperands(); ++i) {
+              if (auto *at = dyn_cast<lir::ArrayType>(pointee))
+                pointee = at->element();
+              else if (auto *st = dyn_cast<lir::StructType>(pointee)) {
+                auto *ci = dyn_cast<lir::ConstantInt>(inst->operand(i));
+                if (!ci) {
+                  diags.error("adaptor: non-constant struct GEP index");
+                  break;
+                }
+                pointee = st->fields()[static_cast<size_t>(ci->value())];
+              }
+            }
+            inst->setType(ctx.ptrTy(pointee));
+            stats["adaptor.pointers-typed"]++;
+            changed = true;
+            break;
+          }
+          default:
+            diags.error(strfmt(
+                "adaptor: cannot recover pointee type of '%s' result",
+                lir::opcodeName(inst->opcode())));
+            break;
+          }
+        }
+      }
+      // Allocas keep mha.shape even when already typed; scrub leftovers.
+      for (lir::BasicBlock *bb : fn->blockPtrs())
+        for (auto &inst : *bb)
+          inst->metadata().erase("mha.shape");
+    }
+
+    module.flags()["opaque-pointers"] = "false";
+    ctx.emitOpaquePointers = false;
+    return changed;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<lir::ModulePass> createPointerTypeRecoveryPass() {
+  return std::make_unique<PointerTypeRecovery>();
+}
+
+} // namespace mha::adaptor

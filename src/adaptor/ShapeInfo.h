@@ -1,0 +1,53 @@
+// ShapeInfo.h - shared helpers for reading mha.shape/mha.memref metadata
+// and decomposing linear address expressions (adaptor-internal).
+#pragma once
+
+#include "lir/Function.h"
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace mha::adaptor {
+
+/// Logical array geometry recorded by the lowering.
+struct ShapeInfo {
+  lir::Type *elemTy = nullptr;
+  std::vector<int64_t> dims;
+
+  unsigned rank() const { return static_cast<unsigned>(dims.size()); }
+  int64_t totalElements() const {
+    int64_t n = 1;
+    for (int64_t d : dims)
+      n *= d;
+    return n;
+  }
+  /// Row-major strides, innermost = 1.
+  std::vector<int64_t> strides() const {
+    std::vector<int64_t> s(dims.size(), 1);
+    for (int i = static_cast<int>(dims.size()) - 2; i >= 0; --i)
+      s[i] = s[i + 1] * dims[i + 1];
+    return s;
+  }
+  /// [d0 x [d1 x ... T]] nested array type.
+  lir::ArrayType *arrayType(lir::LContext &ctx) const;
+};
+
+/// Parses a !{ !"elemTy", i64 rank, i64 dim... } node (mha.shape /
+/// mha.memref payload starting at `firstIdx`).
+std::optional<ShapeInfo> parseShapeMD(const lir::MDNode *node,
+                                      lir::LContext &ctx,
+                                      size_t firstIdx = 0);
+
+/// Shape info for a pointer value: argument or alloca carrying mha.shape.
+std::optional<ShapeInfo> shapeOf(const lir::Value *base, lir::LContext &ctx);
+
+/// linear = constant + sum(coef_i * value_i): multi-variable linear
+/// decomposition over add/sub/mul-by-const/shl-by-const/sext/zext chains.
+struct LinearAddr {
+  int64_t constant = 0;
+  std::vector<std::pair<lir::Value *, int64_t>> terms; // value, coefficient
+};
+std::optional<LinearAddr> decomposeLinear(lir::Value *v);
+
+} // namespace mha::adaptor

@@ -1,0 +1,202 @@
+#include "flow/Flow.h"
+
+#include "hlscpp/Emitter.h"
+#include "hlscpp/Frontend.h"
+#include "interp/Interp.h"
+#include "lir/transforms/Transforms.h"
+#include "lowering/Lowering.h"
+#include "mir/Pass.h"
+#include "mir/Printer.h"
+#include "mir/Verifier.h"
+#include "mir/transforms/MirTransforms.h"
+#include "support/StringUtils.h"
+
+#include <chrono>
+#include <cmath>
+
+namespace mha::flow {
+
+namespace {
+
+double msSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Builds the kernel and runs the shared MLIR-level preparation.
+std::optional<mir::OwnedModule> prepareMlir(const KernelSpec &spec,
+                                            const KernelConfig &config,
+                                            mir::MContext &mctx,
+                                            const FlowOptions &options,
+                                            DiagnosticEngine &diags) {
+  mir::OwnedModule module = spec.build(mctx, config);
+  if (!mir::verifyModule(module.get(), diags))
+    return std::nullopt;
+  mir::MPassManager pm;
+  if (options.runMlirOpts)
+    pm.add(mir::createCanonicalizePass());
+  if (options.unrollAtMlirLevel) {
+    // Cross-layer: consume hls.unroll here instead of in the backend.
+    module.get().op->walk([&](mir::Operation *op) {
+      if (!op->is(mir::ops::AffineFor))
+        return;
+      if (const auto *factor =
+              dyn_cast<mir::IntegerAttr>(op->attr(mir::hlsattr::Unroll))) {
+        op->setAttr("mha.unroll_now", factor);
+        op->removeAttr(mir::hlsattr::Unroll);
+      }
+    });
+    pm.add(mir::createAffineUnrollPass());
+    if (options.runMlirOpts)
+      pm.add(mir::createCanonicalizePass());
+  }
+  if (!pm.run(module.get(), diags))
+    return std::nullopt;
+  return module;
+}
+
+} // namespace
+
+FlowResult runAdaptorFlow(const KernelSpec &spec, const KernelConfig &config,
+                          const FlowOptions &options) {
+  FlowResult result;
+  result.kind = FlowKind::Adaptor;
+  result.kernelName = spec.name;
+  DiagnosticEngine diags;
+  auto total = std::chrono::steady_clock::now();
+
+  // MLIR level.
+  auto t0 = std::chrono::steady_clock::now();
+  mir::MContext mctx;
+  auto module = prepareMlir(spec, config, mctx, options, diags);
+  if (!module) {
+    result.diagnostics = diags.str();
+    return result;
+  }
+  // Structured -> scf conversion belongs to this flow's lowering leg.
+  mir::MPassManager convert;
+  convert.add(mir::createAffineToScfPass());
+  convert.add(mir::createCanonicalizePass());
+  if (!convert.run(module->get(), diags)) {
+    result.diagnostics = diags.str();
+    return result;
+  }
+  result.timings.mlirOptMs = msSince(t0);
+
+  // Lowering + adaptor.
+  auto t1 = std::chrono::steady_clock::now();
+  result.ctx = std::make_unique<lir::LContext>();
+  result.module =
+      lowering::lowerToLIR(module->get(), *result.ctx, options.lowering,
+                           diags);
+  if (!result.module) {
+    result.diagnostics = diags.str();
+    return result;
+  }
+  lir::PassManager pm(/*verifyEach=*/true);
+  adaptor::buildAdaptorPipeline(pm, options.adaptor);
+  bool adaptorOk = pm.run(*result.module, diags);
+  result.adaptorStats = pm.totalStats();
+  result.timings.bridgeMs = msSince(t1);
+  if (!adaptorOk) {
+    result.diagnostics = diags.str();
+    return result;
+  }
+
+  // Virtual HLS.
+  auto t2 = std::chrono::steady_clock::now();
+  vhls::SynthesisOptions synthOpts = options.synthesis;
+  if (synthOpts.topFunction.empty())
+    synthOpts.topFunction = spec.name;
+  result.synth = vhls::synthesize(*result.module, synthOpts, diags);
+  result.timings.synthMs = msSince(t2);
+  result.timings.totalMs = msSince(total);
+  result.diagnostics = diags.str();
+  result.ok = result.synth.accepted;
+  return result;
+}
+
+FlowResult runHlsCppFlow(const KernelSpec &spec, const KernelConfig &config,
+                         const FlowOptions &options) {
+  FlowResult result;
+  result.kind = FlowKind::HlsCpp;
+  result.kernelName = spec.name;
+  DiagnosticEngine diags;
+  auto total = std::chrono::steady_clock::now();
+
+  auto t0 = std::chrono::steady_clock::now();
+  mir::MContext mctx;
+  auto module = prepareMlir(spec, config, mctx, options, diags);
+  if (!module) {
+    result.diagnostics = diags.str();
+    return result;
+  }
+  result.timings.mlirOptMs = msSince(t0);
+
+  // Emit C++, re-parse with the HLS frontend.
+  auto t1 = std::chrono::steady_clock::now();
+  result.hlsCpp = hlscpp::emitHlsCpp(module->get(), diags);
+  if (result.hlsCpp.empty()) {
+    result.diagnostics = diags.str();
+    return result;
+  }
+  result.ctx = std::make_unique<lir::LContext>();
+  result.module = hlscpp::parseHlsCpp(result.hlsCpp, *result.ctx, diags);
+  result.timings.bridgeMs = msSince(t1);
+  if (!result.module) {
+    result.diagnostics = diags.str();
+    return result;
+  }
+
+  auto t2 = std::chrono::steady_clock::now();
+  vhls::SynthesisOptions synthOpts = options.synthesis;
+  if (synthOpts.topFunction.empty())
+    synthOpts.topFunction = spec.name;
+  result.synth = vhls::synthesize(*result.module, synthOpts, diags);
+  result.timings.synthMs = msSince(t2);
+  result.timings.totalMs = msSince(total);
+  result.diagnostics = diags.str();
+  result.ok = result.synth.accepted;
+  return result;
+}
+
+bool cosimAgainstReference(const FlowResult &result, const KernelSpec &spec,
+                           std::string &error) {
+  lir::Function *top = result.topFunction();
+  if (!top) {
+    error = "no top function in flow result";
+    return false;
+  }
+  // Seed identical inputs for device and host.
+  Buffers device = makeBuffers(spec);
+  seedBuffers(device);
+  Buffers host = device;
+  spec.reference(host);
+
+  std::vector<void *> pointers;
+  for (auto &buffer : device)
+    pointers.push_back(buffer.data());
+
+  DiagnosticEngine diags;
+  interp::Interpreter interpreter(*result.module);
+  auto run = interpreter.run(top, interp::pointerArgs(pointers), diags);
+  if (!run) {
+    error = "interpreter failed: " + diags.str();
+    return false;
+  }
+
+  for (unsigned out : spec.outputs) {
+    for (size_t i = 0; i < device[out].size(); ++i) {
+      if (device[out][i] != host[out][i] &&
+          !(std::isnan(device[out][i]) && std::isnan(host[out][i]))) {
+        error = strfmt("buffer %u element %zu: device=%.17g host=%.17g", out,
+                       i, device[out][i], host[out][i]);
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+} // namespace mha::flow

@@ -1,0 +1,80 @@
+// Flow.h - end-to-end flow drivers for the paper's two compilation paths.
+//
+//   Adaptor flow (the paper's):  MLIR -> [affine opts] -> scf -> LLVM IR
+//     (modern conventions) -> HLS Adaptor -> HLS-readable IR -> virtual HLS
+//   HLS C++ flow (baseline):     MLIR -> [affine opts] -> HLS C++ text ->
+//     C frontend (+O2-lite) -> HLS IR -> virtual HLS
+//
+// Both paths end in the same backend; the experiments compare their
+// post-synthesis latency/resources and their compile time, plus functional
+// equivalence through the interpreter.
+#pragma once
+
+#include "adaptor/Adaptor.h"
+#include "flow/Kernels.h"
+#include "lir/Function.h"
+#include "lir/LContext.h"
+#include "lowering/Lowering.h"
+#include "vhls/Vhls.h"
+
+#include <memory>
+#include <string>
+
+namespace mha::flow {
+
+enum class FlowKind { Adaptor, HlsCpp };
+
+struct StageTimings {
+  double mlirOptMs = 0;   // MLIR-level passes
+  double bridgeMs = 0;    // lowering+adaptor OR emission+frontend
+  double synthMs = 0;     // virtual HLS
+  double totalMs = 0;
+};
+
+struct FlowResult {
+  bool ok = false;
+  FlowKind kind = FlowKind::Adaptor;
+  std::string kernelName;
+  vhls::SynthesisReport synth;
+  lir::PassStats adaptorStats; // adaptor flow only
+  StageTimings timings;
+  std::string hlsCpp;          // baseline flow only: the emitted C++
+  std::string diagnostics;     // rendered diagnostics (errors/warnings)
+
+  // Final HLS IR (kept alive with its context for co-simulation).
+  std::unique_ptr<lir::LContext> ctx;
+  std::unique_ptr<lir::Module> module;
+
+  lir::Function *topFunction() const {
+    return module ? module->getFunction(kernelName) : nullptr;
+  }
+};
+
+struct FlowOptions {
+  vhls::SynthesisOptions synthesis;
+  adaptor::AdaptorOptions adaptor;
+  lowering::LoweringOptions lowering;
+  /// Run MLIR-level canonicalization before branching into a flow.
+  bool runMlirOpts = true;
+  /// Cross-layer choice: honour hls.unroll directives by unrolling at the
+  /// *MLIR* level (before either bridge) instead of letting the HLS
+  /// backend unroll. The adaptor flow then carries pre-unrolled IR; the
+  /// C++ flow emits pre-unrolled source.
+  bool unrollAtMlirLevel = false;
+};
+
+/// The paper's direct-IR path.
+FlowResult runAdaptorFlow(const KernelSpec &spec, const KernelConfig &config,
+                          const FlowOptions &options = {});
+
+/// The MLIR->HLS-C++ baseline path.
+FlowResult runHlsCppFlow(const KernelSpec &spec, const KernelConfig &config,
+                         const FlowOptions &options = {});
+
+/// Executes the flow's final IR against the host reference. Returns true
+/// when every output buffer matches bit-for-bit; `error` explains any
+/// mismatch. Runs on the flattened (one pointer per array) convention.
+bool cosimAgainstReference(const FlowResult &result, const KernelSpec &spec,
+                           std::string &error);
+
+} // namespace mha::flow

@@ -1,0 +1,356 @@
+#include "hlscpp/Emitter.h"
+
+#include "mir/MContext.h"
+#include "support/StringUtils.h"
+
+#include <cmath>
+#include <map>
+#include <sstream>
+
+namespace mha::hlscpp {
+
+namespace {
+
+class Emitter {
+public:
+  explicit Emitter(DiagnosticEngine &diags) : diags_(diags) {}
+
+  std::string run(mir::ModuleOp module) {
+    os_ << "// Generated HLS C++ (MLIR -> HLS C++ emission flow)\n";
+    os_ << "#include <math.h>\n#include <string.h>\n\n";
+    for (mir::FuncOp fn : module.funcs())
+      emitFunc(fn);
+    return diags_.hadError() ? std::string() : os_.str();
+  }
+
+private:
+  std::string cTypeOf(mir::Type *type) {
+    switch (type->kind()) {
+    case mir::Type::Kind::Index:
+      return "int";
+    case mir::Type::Kind::Integer:
+      return cast<mir::IntegerType>(type)->width() == 1 ? "bool" : "int";
+    case mir::Type::Kind::Float:
+      return "float";
+    case mir::Type::Kind::Double:
+      return "double";
+    default:
+      diags_.error("hlscpp-emit: cannot emit type " + type->str());
+      return "int";
+    }
+  }
+
+  std::string nameOf(mir::Value *v) {
+    auto it = names_.find(v);
+    if (it != names_.end())
+      return it->second;
+    std::string name = strfmt("v%u", next_++);
+    names_[v] = name;
+    return name;
+  }
+
+  void indent() {
+    for (int i = 0; i < depth_; ++i)
+      os_ << "  ";
+  }
+
+  void emitFunc(mir::FuncOp fn) {
+    names_.clear();
+    next_ = 0;
+    os_ << "void " << fn.name() << "(";
+    for (unsigned i = 0; i < fn.numArgs(); ++i) {
+      if (i)
+        os_ << ", ";
+      mir::BlockArgument *arg = fn.arg(i);
+      std::string argName = strfmt("a%u", i);
+      names_[arg] = argName;
+      if (auto *mt = dyn_cast<mir::MemRefType>(arg->type())) {
+        os_ << cTypeOf(mt->elementType()) << " " << argName;
+        for (int64_t d : mt->shape())
+          os_ << "[" << d << "]";
+      } else {
+        os_ << cTypeOf(arg->type()) << " " << argName;
+      }
+    }
+    os_ << ") {\n";
+    depth_ = 1;
+    if (fn.op->attr(mir::hlsattr::Dataflow)) {
+      indent();
+      os_ << "#pragma HLS dataflow\n";
+    }
+    // Array-partition pragmas (Vitis: dim is 1-based).
+    if (const auto *partitions = dyn_cast<mir::ArrayAttr>(
+            fn.op->attr(mir::hlsattr::ArrayPartition))) {
+      for (const mir::Attribute *entry : partitions->value()) {
+        const auto *tuple = cast<mir::ArrayAttr>(entry);
+        int64_t argIdx = cast<mir::IntegerAttr>(tuple->value()[0])->value();
+        int64_t dim = cast<mir::IntegerAttr>(tuple->value()[1])->value();
+        int64_t factor = cast<mir::IntegerAttr>(tuple->value()[2])->value();
+        const std::string &kind =
+            cast<mir::StringAttr>(tuple->value()[3])->value();
+        indent();
+        os_ << strfmt("#pragma HLS array_partition variable=a%lld %s "
+                      "factor=%lld dim=%lld\n",
+                      static_cast<long long>(argIdx), kind.c_str(),
+                      static_cast<long long>(factor),
+                      static_cast<long long>(dim + 1));
+      }
+    }
+    emitBlock(fn.entryBlock());
+    os_ << "}\n\n";
+  }
+
+  void emitBlock(mir::Block *block) {
+    for (mir::Operation *op : block->opPtrs())
+      emitOp(op);
+  }
+
+  std::string operandExpr(mir::Operation *op, unsigned i) {
+    return nameOf(op->operand(i));
+  }
+
+  /// Declares `cType name = expr;` and registers the result name.
+  void emitAssign(mir::Operation *op, const std::string &expr) {
+    indent();
+    os_ << cTypeOf(op->result()->type()) << " " << nameOf(op->result())
+        << " = " << expr << ";\n";
+  }
+
+  std::string affineExprToC(const mir::AffineExpr *expr,
+                            const std::vector<std::string> &dims) {
+    using K = mir::AffineExpr::Kind;
+    switch (expr->kind()) {
+    case K::Constant:
+      return strfmt("%lld", static_cast<long long>(expr->value()));
+    case K::Dim:
+      return dims.at(static_cast<size_t>(expr->value()));
+    case K::Symbol:
+      diags_.error("hlscpp-emit: affine symbols unsupported");
+      return "0";
+    case K::Add:
+      return "(" + affineExprToC(expr->lhs(), dims) + " + " +
+             affineExprToC(expr->rhs(), dims) + ")";
+    case K::Mul:
+      return "(" + affineExprToC(expr->lhs(), dims) + " * " +
+             affineExprToC(expr->rhs(), dims) + ")";
+    case K::Mod:
+      return "(" + affineExprToC(expr->lhs(), dims) + " % " +
+             affineExprToC(expr->rhs(), dims) + ")";
+    case K::FloorDiv:
+      return "(" + affineExprToC(expr->lhs(), dims) + " / " +
+             affineExprToC(expr->rhs(), dims) + ")";
+    case K::CeilDiv:
+      return "((" + affineExprToC(expr->lhs(), dims) + " + " +
+             affineExprToC(expr->rhs(), dims) + " - 1) / " +
+             affineExprToC(expr->rhs(), dims) + ")";
+    }
+    return "0";
+  }
+
+  /// Subscript text for an affine access: "[i][j+1]".
+  std::string subscripts(mir::Operation *op, unsigned memrefIdx) {
+    const mir::AffineMap &map =
+        cast<mir::AffineMapAttr>(op->attr("map"))->value();
+    std::vector<std::string> dims;
+    for (unsigned i = memrefIdx + 1; i < op->numOperands(); ++i)
+      dims.push_back(nameOf(op->operand(i)));
+    std::string out;
+    for (const mir::AffineExpr *expr : map.results())
+      out += "[" + affineExprToC(expr, dims) + "]";
+    return out;
+  }
+
+  void emitOp(mir::Operation *op) {
+    namespace mops = mir::ops;
+    const std::string &name = op->name();
+
+    static const std::map<std::string, const char *> binops = {
+        {mops::AddI, "+"}, {mops::SubI, "-"}, {mops::MulI, "*"},
+        {mops::DivSI, "/"}, {mops::RemSI, "%"}, {mops::AddF, "+"},
+        {mops::SubF, "-"}, {mops::MulF, "*"}, {mops::DivF, "/"}};
+    static const std::map<std::string, const char *> cmps = {
+        {"eq", "=="}, {"ne", "!="}, {"slt", "<"}, {"sle", "<="},
+        {"sgt", ">"}, {"sge", ">="}, {"ult", "<"}, {"ule", "<="},
+        {"ugt", ">"}, {"uge", ">="}, {"oeq", "=="}, {"one", "!="},
+        {"olt", "<"}, {"ole", "<="}, {"ogt", ">"}, {"oge", ">="}};
+
+    if (name == mops::ConstantOp) {
+      const mir::Attribute *value = op->attr("value");
+      if (const auto *i = dyn_cast<mir::IntegerAttr>(value))
+        emitAssign(op, strfmt("%lld", static_cast<long long>(i->value())));
+      else {
+        double v = cast<mir::FloatAttr>(value)->value();
+        emitAssign(op, v == std::floor(v) && std::isfinite(v)
+                           ? strfmt("%.1f", v)
+                           : strfmt("%.17g", v));
+      }
+      return;
+    }
+    if (auto it = binops.find(name); it != binops.end()) {
+      emitAssign(op, operandExpr(op, 0) + " " + it->second + " " +
+                         operandExpr(op, 1));
+      return;
+    }
+    if (name == mops::NegF) {
+      emitAssign(op, "-" + operandExpr(op, 0));
+      return;
+    }
+    if (name == mops::CmpI || name == mops::CmpF) {
+      const std::string &pred =
+          cast<mir::StringAttr>(op->attr("predicate"))->value();
+      emitAssign(op, operandExpr(op, 0) + " " + cmps.at(pred) + " " +
+                         operandExpr(op, 1));
+      return;
+    }
+    if (name == mops::Select) {
+      emitAssign(op, operandExpr(op, 0) + " ? " + operandExpr(op, 1) + " : " +
+                         operandExpr(op, 2));
+      return;
+    }
+    if (name == mops::IndexCast) {
+      emitAssign(op, operandExpr(op, 0));
+      return;
+    }
+    if (name == mops::SIToFP || name == mops::FPToSI) {
+      emitAssign(op, "(" + cTypeOf(op->result()->type()) + ")" +
+                         operandExpr(op, 0));
+      return;
+    }
+    if (name == mops::MathSqrt) {
+      emitAssign(op, "sqrt(" + operandExpr(op, 0) + ")");
+      return;
+    }
+    if (name == mops::MathExp) {
+      emitAssign(op, "exp(" + operandExpr(op, 0) + ")");
+      return;
+    }
+    if (name == mops::MathFabs) {
+      emitAssign(op, "fabs(" + operandExpr(op, 0) + ")");
+      return;
+    }
+    if (name == mops::MemRefAlloc) {
+      auto *mt = cast<mir::MemRefType>(op->result()->type());
+      indent();
+      os_ << cTypeOf(mt->elementType()) << " " << nameOf(op->result());
+      for (int64_t d : mt->shape())
+        os_ << "[" << d << "]";
+      os_ << ";\n";
+      return;
+    }
+    if (name == mops::AffineLoad) {
+      emitAssign(op, operandExpr(op, 0) + subscripts(op, 0));
+      return;
+    }
+    if (name == mops::AffineStore) {
+      indent();
+      os_ << operandExpr(op, 1) << subscripts(op, 1) << " = "
+          << operandExpr(op, 0) << ";\n";
+      return;
+    }
+    if (name == mops::MemRefLoad) {
+      std::string expr = operandExpr(op, 0);
+      for (unsigned i = 1; i < op->numOperands(); ++i)
+        expr += "[" + operandExpr(op, i) + "]";
+      emitAssign(op, expr);
+      return;
+    }
+    if (name == mops::MemRefStore) {
+      indent();
+      os_ << operandExpr(op, 1);
+      for (unsigned i = 2; i < op->numOperands(); ++i)
+        os_ << "[" << operandExpr(op, i) << "]";
+      os_ << " = " << operandExpr(op, 0) << ";\n";
+      return;
+    }
+    if (name == mops::MemRefCopy) {
+      // Nested element-copy loops (what HLS-friendly emitters produce).
+      auto *mt = cast<mir::MemRefType>(op->operand(0)->type());
+      std::string src = operandExpr(op, 0);
+      std::string dst = operandExpr(op, 1);
+      std::vector<std::string> ivs;
+      for (unsigned d = 0; d < mt->rank(); ++d) {
+        std::string iv = strfmt("c%u_%u", copyId_, d);
+        indent();
+        os_ << strfmt("for (int %s = 0; %s < %lld; %s += 1) {\n", iv.c_str(),
+                      iv.c_str(), static_cast<long long>(mt->shape()[d]),
+                      iv.c_str());
+        ++depth_;
+        ivs.push_back(iv);
+      }
+      indent();
+      os_ << "#pragma HLS pipeline II=1\n";
+      indent();
+      os_ << dst;
+      for (const std::string &iv : ivs)
+        os_ << "[" << iv << "]";
+      os_ << " = " << src;
+      for (const std::string &iv : ivs)
+        os_ << "[" << iv << "]";
+      os_ << ";\n";
+      for (unsigned d = 0; d < mt->rank(); ++d) {
+        --depth_;
+        indent();
+        os_ << "}\n";
+      }
+      ++copyId_;
+      return;
+    }
+    if (name == mops::AffineApply) {
+      const mir::AffineMap &map =
+          cast<mir::AffineMapAttr>(op->attr("map"))->value();
+      std::vector<std::string> dims;
+      for (unsigned i = 0; i < op->numOperands(); ++i)
+        dims.push_back(nameOf(op->operand(i)));
+      emitAssign(op, affineExprToC(map.results()[0], dims));
+      return;
+    }
+    if (name == mops::AffineFor) {
+      mir::ForOp loop = mir::ForOp::wrap(op);
+      std::string iv = strfmt("i%u", loopId_++);
+      names_[loop.inductionVar()] = iv;
+      indent();
+      os_ << strfmt("for (int %s = %lld; %s < %lld; %s += %lld) {\n",
+                    iv.c_str(), static_cast<long long>(loop.lowerBound()),
+                    iv.c_str(), static_cast<long long>(loop.upperBound()),
+                    iv.c_str(), static_cast<long long>(loop.step()));
+      ++depth_;
+      if (auto ii = loop.pipelineII()) {
+        indent();
+        os_ << strfmt("#pragma HLS pipeline II=%lld",
+                      static_cast<long long>(*ii))
+            << "\n";
+      }
+      if (auto factor = loop.unrollFactor()) {
+        indent();
+        os_ << strfmt("#pragma HLS unroll factor=%lld",
+                      static_cast<long long>(*factor))
+            << "\n";
+      }
+      emitBlock(loop.bodyBlock());
+      --depth_;
+      indent();
+      os_ << "}\n";
+      return;
+    }
+    if (name == mops::AffineYield || name == mops::Return ||
+        name == mops::ScfYield)
+      return;
+    diags_.error("hlscpp-emit: cannot emit op " + name);
+  }
+
+  DiagnosticEngine &diags_;
+  std::ostringstream os_;
+  std::map<mir::Value *, std::string> names_;
+  unsigned next_ = 0;
+  unsigned loopId_ = 0;
+  unsigned copyId_ = 0;
+  int depth_ = 0;
+};
+
+} // namespace
+
+std::string emitHlsCpp(mir::ModuleOp module, DiagnosticEngine &diags) {
+  return Emitter(diags).run(module);
+}
+
+} // namespace mha::hlscpp

@@ -1,0 +1,19 @@
+// Emitter.h - ScaleHLS-style HLS C++ code generation (the baseline flow).
+//
+// Walks a MiniMLIR module at the *affine* level and prints Vitis-ready
+// C++: array parameters, perfect loop nests, and #pragma HLS directives
+// derived from the hls.* attributes. This is the path the paper compares
+// against: MLIR -> HLS C++ -> (HLS frontend) -> HLS IR.
+#pragma once
+
+#include "mir/Ops.h"
+#include "support/Diagnostics.h"
+
+#include <string>
+
+namespace mha::hlscpp {
+
+/// Emits HLS C++ for every function in `module`. Returns empty on error.
+std::string emitHlsCpp(mir::ModuleOp module, DiagnosticEngine &diags);
+
+} // namespace mha::hlscpp

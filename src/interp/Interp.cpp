@@ -1,0 +1,485 @@
+#include "interp/Interp.h"
+
+#include "lir/Intrinsics.h"
+#include "lir/LContext.h"
+#include "lir/Printer.h"
+#include "support/Compiler.h"
+#include "support/StringUtils.h"
+
+#include <cmath>
+#include <cstring>
+#include <map>
+
+namespace mha::interp {
+
+namespace {
+
+using lir::CmpPred;
+using lir::Opcode;
+
+/// One function activation.
+struct Frame {
+  std::map<const lir::Value *, RtValue> values;
+  std::vector<std::vector<uint8_t>> allocas; // storage owned by the frame
+};
+
+class Engine {
+public:
+  Engine(lir::Module &module, uint64_t stepLimit, DiagnosticEngine &diags)
+      : module_(module), stepLimit_(stepLimit), diags_(diags) {}
+
+  uint64_t steps() const { return steps_; }
+
+  std::optional<RtValue> call(lir::Function *fn, std::vector<RtValue> args) {
+    if (fn->isDeclaration())
+      return callExternal(*fn, args);
+    Frame frame;
+    for (unsigned i = 0; i < fn->numArgs(); ++i)
+      frame.values[fn->arg(i)] = args[i];
+
+    lir::BasicBlock *block = fn->entry();
+    lir::BasicBlock *prevBlock = nullptr;
+    for (;;) {
+      // Phis first, evaluated simultaneously.
+      std::vector<std::pair<const lir::Value *, RtValue>> phiValues;
+      auto it = block->begin();
+      for (; it != block->end() && (*it)->opcode() == Opcode::Phi; ++it) {
+        lir::Value *incoming = (*it)->incomingValueFor(prevBlock);
+        if (!incoming) {
+          diags_.error("interp: phi has no entry for predecessor");
+          return std::nullopt;
+        }
+        phiValues.push_back({it->get(), eval(incoming, frame)});
+      }
+      for (auto &[phi, value] : phiValues)
+        frame.values[phi] = value;
+
+      for (; it != block->end(); ++it) {
+        lir::Instruction *inst = it->get();
+        if (++steps_ > stepLimit_) {
+          diags_.error("interp: step limit exceeded");
+          return std::nullopt;
+        }
+        switch (inst->opcode()) {
+        case Opcode::Ret:
+          if (inst->numOperands())
+            return eval(inst->operand(0), frame);
+          return RtValue{};
+        case Opcode::Br:
+          prevBlock = block;
+          block = inst->brDest();
+          goto nextBlock;
+        case Opcode::CondBr: {
+          bool cond = eval(inst->operand(0), frame).i != 0;
+          prevBlock = block;
+          block = cond ? inst->trueDest() : inst->falseDest();
+          goto nextBlock;
+        }
+        case Opcode::Unreachable:
+          diags_.error("interp: executed unreachable");
+          return std::nullopt;
+        default: {
+          auto result = exec(inst, frame);
+          if (!result)
+            return std::nullopt;
+          if (!inst->type()->isVoid())
+            frame.values[inst] = *result;
+          break;
+        }
+        }
+      }
+      diags_.error("interp: fell off the end of a block");
+      return std::nullopt;
+    nextBlock:;
+    }
+  }
+
+private:
+  RtValue eval(const lir::Value *v, Frame &frame) {
+    if (const auto *ci = dyn_cast<lir::ConstantInt>(v))
+      return RtValue::ofInt(ci->value());
+    if (const auto *cf = dyn_cast<lir::ConstantFP>(v))
+      return RtValue::ofFloat(cf->value());
+    if (isa<lir::UndefValue>(v))
+      return RtValue{};
+    auto it = frame.values.find(v);
+    if (it == frame.values.end()) {
+      diags_.error("interp: use of value with no binding");
+      return RtValue{};
+    }
+    return it->second;
+  }
+
+  std::optional<RtValue> exec(lir::Instruction *inst, Frame &frame) {
+    switch (inst->opcode()) {
+    case Opcode::Alloca: {
+      frame.allocas.emplace_back(inst->allocatedType()->sizeInBytes(), 0);
+      return RtValue::ofPtr(frame.allocas.back().data());
+    }
+    case Opcode::Load: {
+      uint8_t *addr = eval(inst->operand(0), frame).p;
+      return loadFrom(addr, inst->type());
+    }
+    case Opcode::Store: {
+      RtValue value = eval(inst->operand(0), frame);
+      uint8_t *addr = eval(inst->operand(1), frame).p;
+      storeTo(addr, inst->operand(0)->type(), value);
+      return RtValue{};
+    }
+    case Opcode::GEP: {
+      uint8_t *base = eval(inst->operand(0), frame).p;
+      int64_t offset =
+          eval(inst->operand(1), frame).i *
+          static_cast<int64_t>(inst->sourceElemType()->sizeInBytes());
+      lir::Type *cur = inst->sourceElemType();
+      for (unsigned i = 2; i < inst->numOperands(); ++i) {
+        int64_t idx = eval(inst->operand(i), frame).i;
+        if (auto *at = dyn_cast<lir::ArrayType>(cur)) {
+          cur = at->element();
+          offset += idx * static_cast<int64_t>(cur->sizeInBytes());
+        } else if (auto *st = dyn_cast<lir::StructType>(cur)) {
+          for (int64_t f = 0; f < idx; ++f)
+            offset += static_cast<int64_t>(
+                st->fields()[static_cast<size_t>(f)]->sizeInBytes());
+          cur = st->fields()[static_cast<size_t>(idx)];
+        } else {
+          diags_.error("interp: gep index into non-aggregate");
+          return std::nullopt;
+        }
+      }
+      return RtValue::ofPtr(base + offset);
+    }
+    case Opcode::ICmp:
+      return RtValue::ofInt(
+          evalICmp(inst->predicate(), eval(inst->operand(0), frame),
+                   eval(inst->operand(1), frame),
+                   inst->operand(0)->type()->isPointer()));
+    case Opcode::FCmp:
+      return RtValue::ofInt(evalFCmp(inst->predicate(),
+                                     eval(inst->operand(0), frame).f,
+                                     eval(inst->operand(1), frame).f));
+    case Opcode::Select: {
+      bool cond = eval(inst->operand(0), frame).i != 0;
+      return eval(inst->operand(cond ? 1 : 2), frame);
+    }
+    case Opcode::Freeze:
+      return eval(inst->operand(0), frame);
+    case Opcode::FNeg:
+      return RtValue::ofFloat(-eval(inst->operand(0), frame).f);
+    case Opcode::Call:
+      return execCall(inst, frame);
+    case Opcode::Trunc:
+    case Opcode::ZExt:
+    case Opcode::SExt:
+    case Opcode::Bitcast:
+    case Opcode::PtrToInt:
+    case Opcode::IntToPtr:
+    case Opcode::FPTrunc:
+    case Opcode::FPExt:
+      return execCast(inst, frame);
+    case Opcode::SIToFP:
+    case Opcode::UIToFP:
+      return RtValue::ofFloat(
+          static_cast<double>(eval(inst->operand(0), frame).i));
+    case Opcode::FPToSI:
+      return RtValue::ofInt(
+          static_cast<int64_t>(eval(inst->operand(0), frame).f));
+    default:
+      if (inst->isBinaryOp())
+        return execBinop(inst, frame);
+      diags_.error(strfmt("interp: cannot execute '%s'",
+                          lir::opcodeName(inst->opcode())));
+      return std::nullopt;
+    }
+  }
+
+  RtValue loadFrom(uint8_t *addr, lir::Type *type) {
+    switch (type->kind()) {
+    case lir::Type::Kind::Integer: {
+      unsigned bytes = static_cast<unsigned>(type->sizeInBytes());
+      int64_t v = 0;
+      std::memcpy(&v, addr, bytes);
+      // Sign-extend.
+      unsigned width = cast<lir::IntType>(type)->width();
+      if (width < 64) {
+        uint64_t sign = uint64_t(1) << (width - 1);
+        v = static_cast<int64_t>((static_cast<uint64_t>(v) ^ sign) - sign);
+      }
+      return RtValue::ofInt(v);
+    }
+    case lir::Type::Kind::Float: {
+      float v;
+      std::memcpy(&v, addr, 4);
+      return RtValue::ofFloat(v);
+    }
+    case lir::Type::Kind::Double: {
+      double v;
+      std::memcpy(&v, addr, 8);
+      return RtValue::ofFloat(v);
+    }
+    case lir::Type::Kind::Pointer: {
+      void *v;
+      std::memcpy(&v, addr, 8);
+      return RtValue::ofPtr(v);
+    }
+    default:
+      diags_.error("interp: load of unsupported type");
+      return RtValue{};
+    }
+  }
+
+  void storeTo(uint8_t *addr, lir::Type *type, RtValue value) {
+    switch (type->kind()) {
+    case lir::Type::Kind::Integer:
+      std::memcpy(addr, &value.i, type->sizeInBytes());
+      return;
+    case lir::Type::Kind::Float: {
+      float v = static_cast<float>(value.f);
+      std::memcpy(addr, &v, 4);
+      return;
+    }
+    case lir::Type::Kind::Double:
+      std::memcpy(addr, &value.f, 8);
+      return;
+    case lir::Type::Kind::Pointer:
+      std::memcpy(addr, &value.p, 8);
+      return;
+    default:
+      diags_.error("interp: store of unsupported type");
+    }
+  }
+
+  std::optional<RtValue> execBinop(lir::Instruction *inst, Frame &frame) {
+    RtValue a = eval(inst->operand(0), frame);
+    RtValue b = eval(inst->operand(1), frame);
+    bool isFP = inst->type()->isFloatingPoint();
+    if (isFP) {
+      double r = 0;
+      switch (inst->opcode()) {
+      case Opcode::FAdd: r = a.f + b.f; break;
+      case Opcode::FSub: r = a.f - b.f; break;
+      case Opcode::FMul: r = a.f * b.f; break;
+      case Opcode::FDiv: r = a.f / b.f; break;
+      default: unreachable("bad fp binop");
+      }
+      if (inst->type()->kind() == lir::Type::Kind::Float)
+        r = static_cast<float>(r);
+      return RtValue::ofFloat(r);
+    }
+    int64_t r = 0;
+    uint64_t ua = static_cast<uint64_t>(a.i), ub = static_cast<uint64_t>(b.i);
+    switch (inst->opcode()) {
+    case Opcode::Add: r = static_cast<int64_t>(ua + ub); break;
+    case Opcode::Sub: r = static_cast<int64_t>(ua - ub); break;
+    case Opcode::Mul: r = static_cast<int64_t>(ua * ub); break;
+    case Opcode::SDiv:
+      if (b.i == 0) {
+        diags_.error("interp: division by zero");
+        return std::nullopt;
+      }
+      r = a.i / b.i;
+      break;
+    case Opcode::UDiv:
+      if (ub == 0) {
+        diags_.error("interp: division by zero");
+        return std::nullopt;
+      }
+      r = static_cast<int64_t>(ua / ub);
+      break;
+    case Opcode::SRem:
+      if (b.i == 0) {
+        diags_.error("interp: remainder by zero");
+        return std::nullopt;
+      }
+      r = a.i % b.i;
+      break;
+    case Opcode::URem:
+      if (ub == 0) {
+        diags_.error("interp: remainder by zero");
+        return std::nullopt;
+      }
+      r = static_cast<int64_t>(ua % ub);
+      break;
+    case Opcode::And: r = a.i & b.i; break;
+    case Opcode::Or: r = a.i | b.i; break;
+    case Opcode::Xor: r = a.i ^ b.i; break;
+    case Opcode::Shl: r = static_cast<int64_t>(ua << (ub & 63)); break;
+    case Opcode::LShr: r = static_cast<int64_t>(ua >> (ub & 63)); break;
+    case Opcode::AShr: r = a.i >> (ub & 63); break;
+    default: unreachable("bad int binop");
+    }
+    return RtValue::ofInt(r);
+  }
+
+  std::optional<RtValue> execCast(lir::Instruction *inst, Frame &frame) {
+    RtValue in = eval(inst->operand(0), frame);
+    switch (inst->opcode()) {
+    case Opcode::Trunc: {
+      unsigned width = cast<lir::IntType>(inst->type())->width();
+      int64_t v = in.i;
+      if (width < 64) {
+        uint64_t mask = (uint64_t(1) << width) - 1;
+        uint64_t sign = uint64_t(1) << (width - 1);
+        v = static_cast<int64_t>(((static_cast<uint64_t>(v) & mask) ^ sign) -
+                                 sign);
+      }
+      return RtValue::ofInt(v);
+    }
+    case Opcode::ZExt: {
+      unsigned srcWidth =
+          cast<lir::IntType>(inst->operand(0)->type())->width();
+      uint64_t mask = srcWidth >= 64 ? ~uint64_t(0)
+                                     : (uint64_t(1) << srcWidth) - 1;
+      return RtValue::ofInt(
+          static_cast<int64_t>(static_cast<uint64_t>(in.i) & mask));
+    }
+    case Opcode::SExt:
+      return in; // already canonically sign-extended
+    case Opcode::Bitcast:
+      return in;
+    case Opcode::PtrToInt:
+      return RtValue::ofInt(reinterpret_cast<int64_t>(in.p));
+    case Opcode::IntToPtr:
+      return RtValue::ofPtr(reinterpret_cast<void *>(in.i));
+    case Opcode::FPTrunc:
+      return RtValue::ofFloat(static_cast<float>(in.f));
+    case Opcode::FPExt:
+      return in;
+    default:
+      unreachable("bad cast");
+    }
+  }
+
+  std::optional<RtValue> execCall(lir::Instruction *inst, Frame &frame) {
+    lir::Function *callee = inst->calledFunction();
+    if (!callee) {
+      diags_.error("interp: indirect call");
+      return std::nullopt;
+    }
+    std::vector<RtValue> args;
+    for (unsigned i = 0; i < inst->numArgs(); ++i)
+      args.push_back(eval(inst->arg(i), frame));
+    return call(callee, std::move(args));
+  }
+
+  std::optional<RtValue> callExternal(lir::Function &fn,
+                                      const std::vector<RtValue> &args) {
+    const std::string &name = fn.name();
+    bool isF32 = fn.returnType()->kind() == lir::Type::Kind::Float;
+    auto round = [&](double v) {
+      return RtValue::ofFloat(isF32 ? static_cast<float>(v) : v);
+    };
+    if (startsWith(name, "llvm.memcpy.")) {
+      std::memcpy(args[0].p, args[1].p, static_cast<size_t>(args[2].i));
+      return RtValue{};
+    }
+    if (startsWith(name, "llvm.fmuladd."))
+      return round(args[0].f * args[1].f + args[2].f);
+    if (startsWith(name, "llvm.smax."))
+      return RtValue::ofInt(std::max(args[0].i, args[1].i));
+    if (startsWith(name, "llvm.smin."))
+      return RtValue::ofInt(std::min(args[0].i, args[1].i));
+    if (startsWith(name, "llvm.sqrt.") || name == "hls_sqrt" ||
+        name == "hls_sqrtf")
+      return round(std::sqrt(args[0].f));
+    if (startsWith(name, "llvm.exp.") || name == "hls_exp" ||
+        name == "hls_expf")
+      return round(std::exp(args[0].f));
+    if (startsWith(name, "llvm.fabs.") || name == "hls_fabs" ||
+        name == "hls_fabsf")
+      return round(std::fabs(args[0].f));
+    if (startsWith(name, "llvm.log.") || name == "hls_log" ||
+        name == "hls_logf")
+      return round(std::log(args[0].f));
+    if (name == "hls_sin" || name == "hls_sinf")
+      return round(std::sin(args[0].f));
+    if (name == "hls_cos" || name == "hls_cosf")
+      return round(std::cos(args[0].f));
+    if (name == "hls_pow" || name == "hls_powf")
+      return round(std::pow(args[0].f, args[1].f));
+    diags_.error(strfmt("interp: unknown external function @%s",
+                        name.c_str()));
+    return std::nullopt;
+  }
+
+  bool evalICmp(CmpPred pred, RtValue a, RtValue b, bool isPtr) {
+    int64_t ai = isPtr ? reinterpret_cast<int64_t>(a.p) : a.i;
+    int64_t bi = isPtr ? reinterpret_cast<int64_t>(b.p) : b.i;
+    uint64_t ua = static_cast<uint64_t>(ai), ub = static_cast<uint64_t>(bi);
+    switch (pred) {
+    case CmpPred::EQ: return ai == bi;
+    case CmpPred::NE: return ai != bi;
+    case CmpPred::SLT: return ai < bi;
+    case CmpPred::SLE: return ai <= bi;
+    case CmpPred::SGT: return ai > bi;
+    case CmpPred::SGE: return ai >= bi;
+    case CmpPred::ULT: return ua < ub;
+    case CmpPred::ULE: return ua <= ub;
+    case CmpPred::UGT: return ua > ub;
+    case CmpPred::UGE: return ua >= ub;
+    default: unreachable("fp predicate in icmp");
+    }
+  }
+
+  bool evalFCmp(CmpPred pred, double a, double b) {
+    switch (pred) {
+    case CmpPred::OEQ: return a == b;
+    case CmpPred::ONE: return a != b;
+    case CmpPred::OLT: return a < b;
+    case CmpPred::OLE: return a <= b;
+    case CmpPred::OGT: return a > b;
+    case CmpPred::OGE: return a >= b;
+    default: unreachable("int predicate in fcmp");
+    }
+  }
+
+  lir::Module &module_;
+  uint64_t stepLimit_;
+  DiagnosticEngine &diags_;
+  uint64_t steps_ = 0;
+};
+
+} // namespace
+
+std::optional<RtValue> Interpreter::run(lir::Function *fn,
+                                        std::vector<RtValue> args,
+                                        DiagnosticEngine &diags) {
+  if (args.size() != fn->numArgs()) {
+    diags.error(strfmt("interp: @%s expects %u args, got %zu",
+                       fn->name().c_str(), fn->numArgs(), args.size()));
+    return std::nullopt;
+  }
+  Engine engine(module_, stepLimit, diags);
+  auto result = engine.call(fn, std::move(args));
+  steps_ = engine.steps();
+  return result;
+}
+
+std::vector<RtValue>
+descriptorArgs(const std::vector<void *> &buffers,
+               const std::vector<std::vector<int64_t>> &shapes) {
+  std::vector<RtValue> args;
+  for (size_t i = 0; i < buffers.size(); ++i) {
+    args.push_back(RtValue::ofPtr(buffers[i])); // allocated
+    args.push_back(RtValue::ofPtr(buffers[i])); // aligned
+    args.push_back(RtValue::ofInt(0));          // offset
+    const std::vector<int64_t> &shape = shapes[i];
+    for (int64_t d : shape)
+      args.push_back(RtValue::ofInt(d));
+    std::vector<int64_t> strides(shape.size(), 1);
+    for (int s = static_cast<int>(shape.size()) - 2; s >= 0; --s)
+      strides[s] = strides[s + 1] * shape[s + 1];
+    for (int64_t s : strides)
+      args.push_back(RtValue::ofInt(s));
+  }
+  return args;
+}
+
+std::vector<RtValue> pointerArgs(const std::vector<void *> &buffers) {
+  std::vector<RtValue> args;
+  for (void *buf : buffers)
+    args.push_back(RtValue::ofPtr(buf));
+  return args;
+}
+
+} // namespace mha::interp

@@ -1,0 +1,73 @@
+// Interp.h - a MiniLLVM interpreter for functional co-simulation.
+//
+// Both flows must compute bit-identical results to the host reference;
+// the interpreter executes the IR (any stage: descriptor form, adaptor
+// output, HLS-frontend output) against caller-provided buffers.
+#pragma once
+
+#include "lir/Function.h"
+#include "support/Diagnostics.h"
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace mha::interp {
+
+/// A runtime scalar: exactly one field is meaningful, per the static type.
+struct RtValue {
+  int64_t i = 0;
+  double f = 0;
+  uint8_t *p = nullptr;
+
+  static RtValue ofInt(int64_t v) {
+    RtValue r;
+    r.i = v;
+    return r;
+  }
+  static RtValue ofFloat(double v) {
+    RtValue r;
+    r.f = v;
+    return r;
+  }
+  static RtValue ofPtr(void *v) {
+    RtValue r;
+    r.p = static_cast<uint8_t *>(v);
+    return r;
+  }
+};
+
+class Interpreter {
+public:
+  explicit Interpreter(lir::Module &module) : module_(module) {}
+
+  /// Executes `fn` with `args` (one RtValue per LLVM-level argument).
+  /// Returns the return value (meaningless for void). Reports problems
+  /// (unknown external call, step limit) into `diags` and returns nullopt.
+  std::optional<RtValue> run(lir::Function *fn, std::vector<RtValue> args,
+                             DiagnosticEngine &diags);
+
+  /// Instruction-execution budget per `run` (guards infinite loops in
+  /// broken IR). Default: 200M steps.
+  uint64_t stepLimit = 200'000'000;
+
+  /// Total instructions executed by the last run().
+  uint64_t stepsExecuted() const { return steps_; }
+
+private:
+  lir::Module &module_;
+  uint64_t steps_ = 0;
+};
+
+/// Convenience: builds the argument vector for calling a function in the
+/// *descriptor* convention produced by the MLIR lowering: each buffer
+/// expands to (alloc, aligned, offset=0, sizes..., strides...). `shapes`
+/// lists the dims per buffer in order.
+std::vector<RtValue>
+descriptorArgs(const std::vector<void *> &buffers,
+               const std::vector<std::vector<int64_t>> &shapes);
+
+/// Convenience: one pointer per buffer (flattened/HLS convention).
+std::vector<RtValue> pointerArgs(const std::vector<void *> &buffers);
+
+} // namespace mha::interp

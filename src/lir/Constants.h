@@ -1,0 +1,52 @@
+// Constants.h - uniqued scalar constants.
+#pragma once
+
+#include "lir/Value.h"
+
+namespace mha::lir {
+
+class LContext;
+
+class ConstantInt : public Value {
+public:
+  int64_t value() const { return value_; }
+  bool isZero() const { return value_ == 0; }
+  bool isOne() const { return value_ == 1; }
+  unsigned width() const { return cast<IntType>(type())->width(); }
+
+  static bool classof(const Value *v) {
+    return v->valueKind() == Kind::ConstantInt;
+  }
+
+private:
+  friend class LContext;
+  ConstantInt(IntType *type, int64_t value)
+      : Value(Kind::ConstantInt, type), value_(value) {}
+  int64_t value_;
+};
+
+class ConstantFP : public Value {
+public:
+  double value() const { return value_; }
+
+  static bool classof(const Value *v) {
+    return v->valueKind() == Kind::ConstantFP;
+  }
+
+private:
+  friend class LContext;
+  ConstantFP(Type *type, double value)
+      : Value(Kind::ConstantFP, type), value_(value) {}
+  double value_;
+};
+
+class UndefValue : public Value {
+public:
+  static bool classof(const Value *v) { return v->valueKind() == Kind::Undef; }
+
+private:
+  friend class LContext;
+  explicit UndefValue(Type *type) : Value(Kind::Undef, type) {}
+};
+
+} // namespace mha::lir

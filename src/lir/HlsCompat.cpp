@@ -1,0 +1,149 @@
+#include "lir/HlsCompat.h"
+
+#include "lir/Function.h"
+#include "lir/Intrinsics.h"
+#include "lir/LContext.h"
+#include "support/StringUtils.h"
+
+#include <set>
+
+namespace mha::lir {
+
+bool isLegacyArgAttr(const std::string &attr) {
+  static const std::set<std::string> ok = {"noalias", "nocapture", "readonly",
+                                           "readnone", "writeonly"};
+  return ok.count(attr) > 0;
+}
+
+bool isLegacyFnAttr(const std::string &attr) {
+  static const std::set<std::string> ok = {"nounwind", "norecurse"};
+  return ok.count(attr) > 0;
+}
+
+namespace {
+
+bool isOpaquePtr(const Type *type) {
+  const auto *pt = dyn_cast<PointerType>(type);
+  return pt && pt->isOpaque();
+}
+
+bool isModernMDKey(const std::string &key) {
+  return startsWith(key, "llvm.") || startsWith(key, "mha.");
+}
+
+class CompatChecker {
+public:
+  CompatChecker(const Module &module, DiagnosticEngine &diags)
+      : module_(module), diags_(diags) {}
+
+  HlsCompatReport run() {
+    if (!module_.flagIs("opaque-pointers", "false"))
+      error("opaque-pointers",
+            "module is in opaque-pointer mode (unsupported IR version)");
+    for (const Function *fn : module_.functions())
+      checkFunction(*fn);
+    report_.accepted = report_.errors == 0;
+    return report_;
+  }
+
+private:
+  void error(const std::string &category, const std::string &msg) {
+    diags_.error("hls-frontend: " + msg);
+    report_.violations[category]++;
+    report_.errors++;
+  }
+
+  void warning(const std::string &category, const std::string &msg) {
+    diags_.warning("hls-frontend: " + msg);
+    report_.violations[category]++;
+    report_.warnings++;
+  }
+
+  void checkFunction(const Function &fn) {
+    if (isModernIntrinsic(fn)) {
+      error("intrinsic-call",
+            strfmt("declaration of intrinsic @%s", fn.name().c_str()));
+      return;
+    }
+    for (const std::string &attr : fn.attrs())
+      if (!isLegacyFnAttr(attr) && !startsWith(attr, "xlx."))
+        error("bad-attribute", strfmt("function attribute '%s' on @%s",
+                                      attr.c_str(), fn.name().c_str()));
+    for (const auto &arg : fn.args()) {
+      if (isOpaquePtr(arg->type()))
+        error("opaque-pointers",
+              strfmt("argument %%%s of @%s has opaque pointer type",
+                     arg->name().c_str(), fn.name().c_str()));
+      for (const std::string &attr : arg->attrs())
+        if (!isLegacyArgAttr(attr))
+          error("bad-attribute", strfmt("argument attribute '%s'",
+                                        attr.c_str()));
+      for (const auto &[key, node] : arg->metadata()) {
+        (void)node;
+        if (key == lowLevelDescriptorKey())
+          error("descriptor-arg",
+                strfmt("argument %%%s still carries a memref descriptor",
+                       arg->name().c_str()));
+        else if (isModernMDKey(key))
+          error("modern-metadata",
+                strfmt("argument metadata '!%s'", key.c_str()));
+      }
+    }
+    for (const auto &bb : const_cast<Function &>(fn))
+      for (const auto &inst : *bb)
+        checkInstruction(*inst, fn);
+  }
+
+  static const char *lowLevelDescriptorKey() { return "mha.memref"; }
+
+  void checkInstruction(const Instruction &inst, const Function &fn) {
+    if (isOpaquePtr(inst.type()))
+      error("opaque-pointers",
+            strfmt("instruction in @%s produces an opaque pointer",
+                   fn.name().c_str()));
+    if (inst.opcode() == Opcode::Freeze)
+      error("freeze", strfmt("freeze instruction in @%s", fn.name().c_str()));
+    if (inst.opcode() == Opcode::Call) {
+      const Function *callee = inst.calledFunction();
+      if (callee && isModernIntrinsic(*callee))
+        error("intrinsic-call", strfmt("call to @%s in @%s",
+                                       callee->name().c_str(),
+                                       fn.name().c_str()));
+      else if (callee && callee->isDeclaration() &&
+               !isHlsMathFunction(callee->name()))
+        error("intrinsic-call",
+              strfmt("call to unknown external @%s", callee->name().c_str()));
+    }
+    for (const auto &[key, node] : inst.metadata()) {
+      (void)node;
+      if (isModernMDKey(key))
+        error("modern-metadata", strfmt("instruction metadata '!%s' in @%s",
+                                        key.c_str(), fn.name().c_str()));
+    }
+    if (inst.opcode() == Opcode::GEP) {
+      // Shaped GEP: array source element type with leading constant index.
+      bool shaped = inst.sourceElemType() &&
+                    inst.sourceElemType()->isArray() &&
+                    inst.numOperands() >= 2 &&
+                    isa<ConstantInt>(inst.operand(1));
+      if (!shaped)
+        warning("unshaped-gep",
+                strfmt("flat pointer-arithmetic GEP in @%s (array treated "
+                       "as a single bank)",
+                       fn.name().c_str()));
+    }
+  }
+
+  const Module &module_;
+  DiagnosticEngine &diags_;
+  HlsCompatReport report_;
+};
+
+} // namespace
+
+HlsCompatReport checkHlsCompatibility(const Module &module,
+                                      DiagnosticEngine &diags) {
+  return CompatChecker(module, diags).run();
+}
+
+} // namespace mha::lir

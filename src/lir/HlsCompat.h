@@ -1,0 +1,50 @@
+// HlsCompat.h - the "HLS-readable IR" dialect contract.
+//
+// This is the IR subset the (Vitis-style) HLS frontend accepts — the target
+// of the paper's adaptor. Both the adaptor's final verification pass and
+// the virtual HLS backend's frontend check call this predicate, exactly as
+// both a producer and a consumer would share an interface spec.
+//
+// Rules (violations are errors unless noted):
+//  * module flag "opaque-pointers" must be "false", and no value may have
+//    an opaque pointer type (the version gap in pointer representation),
+//  * no llvm.* intrinsic calls or declarations — only hls_* math calls,
+//  * no metadata keys in the llvm.* or mha.* namespaces (directives must
+//    use the xlx.* names the frontend understands),
+//  * no `freeze` instructions,
+//  * function/argument attributes restricted to a legacy whitelist,
+//  * GEPs should be "shaped" (array source type, leading constant-0 index);
+//    flat pointer-arithmetic GEPs are accepted with a *warning* — the
+//    backend then treats the array as a single unpartitionable bank.
+#pragma once
+
+#include "support/Diagnostics.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace mha::lir {
+
+class Module;
+class Function;
+
+struct HlsCompatReport {
+  bool accepted = false;
+  int64_t errors = 0;
+  int64_t warnings = 0;
+  /// Violation counts by category (opaque-pointers, intrinsic-call,
+  /// modern-metadata, descriptor-arg, freeze, bad-attribute, unshaped-gep).
+  std::map<std::string, int64_t> violations;
+};
+
+/// True for attributes the legacy frontend understands.
+bool isLegacyArgAttr(const std::string &attr);
+bool isLegacyFnAttr(const std::string &attr);
+
+/// Checks `module` against the HLS-readable contract. Diagnostics carry
+/// one entry per violation.
+HlsCompatReport checkHlsCompatibility(const Module &module,
+                                      DiagnosticEngine &diags);
+
+} // namespace mha::lir

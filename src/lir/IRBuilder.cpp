@@ -1,0 +1,170 @@
+#include "lir/IRBuilder.h"
+
+#include <cassert>
+
+namespace mha::lir {
+
+Instruction *IRBuilder::insert(std::unique_ptr<Instruction> inst,
+                               std::string name) {
+  assert(block_ && "no insertion point");
+  if (!name.empty())
+    inst->setName(std::move(name));
+  if (atEnd_)
+    return block_->append(std::move(inst));
+  return block_->insert(pos_, std::move(inst));
+}
+
+Instruction *IRBuilder::createAlloca(Type *allocated, std::string name) {
+  Type *ptrTy = ctx_.emitOpaquePointers
+                    ? static_cast<Type *>(ctx_.opaquePtrTy())
+                    : static_cast<Type *>(ctx_.ptrTy(allocated));
+  auto inst = std::make_unique<Instruction>(Opcode::Alloca, ptrTy);
+  inst->setAllocatedType(allocated);
+  return insert(std::move(inst), std::move(name));
+}
+
+Instruction *IRBuilder::createLoad(Type *type, Value *ptr, std::string name) {
+  assert(ptr->type()->isPointer() && "load from non-pointer");
+  auto inst = std::make_unique<Instruction>(Opcode::Load, type);
+  inst->addOperand(ptr);
+  return insert(std::move(inst), std::move(name));
+}
+
+Instruction *IRBuilder::createStore(Value *value, Value *ptr) {
+  assert(ptr->type()->isPointer() && "store to non-pointer");
+  auto inst = std::make_unique<Instruction>(Opcode::Store, ctx_.voidTy());
+  inst->addOperand(value);
+  inst->addOperand(ptr);
+  return insert(std::move(inst), "");
+}
+
+Instruction *IRBuilder::createGEP(Type *srcElemTy, Value *ptr,
+                                  std::vector<Value *> indices,
+                                  std::string name) {
+  assert(ptr->type()->isPointer() && "gep of non-pointer");
+  // Result pointer type: typed mode navigates the indexed type.
+  Type *resultPointee = srcElemTy;
+  for (size_t i = 1; i < indices.size(); ++i) {
+    if (auto *at = dyn_cast<ArrayType>(resultPointee))
+      resultPointee = at->element();
+    else if (auto *st = dyn_cast<StructType>(resultPointee)) {
+      auto *ci = cast<ConstantInt>(indices[i]);
+      resultPointee = st->fields()[static_cast<size_t>(ci->value())];
+    } else
+      assert(false && "gep index into non-aggregate");
+  }
+  Type *ptrTy = ctx_.emitOpaquePointers
+                    ? static_cast<Type *>(ctx_.opaquePtrTy())
+                    : static_cast<Type *>(ctx_.ptrTy(resultPointee));
+  auto inst = std::make_unique<Instruction>(Opcode::GEP, ptrTy);
+  inst->setSourceElemType(srcElemTy);
+  inst->addOperand(ptr);
+  for (Value *idx : indices)
+    inst->addOperand(idx);
+  return insert(std::move(inst), std::move(name));
+}
+
+Instruction *IRBuilder::createBinOp(Opcode op, Value *lhs, Value *rhs,
+                                    std::string name) {
+  assert(isBinaryOpcode(op));
+  assert(lhs->type() == rhs->type() && "binop type mismatch");
+  auto inst = std::make_unique<Instruction>(op, lhs->type());
+  inst->addOperand(lhs);
+  inst->addOperand(rhs);
+  return insert(std::move(inst), std::move(name));
+}
+
+Instruction *IRBuilder::createFNeg(Value *v, std::string name) {
+  auto inst = std::make_unique<Instruction>(Opcode::FNeg, v->type());
+  inst->addOperand(v);
+  return insert(std::move(inst), std::move(name));
+}
+
+Instruction *IRBuilder::createICmp(CmpPred pred, Value *l, Value *r,
+                                   std::string name) {
+  assert(l->type() == r->type());
+  auto inst = std::make_unique<Instruction>(Opcode::ICmp, ctx_.i1());
+  inst->setPredicate(pred);
+  inst->addOperand(l);
+  inst->addOperand(r);
+  return insert(std::move(inst), std::move(name));
+}
+
+Instruction *IRBuilder::createFCmp(CmpPred pred, Value *l, Value *r,
+                                   std::string name) {
+  assert(l->type() == r->type());
+  auto inst = std::make_unique<Instruction>(Opcode::FCmp, ctx_.i1());
+  inst->setPredicate(pred);
+  inst->addOperand(l);
+  inst->addOperand(r);
+  return insert(std::move(inst), std::move(name));
+}
+
+Instruction *IRBuilder::createSelect(Value *cond, Value *t, Value *f,
+                                     std::string name) {
+  assert(t->type() == f->type());
+  auto inst = std::make_unique<Instruction>(Opcode::Select, t->type());
+  inst->addOperand(cond);
+  inst->addOperand(t);
+  inst->addOperand(f);
+  return insert(std::move(inst), std::move(name));
+}
+
+Instruction *IRBuilder::createCast(Opcode op, Value *v, Type *to,
+                                   std::string name) {
+  assert(isCastOpcode(op));
+  auto inst = std::make_unique<Instruction>(op, to);
+  inst->addOperand(v);
+  return insert(std::move(inst), std::move(name));
+}
+
+Instruction *IRBuilder::createFreeze(Value *v, std::string name) {
+  auto inst = std::make_unique<Instruction>(Opcode::Freeze, v->type());
+  inst->addOperand(v);
+  return insert(std::move(inst), std::move(name));
+}
+
+Instruction *IRBuilder::createPhi(Type *type, std::string name) {
+  auto inst = std::make_unique<Instruction>(Opcode::Phi, type);
+  return insert(std::move(inst), std::move(name));
+}
+
+Instruction *IRBuilder::createCall(Function *callee, std::vector<Value *> args,
+                                   std::string name) {
+  auto inst = std::make_unique<Instruction>(Opcode::Call,
+                                            callee->returnType());
+  inst->addOperand(callee);
+  for (Value *a : args)
+    inst->addOperand(a);
+  return insert(std::move(inst), std::move(name));
+}
+
+Instruction *IRBuilder::createRet(Value *v) {
+  auto inst = std::make_unique<Instruction>(Opcode::Ret, ctx_.voidTy());
+  if (v)
+    inst->addOperand(v);
+  return insert(std::move(inst), "");
+}
+
+Instruction *IRBuilder::createBr(BasicBlock *dest) {
+  auto inst = std::make_unique<Instruction>(Opcode::Br, ctx_.voidTy());
+  inst->addOperand(dest);
+  return insert(std::move(inst), "");
+}
+
+Instruction *IRBuilder::createCondBr(Value *cond, BasicBlock *t,
+                                     BasicBlock *f) {
+  auto inst = std::make_unique<Instruction>(Opcode::CondBr, ctx_.voidTy());
+  inst->addOperand(cond);
+  inst->addOperand(t);
+  inst->addOperand(f);
+  return insert(std::move(inst), "");
+}
+
+Instruction *IRBuilder::createUnreachable() {
+  return insert(std::make_unique<Instruction>(Opcode::Unreachable,
+                                              ctx_.voidTy()),
+                "");
+}
+
+} // namespace mha::lir

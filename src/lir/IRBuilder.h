@@ -1,0 +1,89 @@
+// IRBuilder.h - convenience factory for MiniLLVM instructions.
+#pragma once
+
+#include "lir/Constants.h"
+#include "lir/Function.h"
+#include "lir/LContext.h"
+
+namespace mha::lir {
+
+/// Creates instructions at an insertion point. No implicit constant folding:
+/// canonicalization is a pass concern, and tests want the raw shape.
+class IRBuilder {
+public:
+  explicit IRBuilder(LContext &ctx) : ctx_(ctx) {}
+
+  LContext &context() const { return ctx_; }
+
+  void setInsertPoint(BasicBlock *bb) {
+    block_ = bb;
+    atEnd_ = true;
+  }
+  void setInsertPoint(BasicBlock *bb, BasicBlock::iterator pos) {
+    block_ = bb;
+    pos_ = pos;
+    atEnd_ = false;
+  }
+  void setInsertPointBefore(Instruction *inst) {
+    block_ = inst->parent();
+    pos_ = block_->positionOf(inst);
+    atEnd_ = false;
+  }
+  BasicBlock *insertBlock() const { return block_; }
+
+  // --- Memory ---
+  Instruction *createAlloca(Type *allocated, std::string name = "");
+  Instruction *createLoad(Type *type, Value *ptr, std::string name = "");
+  Instruction *createStore(Value *value, Value *ptr);
+  Instruction *createGEP(Type *srcElemTy, Value *ptr,
+                         std::vector<Value *> indices, std::string name = "");
+
+  // --- Arithmetic ---
+  Instruction *createBinOp(Opcode op, Value *lhs, Value *rhs,
+                           std::string name = "");
+  Instruction *createAdd(Value *l, Value *r, std::string name = "") {
+    return createBinOp(Opcode::Add, l, r, std::move(name));
+  }
+  Instruction *createSub(Value *l, Value *r, std::string name = "") {
+    return createBinOp(Opcode::Sub, l, r, std::move(name));
+  }
+  Instruction *createMul(Value *l, Value *r, std::string name = "") {
+    return createBinOp(Opcode::Mul, l, r, std::move(name));
+  }
+  Instruction *createFAdd(Value *l, Value *r, std::string name = "") {
+    return createBinOp(Opcode::FAdd, l, r, std::move(name));
+  }
+  Instruction *createFMul(Value *l, Value *r, std::string name = "") {
+    return createBinOp(Opcode::FMul, l, r, std::move(name));
+  }
+  Instruction *createFNeg(Value *v, std::string name = "");
+
+  Instruction *createICmp(CmpPred pred, Value *l, Value *r,
+                          std::string name = "");
+  Instruction *createFCmp(CmpPred pred, Value *l, Value *r,
+                          std::string name = "");
+  Instruction *createSelect(Value *cond, Value *t, Value *f,
+                            std::string name = "");
+  Instruction *createCast(Opcode op, Value *v, Type *to,
+                          std::string name = "");
+  Instruction *createFreeze(Value *v, std::string name = "");
+
+  // --- Control ---
+  Instruction *createPhi(Type *type, std::string name = "");
+  Instruction *createCall(Function *callee, std::vector<Value *> args,
+                          std::string name = "");
+  Instruction *createRet(Value *v = nullptr);
+  Instruction *createBr(BasicBlock *dest);
+  Instruction *createCondBr(Value *cond, BasicBlock *t, BasicBlock *f);
+  Instruction *createUnreachable();
+
+private:
+  Instruction *insert(std::unique_ptr<Instruction> inst, std::string name);
+
+  LContext &ctx_;
+  BasicBlock *block_ = nullptr;
+  BasicBlock::iterator pos_;
+  bool atEnd_ = true;
+};
+
+} // namespace mha::lir

@@ -1,0 +1,221 @@
+#include "lir/LContext.h"
+
+#include "lir/Constants.h"
+#include "support/StringUtils.h"
+
+#include <cassert>
+
+namespace mha::lir {
+
+namespace {
+/// A non-IntType singleton type (void, float, double, label).
+class SimpleType : public Type {
+public:
+  SimpleType(LContext &ctx, Kind kind) : Type(ctx, kind) {}
+};
+} // namespace
+
+struct LContext::Impl {
+  explicit Impl(LContext &ctx)
+      : voidTy(ctx, Type::Kind::Void), labelTy(ctx, Type::Kind::Label),
+        floatTy(ctx, Type::Kind::Float), doubleTy(ctx, Type::Kind::Double) {}
+
+  SimpleType voidTy;
+  SimpleType labelTy;
+  SimpleType floatTy;
+  SimpleType doubleTy;
+
+  std::map<unsigned, std::unique_ptr<IntType>> intTypes;
+  std::map<Type *, std::unique_ptr<PointerType>> ptrTypes;
+  std::unique_ptr<PointerType> opaquePtr;
+  std::map<std::pair<Type *, uint64_t>, std::unique_ptr<ArrayType>> arrayTypes;
+  std::vector<std::unique_ptr<StructType>> structTypes;
+  std::vector<std::unique_ptr<FunctionType>> fnTypes;
+
+  std::map<std::pair<IntType *, int64_t>, std::unique_ptr<ConstantInt>>
+      intConsts;
+  std::map<std::pair<Type *, double>, std::unique_ptr<ConstantFP>> fpConsts;
+  std::map<Type *, std::unique_ptr<UndefValue>> undefs;
+};
+
+LContext::LContext() : impl_(std::make_unique<Impl>(*this)) {}
+LContext::~LContext() = default;
+
+Type *LContext::voidTy() { return &impl_->voidTy; }
+Type *LContext::labelTy() { return &impl_->labelTy; }
+Type *LContext::floatTy() { return &impl_->floatTy; }
+Type *LContext::doubleTy() { return &impl_->doubleTy; }
+
+IntType *LContext::intTy(unsigned width) {
+  assert(width >= 1 && width <= 64 && "unsupported integer width");
+  auto &slot = impl_->intTypes[width];
+  if (!slot)
+    slot.reset(new IntType(*this, width));
+  return slot.get();
+}
+
+PointerType *LContext::ptrTy(Type *pointee) {
+  assert(pointee && "use opaquePtrTy() for opaque pointers");
+  auto &slot = impl_->ptrTypes[pointee];
+  if (!slot)
+    slot.reset(new PointerType(*this, pointee));
+  return slot.get();
+}
+
+PointerType *LContext::opaquePtrTy() {
+  if (!impl_->opaquePtr)
+    impl_->opaquePtr.reset(new PointerType(*this, nullptr));
+  return impl_->opaquePtr.get();
+}
+
+ArrayType *LContext::arrayTy(Type *element, uint64_t count) {
+  auto &slot = impl_->arrayTypes[{element, count}];
+  if (!slot)
+    slot.reset(new ArrayType(*this, element, count));
+  return slot.get();
+}
+
+StructType *LContext::structTy(std::string name, std::vector<Type *> fields) {
+  // Structs are uniqued by structural equality (name is cosmetic).
+  for (auto &st : impl_->structTypes)
+    if (st->fields() == fields && st->name() == name)
+      return st.get();
+  impl_->structTypes.emplace_back(
+      new StructType(*this, std::move(name), std::move(fields)));
+  return impl_->structTypes.back().get();
+}
+
+FunctionType *LContext::fnTy(Type *ret, std::vector<Type *> params) {
+  for (auto &ft : impl_->fnTypes)
+    if (ft->returnType() == ret && ft->paramTypes() == params)
+      return ft.get();
+  impl_->fnTypes.emplace_back(new FunctionType(*this, ret, std::move(params)));
+  return impl_->fnTypes.back().get();
+}
+
+ConstantInt *LContext::constInt(IntType *type, int64_t value) {
+  // Normalize to the type's width so i1 true is always stored as 1.
+  if (type->width() < 64) {
+    uint64_t mask = (uint64_t(1) << type->width()) - 1;
+    uint64_t bits = static_cast<uint64_t>(value) & mask;
+    // Sign-extend for canonical storage.
+    uint64_t sign = uint64_t(1) << (type->width() - 1);
+    value = static_cast<int64_t>((bits ^ sign) - sign);
+  }
+  auto &slot = impl_->intConsts[{type, value}];
+  if (!slot)
+    slot.reset(new ConstantInt(type, value));
+  return slot.get();
+}
+
+ConstantInt *LContext::constI1(bool value) {
+  return constInt(i1(), value ? -1 : 0);
+}
+ConstantInt *LContext::constI32(int32_t value) {
+  return constInt(i32(), value);
+}
+ConstantInt *LContext::constI64(int64_t value) {
+  return constInt(i64(), value);
+}
+
+ConstantFP *LContext::constFP(Type *type, double value) {
+  assert(type->isFloatingPoint());
+  if (type->kind() == Type::Kind::Float)
+    value = static_cast<float>(value); // round to storage precision
+  auto &slot = impl_->fpConsts[{type, value}];
+  if (!slot)
+    slot.reset(new ConstantFP(type, value));
+  return slot.get();
+}
+
+UndefValue *LContext::undef(Type *type) {
+  auto &slot = impl_->undefs[type];
+  if (!slot)
+    slot.reset(new UndefValue(type));
+  return slot.get();
+}
+
+// --- Type methods that need full definitions ---
+
+uint64_t Type::sizeInBytes() const {
+  switch (kind_) {
+  case Kind::Void:
+  case Kind::Label:
+  case Kind::Function:
+    return 0;
+  case Kind::Integer: {
+    unsigned w = static_cast<const IntType *>(this)->width();
+    return (w + 7) / 8;
+  }
+  case Kind::Float:
+    return 4;
+  case Kind::Double:
+    return 8;
+  case Kind::Pointer:
+    return 8;
+  case Kind::Array: {
+    auto *at = static_cast<const ArrayType *>(this);
+    return at->element()->sizeInBytes() * at->numElements();
+  }
+  case Kind::Struct: {
+    auto *st = static_cast<const StructType *>(this);
+    uint64_t size = 0;
+    for (Type *f : st->fields())
+      size += f->sizeInBytes();
+    return size;
+  }
+  }
+  return 0;
+}
+
+std::string Type::str() const {
+  switch (kind_) {
+  case Kind::Void:
+    return "void";
+  case Kind::Label:
+    return "label";
+  case Kind::Integer:
+    return strfmt("i%u", static_cast<const IntType *>(this)->width());
+  case Kind::Float:
+    return "float";
+  case Kind::Double:
+    return "double";
+  case Kind::Pointer: {
+    auto *pt = static_cast<const PointerType *>(this);
+    if (pt->isOpaque())
+      return "ptr";
+    return pt->pointee()->str() + "*";
+  }
+  case Kind::Array: {
+    auto *at = static_cast<const ArrayType *>(this);
+    return strfmt("[%llu x %s]",
+                  static_cast<unsigned long long>(at->numElements()),
+                  at->element()->str().c_str());
+  }
+  case Kind::Struct: {
+    auto *st = static_cast<const StructType *>(this);
+    std::string out = "{ ";
+    for (size_t i = 0; i < st->fields().size(); ++i) {
+      if (i)
+        out += ", ";
+      out += st->fields()[i]->str();
+    }
+    out += " }";
+    return out;
+  }
+  case Kind::Function: {
+    auto *ft = static_cast<const FunctionType *>(this);
+    std::string out = ft->returnType()->str() + " (";
+    for (size_t i = 0; i < ft->paramTypes().size(); ++i) {
+      if (i)
+        out += ", ";
+      out += ft->paramTypes()[i]->str();
+    }
+    out += ")";
+    return out;
+  }
+  }
+  return "<?>";
+}
+
+} // namespace mha::lir

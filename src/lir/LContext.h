@@ -1,0 +1,60 @@
+// LContext.h - owns and uniques MiniLLVM types and constants.
+#pragma once
+
+#include "lir/Type.h"
+
+#include <map>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+namespace mha::lir {
+
+class ConstantInt;
+class ConstantFP;
+class UndefValue;
+
+/// Per-compilation context. All types and scalar constants live here; one
+/// module per context in practice (but not enforced).
+class LContext {
+public:
+  LContext();
+  ~LContext();
+
+  LContext(const LContext &) = delete;
+  LContext &operator=(const LContext &) = delete;
+
+  // --- Types (uniqued; pointer equality == structural equality) ---
+  Type *voidTy();
+  Type *labelTy();
+  IntType *intTy(unsigned width);
+  IntType *i1() { return intTy(1); }
+  IntType *i8() { return intTy(8); }
+  IntType *i32() { return intTy(32); }
+  IntType *i64() { return intTy(64); }
+  Type *floatTy();
+  Type *doubleTy();
+  PointerType *ptrTy(Type *pointee); // typed pointer
+  PointerType *opaquePtrTy();        // modern opaque `ptr`
+  ArrayType *arrayTy(Type *element, uint64_t count);
+  StructType *structTy(std::string name, std::vector<Type *> fields);
+  FunctionType *fnTy(Type *ret, std::vector<Type *> params);
+
+  // --- Constants (uniqued) ---
+  ConstantInt *constInt(IntType *type, int64_t value);
+  ConstantInt *constI1(bool value);
+  ConstantInt *constI32(int32_t value);
+  ConstantInt *constI64(int64_t value);
+  ConstantFP *constFP(Type *type, double value);
+  UndefValue *undef(Type *type);
+
+  /// When true, newly created pointer-producing IR should use opaque
+  /// pointers; the MLIR lowering sets this, the adaptor clears it.
+  bool emitOpaquePointers = true;
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+} // namespace mha::lir

@@ -1,0 +1,98 @@
+// Metadata.h - instruction-attached metadata.
+//
+// MiniLLVM attaches metadata directly to instructions as named trees
+// (`!hls.pipeline !{i64 1}`), a simplification of LLVM's numbered metadata
+// graph that keeps printing/parsing local. Loop directives ride on the loop
+// latch branch exactly as llvm.loop metadata does in LLVM, which is the
+// mechanism the paper's adaptor translates between IR versions.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace mha::lir {
+
+class MDNode;
+
+using MDOperand =
+    std::variant<int64_t, double, std::string, std::unique_ptr<MDNode>>;
+
+class MDNode {
+public:
+  MDNode() = default;
+
+  MDNode &addInt(int64_t v) {
+    ops_.emplace_back(v);
+    return *this;
+  }
+  MDNode &addFP(double v) {
+    ops_.emplace_back(v);
+    return *this;
+  }
+  MDNode &addString(std::string v) {
+    ops_.emplace_back(std::move(v));
+    return *this;
+  }
+  MDNode &addNode(std::unique_ptr<MDNode> v) {
+    ops_.emplace_back(std::move(v));
+    return *this;
+  }
+
+  size_t size() const { return ops_.size(); }
+  const MDOperand &op(size_t i) const { return ops_[i]; }
+
+  bool isInt(size_t i) const {
+    return i < ops_.size() && std::holds_alternative<int64_t>(ops_[i]);
+  }
+  bool isString(size_t i) const {
+    return i < ops_.size() && std::holds_alternative<std::string>(ops_[i]);
+  }
+  int64_t getInt(size_t i) const { return std::get<int64_t>(ops_[i]); }
+  double getFP(size_t i) const { return std::get<double>(ops_[i]); }
+  const std::string &getString(size_t i) const {
+    return std::get<std::string>(ops_[i]);
+  }
+  const MDNode *getNode(size_t i) const {
+    return std::get<std::unique_ptr<MDNode>>(ops_[i]).get();
+  }
+
+  std::unique_ptr<MDNode> clone() const {
+    auto out = std::make_unique<MDNode>();
+    for (const MDOperand &op : ops_) {
+      if (std::holds_alternative<int64_t>(op))
+        out->addInt(std::get<int64_t>(op));
+      else if (std::holds_alternative<double>(op))
+        out->addFP(std::get<double>(op));
+      else if (std::holds_alternative<std::string>(op))
+        out->addString(std::get<std::string>(op));
+      else
+        out->addNode(std::get<std::unique_ptr<MDNode>>(op)->clone());
+    }
+    return out;
+  }
+
+  /// Convenience: a node holding a single integer.
+  static std::unique_ptr<MDNode> ofInt(int64_t v) {
+    auto n = std::make_unique<MDNode>();
+    n->addInt(v);
+    return n;
+  }
+  /// Convenience: a node holding a single string.
+  static std::unique_ptr<MDNode> ofString(std::string v) {
+    auto n = std::make_unique<MDNode>();
+    n->addString(std::move(v));
+    return n;
+  }
+
+private:
+  std::vector<MDOperand> ops_;
+};
+
+/// Named metadata attachments (on instructions and function arguments).
+using MDMap = std::map<std::string, std::unique_ptr<MDNode>>;
+
+} // namespace mha::lir

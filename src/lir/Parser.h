@@ -1,0 +1,20 @@
+// Parser.h - parses the textual form produced by lir::printModule.
+#pragma once
+
+#include "support/Diagnostics.h"
+
+#include <memory>
+#include <string_view>
+
+namespace mha::lir {
+
+class LContext;
+class Module;
+
+/// Parses `text` into a fresh module. Returns nullptr on error (details in
+/// `diags`). The parser accepts exactly the subset the printer emits, plus
+/// whitespace/comment freedom.
+std::unique_ptr<Module> parseModule(std::string_view text, LContext &ctx,
+                                    DiagnosticEngine &diags);
+
+} // namespace mha::lir

@@ -1,0 +1,43 @@
+#include "lir/PassManager.h"
+
+#include "lir/Verifier.h"
+#include "support/StringUtils.h"
+
+#include <chrono>
+
+namespace mha::lir {
+
+bool PassManager::run(Module &module, DiagnosticEngine &diags) {
+  records_.clear();
+  for (auto &pass : passes_) {
+    PassRunRecord record;
+    record.passName = pass->name();
+    auto start = std::chrono::steady_clock::now();
+    record.changed = pass->run(module, record.stats, diags);
+    auto end = std::chrono::steady_clock::now();
+    record.millis =
+        std::chrono::duration<double, std::milli>(end - start).count();
+    records_.push_back(std::move(record));
+    if (diags.hadError()) {
+      diags.note(strfmt("pipeline aborted after pass '%s'",
+                        pass->name().c_str()));
+      return false;
+    }
+    if (verifyEach_ && !verifyModule(module, diags)) {
+      diags.note(strfmt("IR verification failed after pass '%s'",
+                        pass->name().c_str()));
+      return false;
+    }
+  }
+  return true;
+}
+
+PassStats PassManager::totalStats() const {
+  PassStats total;
+  for (const PassRunRecord &record : records_)
+    for (const auto &[key, value] : record.stats)
+      total[key] += value;
+  return total;
+}
+
+} // namespace mha::lir

@@ -1,0 +1,82 @@
+// PassManager.h - a minimal pass pipeline for MiniLLVM modules.
+//
+// Passes mutate the module in place and report statistics; the pipeline
+// optionally re-verifies after each pass (on by default — the adaptor's
+// whole point is producing *valid* IR for a picky consumer).
+#pragma once
+
+#include "support/Diagnostics.h"
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mha::lir {
+
+class Module;
+
+/// A named statistic counter; passes use these for the adaptor report.
+using PassStats = std::map<std::string, int64_t>;
+
+class ModulePass {
+public:
+  virtual ~ModulePass() = default;
+  virtual std::string name() const = 0;
+  /// Returns true if the IR changed.
+  virtual bool run(Module &module, PassStats &stats,
+                   DiagnosticEngine &diags) = 0;
+};
+
+/// Wraps a free function as a pass.
+class LambdaPass : public ModulePass {
+public:
+  using Fn = std::function<bool(Module &, PassStats &, DiagnosticEngine &)>;
+  LambdaPass(std::string name, Fn fn)
+      : name_(std::move(name)), fn_(std::move(fn)) {}
+  std::string name() const override { return name_; }
+  bool run(Module &module, PassStats &stats, DiagnosticEngine &diags) override {
+    return fn_(module, stats, diags);
+  }
+
+private:
+  std::string name_;
+  Fn fn_;
+};
+
+struct PassRunRecord {
+  std::string passName;
+  bool changed = false;
+  double millis = 0;
+  PassStats stats;
+};
+
+class PassManager {
+public:
+  explicit PassManager(bool verifyEach = true) : verifyEach_(verifyEach) {}
+
+  void add(std::unique_ptr<ModulePass> pass) {
+    passes_.push_back(std::move(pass));
+  }
+  void add(std::string name, LambdaPass::Fn fn) {
+    passes_.push_back(
+        std::make_unique<LambdaPass>(std::move(name), std::move(fn)));
+  }
+
+  /// Runs every pass in order. Returns false if a pass errored or a
+  /// post-pass verification failed (remaining passes are skipped).
+  bool run(Module &module, DiagnosticEngine &diags);
+
+  const std::vector<PassRunRecord> &records() const { return records_; }
+
+  /// Aggregated statistics over all pass runs.
+  PassStats totalStats() const;
+
+private:
+  bool verifyEach_;
+  std::vector<std::unique_ptr<ModulePass>> passes_;
+  std::vector<PassRunRecord> records_;
+};
+
+} // namespace mha::lir

@@ -1,0 +1,226 @@
+#include "lir/Printer.h"
+
+#include "lir/Constants.h"
+#include "lir/Function.h"
+#include "lir/LContext.h"
+#include "support/StringUtils.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace mha::lir {
+
+namespace {
+
+std::string fpLiteral(double v) {
+  if (v == std::floor(v) && std::abs(v) < 1e15 && std::isfinite(v))
+    return strfmt("%.1f", v);
+  return strfmt("%.17g", v);
+}
+
+} // namespace
+
+std::string printValueRef(const Value *v) {
+  switch (v->valueKind()) {
+  case Value::Kind::ConstantInt:
+    return strfmt("%lld",
+                  static_cast<long long>(cast<ConstantInt>(v)->value()));
+  case Value::Kind::ConstantFP:
+    return fpLiteral(cast<ConstantFP>(v)->value());
+  case Value::Kind::Undef:
+    return "undef";
+  case Value::Kind::Function:
+    return "@" + v->name();
+  case Value::Kind::BasicBlock:
+    return "%" + v->name();
+  case Value::Kind::Argument:
+  case Value::Kind::Instruction:
+    return "%" + v->name();
+  }
+  return "<?>";
+}
+
+static std::string typedRef(const Value *v) {
+  return v->type()->str() + " " + printValueRef(v);
+}
+
+std::string printMDNode(const MDNode &node) {
+  std::string out = "!{";
+  for (size_t i = 0; i < node.size(); ++i) {
+    if (i)
+      out += ", ";
+    const MDOperand &op = node.op(i);
+    if (std::holds_alternative<int64_t>(op))
+      out += strfmt("i64 %lld", static_cast<long long>(std::get<int64_t>(op)));
+    else if (std::holds_alternative<double>(op))
+      out += strfmt("f64 %s", fpLiteral(std::get<double>(op)).c_str());
+    else if (std::holds_alternative<std::string>(op))
+      out += "!\"" + std::get<std::string>(op) + "\"";
+    else
+      out += printMDNode(*std::get<std::unique_ptr<MDNode>>(op));
+  }
+  out += "}";
+  return out;
+}
+
+static void printMDAttachments(std::ostringstream &os, const MDMap &md) {
+  for (const auto &[key, node] : md)
+    os << ", !" << key << " " << printMDNode(*node);
+}
+
+std::string printInstruction(const Instruction &inst) {
+  std::ostringstream os;
+  Opcode op = inst.opcode();
+  if (!inst.type()->isVoid())
+    os << printValueRef(&inst) << " = ";
+
+  switch (op) {
+  case Opcode::Alloca:
+    os << "alloca " << inst.allocatedType()->str();
+    break;
+  case Opcode::Load:
+    os << "load " << inst.type()->str() << ", " << typedRef(inst.operand(0));
+    break;
+  case Opcode::Store:
+    os << "store " << typedRef(inst.operand(0)) << ", "
+       << typedRef(inst.operand(1));
+    break;
+  case Opcode::GEP: {
+    os << "getelementptr " << inst.sourceElemType()->str() << ", "
+       << typedRef(inst.operand(0));
+    for (unsigned i = 1; i < inst.numOperands(); ++i)
+      os << ", " << typedRef(inst.operand(i));
+    break;
+  }
+  case Opcode::ICmp:
+  case Opcode::FCmp:
+    os << opcodeName(op) << " " << predName(inst.predicate()) << " "
+       << inst.operand(0)->type()->str() << " "
+       << printValueRef(inst.operand(0)) << ", "
+       << printValueRef(inst.operand(1));
+    break;
+  case Opcode::Select:
+    os << "select " << typedRef(inst.operand(0)) << ", "
+       << typedRef(inst.operand(1)) << ", " << typedRef(inst.operand(2));
+    break;
+  case Opcode::Freeze:
+  case Opcode::FNeg:
+    os << opcodeName(op) << " " << typedRef(inst.operand(0));
+    break;
+  case Opcode::Phi: {
+    os << "phi " << inst.type()->str() << " ";
+    for (unsigned i = 0; i < inst.numIncoming(); ++i) {
+      if (i)
+        os << ", ";
+      os << "[ " << printValueRef(inst.incomingValue(i)) << ", "
+         << printValueRef(inst.incomingBlock(i)) << " ]";
+    }
+    break;
+  }
+  case Opcode::Call: {
+    const Function *callee = inst.calledFunction();
+    os << "call " << inst.type()->str() << " @" << callee->name() << "(";
+    for (unsigned i = 0; i < inst.numArgs(); ++i) {
+      if (i)
+        os << ", ";
+      os << typedRef(inst.arg(i));
+    }
+    os << ")";
+    break;
+  }
+  case Opcode::Ret:
+    if (inst.numOperands() == 0)
+      os << "ret void";
+    else
+      os << "ret " << typedRef(inst.operand(0));
+    break;
+  case Opcode::Br:
+    os << "br label " << printValueRef(inst.operand(0));
+    break;
+  case Opcode::CondBr:
+    os << "br " << typedRef(inst.operand(0)) << ", label "
+       << printValueRef(inst.operand(1)) << ", label "
+       << printValueRef(inst.operand(2));
+    break;
+  case Opcode::Unreachable:
+    os << "unreachable";
+    break;
+  default:
+    // Binary ops and casts.
+    if (inst.isBinaryOp()) {
+      os << opcodeName(op) << " " << inst.type()->str() << " "
+         << printValueRef(inst.operand(0)) << ", "
+         << printValueRef(inst.operand(1));
+    } else if (inst.isCast()) {
+      os << opcodeName(op) << " " << typedRef(inst.operand(0)) << " to "
+         << inst.type()->str();
+    } else {
+      os << "<unknown opcode>";
+    }
+    break;
+  }
+
+  printMDAttachments(os, inst.metadata());
+  return os.str();
+}
+
+std::string printFunction(const Function &fn) {
+  // Names must be stable/unique for printing.
+  const_cast<Function &>(fn).renumberValues();
+
+  std::ostringstream os;
+  os << (fn.isDeclaration() ? "declare " : "define ")
+     << fn.returnType()->str() << " @" << fn.name() << "(";
+  for (unsigned i = 0; i < fn.numArgs(); ++i) {
+    if (i)
+      os << ", ";
+    const Argument *arg = fn.arg(i);
+    os << arg->type()->str();
+    for (const std::string &attr : arg->attrs())
+      os << " " << attr;
+    for (const auto &[key, node] : arg->metadata())
+      os << " !" << key << " " << printMDNode(*node);
+    os << " %" << arg->name();
+  }
+  os << ")";
+  if (!fn.attrs().empty()) {
+    os << " #[";
+    bool first = true;
+    for (const std::string &attr : fn.attrs()) {
+      if (!first)
+        os << ", ";
+      first = false;
+      os << attr;
+    }
+    os << "]";
+  }
+  if (fn.isDeclaration()) {
+    os << "\n";
+    return os.str();
+  }
+  os << " {\n";
+  bool firstBlock = true;
+  for (const auto &bb : const_cast<Function &>(fn)) {
+    if (!firstBlock)
+      os << "\n";
+    firstBlock = false;
+    os << bb->name() << ":\n";
+    for (const auto &inst : *bb)
+      os << "  " << printInstruction(*inst) << "\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string printModule(const Module &module) {
+  std::ostringstream os;
+  for (const auto &[key, value] : module.flags())
+    os << "!flag " << key << " = \"" << value << "\"\n";
+  for (const Function *fn : module.functions()) {
+    os << "\n";
+    os << printFunction(*fn);
+  }
+  return os.str();
+}
+
+} // namespace mha::lir

@@ -1,0 +1,26 @@
+// Printer.h - renders MiniLLVM IR in .ll-style textual form.
+//
+// The format round-trips through lir::parseModule. Deviations from LLVM
+// proper are deliberate simplifications: metadata is attached inline
+// (`!key !{...}`) instead of numbered module-level nodes, and function
+// attributes print as `#[a, b]` after the parameter list.
+#pragma once
+
+#include <string>
+
+namespace mha::lir {
+
+class Module;
+class Function;
+class Instruction;
+class Value;
+class MDNode;
+
+std::string printModule(const Module &module);
+std::string printFunction(const Function &fn);
+std::string printInstruction(const Instruction &inst);
+/// Renders a value reference (e.g. "%x", "42", "double 1.0" without type).
+std::string printValueRef(const Value *v);
+std::string printMDNode(const MDNode &node);
+
+} // namespace mha::lir

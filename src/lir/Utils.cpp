@@ -1,0 +1,40 @@
+#include "lir/Utils.h"
+
+#include "lir/IRBuilder.h"
+#include "lir/LContext.h"
+
+namespace mha::lir {
+
+BasicBlock *splitBlockBefore(Instruction *inst, const std::string &name) {
+  BasicBlock *oldBB = inst->parent();
+  Function *fn = oldBB->parent();
+  BasicBlock *newBB = fn->createBlock(name);
+  fn->moveBlockAfter(newBB, oldBB);
+
+  // Move [inst, end) into newBB.
+  std::vector<Instruction *> toMove;
+  bool found = false;
+  for (auto &i : *oldBB) {
+    if (i.get() == inst)
+      found = true;
+    if (found)
+      toMove.push_back(i.get());
+  }
+  for (Instruction *i : toMove)
+    newBB->append(i->removeFromParent());
+
+  // Successor phis must now name newBB as the predecessor.
+  if (Instruction *term = newBB->terminator())
+    for (BasicBlock *succ : term->successors())
+      for (Instruction *phi : succ->phis())
+        for (unsigned i = 0; i < phi->numIncoming(); ++i)
+          if (phi->incomingBlock(i) == oldBB)
+            phi->setOperand(2 * i + 1, newBB);
+
+  IRBuilder builder(fn->parentModule()->context());
+  builder.setInsertPoint(oldBB);
+  builder.createBr(newBB);
+  return newBB;
+}
+
+} // namespace mha::lir

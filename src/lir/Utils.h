@@ -1,0 +1,14 @@
+// Utils.h - small CFG surgery helpers shared by adaptor passes.
+#pragma once
+
+#include "lir/Function.h"
+
+namespace mha::lir {
+
+/// Splits `inst`'s block before `inst`: everything from `inst` onward moves
+/// to a new block placed right after the original; the original gets an
+/// unconditional branch to it. Phi users in the old successors are
+/// retargeted. Returns the new block.
+BasicBlock *splitBlockBefore(Instruction *inst, const std::string &name);
+
+} // namespace mha::lir

@@ -1,0 +1,19 @@
+#include "lir/Value.h"
+
+#include <cassert>
+
+namespace mha::lir {
+
+Value::~Value() {
+  assert(uses_.empty() && "destroying a value that still has uses");
+}
+
+void Value::replaceAllUsesWith(Value *replacement) {
+  assert(replacement != this && "self-replacement");
+  // Copy: Use::set mutates uses_.
+  std::vector<Use *> snapshot = uses_;
+  for (Use *use : snapshot)
+    use->set(replacement);
+}
+
+} // namespace mha::lir

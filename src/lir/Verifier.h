@@ -1,0 +1,17 @@
+// Verifier.h - structural and SSA well-formedness checks for MiniLLVM.
+#pragma once
+
+#include "support/Diagnostics.h"
+
+namespace mha::lir {
+
+class Module;
+class Function;
+
+/// Verifies the module; reports problems into `diags` and returns true when
+/// no errors were found. Checks: terminators, phi/predecessor agreement,
+/// per-opcode operand typing, call signatures, and SSA dominance.
+bool verifyModule(const Module &module, DiagnosticEngine &diags);
+bool verifyFunction(const Function &fn, DiagnosticEngine &diags);
+
+} // namespace mha::lir

@@ -1,0 +1,122 @@
+#include "lir/analysis/Dominators.h"
+
+#include "lir/Function.h"
+
+#include <algorithm>
+#include <set>
+
+namespace mha::lir {
+
+DominatorTree::DominatorTree(Function &fn) {
+  if (fn.isDeclaration())
+    return;
+  BasicBlock *entry = fn.entry();
+
+  // Post-order DFS, then reverse.
+  std::vector<BasicBlock *> postorder;
+  std::set<BasicBlock *> visited;
+  std::vector<std::pair<BasicBlock *, size_t>> stack;
+  stack.push_back({entry, 0});
+  visited.insert(entry);
+  while (!stack.empty()) {
+    auto &[bb, next] = stack.back();
+    std::vector<BasicBlock *> succs = bb->successors();
+    if (next < succs.size()) {
+      BasicBlock *succ = succs[next++];
+      if (visited.insert(succ).second)
+        stack.push_back({succ, 0});
+    } else {
+      postorder.push_back(bb);
+      stack.pop_back();
+    }
+  }
+  rpo_.assign(postorder.rbegin(), postorder.rend());
+  for (size_t i = 0; i < rpo_.size(); ++i)
+    rpoIndex_[rpo_[i]] = i;
+
+  // Iterative idom computation (Cooper-Harvey-Kennedy).
+  idom_[entry] = entry;
+  bool changed = true;
+  auto intersect = [&](BasicBlock *a, BasicBlock *b) {
+    while (a != b) {
+      while (rpoIndex_.at(a) > rpoIndex_.at(b))
+        a = idom_.at(a);
+      while (rpoIndex_.at(b) > rpoIndex_.at(a))
+        b = idom_.at(b);
+    }
+    return a;
+  };
+  while (changed) {
+    changed = false;
+    for (BasicBlock *bb : rpo_) {
+      if (bb == entry)
+        continue;
+      BasicBlock *newIdom = nullptr;
+      for (BasicBlock *pred : bb->predecessors()) {
+        if (!rpoIndex_.count(pred) || !idom_.count(pred))
+          continue;
+        newIdom = newIdom ? intersect(newIdom, pred) : pred;
+      }
+      if (newIdom && (!idom_.count(bb) || idom_[bb] != newIdom)) {
+        idom_[bb] = newIdom;
+        changed = true;
+      }
+    }
+  }
+  // Canonicalize: entry's idom is null for public queries.
+}
+
+BasicBlock *DominatorTree::idom(const BasicBlock *bb) const {
+  auto it = idom_.find(bb);
+  if (it == idom_.end() || it->second == bb)
+    return nullptr;
+  return it->second;
+}
+
+bool DominatorTree::dominates(const BasicBlock *a, const BasicBlock *b) const {
+  if (!isReachable(b))
+    return true; // vacuous: unreachable code
+  const BasicBlock *cur = b;
+  for (;;) {
+    if (cur == a)
+      return true;
+    auto it = idom_.find(cur);
+    if (it == idom_.end() || it->second == cur)
+      return cur == a;
+    cur = it->second;
+  }
+}
+
+bool DominatorTree::valueDominatesUse(const Value *def,
+                                      const Instruction *user,
+                                      unsigned opIdx) const {
+  // Non-instruction defs (arguments, constants, blocks, functions)
+  // dominate everything.
+  const auto *defInst = dyn_cast<Instruction>(def);
+  if (!defInst)
+    return true;
+  const BasicBlock *defBB = defInst->parent();
+  const BasicBlock *useBB = user->parent();
+
+  if (user->opcode() == Opcode::Phi) {
+    // A phi use must be dominated at the end of the incoming block.
+    if (opIdx % 2 != 0)
+      return true; // block operand
+    const BasicBlock *incoming = user->incomingBlock(opIdx / 2);
+    return dominates(defBB, incoming);
+  }
+
+  if (defBB == useBB) {
+    // Same block: def must appear strictly before use.
+    for (const auto &inst : *defBB) {
+      if (inst.get() == defInst)
+        return true;
+      if (inst.get() == user)
+        return false;
+    }
+    return false;
+  }
+  return dominates(defBB, useBB);
+}
+
+} // namespace mha::lir

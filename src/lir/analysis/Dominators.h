@@ -1,0 +1,47 @@
+// Dominators.h - dominator tree over the CFG.
+//
+// Cooper/Harvey/Kennedy iterative algorithm; plenty fast for HLS-kernel
+// sized functions and simple enough to audit.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+namespace mha::lir {
+
+class BasicBlock;
+class Function;
+class Instruction;
+class Value;
+
+class DominatorTree {
+public:
+  explicit DominatorTree(Function &fn);
+
+  /// Immediate dominator of `bb` (nullptr for the entry block and for
+  /// unreachable blocks).
+  BasicBlock *idom(const BasicBlock *bb) const;
+
+  /// True if `a` dominates `b` (reflexive).
+  bool dominates(const BasicBlock *a, const BasicBlock *b) const;
+
+  /// True if the definition of `def` dominates the use at operand `opIdx`
+  /// of `user` (phi uses are checked against the incoming edge).
+  bool valueDominatesUse(const Value *def, const Instruction *user,
+                         unsigned opIdx) const;
+
+  /// Blocks in reverse post order (entry first); unreachable blocks absent.
+  const std::vector<BasicBlock *> &rpo() const { return rpo_; }
+
+  bool isReachable(const BasicBlock *bb) const {
+    return rpoIndex_.count(bb) > 0;
+  }
+
+private:
+  std::vector<BasicBlock *> rpo_;
+  std::map<const BasicBlock *, std::size_t> rpoIndex_;
+  std::map<const BasicBlock *, BasicBlock *> idom_;
+};
+
+} // namespace mha::lir

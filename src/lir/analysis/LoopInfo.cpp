@@ -1,0 +1,215 @@
+#include "lir/analysis/LoopInfo.h"
+
+#include "lir/Function.h"
+#include "lir/analysis/Dominators.h"
+
+#include <algorithm>
+#include <set>
+
+namespace mha::lir {
+
+bool Loop::contains(const BasicBlock *bb) const {
+  return std::find(blocks_.begin(), blocks_.end(), bb) != blocks_.end();
+}
+
+bool Loop::contains(const Instruction *inst) const {
+  return contains(inst->parent());
+}
+
+unsigned Loop::depth() const {
+  unsigned d = 1;
+  for (const Loop *p = parent_; p; p = p->parent())
+    ++d;
+  return d;
+}
+
+LoopInfo::LoopInfo(Function &fn, const DominatorTree &domTree) {
+  if (fn.isDeclaration())
+    return;
+
+  // Find backedges: edge (tail -> head) where head dominates tail.
+  struct BackEdge {
+    BasicBlock *tail;
+    BasicBlock *head;
+  };
+  std::vector<BackEdge> backedges;
+  for (BasicBlock *bb : domTree.rpo())
+    for (BasicBlock *succ : bb->successors())
+      if (domTree.dominates(succ, bb))
+        backedges.push_back({bb, succ});
+
+  // One natural loop per header; merge backedges that share a header.
+  std::map<BasicBlock *, std::set<BasicBlock *>> headerBodies;
+  std::map<BasicBlock *, BasicBlock *> headerLatch;
+  for (const BackEdge &be : backedges) {
+    auto &body = headerBodies[be.head];
+    body.insert(be.head);
+    headerLatch[be.head] = be.tail; // last one wins; canonical loops have one
+    // Walk predecessors backwards from the tail until the header.
+    std::vector<BasicBlock *> work{be.tail};
+    while (!work.empty()) {
+      BasicBlock *bb = work.back();
+      work.pop_back();
+      if (!body.insert(bb).second)
+        continue;
+      for (BasicBlock *pred : bb->predecessors())
+        if (pred != be.head)
+          work.push_back(pred);
+    }
+  }
+
+  // Materialize loops, header-first block order following RPO.
+  for (auto &[header, body] : headerBodies) {
+    auto loop = std::make_unique<Loop>();
+    loop->header_ = header;
+    loop->latch_ = headerLatch[header];
+    loop->blocks_.push_back(header);
+    for (BasicBlock *bb : domTree.rpo())
+      if (bb != header && body.count(bb))
+        loop->blocks_.push_back(bb);
+
+    // Preheader: unique predecessor of header outside the loop.
+    BasicBlock *preheader = nullptr;
+    bool unique = true;
+    for (BasicBlock *pred : header->predecessors()) {
+      if (body.count(pred))
+        continue;
+      if (preheader)
+        unique = false;
+      preheader = pred;
+    }
+    loop->preheader_ = unique ? preheader : nullptr;
+
+    // Exit: unique successor of any in-loop block that leaves the loop.
+    BasicBlock *exit = nullptr;
+    bool uniqueExit = true;
+    for (BasicBlock *bb : loop->blocks_)
+      for (BasicBlock *succ : bb->successors())
+        if (!body.count(succ)) {
+          if (exit && exit != succ)
+            uniqueExit = false;
+          exit = succ;
+        }
+    loop->exit_ = uniqueExit ? exit : nullptr;
+
+    loops_.push_back(std::move(loop));
+  }
+
+  // Nesting: loop A is a child of the smallest loop B that strictly
+  // contains A's header (and is not A).
+  for (auto &child : loops_) {
+    Loop *best = nullptr;
+    for (auto &candidate : loops_) {
+      if (candidate.get() == child.get())
+        continue;
+      if (!candidate->contains(child->header()))
+        continue;
+      if (!best || candidate->blocks().size() < best->blocks().size())
+        best = candidate.get();
+    }
+    child->parent_ = best;
+    if (best)
+      best->subLoops_.push_back(child.get());
+  }
+
+  // blockToLoop_: innermost loop per block.
+  for (auto &loop : loops_) {
+    for (BasicBlock *bb : loop->blocks()) {
+      auto it = blockToLoop_.find(bb);
+      if (it == blockToLoop_.end() ||
+          it->second->blocks().size() > loop->blocks().size())
+        blockToLoop_[bb] = loop.get();
+    }
+  }
+}
+
+std::vector<Loop *> LoopInfo::topLevelLoops() const {
+  std::vector<Loop *> out;
+  for (const auto &loop : loops_)
+    if (!loop->parent())
+      out.push_back(loop.get());
+  return out;
+}
+
+Loop *LoopInfo::loopFor(const BasicBlock *bb) const {
+  auto it = blockToLoop_.find(bb);
+  return it == blockToLoop_.end() ? nullptr : it->second;
+}
+
+std::optional<CanonicalLoop> matchCanonicalLoop(Loop *loop) {
+  BasicBlock *header = loop->header();
+  BasicBlock *latch = loop->latch();
+  if (!header || !latch || !loop->preheader())
+    return std::nullopt;
+
+  // Header must end in a conditional branch whose condition is an icmp on
+  // an induction phi defined in the header.
+  Instruction *term = header->terminator();
+  if (!term || term->opcode() != Opcode::CondBr)
+    return std::nullopt;
+  auto *cmp = dyn_cast<Instruction>(term->condition());
+  if (!cmp || cmp->opcode() != Opcode::ICmp)
+    return std::nullopt;
+
+  // One destination must leave the loop.
+  BasicBlock *trueDest = term->trueDest();
+  BasicBlock *falseDest = term->falseDest();
+  bool trueInLoop = loop->contains(trueDest);
+  bool falseInLoop = loop->contains(falseDest);
+  if (trueInLoop == falseInLoop)
+    return std::nullopt;
+  // Canonical form: continue on true (iv < ub).
+  if (!trueInLoop)
+    return std::nullopt;
+  if (cmp->predicate() != CmpPred::SLT && cmp->predicate() != CmpPred::ULT &&
+      cmp->predicate() != CmpPred::SLE)
+    return std::nullopt;
+
+  auto *iv = dyn_cast<Instruction>(cmp->operand(0));
+  if (!iv || iv->opcode() != Opcode::Phi || iv->parent() != header)
+    return std::nullopt;
+  if (iv->numIncoming() != 2)
+    return std::nullopt;
+
+  Value *lb = iv->incomingValueFor(loop->preheader());
+  Value *latchVal = iv->incomingValueFor(latch);
+  if (!lb || !latchVal)
+    return std::nullopt;
+
+  auto *ivNext = dyn_cast<Instruction>(latchVal);
+  if (!ivNext || ivNext->opcode() != Opcode::Add)
+    return std::nullopt;
+  // iv.next = iv + C (either operand order).
+  Value *stepVal = nullptr;
+  if (ivNext->operand(0) == iv)
+    stepVal = ivNext->operand(1);
+  else if (ivNext->operand(1) == iv)
+    stepVal = ivNext->operand(0);
+  auto *stepConst = stepVal ? dyn_cast<ConstantInt>(stepVal) : nullptr;
+  if (!stepConst || stepConst->value() == 0)
+    return std::nullopt;
+
+  CanonicalLoop out;
+  out.loop = loop;
+  out.indVar = iv;
+  out.ivNext = ivNext;
+  out.compare = cmp;
+  out.lowerBound = lb;
+  out.upperBound = cmp->operand(1);
+  out.step = stepConst->value();
+
+  auto *lbC = dyn_cast<ConstantInt>(lb);
+  auto *ubC = dyn_cast<ConstantInt>(out.upperBound);
+  if (lbC && ubC && out.step > 0) {
+    int64_t span = ubC->value() - lbC->value();
+    if (cmp->predicate() == CmpPred::SLE)
+      span += 1;
+    if (span <= 0)
+      out.tripCount = 0;
+    else
+      out.tripCount = (span + out.step - 1) / out.step;
+  }
+  return out;
+}
+
+} // namespace mha::lir

@@ -1,0 +1,92 @@
+// LoopInfo.h - natural loop detection and canonical counted-loop matching.
+//
+// The virtual HLS backend schedules loop nests, and the unroll utility and
+// pipelining both need trip counts. A CanonicalLoop is the MiniLLVM shape
+// produced by the MLIR lowering and the HLS C++ frontend alike:
+//
+//   preheader:  br %header
+//   header:     %iv = phi [%lb, %preheader], [%iv.next, %latch]
+//               %cmp = icmp slt %iv, %ub
+//               br %cmp, %body..., %exit
+//   latch:      %iv.next = add %iv, %step
+//               br %header
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+namespace mha::lir {
+
+class BasicBlock;
+class DominatorTree;
+class Function;
+class Instruction;
+class Value;
+
+class Loop {
+public:
+  BasicBlock *header() const { return header_; }
+  /// The unique in-loop predecessor of the header (backedge source).
+  BasicBlock *latch() const { return latch_; }
+  /// The unique out-of-loop predecessor of the header, if any.
+  BasicBlock *preheader() const { return preheader_; }
+  /// The unique block the header exits to, if the header is the exit test.
+  BasicBlock *exitBlock() const { return exit_; }
+
+  const std::vector<BasicBlock *> &blocks() const { return blocks_; }
+  bool contains(const BasicBlock *bb) const;
+  bool contains(const Instruction *inst) const;
+
+  Loop *parent() const { return parent_; }
+  const std::vector<Loop *> &subLoops() const { return subLoops_; }
+  bool isInnermost() const { return subLoops_.empty(); }
+  unsigned depth() const;
+
+private:
+  friend class LoopInfo;
+  BasicBlock *header_ = nullptr;
+  BasicBlock *latch_ = nullptr;
+  BasicBlock *preheader_ = nullptr;
+  BasicBlock *exit_ = nullptr;
+  std::vector<BasicBlock *> blocks_; // header first
+  Loop *parent_ = nullptr;
+  std::vector<Loop *> subLoops_;
+};
+
+class LoopInfo {
+public:
+  LoopInfo(Function &fn, const DominatorTree &domTree);
+
+  const std::vector<std::unique_ptr<Loop>> &loops() const { return loops_; }
+  /// Outermost loops only.
+  std::vector<Loop *> topLevelLoops() const;
+  /// The innermost loop containing `bb`, or nullptr.
+  Loop *loopFor(const BasicBlock *bb) const;
+
+private:
+  std::vector<std::unique_ptr<Loop>> loops_;
+  std::map<const BasicBlock *, Loop *> blockToLoop_;
+};
+
+/// The recognized counted-loop pattern (see file comment).
+struct CanonicalLoop {
+  Loop *loop = nullptr;
+  Instruction *indVar = nullptr;   // the iv phi in the header
+  Instruction *ivNext = nullptr;   // iv + step
+  Instruction *compare = nullptr;  // exit test
+  Value *lowerBound = nullptr;
+  Value *upperBound = nullptr;
+  int64_t step = 0;
+  /// Trip count if lb/ub are constants.
+  std::optional<int64_t> tripCount;
+};
+
+/// Matches `loop` against the canonical counted form. Returns nullopt when
+/// the loop does not fit (the scheduler then falls back to a conservative
+/// sequential model).
+std::optional<CanonicalLoop> matchCanonicalLoop(Loop *loop);
+
+} // namespace mha::lir

@@ -1,0 +1,39 @@
+#include "lir/Function.h"
+#include "lir/transforms/Transforms.h"
+
+namespace mha::lir {
+
+namespace {
+
+class DCE : public ModulePass {
+public:
+  std::string name() const override { return "dce"; }
+
+  bool run(Module &module, PassStats &stats, DiagnosticEngine &) override {
+    bool changed = false;
+    for (Function *fn : module.functions()) {
+      bool local = true;
+      while (local) {
+        local = false;
+        for (BasicBlock *bb : fn->blockPtrs()) {
+          std::vector<Instruction *> dead;
+          for (auto &inst : *bb)
+            if (!inst->hasUses() && !inst->hasSideEffects())
+              dead.push_back(inst.get());
+          for (Instruction *inst : dead) {
+            inst->eraseFromParent();
+            stats["dce.removed"]++;
+            local = changed = true;
+          }
+        }
+      }
+    }
+    return changed;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<ModulePass> createDCEPass() { return std::make_unique<DCE>(); }
+
+} // namespace mha::lir

@@ -1,0 +1,94 @@
+#include "lir/transforms/LoopUnroll.h"
+
+#include "lir/Function.h"
+#include "lir/LContext.h"
+
+#include <map>
+
+namespace mha::lir {
+
+int64_t clampUnrollFactor(int64_t tripCount, int64_t requested) {
+  if (requested <= 1 || tripCount <= 1)
+    return 1;
+  if (requested >= tripCount)
+    return tripCount;
+  int64_t factor = requested;
+  while (factor > 1 && tripCount % factor != 0)
+    --factor;
+  return factor;
+}
+
+bool unrollLoopByFactor(CanonicalLoop &cl, int64_t factor) {
+  if (factor <= 1)
+    return true;
+  Loop *loop = cl.loop;
+  if (!cl.tripCount || *cl.tripCount % factor != 0)
+    return false;
+  // Shape: header + single body/latch block.
+  if (loop->blocks().size() != 2)
+    return false;
+  BasicBlock *latch = loop->latch();
+  if (!latch || latch == loop->header())
+    return false;
+
+  Function *fn = latch->parent();
+  LContext &ctx = fn->parentModule()->context();
+  Instruction *iv = cl.indVar;
+  IntType *ivTy = cast<IntType>(iv->type());
+  if (cl.ivNext->parent() != latch)
+    return false;
+
+  // Replicate EVERY non-terminator body instruction, including the old
+  // iv increment: after CSE the increment may double as an address
+  // expression (e.g. j+1 in a stencil subscript), so it must be treated
+  // as ordinary arithmetic, never mutated in place.
+  std::vector<Instruction *> bodyInsts;
+  for (auto &inst : *latch) {
+    if (inst->isTerminator())
+      break;
+    bodyInsts.push_back(inst.get());
+  }
+
+  Instruction *term = latch->terminator();
+  auto termPos = latch->positionOf(term);
+  for (int64_t k = 1; k < factor; ++k) {
+    std::map<Value *, Value *> remap;
+    // iv for the k-th replica: iv + k*step.
+    auto ivPlus = std::make_unique<Instruction>(Opcode::Add, ivTy);
+    ivPlus->addOperand(iv);
+    ivPlus->addOperand(ctx.constInt(ivTy, k * cl.step));
+    ivPlus->setName(iv->name() + ".u" + std::to_string(k));
+    remap[iv] = latch->insert(termPos, std::move(ivPlus));
+
+    for (Instruction *orig : bodyInsts) {
+      std::unique_ptr<Instruction> copy = orig->clone();
+      for (unsigned i = 0; i < copy->numOperands(); ++i) {
+        auto it = remap.find(copy->operand(i));
+        if (it != remap.end())
+          copy->setOperand(i, it->second);
+      }
+      if (copy->hasName())
+        copy->setName(copy->name() + ".u" + std::to_string(k));
+      remap[orig] = latch->insert(termPos, std::move(copy));
+    }
+  }
+
+  // Fresh widened increment feeding the phi; the old increment (and its
+  // replicas) remain plain arithmetic, dead unless subscripts use them.
+  auto widened = std::make_unique<Instruction>(Opcode::Add, ivTy);
+  widened->addOperand(iv);
+  widened->addOperand(ctx.constInt(ivTy, factor * cl.step));
+  widened->setName(iv->name() + ".next.unrolled");
+  Instruction *newNext = latch->insert(termPos, std::move(widened));
+  for (unsigned i = 0; i < iv->numIncoming(); ++i)
+    if (iv->incomingBlock(i) == latch)
+      iv->setIncomingValue(i, newNext);
+
+  cl.ivNext = newNext;
+  cl.step *= factor;
+  if (cl.tripCount)
+    cl.tripCount = *cl.tripCount / factor;
+  return true;
+}
+
+} // namespace mha::lir

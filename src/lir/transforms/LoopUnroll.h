@@ -1,0 +1,25 @@
+// LoopUnroll.h - IR-level loop unrolling (utility, not a pass).
+//
+// The virtual HLS backend calls this when a loop carries an xlx.unroll
+// directive, exactly as Vitis HLS unrolls internally before scheduling.
+// Only the canonical single-body-block counted loop produced by both flows
+// is handled; callers fall back to no-unroll otherwise.
+#pragma once
+
+#include "lir/analysis/LoopInfo.h"
+
+namespace mha::lir {
+
+/// Unrolls `loop` by `factor`. Requirements:
+///  - canonical counted loop whose body is the single block that is also
+///    the latch (header -> body -> header),
+///  - constant trip count divisible by `factor` (callers clamp).
+/// Returns true on success. The loop then executes tripCount/factor
+/// iterations of a `factor`-times-larger body; the iv phi/compare are kept.
+bool unrollLoopByFactor(CanonicalLoop &loop, int64_t factor);
+
+/// Largest divisor of `tripCount` that is <= requested (Vitis clamps
+/// non-dividing unroll factors similarly for exact-trip loops).
+int64_t clampUnrollFactor(int64_t tripCount, int64_t requested);
+
+} // namespace mha::lir

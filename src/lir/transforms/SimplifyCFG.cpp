@@ -1,0 +1,194 @@
+#include "lir/Function.h"
+#include "lir/IRBuilder.h"
+#include "lir/LContext.h"
+#include "lir/transforms/Transforms.h"
+
+#include <set>
+
+namespace mha::lir {
+
+namespace {
+
+class SimplifyCFG : public ModulePass {
+public:
+  std::string name() const override { return "simplifycfg"; }
+
+  bool run(Module &module, PassStats &stats, DiagnosticEngine &) override {
+    bool changed = false;
+    for (Function *fn : module.functions()) {
+      if (fn->isDeclaration())
+        continue;
+      while (runOnce(*fn, stats))
+        changed = true;
+    }
+    return changed;
+  }
+
+private:
+  bool runOnce(Function &fn, PassStats &stats) {
+    return removeUnreachable(fn, stats) || foldConstantBranches(fn, stats) ||
+           mergeChains(fn, stats) || skipForwarders(fn, stats);
+  }
+
+  bool removeUnreachable(Function &fn, PassStats &stats) {
+    std::set<BasicBlock *> reachable;
+    std::vector<BasicBlock *> work{fn.entry()};
+    while (!work.empty()) {
+      BasicBlock *bb = work.back();
+      work.pop_back();
+      if (!reachable.insert(bb).second)
+        continue;
+      for (BasicBlock *succ : bb->successors())
+        work.push_back(succ);
+    }
+    std::vector<BasicBlock *> dead;
+    for (BasicBlock *bb : fn.blockPtrs())
+      if (!reachable.count(bb))
+        dead.push_back(bb);
+    if (dead.empty())
+      return false;
+
+    // Remove phi entries coming from dead blocks, then drop edges and
+    // values defined in dead blocks.
+    for (BasicBlock *bb : dead)
+      for (BasicBlock *succ : bb->successors())
+        if (reachable.count(succ))
+          for (Instruction *phi : succ->phis())
+            if (phi->incomingValueFor(bb))
+              phi->removeIncoming(bb);
+    for (BasicBlock *bb : dead) {
+      for (auto &inst : *bb) {
+        // Values defined in unreachable code can only be used by other
+        // unreachable code; replace with undef to break cycles.
+        if (!inst->type()->isVoid() && inst->hasUses())
+          inst->replaceAllUsesWith(
+              fn.parentModule()->context().undef(inst->type()));
+        inst->dropAllOperands();
+      }
+    }
+    for (BasicBlock *bb : dead) {
+      assert(!bb->hasUses() && "dead block still referenced");
+      fn.eraseBlock(bb);
+    }
+    stats["simplifycfg.unreachable-removed"] +=
+        static_cast<int64_t>(dead.size());
+    return true;
+  }
+
+  bool foldConstantBranches(Function &fn, PassStats &stats) {
+    bool changed = false;
+    for (BasicBlock *bb : fn.blockPtrs()) {
+      Instruction *term = bb->terminator();
+      if (!term || term->opcode() != Opcode::CondBr)
+        continue;
+      auto *cond = dyn_cast<ConstantInt>(term->condition());
+      if (!cond)
+        continue;
+      BasicBlock *taken = cond->isZero() ? term->falseDest() : term->trueDest();
+      BasicBlock *dead = cond->isZero() ? term->trueDest() : term->falseDest();
+      if (dead != taken)
+        for (Instruction *phi : dead->phis())
+          if (phi->incomingValueFor(bb))
+            phi->removeIncoming(bb);
+      IRBuilder builder(fn.parentModule()->context());
+      builder.setInsertPoint(bb);
+      MDMap savedMD = std::move(term->metadata());
+      term->eraseFromParent();
+      Instruction *br = builder.createBr(taken);
+      br->metadata() = std::move(savedMD);
+      stats["simplifycfg.condbr-folded"]++;
+      changed = true;
+    }
+    return changed;
+  }
+
+  bool mergeChains(Function &fn, PassStats &stats) {
+    for (BasicBlock *bb : fn.blockPtrs()) {
+      Instruction *term = bb->terminator();
+      if (!term || term->opcode() != Opcode::Br)
+        continue;
+      BasicBlock *succ = term->brDest();
+      if (succ == bb || succ == fn.entry())
+        continue;
+      std::vector<BasicBlock *> preds = succ->predecessors();
+      if (preds.size() != 1 || preds[0] != bb)
+        continue;
+      if (!succ->phis().empty()) {
+        // Single-pred phis are trivially replaceable.
+        for (Instruction *phi : succ->phis()) {
+          phi->replaceAllUsesWith(phi->incomingValue(0));
+        }
+        while (!succ->phis().empty())
+          succ->phis().front()->eraseFromParent();
+      }
+      // Splice succ's instructions into bb, drop the br, retarget uses of
+      // succ as a block to bb (there are none left: bb was sole pred).
+      MDMap savedMD = std::move(term->metadata());
+      term->eraseFromParent();
+      while (!succ->empty()) {
+        std::unique_ptr<Instruction> inst = succ->front()->removeFromParent();
+        bb->append(std::move(inst));
+      }
+      // Propagate loop metadata from the old branch onto the new
+      // terminator if that terminator has none (keeps directives alive).
+      if (Instruction *newTerm = bb->terminator())
+        for (auto &[key, node] : savedMD)
+          if (!newTerm->getMetadata(key))
+            newTerm->setMetadata(key, node->clone());
+      succ->replaceAllUsesWith(bb);
+      fn.eraseBlock(succ);
+      stats["simplifycfg.blocks-merged"]++;
+      return true; // block list changed; restart
+    }
+    return false;
+  }
+
+  bool skipForwarders(Function &fn, PassStats &stats) {
+    for (BasicBlock *bb : fn.blockPtrs()) {
+      if (bb == fn.entry())
+        continue;
+      // Block contains only `br %target` and has no phis.
+      if (bb->size() != 1)
+        continue;
+      Instruction *term = bb->terminator();
+      if (!term || term->opcode() != Opcode::Br ||
+          !term->metadata().empty())
+        continue;
+      BasicBlock *target = term->brDest();
+      if (target == bb)
+        continue;
+      std::vector<BasicBlock *> preds = bb->predecessors();
+      if (preds.empty())
+        continue;
+      // Phi safety: retargeting pred->target must not create conflicting
+      // phi entries.
+      bool safe = true;
+      std::vector<BasicBlock *> targetPreds = target->predecessors();
+      for (BasicBlock *pred : preds) {
+        if (std::find(targetPreds.begin(), targetPreds.end(), pred) !=
+            targetPreds.end()) {
+          safe = false; // pred already branches to target directly
+          break;
+        }
+      }
+      if (!safe || !target->phis().empty())
+        continue;
+      for (BasicBlock *pred : preds)
+        pred->terminator()->replaceSuccessor(bb, target);
+      term->eraseFromParent();
+      assert(!bb->hasUses());
+      fn.eraseBlock(bb);
+      stats["simplifycfg.forwarders-removed"]++;
+      return true;
+    }
+    return false;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<ModulePass> createSimplifyCFGPass() {
+  return std::make_unique<SimplifyCFG>();
+}
+
+} // namespace mha::lir

@@ -1,0 +1,36 @@
+// Transforms.h - scalar optimization passes over MiniLLVM.
+//
+// These model the mid-end cleanups both flows get: the MLIR flow runs them
+// after lowering (and the adaptor relies on canonical IR), the HLS C++ flow
+// runs them inside the "frontend" just as Vitis does after clang codegen.
+#pragma once
+
+#include "lir/PassManager.h"
+
+#include <memory>
+
+namespace mha::lir {
+
+/// Promotes allocas whose only uses are same-typed loads/stores to SSA
+/// registers (phi insertion at iterated dominance frontiers).
+std::unique_ptr<ModulePass> createMem2RegPass();
+
+/// Removes unreachable blocks, folds constant conditional branches, merges
+/// straight-line block chains and skips empty forwarding blocks.
+std::unique_ptr<ModulePass> createSimplifyCFGPass();
+
+/// Deletes side-effect-free instructions with no uses (iterates to fixpoint).
+std::unique_ptr<ModulePass> createDCEPass();
+
+/// Constant folding + algebraic identities (x+0, x*1, x*0, gep-zero, ...).
+std::unique_ptr<ModulePass> createInstCombinePass();
+
+/// Dominator-scoped common subexpression elimination for pure instructions.
+std::unique_ptr<ModulePass> createCSEPass();
+
+/// Loop-invariant code motion: hoists pure instructions whose operands are
+/// defined outside the loop into the preheader. Loads/stores/calls stay
+/// put (memory motion is the scheduler's business in an HLS flow).
+std::unique_ptr<ModulePass> createLICMPass();
+
+} // namespace mha::lir

@@ -1,0 +1,87 @@
+// AffineExpr.h - affine index expressions and maps.
+//
+// A small, uniqued expression tree: d0, s0, constants, +, *, mod, floordiv,
+// ceildiv. affine.load/store subscripts and affine.apply carry AffineMaps
+// over these; the adaptor flow preserves their exact arithmetic when
+// lowering to LLVM IR (the "expression details" the paper keeps).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mha::mir {
+
+class MContext;
+
+class AffineExpr {
+public:
+  enum class Kind { Constant, Dim, Symbol, Add, Mul, Mod, FloorDiv, CeilDiv };
+
+  Kind kind() const { return kind_; }
+  /// Constant value / dim position / symbol position.
+  int64_t value() const { return value_; }
+  const AffineExpr *lhs() const { return lhs_; }
+  const AffineExpr *rhs() const { return rhs_; }
+
+  bool isConstant() const { return kind_ == Kind::Constant; }
+  bool isBinary() const {
+    return kind_ == Kind::Add || kind_ == Kind::Mul || kind_ == Kind::Mod ||
+           kind_ == Kind::FloorDiv || kind_ == Kind::CeilDiv;
+  }
+
+  /// Evaluates with concrete dim/symbol values.
+  int64_t evaluate(const std::vector<int64_t> &dims,
+                   const std::vector<int64_t> &symbols = {}) const;
+
+  /// Renders like MLIR: "d0 * 32 + d1".
+  std::string str() const;
+
+private:
+  friend class MContext;
+  AffineExpr(Kind kind, int64_t value, const AffineExpr *lhs,
+             const AffineExpr *rhs)
+      : kind_(kind), value_(value), lhs_(lhs), rhs_(rhs) {}
+  Kind kind_;
+  int64_t value_;
+  const AffineExpr *lhs_;
+  const AffineExpr *rhs_;
+};
+
+/// (d0, ..., dN) [s0, ..., sM] -> (expr0, ..., exprK)
+class AffineMap {
+public:
+  AffineMap() = default;
+  AffineMap(unsigned numDims, unsigned numSymbols,
+            std::vector<const AffineExpr *> results)
+      : numDims_(numDims), numSymbols_(numSymbols),
+        results_(std::move(results)) {}
+
+  unsigned numDims() const { return numDims_; }
+  unsigned numSymbols() const { return numSymbols_; }
+  const std::vector<const AffineExpr *> &results() const { return results_; }
+  unsigned numResults() const {
+    return static_cast<unsigned>(results_.size());
+  }
+
+  std::vector<int64_t> evaluate(const std::vector<int64_t> &dims,
+                                const std::vector<int64_t> &symbols = {}) const;
+
+  /// An identity map (d0, ..., dN-1) -> (d0, ..., dN-1).
+  static AffineMap identity(MContext &ctx, unsigned rank);
+
+  std::string str() const;
+
+  bool operator==(const AffineMap &other) const {
+    return numDims_ == other.numDims_ && numSymbols_ == other.numSymbols_ &&
+           results_ == other.results_;
+  }
+
+private:
+  unsigned numDims_ = 0;
+  unsigned numSymbols_ = 0;
+  std::vector<const AffineExpr *> results_;
+};
+
+} // namespace mha::mir

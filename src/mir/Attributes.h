@@ -1,0 +1,114 @@
+// Attributes.h - uniqued, immutable operation attributes.
+#pragma once
+
+#include "mir/AffineExpr.h"
+#include "support/Casting.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mha::mir {
+
+class MContext;
+class Type;
+
+class Attribute {
+public:
+  enum class Kind { Integer, Float, String, Type, Array, AffineMap, Unit };
+
+  Kind kind() const { return kind_; }
+  std::string str() const;
+
+protected:
+  explicit Attribute(Kind kind) : kind_(kind) {}
+  ~Attribute() = default;
+
+private:
+  Kind kind_;
+};
+
+class IntegerAttr : public Attribute {
+public:
+  int64_t value() const { return value_; }
+  static bool classof(const Attribute *a) {
+    return a->kind() == Kind::Integer;
+  }
+
+private:
+  friend class MContext;
+  explicit IntegerAttr(int64_t value)
+      : Attribute(Kind::Integer), value_(value) {}
+  int64_t value_;
+};
+
+class FloatAttr : public Attribute {
+public:
+  double value() const { return value_; }
+  static bool classof(const Attribute *a) { return a->kind() == Kind::Float; }
+
+private:
+  friend class MContext;
+  explicit FloatAttr(double value) : Attribute(Kind::Float), value_(value) {}
+  double value_;
+};
+
+class StringAttr : public Attribute {
+public:
+  const std::string &value() const { return value_; }
+  static bool classof(const Attribute *a) { return a->kind() == Kind::String; }
+
+private:
+  friend class MContext;
+  explicit StringAttr(std::string value)
+      : Attribute(Kind::String), value_(std::move(value)) {}
+  std::string value_;
+};
+
+class TypeAttr : public Attribute {
+public:
+  Type *value() const { return value_; }
+  static bool classof(const Attribute *a) { return a->kind() == Kind::Type; }
+
+private:
+  friend class MContext;
+  explicit TypeAttr(Type *value) : Attribute(Kind::Type), value_(value) {}
+  Type *value_;
+};
+
+class ArrayAttr : public Attribute {
+public:
+  const std::vector<const Attribute *> &value() const { return value_; }
+  static bool classof(const Attribute *a) { return a->kind() == Kind::Array; }
+
+private:
+  friend class MContext;
+  explicit ArrayAttr(std::vector<const Attribute *> value)
+      : Attribute(Kind::Array), value_(std::move(value)) {}
+  std::vector<const Attribute *> value_;
+};
+
+class AffineMapAttr : public Attribute {
+public:
+  const AffineMap &value() const { return value_; }
+  static bool classof(const Attribute *a) {
+    return a->kind() == Kind::AffineMap;
+  }
+
+private:
+  friend class MContext;
+  explicit AffineMapAttr(AffineMap value)
+      : Attribute(Kind::AffineMap), value_(std::move(value)) {}
+  AffineMap value_;
+};
+
+class UnitAttr : public Attribute {
+public:
+  static bool classof(const Attribute *a) { return a->kind() == Kind::Unit; }
+
+private:
+  friend class MContext;
+  UnitAttr() : Attribute(Kind::Unit) {}
+};
+
+} // namespace mha::mir

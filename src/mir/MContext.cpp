@@ -1,0 +1,434 @@
+#include "mir/MContext.h"
+
+#include "support/Compiler.h"
+#include "support/StringUtils.h"
+
+#include <map>
+#include <tuple>
+#include <vector>
+
+namespace mha::mir {
+
+namespace {
+class SimpleMType : public Type {
+public:
+  SimpleMType(MContext &ctx, Kind kind) : Type(ctx, kind) {}
+};
+} // namespace
+
+struct MContext::Impl {
+  explicit Impl(MContext &ctx)
+      : indexTy(ctx, Type::Kind::Index), noneTy(ctx, Type::Kind::None),
+        f32Ty(ctx, Type::Kind::Float), f64Ty(ctx, Type::Kind::Double) {}
+
+  SimpleMType indexTy, noneTy, f32Ty, f64Ty;
+  std::map<unsigned, std::unique_ptr<IntegerType>> intTypes;
+  std::vector<std::unique_ptr<MemRefType>> memrefTypes;
+  std::vector<std::unique_ptr<FunctionType>> fnTypes;
+
+  std::map<int64_t, std::unique_ptr<IntegerAttr>> intAttrs;
+  std::map<double, std::unique_ptr<FloatAttr>> floatAttrs;
+  std::map<std::string, std::unique_ptr<StringAttr>> stringAttrs;
+  std::map<Type *, std::unique_ptr<TypeAttr>> typeAttrs;
+  std::vector<std::unique_ptr<ArrayAttr>> arrayAttrs;
+  std::vector<std::unique_ptr<AffineMapAttr>> mapAttrs;
+  std::unique_ptr<UnitAttr> unitAttr;
+
+  std::vector<std::unique_ptr<AffineExpr>> affineExprs;
+  std::map<std::tuple<int, int64_t, const AffineExpr *, const AffineExpr *>,
+           const AffineExpr *>
+      affineUnique;
+
+  const AffineExpr *makeBinary(AffineExpr::Kind kind, const AffineExpr *lhs,
+                               const AffineExpr *rhs);
+};
+
+MContext::MContext() : impl_(std::make_unique<Impl>(*this)) {}
+MContext::~MContext() = default;
+
+Type *MContext::indexTy() { return &impl_->indexTy; }
+Type *MContext::noneTy() { return &impl_->noneTy; }
+Type *MContext::f32() { return &impl_->f32Ty; }
+Type *MContext::f64() { return &impl_->f64Ty; }
+
+IntegerType *MContext::intTy(unsigned width) {
+  auto &slot = impl_->intTypes[width];
+  if (!slot)
+    slot.reset(new IntegerType(*this, width));
+  return slot.get();
+}
+
+MemRefType *MContext::memrefTy(std::vector<int64_t> shape, Type *element) {
+  for (auto &mt : impl_->memrefTypes)
+    if (mt->shape() == shape && mt->elementType() == element)
+      return mt.get();
+  impl_->memrefTypes.emplace_back(
+      new MemRefType(*this, std::move(shape), element));
+  return impl_->memrefTypes.back().get();
+}
+
+FunctionType *MContext::fnTy(std::vector<Type *> inputs,
+                             std::vector<Type *> results) {
+  for (auto &ft : impl_->fnTypes)
+    if (ft->inputs() == inputs && ft->results() == results)
+      return ft.get();
+  impl_->fnTypes.emplace_back(
+      new FunctionType(*this, std::move(inputs), std::move(results)));
+  return impl_->fnTypes.back().get();
+}
+
+const IntegerAttr *MContext::intAttr(int64_t value) {
+  auto &slot = impl_->intAttrs[value];
+  if (!slot)
+    slot.reset(new IntegerAttr(value));
+  return slot.get();
+}
+
+const FloatAttr *MContext::floatAttr(double value) {
+  auto &slot = impl_->floatAttrs[value];
+  if (!slot)
+    slot.reset(new FloatAttr(value));
+  return slot.get();
+}
+
+const StringAttr *MContext::stringAttr(std::string value) {
+  auto &slot = impl_->stringAttrs[value];
+  if (!slot)
+    slot.reset(new StringAttr(value));
+  return slot.get();
+}
+
+const TypeAttr *MContext::typeAttr(Type *type) {
+  auto &slot = impl_->typeAttrs[type];
+  if (!slot)
+    slot.reset(new TypeAttr(type));
+  return slot.get();
+}
+
+const ArrayAttr *MContext::arrayAttr(std::vector<const Attribute *> value) {
+  for (auto &a : impl_->arrayAttrs)
+    if (a->value() == value)
+      return a.get();
+  impl_->arrayAttrs.emplace_back(new ArrayAttr(std::move(value)));
+  return impl_->arrayAttrs.back().get();
+}
+
+const AffineMapAttr *MContext::affineMapAttr(AffineMap map) {
+  for (auto &a : impl_->mapAttrs)
+    if (a->value() == map)
+      return a.get();
+  impl_->mapAttrs.emplace_back(new AffineMapAttr(std::move(map)));
+  return impl_->mapAttrs.back().get();
+}
+
+const UnitAttr *MContext::unitAttr() {
+  if (!impl_->unitAttr)
+    impl_->unitAttr.reset(new UnitAttr());
+  return impl_->unitAttr.get();
+}
+
+// --- Affine expressions ---
+
+const AffineExpr *MContext::affineConst(int64_t value) {
+  auto key = std::make_tuple(0, value, nullptr, nullptr);
+  auto it = impl_->affineUnique.find(key);
+  if (it != impl_->affineUnique.end())
+    return it->second;
+  impl_->affineExprs.emplace_back(
+      new AffineExpr(AffineExpr::Kind::Constant, value, nullptr, nullptr));
+  return impl_->affineUnique[key] = impl_->affineExprs.back().get();
+}
+
+const AffineExpr *MContext::affineDim(unsigned position) {
+  auto key = std::make_tuple(1, static_cast<int64_t>(position), nullptr,
+                             nullptr);
+  auto it = impl_->affineUnique.find(key);
+  if (it != impl_->affineUnique.end())
+    return it->second;
+  impl_->affineExprs.emplace_back(
+      new AffineExpr(AffineExpr::Kind::Dim, position, nullptr, nullptr));
+  return impl_->affineUnique[key] = impl_->affineExprs.back().get();
+}
+
+const AffineExpr *MContext::affineSymbol(unsigned position) {
+  auto key = std::make_tuple(2, static_cast<int64_t>(position), nullptr,
+                             nullptr);
+  auto it = impl_->affineUnique.find(key);
+  if (it != impl_->affineUnique.end())
+    return it->second;
+  impl_->affineExprs.emplace_back(
+      new AffineExpr(AffineExpr::Kind::Symbol, position, nullptr, nullptr));
+  return impl_->affineUnique[key] = impl_->affineExprs.back().get();
+}
+
+static int kindTag(AffineExpr::Kind kind) {
+  switch (kind) {
+  case AffineExpr::Kind::Add:
+    return 3;
+  case AffineExpr::Kind::Mul:
+    return 4;
+  case AffineExpr::Kind::Mod:
+    return 5;
+  case AffineExpr::Kind::FloorDiv:
+    return 6;
+  case AffineExpr::Kind::CeilDiv:
+    return 7;
+  default:
+    unreachable("not a binary affine kind");
+  }
+}
+
+static int64_t floorDiv(int64_t a, int64_t b) {
+  int64_t q = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0)))
+    --q;
+  return q;
+}
+
+static int64_t ceilDiv(int64_t a, int64_t b) { return -floorDiv(-a, b); }
+
+static int64_t euclidMod(int64_t a, int64_t b) {
+  int64_t r = a % b;
+  return r < 0 ? r + (b < 0 ? -b : b) : r;
+}
+
+const AffineExpr *MContext::affineAdd(const AffineExpr *lhs,
+                                      const AffineExpr *rhs) {
+  if (lhs->isConstant() && rhs->isConstant())
+    return affineConst(lhs->value() + rhs->value());
+  if (lhs->isConstant() && lhs->value() == 0)
+    return rhs;
+  if (rhs->isConstant() && rhs->value() == 0)
+    return lhs;
+  auto key = std::make_tuple(kindTag(AffineExpr::Kind::Add), int64_t(0), lhs,
+                             rhs);
+  auto it = impl_->affineUnique.find(key);
+  if (it != impl_->affineUnique.end())
+    return it->second;
+  impl_->affineExprs.emplace_back(
+      new AffineExpr(AffineExpr::Kind::Add, 0, lhs, rhs));
+  return impl_->affineUnique[key] = impl_->affineExprs.back().get();
+}
+
+const AffineExpr *MContext::affineMul(const AffineExpr *lhs,
+                                      const AffineExpr *rhs) {
+  if (lhs->isConstant() && rhs->isConstant())
+    return affineConst(lhs->value() * rhs->value());
+  if (lhs->isConstant() && lhs->value() == 1)
+    return rhs;
+  if (rhs->isConstant() && rhs->value() == 1)
+    return lhs;
+  if ((lhs->isConstant() && lhs->value() == 0) ||
+      (rhs->isConstant() && rhs->value() == 0))
+    return affineConst(0);
+  auto key = std::make_tuple(kindTag(AffineExpr::Kind::Mul), int64_t(0), lhs,
+                             rhs);
+  auto it = impl_->affineUnique.find(key);
+  if (it != impl_->affineUnique.end())
+    return it->second;
+  impl_->affineExprs.emplace_back(
+      new AffineExpr(AffineExpr::Kind::Mul, 0, lhs, rhs));
+  return impl_->affineUnique[key] = impl_->affineExprs.back().get();
+}
+
+const AffineExpr *MContext::Impl::makeBinary(AffineExpr::Kind kind,
+                                             const AffineExpr *lhs,
+                                             const AffineExpr *rhs) {
+  auto key = std::make_tuple(kindTag(kind), int64_t(0), lhs, rhs);
+  auto it = affineUnique.find(key);
+  if (it != affineUnique.end())
+    return it->second;
+  affineExprs.emplace_back(new AffineExpr(kind, 0, lhs, rhs));
+  return affineUnique[key] = affineExprs.back().get();
+}
+
+const AffineExpr *MContext::affineMod(const AffineExpr *lhs,
+                                      const AffineExpr *rhs) {
+  if (lhs->isConstant() && rhs->isConstant() && rhs->value() != 0)
+    return affineConst(euclidMod(lhs->value(), rhs->value()));
+  return impl_->makeBinary(AffineExpr::Kind::Mod, lhs, rhs);
+}
+
+const AffineExpr *MContext::affineFloorDiv(const AffineExpr *lhs,
+                                           const AffineExpr *rhs) {
+  if (lhs->isConstant() && rhs->isConstant() && rhs->value() != 0)
+    return affineConst(floorDiv(lhs->value(), rhs->value()));
+  return impl_->makeBinary(AffineExpr::Kind::FloorDiv, lhs, rhs);
+}
+
+const AffineExpr *MContext::affineCeilDiv(const AffineExpr *lhs,
+                                          const AffineExpr *rhs) {
+  if (lhs->isConstant() && rhs->isConstant() && rhs->value() != 0)
+    return affineConst(ceilDiv(lhs->value(), rhs->value()));
+  return impl_->makeBinary(AffineExpr::Kind::CeilDiv, lhs, rhs);
+}
+
+// --- AffineExpr / AffineMap methods ---
+
+int64_t AffineExpr::evaluate(const std::vector<int64_t> &dims,
+                             const std::vector<int64_t> &symbols) const {
+  switch (kind_) {
+  case Kind::Constant:
+    return value_;
+  case Kind::Dim:
+    return dims.at(static_cast<size_t>(value_));
+  case Kind::Symbol:
+    return symbols.at(static_cast<size_t>(value_));
+  case Kind::Add:
+    return lhs_->evaluate(dims, symbols) + rhs_->evaluate(dims, symbols);
+  case Kind::Mul:
+    return lhs_->evaluate(dims, symbols) * rhs_->evaluate(dims, symbols);
+  case Kind::Mod:
+    return euclidMod(lhs_->evaluate(dims, symbols),
+                     rhs_->evaluate(dims, symbols));
+  case Kind::FloorDiv:
+    return floorDiv(lhs_->evaluate(dims, symbols),
+                    rhs_->evaluate(dims, symbols));
+  case Kind::CeilDiv:
+    return ceilDiv(lhs_->evaluate(dims, symbols),
+                   rhs_->evaluate(dims, symbols));
+  }
+  unreachable("bad affine kind");
+}
+
+std::string AffineExpr::str() const {
+  switch (kind_) {
+  case Kind::Constant:
+    return strfmt("%lld", static_cast<long long>(value_));
+  case Kind::Dim:
+    return strfmt("d%lld", static_cast<long long>(value_));
+  case Kind::Symbol:
+    return strfmt("s%lld", static_cast<long long>(value_));
+  case Kind::Add:
+    return "(" + lhs_->str() + " + " + rhs_->str() + ")";
+  case Kind::Mul:
+    return "(" + lhs_->str() + " * " + rhs_->str() + ")";
+  case Kind::Mod:
+    return "(" + lhs_->str() + " mod " + rhs_->str() + ")";
+  case Kind::FloorDiv:
+    return "(" + lhs_->str() + " floordiv " + rhs_->str() + ")";
+  case Kind::CeilDiv:
+    return "(" + lhs_->str() + " ceildiv " + rhs_->str() + ")";
+  }
+  unreachable("bad affine kind");
+}
+
+std::vector<int64_t>
+AffineMap::evaluate(const std::vector<int64_t> &dims,
+                    const std::vector<int64_t> &symbols) const {
+  std::vector<int64_t> out;
+  out.reserve(results_.size());
+  for (const AffineExpr *expr : results_)
+    out.push_back(expr->evaluate(dims, symbols));
+  return out;
+}
+
+AffineMap AffineMap::identity(MContext &ctx, unsigned rank) {
+  std::vector<const AffineExpr *> results;
+  for (unsigned i = 0; i < rank; ++i)
+    results.push_back(ctx.affineDim(i));
+  return AffineMap(rank, 0, std::move(results));
+}
+
+std::string AffineMap::str() const {
+  std::string out = "(";
+  for (unsigned i = 0; i < numDims_; ++i) {
+    if (i)
+      out += ", ";
+    out += strfmt("d%u", i);
+  }
+  out += ")";
+  if (numSymbols_) {
+    out += "[";
+    for (unsigned i = 0; i < numSymbols_; ++i) {
+      if (i)
+        out += ", ";
+      out += strfmt("s%u", i);
+    }
+    out += "]";
+  }
+  out += " -> (";
+  for (size_t i = 0; i < results_.size(); ++i) {
+    if (i)
+      out += ", ";
+    out += results_[i]->str();
+  }
+  out += ")";
+  return out;
+}
+
+// --- Type / Attribute printing ---
+
+std::string Type::str() const {
+  switch (kind_) {
+  case Kind::Index:
+    return "index";
+  case Kind::None:
+    return "none";
+  case Kind::Integer:
+    return strfmt("i%u", static_cast<const IntegerType *>(this)->width());
+  case Kind::Float:
+    return "f32";
+  case Kind::Double:
+    return "f64";
+  case Kind::MemRef: {
+    auto *mt = static_cast<const MemRefType *>(this);
+    std::string out = "memref<";
+    for (int64_t d : mt->shape())
+      out += strfmt("%lldx", static_cast<long long>(d));
+    out += mt->elementType()->str() + ">";
+    return out;
+  }
+  case Kind::Function: {
+    auto *ft = static_cast<const FunctionType *>(this);
+    std::string out = "(";
+    for (size_t i = 0; i < ft->inputs().size(); ++i) {
+      if (i)
+        out += ", ";
+      out += ft->inputs()[i]->str();
+    }
+    out += ") -> (";
+    for (size_t i = 0; i < ft->results().size(); ++i) {
+      if (i)
+        out += ", ";
+      out += ft->results()[i]->str();
+    }
+    out += ")";
+    return out;
+  }
+  }
+  unreachable("bad type kind");
+}
+
+std::string Attribute::str() const {
+  switch (kind_) {
+  case Kind::Integer:
+    return strfmt("%lld", static_cast<long long>(
+                              static_cast<const IntegerAttr *>(this)->value()));
+  case Kind::Float:
+    return strfmt("%g", static_cast<const FloatAttr *>(this)->value());
+  case Kind::String:
+    return "\"" + static_cast<const StringAttr *>(this)->value() + "\"";
+  case Kind::Type:
+    return static_cast<const TypeAttr *>(this)->value()->str();
+  case Kind::Array: {
+    std::string out = "[";
+    const auto &elems = static_cast<const ArrayAttr *>(this)->value();
+    for (size_t i = 0; i < elems.size(); ++i) {
+      if (i)
+        out += ", ";
+      out += elems[i]->str();
+    }
+    out += "]";
+    return out;
+  }
+  case Kind::AffineMap:
+    return "affine_map<" +
+           static_cast<const AffineMapAttr *>(this)->value().str() + ">";
+  case Kind::Unit:
+    return "unit";
+  }
+  unreachable("bad attribute kind");
+}
+
+} // namespace mha::mir

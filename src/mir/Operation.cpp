@@ -1,0 +1,162 @@
+#include "mir/Operation.h"
+
+#include "support/Compiler.h"
+
+namespace mha::mir {
+
+void Value::replaceAllUsesWith(Value *replacement) {
+  assert(replacement != this);
+  std::vector<OpOperand *> snapshot = uses_;
+  for (OpOperand *use : snapshot)
+    use->set(replacement);
+}
+
+Operation *Value::definingOp() const {
+  if (const auto *res = dyn_cast<OpResult>(this))
+    return res->owner();
+  return nullptr;
+}
+
+std::unique_ptr<Operation> Operation::create(std::string name,
+                                             std::vector<Value *> operands,
+                                             std::vector<Type *> resultTypes) {
+  std::unique_ptr<Operation> op(new Operation(std::move(name)));
+  for (Value *v : operands)
+    op->addOperand(v);
+  for (unsigned i = 0; i < resultTypes.size(); ++i)
+    op->results_.push_back(
+        std::make_unique<OpResult>(resultTypes[i], op.get(), i));
+  return op;
+}
+
+Operation::~Operation() {
+  // Nested ops (at ANY depth) may use values defined by sibling ops, block
+  // args, or values from enclosing scopes; sever every operand edge inside
+  // our regions before the regions are destroyed.
+  for (auto &region : regions_)
+    for (auto &block : *region)
+      for (Operation *op : block->opPtrs())
+        op->walk([](Operation *nested) { nested->dropAllOperands(); });
+}
+
+Operation *Operation::parentOp() const {
+  return block_ ? block_->parentOp() : nullptr;
+}
+
+int64_t Operation::intAttrOr(const std::string &key, int64_t fallback) const {
+  const auto *a = dyn_cast<IntegerAttr>(attr(key));
+  return a ? a->value() : fallback;
+}
+
+Region *Operation::addRegion() {
+  auto region = std::make_unique<Region>();
+  region->op_ = this;
+  regions_.push_back(std::move(region));
+  return regions_.back().get();
+}
+
+void Operation::eraseFromParent() {
+  assert(block_ && "op has no parent");
+  Block *bb = block_;
+  for (auto it = bb->ops_.begin(); it != bb->ops_.end(); ++it) {
+    if (it->get() == this) {
+      dropAllOperands();
+      bb->ops_.erase(it);
+      return;
+    }
+  }
+  unreachable("op not found in parent block");
+}
+
+std::unique_ptr<Operation> Operation::removeFromParent() {
+  assert(block_ && "op has no parent");
+  Block *bb = block_;
+  for (auto it = bb->ops_.begin(); it != bb->ops_.end(); ++it) {
+    if (it->get() == this) {
+      auto owned = std::move(*it);
+      bb->ops_.erase(it);
+      owned->block_ = nullptr;
+      return owned;
+    }
+  }
+  unreachable("op not found in parent block");
+}
+
+std::unique_ptr<Operation>
+Operation::clone(std::map<Value *, Value *> &valueMap) const {
+  std::vector<Value *> newOperands;
+  newOperands.reserve(ops_.size());
+  for (const auto &use : ops_) {
+    Value *v = use->get();
+    auto it = valueMap.find(v);
+    newOperands.push_back(it == valueMap.end() ? v : it->second);
+  }
+  std::vector<Type *> resultTypes;
+  for (const auto &res : results_)
+    resultTypes.push_back(res->type());
+  auto copy = Operation::create(name_, std::move(newOperands),
+                                std::move(resultTypes));
+  copy->attrs_ = attrs_;
+  for (unsigned i = 0; i < numResults(); ++i)
+    valueMap[results_[i].get()] = copy->results_[i].get();
+  for (const auto &region : regions_) {
+    Region *newRegion = copy->addRegion();
+    for (const auto &block : *const_cast<Region *>(region.get())) {
+      Block *newBlock = newRegion->addBlock();
+      for (unsigned i = 0; i < block->numArgs(); ++i) {
+        BlockArgument *newArg = newBlock->addArg(block->arg(i)->type());
+        valueMap[block->arg(i)] = newArg;
+      }
+      for (Operation *child : block->opPtrs())
+        newBlock->append(child->clone(valueMap));
+    }
+  }
+  return copy;
+}
+
+void Operation::walk(const std::function<void(Operation *)> &fn) {
+  fn(this);
+  for (auto &region : regions_)
+    for (auto &block : *region)
+      for (Operation *op : block->opPtrs())
+        op->walk(fn);
+}
+
+Operation *Block::parentOp() const {
+  return region_ ? region_->parentOp() : nullptr;
+}
+
+Operation *Block::append(std::unique_ptr<Operation> op) {
+  op->block_ = this;
+  ops_.push_back(std::move(op));
+  return ops_.back().get();
+}
+
+Operation *Block::insert(iterator pos, std::unique_ptr<Operation> op) {
+  op->block_ = this;
+  return ops_.insert(pos, std::move(op))->get();
+}
+
+Block::iterator Block::positionOf(Operation *op) {
+  for (auto it = ops_.begin(); it != ops_.end(); ++it)
+    if (it->get() == op)
+      return it;
+  unreachable("op not in block");
+}
+
+std::vector<Operation *> Block::opPtrs() const {
+  std::vector<Operation *> out;
+  out.reserve(ops_.size());
+  for (const auto &op : ops_)
+    out.push_back(op.get());
+  return out;
+}
+
+Block *Region::addBlock() {
+  auto block = std::make_unique<Block>();
+  block->region_ = this;
+  blocks_.push_back(std::move(block));
+  return blocks_.back().get();
+}
+
+} // namespace mha::mir

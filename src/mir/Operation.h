@@ -1,0 +1,250 @@
+// Operation.h - generic MiniMLIR operations, blocks, regions, values.
+//
+// Like MLIR, every op is a generic Operation carrying a name
+// ("affine.for"), operands, results, an attribute dictionary and nested
+// regions. Dialect "op classes" (Ops.h) are thin views over this.
+#pragma once
+
+#include "mir/Attributes.h"
+#include "mir/Types.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mha::mir {
+
+class Block;
+class Operation;
+class OpOperand;
+class Region;
+
+class Value {
+public:
+  enum class Kind { OpResult, BlockArgument };
+  virtual ~Value() = default;
+
+  Kind valueKind() const { return kind_; }
+  Type *type() const { return type_; }
+  void setType(Type *type) { type_ = type; }
+
+  const std::vector<OpOperand *> &uses() const { return uses_; }
+  bool hasUses() const { return !uses_.empty(); }
+  void replaceAllUsesWith(Value *replacement);
+
+  /// The op defining this value, or nullptr for block arguments.
+  Operation *definingOp() const;
+
+protected:
+  Value(Kind kind, Type *type) : kind_(kind), type_(type) {}
+
+private:
+  friend class OpOperand;
+  Kind kind_;
+  Type *type_;
+  std::vector<OpOperand *> uses_;
+};
+
+class OpResult : public Value {
+public:
+  OpResult(Type *type, Operation *owner, unsigned index)
+      : Value(Kind::OpResult, type), owner_(owner), index_(index) {}
+  Operation *owner() const { return owner_; }
+  unsigned index() const { return index_; }
+  static bool classof(const Value *v) {
+    return v->valueKind() == Kind::OpResult;
+  }
+
+private:
+  Operation *owner_;
+  unsigned index_;
+};
+
+class BlockArgument : public Value {
+public:
+  BlockArgument(Type *type, Block *owner, unsigned index)
+      : Value(Kind::BlockArgument, type), owner_(owner), index_(index) {}
+  Block *owner() const { return owner_; }
+  unsigned index() const { return index_; }
+  static bool classof(const Value *v) {
+    return v->valueKind() == Kind::BlockArgument;
+  }
+
+private:
+  Block *owner_;
+  unsigned index_;
+};
+
+class OpOperand {
+public:
+  OpOperand(Operation *owner, unsigned index) : owner_(owner), index_(index) {}
+  ~OpOperand() { set(nullptr); }
+  OpOperand(const OpOperand &) = delete;
+  OpOperand &operator=(const OpOperand &) = delete;
+
+  Value *get() const { return value_; }
+  Operation *owner() const { return owner_; }
+  unsigned index() const { return index_; }
+
+  void set(Value *value) {
+    if (value_ == value)
+      return;
+    if (value_) {
+      auto &uses = value_->uses_;
+      uses.erase(std::find(uses.begin(), uses.end(), this));
+    }
+    value_ = value;
+    if (value_)
+      value_->uses_.push_back(this);
+  }
+
+private:
+  Value *value_ = nullptr;
+  Operation *owner_;
+  unsigned index_;
+};
+
+class Operation {
+public:
+  using AttrMap = std::map<std::string, const Attribute *>;
+
+  /// Creates a detached op; insert via Block::append/insert.
+  static std::unique_ptr<Operation> create(std::string name,
+                                           std::vector<Value *> operands,
+                                           std::vector<Type *> resultTypes);
+  ~Operation();
+
+  const std::string &name() const { return name_; }
+  bool is(const char *opName) const { return name_ == opName; }
+
+  Block *parentBlock() const { return block_; }
+  Operation *parentOp() const;
+
+  // --- Operands ---
+  unsigned numOperands() const { return static_cast<unsigned>(ops_.size()); }
+  Value *operand(unsigned i) const { return ops_[i]->get(); }
+  void setOperand(unsigned i, Value *v) { ops_[i]->set(v); }
+  void addOperand(Value *v) {
+    ops_.push_back(std::make_unique<OpOperand>(this, numOperands()));
+    ops_.back()->set(v);
+  }
+  std::vector<Value *> operandValues() const {
+    std::vector<Value *> out;
+    for (const auto &o : ops_)
+      out.push_back(o->get());
+    return out;
+  }
+  void dropAllOperands() { ops_.clear(); }
+
+  // --- Results ---
+  unsigned numResults() const {
+    return static_cast<unsigned>(results_.size());
+  }
+  OpResult *result(unsigned i = 0) const { return results_[i].get(); }
+
+  // --- Attributes ---
+  const AttrMap &attrs() const { return attrs_; }
+  const Attribute *attr(const std::string &key) const {
+    auto it = attrs_.find(key);
+    return it == attrs_.end() ? nullptr : it->second;
+  }
+  void setAttr(const std::string &key, const Attribute *value) {
+    attrs_[key] = value;
+  }
+  void removeAttr(const std::string &key) { attrs_.erase(key); }
+  /// Typed accessor: integer attribute value or `fallback`.
+  int64_t intAttrOr(const std::string &key, int64_t fallback) const;
+
+  // --- Regions ---
+  unsigned numRegions() const {
+    return static_cast<unsigned>(regions_.size());
+  }
+  Region *region(unsigned i = 0) const { return regions_[i].get(); }
+  Region *addRegion();
+
+  /// Unlinks from the parent block and destroys the op (and its regions).
+  void eraseFromParent();
+  /// Unlinks, returning ownership.
+  std::unique_ptr<Operation> removeFromParent();
+
+  /// Recursively visits this op and every nested op (pre-order).
+  void walk(const std::function<void(Operation *)> &fn);
+
+  /// Deep-clones the op (attributes, regions). Operands are remapped
+  /// through `valueMap` when present (otherwise kept as-is); results and
+  /// nested block arguments of the clone are registered into `valueMap`.
+  std::unique_ptr<Operation> clone(std::map<Value *, Value *> &valueMap) const;
+
+private:
+  friend class Block;
+  explicit Operation(std::string name) : name_(std::move(name)) {}
+
+  std::string name_;
+  Block *block_ = nullptr;
+  std::vector<std::unique_ptr<OpOperand>> ops_;
+  std::vector<std::unique_ptr<OpResult>> results_;
+  AttrMap attrs_;
+  std::vector<std::unique_ptr<Region>> regions_;
+};
+
+class Block {
+public:
+  using OpList = std::list<std::unique_ptr<Operation>>;
+  using iterator = OpList::iterator;
+
+  Region *parentRegion() const { return region_; }
+  Operation *parentOp() const;
+
+  // --- Arguments ---
+  unsigned numArgs() const { return static_cast<unsigned>(args_.size()); }
+  BlockArgument *arg(unsigned i) const { return args_[i].get(); }
+  BlockArgument *addArg(Type *type) {
+    args_.push_back(std::make_unique<BlockArgument>(type, this, numArgs()));
+    return args_.back().get();
+  }
+
+  // --- Operations ---
+  iterator begin() { return ops_.begin(); }
+  iterator end() { return ops_.end(); }
+  bool empty() const { return ops_.empty(); }
+  size_t size() const { return ops_.size(); }
+  Operation *front() { return ops_.front().get(); }
+  Operation *back() { return ops_.back().get(); }
+
+  Operation *append(std::unique_ptr<Operation> op);
+  Operation *insert(iterator pos, std::unique_ptr<Operation> op);
+  iterator positionOf(Operation *op);
+  std::vector<Operation *> opPtrs() const;
+
+private:
+  friend class Region;
+  friend class Operation;
+  Region *region_ = nullptr;
+  std::vector<std::unique_ptr<BlockArgument>> args_;
+  OpList ops_;
+};
+
+class Region {
+public:
+  using BlockList = std::list<std::unique_ptr<Block>>;
+
+  Operation *parentOp() const { return op_; }
+
+  bool empty() const { return blocks_.empty(); }
+  Block *entry() { return blocks_.front().get(); }
+  Block *addBlock();
+  BlockList::iterator begin() { return blocks_.begin(); }
+  BlockList::iterator end() { return blocks_.end(); }
+
+private:
+  friend class Operation;
+  Operation *op_ = nullptr;
+  BlockList blocks_;
+};
+
+} // namespace mha::mir

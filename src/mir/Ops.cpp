@@ -1,0 +1,57 @@
+#include "mir/Ops.h"
+
+#include <cassert>
+#include <set>
+
+namespace mha::mir {
+
+std::string FuncOp::name() const {
+  const auto *a = cast<StringAttr>(op->attr("sym_name"));
+  return a->value();
+}
+
+FunctionType *FuncOp::type() const {
+  const auto *a = cast<TypeAttr>(op->attr("function_type"));
+  return cast<FunctionType>(a->value());
+}
+
+FuncOp FuncOp::wrap(Operation *op) {
+  assert(op && op->is(ops::Func) && "not a func.func");
+  return FuncOp{op};
+}
+
+ForOp ForOp::wrap(Operation *op) {
+  assert(op && (op->is(ops::AffineFor) || op->is(ops::ScfFor)) &&
+         "not a loop op");
+  return ForOp{op};
+}
+
+ModuleOp ModuleOp::wrap(Operation *op) {
+  assert(op && op->is(ops::Module) && "not a module");
+  return ModuleOp{op};
+}
+
+FuncOp ModuleOp::lookupFunc(const std::string &name) const {
+  for (Operation *child : body()->opPtrs())
+    if (child->is(ops::Func) && FuncOp::wrap(child).name() == name)
+      return FuncOp::wrap(child);
+  return FuncOp{};
+}
+
+std::vector<FuncOp> ModuleOp::funcs() const {
+  std::vector<FuncOp> out;
+  for (Operation *child : body()->opPtrs())
+    if (child->is(ops::Func))
+      out.push_back(FuncOp::wrap(child));
+  return out;
+}
+
+bool isValidCmpPredicate(const std::string &pred, bool isFloat) {
+  static const std::set<std::string> intPreds = {
+      "eq", "ne", "slt", "sle", "sgt", "sge", "ult", "ule", "ugt", "uge"};
+  static const std::set<std::string> floatPreds = {"oeq", "one", "olt",
+                                                   "ole", "ogt", "oge"};
+  return isFloat ? floatPreds.count(pred) > 0 : intPreds.count(pred) > 0;
+}
+
+} // namespace mha::mir

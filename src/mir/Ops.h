@@ -1,0 +1,139 @@
+// Ops.h - dialect op names, typed op views, and directive conventions.
+#pragma once
+
+#include "mir/Operation.h"
+
+#include <optional>
+
+namespace mha::mir {
+
+/// Operation names, grouped by dialect.
+namespace ops {
+// builtin / func
+inline constexpr const char *Module = "builtin.module";
+inline constexpr const char *Func = "func.func";
+inline constexpr const char *Return = "func.return";
+inline constexpr const char *Call = "func.call";
+// arith
+inline constexpr const char *ConstantOp = "arith.constant";
+inline constexpr const char *AddI = "arith.addi";
+inline constexpr const char *SubI = "arith.subi";
+inline constexpr const char *MulI = "arith.muli";
+inline constexpr const char *DivSI = "arith.divsi";
+inline constexpr const char *RemSI = "arith.remsi";
+inline constexpr const char *AddF = "arith.addf";
+inline constexpr const char *SubF = "arith.subf";
+inline constexpr const char *MulF = "arith.mulf";
+inline constexpr const char *DivF = "arith.divf";
+inline constexpr const char *NegF = "arith.negf";
+inline constexpr const char *CmpI = "arith.cmpi";
+inline constexpr const char *CmpF = "arith.cmpf";
+inline constexpr const char *Select = "arith.select";
+inline constexpr const char *IndexCast = "arith.index_cast";
+inline constexpr const char *SIToFP = "arith.sitofp";
+inline constexpr const char *FPToSI = "arith.fptosi";
+// math
+inline constexpr const char *MathSqrt = "math.sqrt";
+inline constexpr const char *MathExp = "math.exp";
+inline constexpr const char *MathFabs = "math.absf";
+// memref
+inline constexpr const char *MemRefAlloc = "memref.alloc";
+inline constexpr const char *MemRefLoad = "memref.load";
+inline constexpr const char *MemRefStore = "memref.store";
+inline constexpr const char *MemRefCopy = "memref.copy";
+// affine
+inline constexpr const char *AffineFor = "affine.for";
+inline constexpr const char *AffineLoad = "affine.load";
+inline constexpr const char *AffineStore = "affine.store";
+inline constexpr const char *AffineApply = "affine.apply";
+inline constexpr const char *AffineYield = "affine.yield";
+// scf
+inline constexpr const char *ScfFor = "scf.for";
+inline constexpr const char *ScfYield = "scf.yield";
+} // namespace ops
+
+/// HLS directive attribute keys at the MLIR level (ScaleHLS-style knobs).
+namespace hlsattr {
+inline constexpr const char *PipelineII = "hls.pipeline";   // IntegerAttr II
+inline constexpr const char *Unroll = "hls.unroll";         // IntegerAttr
+inline constexpr const char *TripCount = "hls.tripcount";   // IntegerAttr
+inline constexpr const char *Dataflow = "hls.dataflow";     // UnitAttr
+/// Function attribute: ArrayAttr of [argIdx, dim, factor, "cyclic"|"block"]
+/// ArrayAttrs, one per partition directive.
+inline constexpr const char *ArrayPartition = "hls.array_partition";
+} // namespace hlsattr
+
+/// Typed view over func.func.
+struct FuncOp {
+  Operation *op = nullptr;
+
+  explicit operator bool() const { return op != nullptr; }
+  std::string name() const;
+  FunctionType *type() const;
+  Region *body() const { return op->region(0); }
+  Block *entryBlock() const { return body()->entry(); }
+  BlockArgument *arg(unsigned i) const { return entryBlock()->arg(i); }
+  unsigned numArgs() const { return entryBlock()->numArgs(); }
+
+  static FuncOp wrap(Operation *op);
+};
+
+/// Typed view over affine.for / scf.for.
+struct ForOp {
+  Operation *op = nullptr;
+
+  explicit operator bool() const { return op != nullptr; }
+  bool isAffine() const { return op->is(ops::AffineFor); }
+  Block *bodyBlock() const { return op->region(0)->entry(); }
+  BlockArgument *inductionVar() const { return bodyBlock()->arg(0); }
+  // Affine form: constant bounds as attributes.
+  int64_t lowerBound() const { return op->intAttrOr("lb", 0); }
+  int64_t upperBound() const { return op->intAttrOr("ub", 0); }
+  int64_t step() const { return op->intAttrOr("step", 1); }
+  int64_t tripCount() const {
+    int64_t span = upperBound() - lowerBound();
+    int64_t s = step();
+    return span <= 0 ? 0 : (span + s - 1) / s;
+  }
+
+  std::optional<int64_t> pipelineII() const {
+    if (const auto *a = dyn_cast<IntegerAttr>(op->attr(hlsattr::PipelineII)))
+      return a->value();
+    return std::nullopt;
+  }
+  std::optional<int64_t> unrollFactor() const {
+    if (const auto *a = dyn_cast<IntegerAttr>(op->attr(hlsattr::Unroll)))
+      return a->value();
+    return std::nullopt;
+  }
+
+  static ForOp wrap(Operation *op);
+};
+
+/// The module wrapper: single region, single block of func ops.
+struct ModuleOp {
+  Operation *op = nullptr;
+
+  explicit operator bool() const { return op != nullptr; }
+  Block *body() const { return op->region(0)->entry(); }
+  FuncOp lookupFunc(const std::string &name) const;
+  std::vector<FuncOp> funcs() const;
+
+  static ModuleOp wrap(Operation *op);
+};
+
+/// An owned module (top-level ops are not nested in a block).
+class OwnedModule {
+public:
+  OwnedModule(std::unique_ptr<Operation> op) : op_(std::move(op)) {}
+  ModuleOp get() const { return ModuleOp::wrap(op_.get()); }
+  Operation *rawOp() const { return op_.get(); }
+
+private:
+  std::unique_ptr<Operation> op_;
+};
+
+/// Comparison predicate names used by arith.cmpi/cmpf ("slt", "olt", ...).
+bool isValidCmpPredicate(const std::string &pred, bool isFloat);
+
+} // namespace mha::mir

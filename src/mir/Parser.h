@@ -1,0 +1,21 @@
+// Parser.h - parses the textual form produced by mir::printModule.
+#pragma once
+
+#include "mir/Ops.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+#include <optional>
+#include <string_view>
+
+namespace mha::mir {
+
+class MContext;
+
+/// Parses `text` into an owned module. Returns nullopt on error (details in
+/// `diags`). Accepts the custom func.func/builtin.module syntax plus the
+/// generic op form the printer emits.
+std::optional<OwnedModule> parseModule(std::string_view text, MContext &ctx,
+                                       DiagnosticEngine &diags);
+
+} // namespace mha::mir

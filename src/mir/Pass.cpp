@@ -1,0 +1,36 @@
+#include "mir/Pass.h"
+
+#include "mir/Ops.h"
+#include "mir/Verifier.h"
+#include "support/StringUtils.h"
+
+#include <chrono>
+
+namespace mha::mir {
+
+bool MPassManager::run(ModuleOp module, DiagnosticEngine &diags) {
+  records_.clear();
+  for (auto &pass : passes_) {
+    MPassRecord record;
+    record.passName = pass->name();
+    auto start = std::chrono::steady_clock::now();
+    record.changed = pass->run(module, record.stats, diags);
+    auto end = std::chrono::steady_clock::now();
+    record.millis =
+        std::chrono::duration<double, std::milli>(end - start).count();
+    records_.push_back(std::move(record));
+    if (diags.hadError()) {
+      diags.note(strfmt("MLIR pipeline aborted after pass '%s'",
+                        pass->name().c_str()));
+      return false;
+    }
+    if (verifyEach_ && !verifyModule(module, diags)) {
+      diags.note(strfmt("MLIR verification failed after pass '%s'",
+                        pass->name().c_str()));
+      return false;
+    }
+  }
+  return true;
+}
+
+} // namespace mha::mir

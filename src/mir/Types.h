@@ -1,0 +1,110 @@
+// Types.h - the MiniMLIR type system (multi-level IR side).
+//
+// Mirrors the MLIR types an HLS flow touches: index, iN, f32/f64, and
+// statically-shaped memrefs. Types are uniqued in the MContext.
+#pragma once
+
+#include "support/Casting.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mha::mir {
+
+class MContext;
+
+class Type {
+public:
+  enum class Kind {
+    Index,
+    Integer,
+    Float,  // f32
+    Double, // f64
+    MemRef,
+    Function,
+    None,
+  };
+
+  Kind kind() const { return kind_; }
+  MContext &context() const { return ctx_; }
+
+  bool isIndex() const { return kind_ == Kind::Index; }
+  bool isInteger() const { return kind_ == Kind::Integer; }
+  bool isIntOrIndex() const { return isInteger() || isIndex(); }
+  bool isFloat() const {
+    return kind_ == Kind::Float || kind_ == Kind::Double;
+  }
+  bool isMemRef() const { return kind_ == Kind::MemRef; }
+
+  std::string str() const;
+
+protected:
+  Type(MContext &ctx, Kind kind) : ctx_(ctx), kind_(kind) {}
+  ~Type() = default;
+
+private:
+  MContext &ctx_;
+  Kind kind_;
+};
+
+class IntegerType : public Type {
+public:
+  unsigned width() const { return width_; }
+  static bool classof(const Type *t) { return t->kind() == Kind::Integer; }
+
+private:
+  friend class MContext;
+  IntegerType(MContext &ctx, unsigned width)
+      : Type(ctx, Kind::Integer), width_(width) {}
+  unsigned width_;
+};
+
+/// Statically shaped, contiguous, row-major memref.
+class MemRefType : public Type {
+public:
+  const std::vector<int64_t> &shape() const { return shape_; }
+  Type *elementType() const { return element_; }
+  unsigned rank() const { return static_cast<unsigned>(shape_.size()); }
+  int64_t numElements() const {
+    int64_t n = 1;
+    for (int64_t d : shape_)
+      n *= d;
+    return n;
+  }
+  /// Row-major strides (innermost = 1).
+  std::vector<int64_t> strides() const {
+    std::vector<int64_t> s(shape_.size(), 1);
+    for (int i = static_cast<int>(shape_.size()) - 2; i >= 0; --i)
+      s[i] = s[i + 1] * shape_[i + 1];
+    return s;
+  }
+
+  static bool classof(const Type *t) { return t->kind() == Kind::MemRef; }
+
+private:
+  friend class MContext;
+  MemRefType(MContext &ctx, std::vector<int64_t> shape, Type *element)
+      : Type(ctx, Kind::MemRef), shape_(std::move(shape)), element_(element) {}
+  std::vector<int64_t> shape_;
+  Type *element_;
+};
+
+class FunctionType : public Type {
+public:
+  const std::vector<Type *> &inputs() const { return inputs_; }
+  const std::vector<Type *> &results() const { return results_; }
+
+  static bool classof(const Type *t) { return t->kind() == Kind::Function; }
+
+private:
+  friend class MContext;
+  FunctionType(MContext &ctx, std::vector<Type *> inputs,
+               std::vector<Type *> results)
+      : Type(ctx, Kind::Function), inputs_(std::move(inputs)),
+        results_(std::move(results)) {}
+  std::vector<Type *> inputs_;
+  std::vector<Type *> results_;
+};
+
+} // namespace mha::mir

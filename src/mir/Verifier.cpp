@@ -1,0 +1,209 @@
+#include "mir/Verifier.h"
+
+#include "mir/Ops.h"
+#include "mir/Printer.h"
+#include "support/StringUtils.h"
+
+#include <set>
+
+namespace mha::mir {
+
+namespace {
+
+class ModuleVerifier {
+public:
+  explicit ModuleVerifier(DiagnosticEngine &diags) : diags_(diags) {}
+
+  bool run(ModuleOp module) {
+    for (Operation *op : module.body()->opPtrs()) {
+      if (!op->is(ops::Func)) {
+        error(op, "module body may only contain func.func ops");
+        continue;
+      }
+      verifyFunc(op);
+    }
+    return !diags_.hadError();
+  }
+
+private:
+  void error(Operation *op, const std::string &msg) {
+    diags_.error(strfmt("%s: in op '%s'", msg.c_str(), op->name().c_str()));
+  }
+
+  void verifyFunc(Operation *fnOp) {
+    if (!dyn_cast<StringAttr>(fnOp->attr("sym_name")) ||
+        !dyn_cast<TypeAttr>(fnOp->attr("function_type"))) {
+      error(fnOp, "func.func requires sym_name and function_type attrs");
+      return;
+    }
+    FuncOp fn = FuncOp::wrap(fnOp);
+    FunctionType *type = fn.type();
+    if (fn.numArgs() != type->inputs().size()) {
+      error(fnOp, "entry block argument count does not match signature");
+      return;
+    }
+    for (unsigned i = 0; i < fn.numArgs(); ++i)
+      if (fn.arg(i)->type() != type->inputs()[i])
+        error(fnOp, strfmt("entry block argument %u type mismatch", i));
+
+    if (fn.entryBlock()->empty() ||
+        !fn.entryBlock()->back()->is(ops::Return)) {
+      error(fnOp, "function body must end with func.return");
+      return;
+    }
+    verifyBlock(fn.entryBlock());
+  }
+
+  void verifyBlock(Block *block) {
+    std::set<Value *> defined;
+    for (unsigned i = 0; i < block->numArgs(); ++i)
+      defined.insert(block->arg(i));
+    // Values from enclosing scopes.
+    for (Operation *enclosing = block->parentOp(); enclosing;
+         enclosing = enclosing->parentOp()) {
+      Block *outer = enclosing->parentBlock();
+      if (!outer)
+        break;
+      for (unsigned i = 0; i < outer->numArgs(); ++i)
+        defined.insert(outer->arg(i));
+      for (Operation *sibling : outer->opPtrs()) {
+        if (sibling == enclosing)
+          break;
+        for (unsigned i = 0; i < sibling->numResults(); ++i)
+          defined.insert(sibling->result(i));
+      }
+    }
+
+    for (Operation *op : block->opPtrs()) {
+      for (unsigned i = 0; i < op->numOperands(); ++i) {
+        Value *v = op->operand(i);
+        if (!v) {
+          error(op, strfmt("operand %u is null", i));
+          continue;
+        }
+        if (!defined.count(v))
+          error(op, strfmt("operand %u used before definition", i));
+      }
+      verifyOp(op);
+      for (unsigned i = 0; i < op->numResults(); ++i)
+        defined.insert(op->result(i));
+      for (unsigned r = 0; r < op->numRegions(); ++r)
+        for (auto &nested : *op->region(r))
+          verifyBlock(nested.get());
+    }
+  }
+
+  void verifyOp(Operation *op) {
+    const std::string &name = op->name();
+    auto expectOperands = [&](unsigned n) {
+      if (op->numOperands() != n)
+        error(op, strfmt("expected %u operands, got %u", n,
+                         op->numOperands()));
+    };
+
+    if (name == ops::ConstantOp) {
+      expectOperands(0);
+      if (!op->attr("value"))
+        error(op, "arith.constant requires a value attr");
+      if (op->numResults() != 1)
+        error(op, "arith.constant yields one result");
+    } else if (name == ops::AddI || name == ops::SubI || name == ops::MulI ||
+               name == ops::DivSI || name == ops::RemSI) {
+      expectOperands(2);
+      if (op->numOperands() == 2) {
+        if (op->operand(0)->type() != op->operand(1)->type())
+          error(op, "operand type mismatch");
+        if (!op->operand(0)->type()->isIntOrIndex())
+          error(op, "integer arith op on non-integer type");
+      }
+    } else if (name == ops::AddF || name == ops::SubF || name == ops::MulF ||
+               name == ops::DivF) {
+      expectOperands(2);
+      if (op->numOperands() == 2 && !op->operand(0)->type()->isFloat())
+        error(op, "float arith op on non-float type");
+    } else if (name == ops::CmpI || name == ops::CmpF) {
+      expectOperands(2);
+      const auto *pred = dyn_cast<StringAttr>(op->attr("predicate"));
+      if (!pred ||
+          !isValidCmpPredicate(pred->value(), name == ops::CmpF))
+        error(op, "bad or missing comparison predicate");
+    } else if (name == ops::MemRefLoad || name == ops::MemRefStore) {
+      unsigned memrefIdx = name == ops::MemRefStore ? 1 : 0;
+      if (op->numOperands() <= memrefIdx) {
+        error(op, "missing memref operand");
+        return;
+      }
+      auto *mt = dyn_cast<MemRefType>(op->operand(memrefIdx)->type());
+      if (!mt) {
+        error(op, "expected memref operand");
+        return;
+      }
+      unsigned indexCount = op->numOperands() - memrefIdx - 1;
+      if (indexCount != mt->rank())
+        error(op, "index count does not match memref rank");
+      for (unsigned i = memrefIdx + 1; i < op->numOperands(); ++i)
+        if (!op->operand(i)->type()->isIndex())
+          error(op, "memref indices must be of index type");
+    } else if (name == ops::AffineLoad || name == ops::AffineStore) {
+      unsigned memrefIdx = name == ops::AffineStore ? 1 : 0;
+      auto *mt = op->numOperands() > memrefIdx
+                     ? dyn_cast<MemRefType>(op->operand(memrefIdx)->type())
+                     : nullptr;
+      const auto *mapAttr = dyn_cast<AffineMapAttr>(op->attr("map"));
+      if (!mt || !mapAttr) {
+        error(op, "affine access requires memref operand and map attr");
+        return;
+      }
+      const AffineMap &map = mapAttr->value();
+      if (map.numResults() != mt->rank())
+        error(op, "map result count does not match memref rank");
+      if (map.numDims() != op->numOperands() - memrefIdx - 1)
+        error(op, "map dim count does not match operand count");
+    } else if (name == ops::AffineApply) {
+      const auto *mapAttr = dyn_cast<AffineMapAttr>(op->attr("map"));
+      if (!mapAttr || mapAttr->value().numResults() != 1)
+        error(op, "affine.apply requires a single-result map");
+      else if (mapAttr->value().numDims() != op->numOperands())
+        error(op, "affine.apply operand count mismatch");
+    } else if (name == ops::AffineFor) {
+      expectOperands(0);
+      if (!dyn_cast<IntegerAttr>(op->attr("lb")) ||
+          !dyn_cast<IntegerAttr>(op->attr("ub")) ||
+          !dyn_cast<IntegerAttr>(op->attr("step")))
+        error(op, "affine.for requires integer lb/ub/step attrs");
+      if (op->intAttrOr("step", 1) <= 0)
+        error(op, "affine.for step must be positive");
+      verifyLoopRegion(op, ops::AffineYield);
+    } else if (name == ops::ScfFor) {
+      expectOperands(3);
+      for (unsigned i = 0; i < op->numOperands() && i < 3; ++i)
+        if (!op->operand(i)->type()->isIndex())
+          error(op, "scf.for bounds must be index-typed");
+      verifyLoopRegion(op, ops::ScfYield);
+    }
+  }
+
+  void verifyLoopRegion(Operation *op, const char *yieldName) {
+    if (op->numRegions() != 1 || op->region(0)->empty()) {
+      error(op, "loop requires one non-empty region");
+      return;
+    }
+    Block *body = op->region(0)->entry();
+    if (body->numArgs() != 1 || !body->arg(0)->type()->isIndex()) {
+      error(op, "loop body must have a single index argument");
+      return;
+    }
+    if (body->empty() || !body->back()->is(yieldName))
+      error(op, strfmt("loop body must end with %s", yieldName));
+  }
+
+  DiagnosticEngine &diags_;
+};
+
+} // namespace
+
+bool verifyModule(ModuleOp module, DiagnosticEngine &diags) {
+  return ModuleVerifier(diags).run(module);
+}
+
+} // namespace mha::mir

@@ -1,0 +1,15 @@
+// Verifier.h - structural checks for MiniMLIR modules.
+#pragma once
+
+#include "support/Diagnostics.h"
+
+namespace mha::mir {
+
+struct ModuleOp;
+
+/// Verifies dialect-op invariants (operand/result arity and typing,
+/// required attributes, region shapes, terminators) and SSA scoping.
+/// Returns true when no errors were reported.
+bool verifyModule(ModuleOp module, DiagnosticEngine &diags);
+
+} // namespace mha::mir

@@ -1,0 +1,185 @@
+#include "mir/transforms/MirTransforms.h"
+
+namespace mha::mir {
+
+bool unrollAffineLoop(ForOp loop, int64_t factor) {
+  if (factor <= 1)
+    return true;
+  if (!loop.isAffine())
+    return false;
+  int64_t trip = loop.tripCount();
+  if (trip <= 0 || trip % factor != 0)
+    return false;
+
+  MContext &ctx = loop.inductionVar()->type()->context();
+  Block *body = loop.bodyBlock();
+  Operation *yield = body->back();
+  BlockArgument *iv = loop.inductionVar();
+  int64_t step = loop.step();
+
+  // Snapshot the original body ops (excluding the terminator).
+  std::vector<Operation *> original;
+  for (Operation *op : body->opPtrs())
+    if (op != yield)
+      original.push_back(op);
+
+  OpBuilder builder(ctx);
+  for (int64_t k = 1; k < factor; ++k) {
+    builder.setInsertPoint(body, body->positionOf(yield));
+    Value *offset = builder.constantIndex(k * step);
+    Value *ivK = builder.binary(ops::AddI, iv, offset);
+    std::map<Value *, Value *> remap;
+    remap[iv] = ivK;
+    for (Operation *op : original) {
+      builder.setInsertPoint(body, body->positionOf(yield));
+      std::unique_ptr<Operation> copy = op->clone(remap);
+      body->insert(body->positionOf(yield), std::move(copy));
+    }
+  }
+  loop.op->setAttr("step", ctx.intAttr(step * factor));
+  return true;
+}
+
+bool interchangeAffineLoops(ForOp outer) {
+  if (!outer.isAffine())
+    return false;
+  // Perfect nest check: outer body == { inner-for, yield }.
+  Block *outerBody = outer.bodyBlock();
+  if (outerBody->size() != 2)
+    return false;
+  Operation *innerOp = outerBody->front();
+  if (!innerOp->is(ops::AffineFor))
+    return false;
+  ForOp inner = ForOp::wrap(innerOp);
+  // Bounds must be independent (always true: constant bounds).
+  // Swap the bound/step/directive attributes, keep bodies in place.
+  auto swapAttr = [&](const char *key) {
+    const Attribute *a = outer.op->attr(key);
+    const Attribute *b = inner.op->attr(key);
+    if (a)
+      inner.op->setAttr(key, a);
+    else
+      inner.op->removeAttr(key);
+    if (b)
+      outer.op->setAttr(key, b);
+    else
+      outer.op->removeAttr(key);
+  };
+  swapAttr("lb");
+  swapAttr("ub");
+  swapAttr("step");
+  // Swap induction-variable *uses*: the cleanest structural way is to swap
+  // the uses of the two block arguments.
+  BlockArgument *ivOuter = outer.inductionVar();
+  BlockArgument *ivInner = inner.inductionVar();
+  std::vector<OpOperand *> outerUses = ivOuter->uses();
+  std::vector<OpOperand *> innerUses = ivInner->uses();
+  for (OpOperand *use : outerUses)
+    use->set(ivInner);
+  for (OpOperand *use : innerUses)
+    use->set(ivOuter);
+  return true;
+}
+
+bool tileAffineLoop(ForOp loop, int64_t tileSize) {
+  if (!loop.isAffine() || tileSize <= 1)
+    return false;
+  int64_t trip = loop.tripCount();
+  if (trip <= 0 || trip % tileSize != 0 || loop.step() != 1)
+    return false;
+
+  MContext &ctx = loop.inductionVar()->type()->context();
+  // loop i in [lb, ub) step 1  ==>
+  //   loop it in [lb, ub) step T { loop ii in [0, T) { i = it + ii; ... } }
+  OpBuilder builder(ctx);
+  builder.setInsertPointBefore(loop.op);
+  ForOp tileLoop = builder.affineFor(loop.lowerBound(), loop.upperBound(),
+                                     tileSize);
+  builder.setInsertPointToLoopBody(tileLoop);
+  ForOp pointLoop = builder.affineFor(0, tileSize, 1);
+  builder.setInsertPointToLoopBody(pointLoop);
+  Value *ivSum = builder.binary(ops::AddI, tileLoop.inductionVar(),
+                                pointLoop.inductionVar());
+
+  // Move the original body into the point loop.
+  Block *oldBody = loop.bodyBlock();
+  Block *newBody = pointLoop.bodyBlock();
+  oldBody->arg(0)->replaceAllUsesWith(ivSum);
+  auto insertPos = newBody->positionOf(newBody->back());
+  for (Operation *child : oldBody->opPtrs()) {
+    if (child->is(ops::AffineYield)) {
+      child->eraseFromParent();
+      continue;
+    }
+    newBody->insert(insertPos, child->removeFromParent());
+  }
+  // Carry directives to the point loop.
+  for (const auto &[key, value] : loop.op->attrs())
+    if (key != "lb" && key != "ub" && key != "step")
+      pointLoop.op->setAttr(key, value);
+  loop.op->eraseFromParent();
+  return true;
+}
+
+void setPipelineDirective(ForOp loop, int64_t ii) {
+  MContext &ctx = loop.inductionVar()->type()->context();
+  loop.op->setAttr(hlsattr::PipelineII, ctx.intAttr(ii));
+}
+
+void setUnrollDirective(ForOp loop, int64_t factor) {
+  MContext &ctx = loop.inductionVar()->type()->context();
+  loop.op->setAttr(hlsattr::Unroll, ctx.intAttr(factor));
+}
+
+void addArrayPartitionDirective(FuncOp fn, unsigned argIdx, unsigned dim,
+                                int64_t factor, const std::string &kind) {
+  MContext &ctx = fn.type()->context();
+  std::vector<const Attribute *> entry = {
+      ctx.intAttr(argIdx), ctx.intAttr(dim), ctx.intAttr(factor),
+      ctx.stringAttr(kind)};
+  std::vector<const Attribute *> all;
+  if (const auto *existing =
+          dyn_cast<ArrayAttr>(fn.op->attr(hlsattr::ArrayPartition)))
+    all = existing->value();
+  all.push_back(ctx.arrayAttr(entry));
+  fn.op->setAttr(hlsattr::ArrayPartition, ctx.arrayAttr(all));
+}
+
+namespace {
+
+/// MLIR-level unroll pass: consumes `mha.unroll_now` attributes.
+class AffineUnrollPass : public MPass {
+public:
+  std::string name() const override { return "affine-unroll"; }
+
+  bool run(ModuleOp module, MPassStats &stats, DiagnosticEngine &) override {
+    std::vector<Operation *> worklist;
+    module.op->walk([&](Operation *op) {
+      if (op->is(ops::AffineFor) && op->attr("mha.unroll_now"))
+        worklist.push_back(op);
+    });
+    bool changed = false;
+    for (Operation *op : worklist) {
+      ForOp loop = ForOp::wrap(op);
+      int64_t factor = op->intAttrOr("mha.unroll_now", 1);
+      // Clamp to a dividing factor like the backend does.
+      int64_t trip = loop.tripCount();
+      while (factor > 1 && trip % factor != 0)
+        --factor;
+      if (unrollAffineLoop(loop, factor)) {
+        stats["affine-unroll.unrolled"]++;
+        changed = true;
+      }
+      op->removeAttr("mha.unroll_now");
+    }
+    return changed;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<MPass> createAffineUnrollPass() {
+  return std::make_unique<AffineUnrollPass>();
+}
+
+} // namespace mha::mir

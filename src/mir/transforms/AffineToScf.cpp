@@ -1,0 +1,162 @@
+#include "mir/transforms/MirTransforms.h"
+
+#include "support/Compiler.h"
+
+namespace mha::mir {
+
+Value *expandAffineExpr(OpBuilder &builder, const AffineExpr *expr,
+                        const std::vector<Value *> &dims) {
+  switch (expr->kind()) {
+  case AffineExpr::Kind::Constant:
+    return builder.constantIndex(expr->value());
+  case AffineExpr::Kind::Dim:
+    return dims.at(static_cast<size_t>(expr->value()));
+  case AffineExpr::Kind::Symbol:
+    unreachable("symbols are not used by the kernel generators");
+  case AffineExpr::Kind::Add:
+    return builder.binary(ops::AddI,
+                          expandAffineExpr(builder, expr->lhs(), dims),
+                          expandAffineExpr(builder, expr->rhs(), dims));
+  case AffineExpr::Kind::Mul:
+    return builder.binary(ops::MulI,
+                          expandAffineExpr(builder, expr->lhs(), dims),
+                          expandAffineExpr(builder, expr->rhs(), dims));
+  case AffineExpr::Kind::Mod:
+    // Loop IVs are non-negative here, so remsi == euclidean mod.
+    return builder.binary(ops::RemSI,
+                          expandAffineExpr(builder, expr->lhs(), dims),
+                          expandAffineExpr(builder, expr->rhs(), dims));
+  case AffineExpr::Kind::FloorDiv:
+    return builder.binary(ops::DivSI,
+                          expandAffineExpr(builder, expr->lhs(), dims),
+                          expandAffineExpr(builder, expr->rhs(), dims));
+  case AffineExpr::Kind::CeilDiv: {
+    // (a + b - 1) / b for non-negative a.
+    Value *a = expandAffineExpr(builder, expr->lhs(), dims);
+    Value *b = expandAffineExpr(builder, expr->rhs(), dims);
+    Value *bm1 = builder.binary(ops::SubI, b, builder.constantIndex(1));
+    Value *sum = builder.binary(ops::AddI, a, bm1);
+    return builder.binary(ops::DivSI, sum, b);
+  }
+  }
+  unreachable("bad affine expr kind");
+}
+
+namespace {
+
+class AffineToScf : public MPass {
+public:
+  std::string name() const override { return "affine-to-scf"; }
+
+  bool run(ModuleOp module, MPassStats &stats, DiagnosticEngine &) override {
+    ctx_ = nullptr;
+    bool changed = false;
+    for (FuncOp fn : module.funcs()) {
+      ctx_ = &fn.type()->context();
+      changed |= convertBlock(fn.entryBlock(), stats);
+    }
+    return changed;
+  }
+
+private:
+  bool convertBlock(Block *block, MPassStats &stats) {
+    bool changed = false;
+    for (Operation *op : block->opPtrs()) {
+      if (op->is(ops::AffineFor)) {
+        // Convert nested structure first.
+        changed |= convertBlock(op->region(0)->entry(), stats);
+        convertFor(op, stats);
+        changed = true;
+      } else if (op->is(ops::AffineLoad) || op->is(ops::AffineStore)) {
+        convertAccess(op, stats);
+        changed = true;
+      } else if (op->is(ops::AffineApply)) {
+        convertApply(op, stats);
+        changed = true;
+      } else {
+        for (unsigned r = 0; r < op->numRegions(); ++r)
+          for (auto &nested : *op->region(r))
+            changed |= convertBlock(nested.get(), stats);
+      }
+    }
+    return changed;
+  }
+
+  void convertFor(Operation *op, MPassStats &stats) {
+    ForOp loop = ForOp::wrap(op);
+    OpBuilder builder(*ctx_);
+    builder.setInsertPointBefore(op);
+    Value *lb = builder.constantIndex(loop.lowerBound());
+    Value *ub = builder.constantIndex(loop.upperBound());
+    Value *step = builder.constantIndex(loop.step());
+    ForOp scfLoop = builder.scfFor(lb, ub, step);
+    // Carry the HLS directive attrs and a tripcount hint.
+    for (const auto &[key, value] : op->attrs())
+      if (key != "lb" && key != "ub" && key != "step")
+        scfLoop.op->setAttr(key, value);
+    scfLoop.op->setAttr(hlsattr::TripCount,
+                        ctx_->intAttr(loop.tripCount()));
+
+    // Move body ops (except the terminator) into the scf body.
+    Block *oldBody = loop.bodyBlock();
+    Block *newBody = scfLoop.bodyBlock();
+    oldBody->arg(0)->replaceAllUsesWith(newBody->arg(0));
+    auto insertPos = newBody->positionOf(newBody->back());
+    for (Operation *child : oldBody->opPtrs()) {
+      if (child->is(ops::AffineYield)) {
+        child->eraseFromParent();
+        continue;
+      }
+      newBody->insert(insertPos, child->removeFromParent());
+    }
+    op->eraseFromParent();
+    stats["affine-to-scf.loops"]++;
+  }
+
+  void convertAccess(Operation *op, MPassStats &stats) {
+    bool isStore = op->is(ops::AffineStore);
+    unsigned memrefIdx = isStore ? 1 : 0;
+    Value *memref = op->operand(memrefIdx);
+    const AffineMap &map = cast<AffineMapAttr>(op->attr("map"))->value();
+
+    std::vector<Value *> dims;
+    for (unsigned i = memrefIdx + 1; i < op->numOperands(); ++i)
+      dims.push_back(op->operand(i));
+
+    OpBuilder builder(*ctx_);
+    builder.setInsertPointBefore(op);
+    std::vector<Value *> indices;
+    for (const AffineExpr *expr : map.results())
+      indices.push_back(expandAffineExpr(builder, expr, dims));
+
+    if (isStore) {
+      builder.memrefStore(op->operand(0), memref, indices);
+    } else {
+      Value *loaded = builder.memrefLoad(memref, indices);
+      op->result()->replaceAllUsesWith(loaded);
+    }
+    op->eraseFromParent();
+    stats["affine-to-scf.accesses"]++;
+  }
+
+  void convertApply(Operation *op, MPassStats &stats) {
+    const AffineMap &map = cast<AffineMapAttr>(op->attr("map"))->value();
+    OpBuilder builder(*ctx_);
+    builder.setInsertPointBefore(op);
+    Value *expanded =
+        expandAffineExpr(builder, map.results()[0], op->operandValues());
+    op->result()->replaceAllUsesWith(expanded);
+    op->eraseFromParent();
+    stats["affine-to-scf.applies"]++;
+  }
+
+  MContext *ctx_ = nullptr;
+};
+
+} // namespace
+
+std::unique_ptr<MPass> createAffineToScfPass() {
+  return std::make_unique<AffineToScf>();
+}
+
+} // namespace mha::mir

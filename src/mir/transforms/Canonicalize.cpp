@@ -1,0 +1,206 @@
+#include "mir/transforms/MirTransforms.h"
+
+#include "support/Compiler.h"
+
+#include <optional>
+
+namespace mha::mir {
+
+namespace {
+
+std::optional<int64_t> constIntValue(Value *v) {
+  Operation *def = v->definingOp();
+  if (!def || !def->is(ops::ConstantOp))
+    return std::nullopt;
+  if (const auto *a = dyn_cast<IntegerAttr>(def->attr("value")))
+    return a->value();
+  return std::nullopt;
+}
+
+std::optional<double> constFloatValue(Value *v) {
+  Operation *def = v->definingOp();
+  if (!def || !def->is(ops::ConstantOp))
+    return std::nullopt;
+  if (const auto *a = dyn_cast<FloatAttr>(def->attr("value")))
+    return a->value();
+  return std::nullopt;
+}
+
+bool isPure(Operation *op) {
+  const std::string &n = op->name();
+  return n != ops::MemRefStore && n != ops::MemRefCopy && n != ops::Return &&
+         n != ops::AffineStore && n != ops::AffineYield &&
+         n != ops::ScfYield && n != ops::Call && n != ops::AffineFor &&
+         n != ops::ScfFor && n != ops::Func && n != ops::Module;
+}
+
+class Canonicalize : public MPass {
+public:
+  std::string name() const override { return "mir-canonicalize"; }
+
+  bool run(ModuleOp module, MPassStats &stats, DiagnosticEngine &) override {
+    bool changed = false;
+    bool local = true;
+    while (local) {
+      local = false;
+      // Constant folding.
+      module.op->walk([&](Operation *op) {
+        if (foldOp(op)) {
+          stats["canonicalize.folded"]++;
+          local = true;
+        }
+      });
+      // Dead pure-op elimination (walk collects first: erasing while
+      // walking the same region is unsafe).
+      std::vector<Operation *> dead;
+      module.op->walk([&](Operation *op) {
+        if (isPure(op) && op->numResults() > 0) {
+          bool anyUse = false;
+          for (unsigned i = 0; i < op->numResults(); ++i)
+            anyUse |= op->result(i)->hasUses();
+          if (!anyUse)
+            dead.push_back(op);
+        }
+      });
+      for (Operation *op : dead) {
+        op->eraseFromParent();
+        stats["canonicalize.dce"]++;
+        local = true;
+      }
+      changed |= local;
+    }
+    return changed;
+  }
+
+private:
+  /// Replaces `op`'s result with a constant if all operands are constant.
+  bool foldOp(Operation *op) {
+    const std::string &n = op->name();
+    if (op->numResults() != 1 || !op->result()->hasUses())
+      return false;
+    OpBuilder builder(op->result()->type()->context());
+    builder.setInsertPointBefore(op);
+
+    auto replaceWithIndexConst = [&](int64_t v) {
+      Value *c = op->result()->type()->isIndex()
+                     ? builder.constantIndex(v)
+                     : builder.constantInt(v, op->result()->type());
+      op->result()->replaceAllUsesWith(c);
+      return true;
+    };
+
+    if (n == ops::AddI || n == ops::SubI || n == ops::MulI ||
+        n == ops::DivSI || n == ops::RemSI) {
+      auto a = constIntValue(op->operand(0));
+      auto b = constIntValue(op->operand(1));
+      if (!a || !b)
+        return foldIdentity(op);
+      int64_t r = 0;
+      if (n == ops::AddI)
+        r = *a + *b;
+      else if (n == ops::SubI)
+        r = *a - *b;
+      else if (n == ops::MulI)
+        r = *a * *b;
+      else if (n == ops::DivSI)
+        r = *b == 0 ? 0 : *a / *b;
+      else
+        r = *b == 0 ? 0 : *a % *b;
+      return replaceWithIndexConst(r);
+    }
+    if (n == ops::AddF || n == ops::SubF || n == ops::MulF || n == ops::DivF) {
+      auto a = constFloatValue(op->operand(0));
+      auto b = constFloatValue(op->operand(1));
+      if (!a || !b)
+        return false;
+      double r = n == ops::AddF   ? *a + *b
+                 : n == ops::SubF ? *a - *b
+                 : n == ops::MulF ? *a * *b
+                                  : *a / *b;
+      Value *c = builder.constantFloat(r, op->result()->type());
+      op->result()->replaceAllUsesWith(c);
+      return true;
+    }
+    if (n == ops::AffineApply) {
+      std::vector<int64_t> dims;
+      for (unsigned i = 0; i < op->numOperands(); ++i) {
+        auto v = constIntValue(op->operand(i));
+        if (!v)
+          return false;
+        dims.push_back(*v);
+      }
+      const auto &map = cast<AffineMapAttr>(op->attr("map"))->value();
+      return replaceWithIndexConst(map.evaluate(dims)[0]);
+    }
+    if (n == ops::IndexCast) {
+      if (auto v = constIntValue(op->operand(0)))
+        return replaceWithIndexConst(*v);
+      return false;
+    }
+    if (n == ops::CmpI) {
+      auto a = constIntValue(op->operand(0));
+      auto b = constIntValue(op->operand(1));
+      if (!a || !b)
+        return false;
+      const std::string &p = cast<StringAttr>(op->attr("predicate"))->value();
+      bool r;
+      if (p == "eq") r = *a == *b;
+      else if (p == "ne") r = *a != *b;
+      else if (p == "slt") r = *a < *b;
+      else if (p == "sle") r = *a <= *b;
+      else if (p == "sgt") r = *a > *b;
+      else if (p == "sge") r = *a >= *b;
+      else if (p == "ult") r = static_cast<uint64_t>(*a) < static_cast<uint64_t>(*b);
+      else if (p == "ule") r = static_cast<uint64_t>(*a) <= static_cast<uint64_t>(*b);
+      else if (p == "ugt") r = static_cast<uint64_t>(*a) > static_cast<uint64_t>(*b);
+      else if (p == "uge") r = static_cast<uint64_t>(*a) >= static_cast<uint64_t>(*b);
+      else return false;
+      Value *c = builder.constantInt(r ? 1 : 0,
+                                     op->result()->type());
+      op->result()->replaceAllUsesWith(c);
+      return true;
+    }
+    return false;
+  }
+
+  /// x+0, x*1, x*0, x-0 identities.
+  bool foldIdentity(Operation *op) {
+    const std::string &n = op->name();
+    auto a = constIntValue(op->operand(0));
+    auto b = constIntValue(op->operand(1));
+    Value *repl = nullptr;
+    if (n == ops::AddI) {
+      if (b && *b == 0)
+        repl = op->operand(0);
+      else if (a && *a == 0)
+        repl = op->operand(1);
+    } else if (n == ops::SubI) {
+      if (b && *b == 0)
+        repl = op->operand(0);
+    } else if (n == ops::MulI) {
+      if (b && *b == 1)
+        repl = op->operand(0);
+      else if (a && *a == 1)
+        repl = op->operand(1);
+      else if ((a && *a == 0) || (b && *b == 0)) {
+        OpBuilder builder(op->result()->type()->context());
+        builder.setInsertPointBefore(op);
+        repl = op->result()->type()->isIndex()
+                   ? builder.constantIndex(0)
+                   : builder.constantInt(0, op->result()->type());
+      }
+    }
+    if (!repl)
+      return false;
+    op->result()->replaceAllUsesWith(repl);
+    return true;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<MPass> createCanonicalizePass() {
+  return std::make_unique<Canonicalize>();
+}
+
+} // namespace mha::mir

@@ -1,0 +1,58 @@
+// MirTransforms.h - MLIR-level passes and loop utilities.
+//
+// These are the cross-layer optimization knobs the paper's flow applies
+// *before* lowering: directive annotation (ScaleHLS-style), affine loop
+// unrolling/tiling/interchange, canonicalization, and the affine->scf
+// conversion that precedes LLVM lowering.
+#pragma once
+
+#include "mir/Builder.h"
+#include "mir/Pass.h"
+
+#include <memory>
+
+namespace mha::mir {
+
+// --- Passes ---
+
+/// Folds constant arithmetic, affine.apply with constant operands, and
+/// removes dead pure ops.
+std::unique_ptr<MPass> createCanonicalizePass();
+
+/// Converts affine.for/load/store/apply to scf.for + arith + memref
+/// (expands affine maps into explicit index arithmetic). HLS directive
+/// attributes are carried over onto the scf loops.
+std::unique_ptr<MPass> createAffineToScfPass();
+
+/// Unrolls every affine.for carrying an `mha.unroll_now` attribute at the
+/// MLIR level (the cross-layer alternative to backend unrolling).
+std::unique_ptr<MPass> createAffineUnrollPass();
+
+// --- Loop utilities ---
+
+/// Replicates the loop body `factor` times (factor must divide the trip
+/// count; use ForOp::tripCount to clamp). Returns false when the loop
+/// shape is unsupported.
+bool unrollAffineLoop(ForOp loop, int64_t factor);
+
+/// Interchanges a perfectly nested pair (outer's body contains only the
+/// inner loop + yield). Returns false otherwise.
+bool interchangeAffineLoops(ForOp outer);
+
+/// Tiles a loop by `tileSize` (must divide the trip count): produces an
+/// outer loop with step = tileSize and rewrites the inner iv.
+bool tileAffineLoop(ForOp loop, int64_t tileSize);
+
+// --- Directive helpers (ScaleHLS-style design knobs) ---
+
+void setPipelineDirective(ForOp loop, int64_t ii);
+void setUnrollDirective(ForOp loop, int64_t factor);
+void addArrayPartitionDirective(FuncOp fn, unsigned argIdx, unsigned dim,
+                                int64_t factor, const std::string &kind);
+
+/// Expands an affine expression into arith ops at the builder's insertion
+/// point. `dims` supplies the d_i values (index-typed).
+Value *expandAffineExpr(OpBuilder &builder, const AffineExpr *expr,
+                        const std::vector<Value *> &dims);
+
+} // namespace mha::mir

@@ -1,0 +1,44 @@
+// Casting.h - LLVM-style isa/cast/dyn_cast built on a `classof` protocol.
+//
+// A class hierarchy participates by giving each concrete class a static
+// `bool classof(const Base*)` predicate (usually testing a kind enum stored
+// in the base). The helpers below then provide checked downcasts without
+// RTTI, which keeps the IR object model cheap and branch-predictable.
+#pragma once
+
+#include <cassert>
+#include <type_traits>
+
+namespace mha {
+
+template <typename To, typename From>
+bool isa(const From *val) {
+  assert(val && "isa on null pointer");
+  return To::classof(val);
+}
+
+template <typename To, typename From>
+To *cast(From *val) {
+  assert(val && "cast on null pointer");
+  assert(To::classof(val) && "cast to incompatible type");
+  return static_cast<To *>(val);
+}
+
+template <typename To, typename From>
+const To *cast(const From *val) {
+  assert(val && "cast on null pointer");
+  assert(To::classof(val) && "cast to incompatible type");
+  return static_cast<const To *>(val);
+}
+
+template <typename To, typename From>
+To *dyn_cast(From *val) {
+  return (val && To::classof(val)) ? static_cast<To *>(val) : nullptr;
+}
+
+template <typename To, typename From>
+const To *dyn_cast(const From *val) {
+  return (val && To::classof(val)) ? static_cast<const To *>(val) : nullptr;
+}
+
+} // namespace mha

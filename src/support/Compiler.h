@@ -1,0 +1,22 @@
+// Compiler.h - small compiler/portability helpers shared by all modules.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <utility>
+
+namespace mha {
+
+/// Marks unreachable code paths. Aborts in debug builds and tells the
+/// optimizer the path is dead in release builds.
+[[noreturn]] inline void unreachable(const char *msg = "unreachable") {
+  (void)msg;
+  assert(false && "unreachable executed");
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_unreachable();
+#else
+  std::abort();
+#endif
+}
+
+} // namespace mha

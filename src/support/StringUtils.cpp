@@ -1,0 +1,89 @@
+#include "support/StringUtils.h"
+
+#include <cctype>
+#include <cstring>
+
+namespace mha {
+
+std::string strfmt(const char *fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list argsCopy;
+  va_copy(argsCopy, args);
+  int len = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (len > 0) {
+    out.resize(static_cast<size_t>(len));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, argsCopy);
+  }
+  va_end(argsCopy);
+  return out;
+}
+
+std::vector<std::string> splitString(std::string_view text, char sep,
+                                     bool keepEmpty) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos)
+      pos = text.size();
+    std::string_view piece = text.substr(start, pos - start);
+    if (keepEmpty || !piece.empty())
+      out.emplace_back(piece);
+    if (pos == text.size())
+      break;
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view text) {
+  size_t b = 0, e = text.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(text[b])))
+    ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(text[e - 1])))
+    --e;
+  return text.substr(b, e - b);
+}
+
+bool startsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool endsWith(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::string joinStrings(const std::vector<std::string> &parts,
+                        std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i)
+      out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+bool isValidIdentifier(std::string_view name) {
+  if (name.empty())
+    return false;
+  auto isHead = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+  };
+  auto isBody = [&](char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.';
+  };
+  if (!isHead(name[0]))
+    return false;
+  for (char c : name.substr(1))
+    if (!isBody(c))
+      return false;
+  return true;
+}
+
+} // namespace mha

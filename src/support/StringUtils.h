@@ -1,0 +1,32 @@
+// StringUtils.h - string helpers used by printers, parsers and reports.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mha {
+
+/// printf-style formatting into a std::string.
+std::string strfmt(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Splits `text` on `sep`, optionally keeping empty fields.
+std::vector<std::string> splitString(std::string_view text, char sep,
+                                     bool keepEmpty = false);
+
+/// Removes leading/trailing whitespace.
+std::string_view trim(std::string_view text);
+
+bool startsWith(std::string_view text, std::string_view prefix);
+bool endsWith(std::string_view text, std::string_view suffix);
+
+/// Joins `parts` with `sep` between elements.
+std::string joinStrings(const std::vector<std::string> &parts,
+                        std::string_view sep);
+
+/// True if `name` is a valid identifier ([A-Za-z_][A-Za-z0-9_.]*).
+bool isValidIdentifier(std::string_view name);
+
+} // namespace mha

@@ -1,0 +1,69 @@
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+
+namespace mha {
+
+ThreadPool::ThreadPool(unsigned numThreads) {
+  if (numThreads == 0)
+    numThreads = std::max(1u, std::thread::hardware_concurrency());
+  workers_.reserve(numThreads);
+  for (unsigned i = 0; i < numThreads; ++i)
+    workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  wakeWorker_.notify_all();
+  for (std::thread &t : workers_)
+    t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+    ++inFlight_;
+  }
+  wakeWorker_.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return inFlight_ == 0; });
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wakeWorker_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (shutdown_)
+          return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--inFlight_ == 0)
+        idle_.notify_all();
+    }
+  }
+}
+
+void parallelFor(ThreadPool &pool, size_t count,
+                 const std::function<void(size_t)> &fn) {
+  for (size_t i = 0; i < count; ++i)
+    pool.submit([i, &fn] { fn(i); });
+  pool.wait();
+}
+
+} // namespace mha

@@ -1,0 +1,50 @@
+// ThreadPool.h - a small fixed-size worker pool.
+//
+// Used by the design-space-exploration example and the flow driver to
+// evaluate independent HLS configurations in parallel. Tasks are plain
+// std::function<void()>; completion is observed via wait().
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mha {
+
+class ThreadPool {
+public:
+  /// Creates `numThreads` workers (defaults to hardware concurrency, min 1).
+  explicit ThreadPool(unsigned numThreads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Enqueues a task. Safe to call from any thread, including workers.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait();
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+private:
+  void workerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable wakeWorker_;
+  std::condition_variable idle_;
+  size_t inFlight_ = 0;
+  bool shutdown_ = false;
+};
+
+/// Runs `fn(i)` for i in [0, count) across the pool and waits.
+void parallelFor(ThreadPool &pool, size_t count,
+                 const std::function<void(size_t)> &fn);
+
+} // namespace mha

@@ -1,0 +1,158 @@
+#include "vhls/Report.h"
+
+#include "support/StringUtils.h"
+
+#include <sstream>
+
+namespace mha::vhls {
+
+std::string SynthesisReport::str() const {
+  std::ostringstream os;
+  os << "== Virtual HLS synthesis report ==\n";
+  os << "frontend: " << (accepted ? "ACCEPTED" : "REJECTED")
+     << strfmt(" (%lld errors, %lld warnings)\n",
+               static_cast<long long>(compat.errors),
+               static_cast<long long>(compat.warnings));
+  if (!compat.violations.empty()) {
+    os << "violations:\n";
+    for (const auto &[category, count] : compat.violations)
+      os << strfmt("  %-20s %lld\n", category.c_str(),
+                   static_cast<long long>(count));
+  }
+  for (const FunctionReport &fn : functions) {
+    os << strfmt("\nfunction @%s%s\n", fn.name.c_str(),
+                 fn.name == topName ? "  [top]" : "");
+    os << strfmt("  latency        %lld cycles%s\n",
+                 static_cast<long long>(fn.latencyCycles),
+                 fn.dataflow ? "  (dataflow: tasks overlapped)" : "");
+    os << strfmt("  est. period    %.2f ns\n", fn.achievedPeriodNs);
+    os << strfmt("  fsm states     %lld\n",
+                 static_cast<long long>(fn.fsmStates));
+    os << strfmt("  resources      DSP=%lld BRAM=%lld LUT=%lld FF=%lld\n",
+                 static_cast<long long>(fn.resources.dsp),
+                 static_cast<long long>(fn.resources.bram),
+                 static_cast<long long>(fn.resources.lut),
+                 static_cast<long long>(fn.resources.ff));
+    if (!fn.loops.empty()) {
+      os << "  loops:\n";
+      for (const LoopReport &loop : fn.loops) {
+        os << strfmt("    %-14s trip=%-6lld %s", loop.name.c_str(),
+                     static_cast<long long>(loop.tripCount),
+                     loop.pipelined ? "pipelined" : "sequential");
+        if (loop.pipelined)
+          os << strfmt(" II=%lld (target %lld, RecMII=%lld, ResMII=%lld) "
+                       "depth=%lld",
+                       static_cast<long long>(loop.achievedII),
+                       static_cast<long long>(loop.targetII),
+                       static_cast<long long>(loop.recMII),
+                       static_cast<long long>(loop.resMII),
+                       static_cast<long long>(loop.iterationLatency));
+        os << strfmt(" latency=%lld",
+                     static_cast<long long>(loop.totalLatency));
+        if (!loop.note.empty())
+          os << "  (" << loop.note << ")";
+        os << "\n";
+      }
+    }
+    if (!fn.arrays.empty()) {
+      os << "  arrays:\n";
+      for (const ArrayReport &array : fn.arrays)
+        os << strfmt("    %-10s %6lld B  banks=%-3lld %-24s BRAM=%lld %s\n",
+                     array.name.c_str(),
+                     static_cast<long long>(array.bytes),
+                     static_cast<long long>(array.banks),
+                     array.partition.c_str(),
+                     static_cast<long long>(array.bramBlocks),
+                     array.onChip ? "(on-chip)" : "(interface)");
+    }
+  }
+  return os.str();
+}
+
+namespace {
+
+std::string jsonEscape(const std::string &s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\')
+      out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+} // namespace
+
+std::string SynthesisReport::json() const {
+  std::ostringstream os;
+  os << "{\n  \"accepted\": " << (accepted ? "true" : "false") << ",\n";
+  os << strfmt("  \"errors\": %lld,\n  \"warnings\": %lld,\n",
+               static_cast<long long>(compat.errors),
+               static_cast<long long>(compat.warnings));
+  os << "  \"violations\": {";
+  bool first = true;
+  for (const auto &[category, count] : compat.violations) {
+    if (!first)
+      os << ", ";
+    first = false;
+    os << "\"" << jsonEscape(category) << "\": " << count;
+  }
+  os << "},\n";
+  os << "  \"top\": \"" << jsonEscape(topName) << "\",\n";
+  os << "  \"functions\": [\n";
+  for (size_t f = 0; f < functions.size(); ++f) {
+    const FunctionReport &fn = functions[f];
+    os << "    {\n      \"name\": \"" << jsonEscape(fn.name) << "\",\n";
+    os << strfmt("      \"latency_cycles\": %lld,\n",
+                 static_cast<long long>(fn.latencyCycles));
+    os << "      \"dataflow\": " << (fn.dataflow ? "true" : "false")
+       << ",\n";
+    os << strfmt("      \"fsm_states\": %lld,\n",
+                 static_cast<long long>(fn.fsmStates));
+    os << strfmt("      \"estimated_period_ns\": %.3f,\n",
+                 fn.achievedPeriodNs);
+    os << strfmt("      \"resources\": {\"dsp\": %lld, \"bram\": %lld, "
+                 "\"lut\": %lld, \"ff\": %lld},\n",
+                 static_cast<long long>(fn.resources.dsp),
+                 static_cast<long long>(fn.resources.bram),
+                 static_cast<long long>(fn.resources.lut),
+                 static_cast<long long>(fn.resources.ff));
+    os << "      \"loops\": [";
+    for (size_t l = 0; l < fn.loops.size(); ++l) {
+      const LoopReport &loop = fn.loops[l];
+      if (l)
+        os << ", ";
+      os << strfmt("{\"name\": \"%s\", \"trip\": %lld, \"pipelined\": %s, "
+                   "\"ii\": %lld, \"rec_mii\": %lld, \"res_mii\": %lld, "
+                   "\"depth\": %lld, \"latency\": %lld}",
+                   jsonEscape(loop.name).c_str(),
+                   static_cast<long long>(loop.tripCount),
+                   loop.pipelined ? "true" : "false",
+                   static_cast<long long>(loop.achievedII),
+                   static_cast<long long>(loop.recMII),
+                   static_cast<long long>(loop.resMII),
+                   static_cast<long long>(loop.iterationLatency),
+                   static_cast<long long>(loop.totalLatency));
+    }
+    os << "],\n      \"arrays\": [";
+    for (size_t a = 0; a < fn.arrays.size(); ++a) {
+      const ArrayReport &array = fn.arrays[a];
+      if (a)
+        os << ", ";
+      os << strfmt("{\"name\": \"%s\", \"bytes\": %lld, \"banks\": %lld, "
+                   "\"partition\": \"%s\", \"bram\": %lld, "
+                   "\"on_chip\": %s}",
+                   jsonEscape(array.name).c_str(),
+                   static_cast<long long>(array.bytes),
+                   static_cast<long long>(array.banks),
+                   jsonEscape(array.partition).c_str(),
+                   static_cast<long long>(array.bramBlocks),
+                   array.onChip ? "true" : "false");
+    }
+    os << "]\n    }" << (f + 1 < functions.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  return os.str();
+}
+
+} // namespace mha::vhls

@@ -1,0 +1,69 @@
+// Report.h - synthesis report structures (the backend's "rpt file").
+#pragma once
+
+#include "lir/HlsCompat.h"
+#include "vhls/TechLibrary.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mha::vhls {
+
+struct LoopReport {
+  std::string name;        // header block name
+  unsigned depth = 1;      // nesting depth
+  int64_t tripCount = -1;  // -1 when unknown
+  bool pipelined = false;
+  int64_t targetII = 0;    // requested II (0 = none)
+  int64_t achievedII = 0;
+  int64_t recMII = 0;
+  int64_t resMII = 0;
+  int64_t iterationLatency = 0; // depth of one iteration
+  int64_t totalLatency = 0;     // cycles for the whole loop
+  int64_t unrollFactor = 1;     // applied backend unroll
+  std::string note;             // e.g. "not pipelined: contains subloop"
+};
+
+struct ArrayReport {
+  std::string name;
+  int64_t bytes = 0;
+  int64_t banks = 1;
+  std::string partition; // "cyclic dim=1 factor=4" or "-"
+  int64_t bramBlocks = 0;
+  bool onChip = true; // allocas on-chip; top args are interface BRAMs
+};
+
+struct FunctionReport {
+  std::string name;
+  int64_t latencyCycles = 0;
+  bool dataflow = false; // task-level pipelining of top-level nests
+  int64_t fsmStates = 0;
+  double achievedPeriodNs = 0; // longest scheduled chain
+  ResourceUsage resources;
+  std::vector<LoopReport> loops;
+  std::vector<ArrayReport> arrays;
+};
+
+struct SynthesisReport {
+  bool accepted = false;
+  lir::HlsCompatReport compat;
+  std::vector<FunctionReport> functions;
+  std::string topName;
+
+  const FunctionReport *top() const {
+    for (const FunctionReport &fn : functions)
+      if (fn.name == topName)
+        return &fn;
+    return functions.empty() ? nullptr : &functions.front();
+  }
+
+  /// Renders a Vitis-style text report.
+  std::string str() const;
+
+  /// Renders the report as JSON (stable key order) for downstream
+  /// tooling — the virtual equivalent of Vitis' report files.
+  std::string json() const;
+};
+
+} // namespace mha::vhls

@@ -1,0 +1,881 @@
+#include "vhls/Vhls.h"
+
+#include "lir/LContext.h"
+#include "lir/analysis/Dependence.h"
+#include "lir/analysis/Dominators.h"
+#include "lir/analysis/LoopInfo.h"
+#include "lir/transforms/LoopUnroll.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+
+namespace mha::vhls {
+
+namespace {
+
+using lir::BasicBlock;
+using lir::Function;
+using lir::Instruction;
+using lir::Opcode;
+
+/// Identifies which physical memory bank an access can touch.
+struct BankClass {
+  const lir::Value *base = nullptr;
+  bool known = false;   // residue analysis succeeded
+  int64_t residue = 0;  // subscript offset mod factor (cyclic)
+  int64_t ivCoef = 0;
+
+  bool conflictsWith(const BankClass &other) const {
+    if (base != other.base)
+      return false;
+    if (!known || !other.known)
+      return true; // unknown bank may hit anything
+    return residue == other.residue && ivCoef == other.ivCoef;
+  }
+};
+
+/// Array partition directive (cyclic/block on one dimension).
+struct PartitionInfo {
+  unsigned dim = 0;
+  int64_t factor = 1;
+  bool cyclic = true;
+};
+
+/// Per-pointer-base memory geometry.
+struct ArrayInfo {
+  const lir::Value *base = nullptr;
+  std::string name;
+  int64_t bytes = 0;
+  PartitionInfo partition;
+  bool onChip = false; // alloca (vs. interface argument)
+  unsigned partitionedRank = 0;
+  std::vector<int64_t> dims;
+};
+
+const lir::Value *pointerRootOf(const lir::Value *ptr) {
+  while (const auto *inst = dyn_cast<Instruction>(ptr)) {
+    if (inst->opcode() == Opcode::GEP || inst->opcode() == Opcode::Bitcast)
+      ptr = inst->operand(0);
+    else
+      break;
+  }
+  return ptr;
+}
+
+/// Extracts array dims from a pointer-to-array / array type.
+std::vector<int64_t> arrayDims(const lir::Type *type) {
+  std::vector<int64_t> dims;
+  if (const auto *pt = dyn_cast<lir::PointerType>(type))
+    type = pt->isOpaque() ? nullptr : pt->pointee();
+  while (type && type->isArray()) {
+    const auto *at = cast<lir::ArrayType>(type);
+    dims.push_back(static_cast<int64_t>(at->numElements()));
+    type = at->element();
+  }
+  return dims;
+}
+
+class FunctionScheduler {
+public:
+  FunctionScheduler(Function &fn, const TargetSpec &target,
+                    const std::map<std::string, FunctionReport> &callees,
+                    DiagnosticEngine &diags)
+      : fn_(fn), target_(target), callees_(callees), diags_(diags) {}
+
+  FunctionReport run() {
+    report_.name = fn_.name();
+    collectArrays();
+
+    lir::DominatorTree domTree(fn_);
+    lir::LoopInfo loopInfo(fn_, domTree);
+
+    // Innermost-first loop processing.
+    std::vector<lir::Loop *> loops;
+    for (const auto &loop : loopInfo.loops())
+      loops.push_back(loop.get());
+    std::sort(loops.begin(), loops.end(),
+              [](lir::Loop *a, lir::Loop *b) { return a->depth() > b->depth(); });
+
+    // Schedule every block once (list scheduling).
+    for (BasicBlock *bb : domTree.rpo())
+      scheduleBlock(bb);
+
+    for (lir::Loop *loop : loops)
+      processLoop(loop, loopInfo);
+
+    // Function latency: blocks directly at function level + top loops.
+    // With the dataflow directive the top-level loop nests run as
+    // overlapped tasks: the slowest task dominates instead of the sum
+    // (optimistic FIFO model, like Vitis dataflow at II=1 task rate).
+    bool dataflow = fn_.hasAttr("xlx.dataflow");
+    report_.dataflow = dataflow;
+    int64_t latency = 0;
+    for (BasicBlock *bb : domTree.rpo())
+      if (!loopInfo.loopFor(bb))
+        latency += blockLatency_[bb];
+    int64_t loopSum = 0, loopMax = 0, taskCount = 0;
+    for (lir::Loop *loop : loopInfo.topLevelLoops()) {
+      loopSum += loopTotal_[loop];
+      loopMax = std::max(loopMax, loopTotal_[loop]);
+      ++taskCount;
+    }
+    latency += dataflow && taskCount > 1 ? loopMax + taskCount : loopSum;
+    report_.latencyCycles = latency;
+    report_.fsmStates = fsmStates_;
+    report_.achievedPeriodNs = achievedPeriod_;
+    bindResources(loopInfo);
+    return report_;
+  }
+
+private:
+  // ====================== arrays & banks ======================
+
+  void collectArrays() {
+    auto addArray = [&](const lir::Value *base, const std::string &name,
+                        const std::vector<int64_t> &dims,
+                        lir::Type *elemTy, bool onChip,
+                        const lir::MDNode *partitionMD) {
+      if (dims.empty())
+        return;
+      ArrayInfo info;
+      info.base = base;
+      info.name = name;
+      info.dims = dims;
+      int64_t elems = 1;
+      for (int64_t d : dims)
+        elems *= d;
+      info.bytes = elems * static_cast<int64_t>(elemTy->sizeInBytes());
+      info.onChip = onChip;
+      if (partitionMD && partitionMD->size() > 0) {
+        // First triple wins (one partition directive per array here).
+        const lir::MDNode *triple = partitionMD->getNode(0);
+        if (triple && triple->size() >= 3) {
+          info.partition.dim = static_cast<unsigned>(triple->getInt(0));
+          info.partition.factor = triple->getInt(1);
+          info.partition.cyclic = triple->getString(2) != "block";
+        }
+      }
+      arrays_[base] = info;
+    };
+
+    for (const auto &arg : fn_.args()) {
+      std::vector<int64_t> dims = arrayDims(arg->type());
+      if (dims.empty())
+        continue;
+      lir::Type *elem = arg->type();
+      while (const auto *pt = dyn_cast<lir::PointerType>(elem))
+        elem = pt->pointee();
+      while (const auto *at = dyn_cast<lir::ArrayType>(elem))
+        elem = at->element();
+      addArray(arg.get(), arg->name(), dims, elem, /*onChip=*/false,
+               arg->getMetadata("xlx.array_partition"));
+    }
+    for (BasicBlock *bb : fn_.blockPtrs()) {
+      for (auto &inst : *bb) {
+        if (inst->opcode() != Opcode::Alloca)
+          continue;
+        std::vector<int64_t> dims;
+        lir::Type *elem = inst->allocatedType();
+        while (const auto *at = dyn_cast<lir::ArrayType>(elem)) {
+          dims.push_back(static_cast<int64_t>(at->numElements()));
+          elem = at->element();
+        }
+        addArray(inst.get(), inst->hasName() ? inst->name() : "buf", dims,
+                 elem, /*onChip=*/true,
+                 inst->getMetadata("xlx.array_partition"));
+      }
+    }
+  }
+
+  /// Bank classification of a memory access, relative to `iv` (may be
+  /// null for straight-line code).
+  BankClass classify(const Instruction *memop, const lir::Value *iv) {
+    BankClass out;
+    const lir::Value *ptr =
+        memop->operand(memop->opcode() == Opcode::Store ? 1 : 0);
+    out.base = pointerRootOf(ptr);
+    auto arrayIt = arrays_.find(out.base);
+    if (arrayIt == arrays_.end() || arrayIt->second.partition.factor <= 1) {
+      // Unpartitioned: single bank; everyone conflicts -> model as known
+      // residue 0.
+      out.known = true;
+      return out;
+    }
+    const ArrayInfo &info = arrayIt->second;
+    const auto *gep = dyn_cast<Instruction>(ptr);
+    if (!gep || gep->opcode() != Opcode::GEP || gep->numOperands() < 3) {
+      out.known = false; // flat gep on a partitioned array
+      return out;
+    }
+    unsigned dim = info.partition.dim;
+    unsigned opIdx = 2 + dim; // after base and leading zero
+    if (opIdx >= gep->numOperands()) {
+      out.known = false;
+      return out;
+    }
+    lir::LinearSubscript sub =
+        lir::linearizeInIV(gep->operand(opIdx), iv ? iv : gep->operand(opIdx));
+    if (!sub.valid || !sub.symbols.empty()) {
+      out.known = false;
+      return out;
+    }
+    int64_t f = info.partition.factor;
+    if (info.partition.cyclic) {
+      out.known = true;
+      out.residue = ((sub.constant % f) + f) % f;
+      out.ivCoef = sub.ivCoef % f;
+    } else {
+      // Block partitioning: bank = idx / (extent/factor); the residue is
+      // only static for constant subscripts.
+      if (sub.ivCoef == 0) {
+        int64_t extent = info.dims[dim];
+        out.known = true;
+        out.residue = sub.constant / std::max<int64_t>(1, extent / f);
+      } else {
+        out.known = false;
+      }
+    }
+    return out;
+  }
+
+  int64_t banksOf(const lir::Value *base) {
+    auto it = arrays_.find(base);
+    return it == arrays_.end() ? 1 : std::max<int64_t>(1, it->second.partition.factor);
+  }
+
+  // ====================== straight-line scheduling ======================
+
+  struct SchedSlot {
+    int64_t start = 0;
+    double pathDelay = 0;
+  };
+
+  /// List scheduling with operator chaining and per-bank port limits.
+  void scheduleBlock(BasicBlock *bb) {
+    std::map<const Instruction *, SchedSlot> slots;
+    // (base, residue-key) -> cycle -> used ports
+    std::map<std::pair<const lir::Value *, int64_t>,
+             std::map<int64_t, int>>
+        ports;
+    std::map<std::string, std::map<int64_t, int>> fuUsage;
+    int64_t blockLat = 0;
+    // Calls are control barriers: they start after everything before them
+    // and everything after waits for them (no dataflow overlap).
+    int64_t barrierFloor = 0;
+    int64_t maxEndSoFar = 0;
+
+    for (auto &instPtr : *bb) {
+      Instruction *inst = instPtr.get();
+      OpInfo info = characterize(*inst);
+      int64_t latency = callAwareLatency(inst, info);
+      SchedSlot slot;
+      slot.pathDelay = info.delayNs;
+      slot.start = barrierFloor;
+      bool isUserCall = inst->opcode() == Opcode::Call &&
+                        inst->calledFunction() &&
+                        !inst->calledFunction()->isDeclaration();
+      if (isUserCall)
+        slot.start = std::max(slot.start, maxEndSoFar);
+
+      for (unsigned i = 0; i < inst->numOperands(); ++i) {
+        const auto *def = dyn_cast<Instruction>(inst->operand(i));
+        if (!def || def->parent() != bb || def->opcode() == Opcode::Phi)
+          continue;
+        auto it = slots.find(def);
+        if (it == slots.end())
+          continue;
+        OpInfo defInfo = characterize(*def);
+        int64_t defLat = callAwareLatency(def, defInfo);
+        if (defLat == 0) {
+          // Chaining candidate: same cycle if combinational budget holds.
+          if (it->second.start > slot.start) {
+            slot.start = it->second.start;
+            slot.pathDelay = it->second.pathDelay + info.delayNs;
+          } else if (it->second.start == slot.start) {
+            slot.pathDelay = std::max(slot.pathDelay,
+                                      it->second.pathDelay + info.delayNs);
+          }
+          if (slot.pathDelay > target_.clockPeriodNs) {
+            slot.start += 1;
+            slot.pathDelay = info.delayNs;
+          }
+        } else {
+          int64_t ready = it->second.start + defLat;
+          if (ready > slot.start) {
+            slot.start = ready;
+            slot.pathDelay = info.delayNs;
+          }
+        }
+      }
+
+      // Memory port constraint.
+      if (inst->opcode() == Opcode::Load || inst->opcode() == Opcode::Store) {
+        BankClass bank = classify(inst, nullptr);
+        auto key = std::make_pair(bank.base,
+                                  bank.known ? bank.residue : int64_t(-1));
+        auto &usage = ports[key];
+        int capacity = target_.memPortsPerBank;
+        while (usage[slot.start] >= capacity)
+          ++slot.start;
+        usage[slot.start]++;
+        if (!bank.known) {
+          // Unknown bank blocks a port on every residue class too.
+          for (auto &[otherKey, otherUsage] : ports)
+            if (otherKey.first == bank.base && otherKey != key)
+              otherUsage[slot.start]++;
+        }
+      }
+      // Functional-unit allocation limit (Vitis `allocation` directive).
+      if (int limit = target_.fuLimitFor(info.fuClass); limit > 0) {
+        auto &usage = fuUsage[info.fuClass];
+        while (usage[slot.start] >= limit)
+          ++slot.start;
+        usage[slot.start]++;
+      }
+
+      slots[inst] = slot;
+      achievedPeriod_ = std::max(achievedPeriod_, slot.pathDelay);
+      blockLat = std::max(blockLat, slot.start + latency);
+      maxEndSoFar = std::max(maxEndSoFar, slot.start + latency);
+      if (isUserCall)
+        barrierFloor = slot.start + latency;
+      opStart_[inst] = slot.start;
+    }
+    // Every block costs at least one FSM state.
+    blockLatency_[bb] = std::max<int64_t>(1, blockLat);
+    fsmStates_ += blockLatency_[bb];
+  }
+
+  int64_t callAwareLatency(const Instruction *inst, const OpInfo &info) {
+    if (inst->opcode() == Opcode::Call) {
+      const Function *callee = inst->calledFunction();
+      if (callee && !callee->isDeclaration()) {
+        auto it = callees_.find(callee->name());
+        if (it != callees_.end())
+          return std::max<int64_t>(1, it->second.latencyCycles);
+      }
+    }
+    return info.latency;
+  }
+
+  // ====================== loops ======================
+
+  void processLoop(lir::Loop *loop, lir::LoopInfo &loopInfo) {
+    LoopReport lr;
+    lr.name = loop->header()->name();
+    lr.depth = loop->depth();
+
+    auto canonical = lir::matchCanonicalLoop(loop);
+    if (canonical && canonical->tripCount)
+      lr.tripCount = *canonical->tripCount;
+
+    Instruction *latchTerm =
+        loop->latch() ? loop->latch()->terminator() : nullptr;
+    const lir::MDNode *pipelineMD =
+        latchTerm ? latchTerm->getMetadata("xlx.pipeline") : nullptr;
+    if (lr.tripCount < 0 && latchTerm) {
+      if (const lir::MDNode *tripMD = latchTerm->getMetadata("xlx.tripcount"))
+        if (tripMD->isInt(0))
+          lr.tripCount = tripMD->getInt(0);
+    }
+    int64_t targetII = 0;
+    if (pipelineMD && pipelineMD->isInt(0))
+      targetII = std::max<int64_t>(1, pipelineMD->getInt(0));
+    lr.targetII = targetII;
+    lr.pipelined = targetII > 0;
+
+    int64_t trip = lr.tripCount >= 0 ? lr.tripCount : 1;
+
+    bool canPipeline = lr.pipelined && loop->isInnermost() && canonical &&
+                       loop->blocks().size() == 2;
+    if (lr.pipelined && !canPipeline) {
+      lr.note = loop->isInnermost() ? "not pipelined: irregular loop shape"
+                                    : "not pipelined: contains subloop";
+      lr.pipelined = false;
+    }
+
+    if (lr.pipelined) {
+      moduloSchedule(*canonical, targetII, lr);
+      lr.totalLatency = lr.iterationLatency + (trip - 1) * lr.achievedII + 2;
+    } else if (tryFlatten(loop, loopInfo, trip, lr)) {
+      // Perfect nest over a pipelined inner loop: flatten (Vitis default)
+      // so the pipeline fill/flush is paid once, not per outer iteration.
+    } else {
+      // Sequential: per-iteration latency is the header test plus the
+      // directly-contained blocks plus nested loop totals.
+      int64_t iter = 0;
+      for (BasicBlock *bb : loop->blocks())
+        if (loopInfo.loopFor(bb) == loop)
+          iter += blockLatency_[bb];
+      for (lir::Loop *sub : loop->subLoops())
+        iter += loopTotal_[sub];
+      lr.iterationLatency = iter;
+      lr.totalLatency = trip * iter + 1;
+    }
+    loopTotal_[loop] = lr.totalLatency;
+    loopReports_[loop] = lr;
+    report_.loops.push_back(lr);
+  }
+
+  /// Flattens a perfectly-nested sequential loop over one pipelined (or
+  /// itself flattened) subloop: the nest runs as a single pipeline of
+  /// outerTrip * innerIterations at the inner II. Requires the blocks the
+  /// outer loop contributes directly to be pure control (no datapath).
+  bool tryFlatten(lir::Loop *loop, lir::LoopInfo &loopInfo, int64_t trip,
+                  LoopReport &lr) {
+    if (loop->subLoops().size() != 1 || trip <= 0)
+      return false;
+    auto subIt = loopReports_.find(loop->subLoops()[0]);
+    if (subIt == loopReports_.end())
+      return false;
+    const LoopReport &sub = subIt->second;
+    if (!sub.pipelined || sub.achievedII <= 0 || sub.tripCount <= 0)
+      return false;
+    // Directly-contained blocks must be control-only.
+    for (BasicBlock *bb : loop->blocks()) {
+      if (loopInfo.loopFor(bb) != loop)
+        continue;
+      for (auto &inst : *bb) {
+        switch (inst->opcode()) {
+        case Opcode::Phi:
+        case Opcode::ICmp:
+        case Opcode::Add:
+        case Opcode::Sub:
+        case Opcode::Br:
+        case Opcode::CondBr:
+          continue;
+        default:
+          return false;
+        }
+      }
+    }
+    // Total iterations of the flattened pipeline.
+    int64_t innerIters = sub.tripCount;
+    lr.achievedII = sub.achievedII;
+    lr.recMII = sub.recMII;
+    lr.resMII = sub.resMII;
+    lr.iterationLatency = sub.iterationLatency;
+    lr.tripCount = trip * innerIters; // flattened trip
+    lr.pipelined = true;
+    lr.note = "flattened";
+    lr.totalLatency =
+        sub.iterationLatency + (lr.tripCount - 1) * sub.achievedII + 2;
+    return true;
+  }
+
+  /// Modulo scheduling of a canonical innermost loop body (the latch
+  /// block). Computes RecMII from loop-carried dependences, ResMII from
+  /// memory-port pressure, then finds the smallest feasible II.
+  void moduloSchedule(lir::CanonicalLoop &loop, int64_t targetII,
+                      LoopReport &lr) {
+    BasicBlock *body = loop.loop->latch();
+    std::vector<Instruction *> ops;
+    for (auto &inst : *body)
+      ops.push_back(inst.get());
+
+    // --- dependences ---
+    std::vector<lir::MemAccess> accesses = lir::collectLoopAccesses(loop);
+    std::vector<lir::LoopDependence> deps =
+        lir::analyzeLoopDependences(accesses);
+
+    // --- ResMII ---
+    std::map<std::pair<const lir::Value *, int64_t>, int64_t> classCount;
+    std::map<const lir::Value *, int64_t> unknownCount;
+    for (const lir::MemAccess &access : accesses) {
+      if (access.inst->parent() != body)
+        continue;
+      BankClass bank = classify(access.inst, loop.indVar);
+      if (bank.known)
+        classCount[{bank.base, bank.residue * 1000 + bank.ivCoef}]++;
+      else
+        unknownCount[bank.base]++;
+    }
+    int64_t resMII = 1;
+    for (auto &[key, count] : classCount) {
+      int64_t total = count + unknownCount[key.first];
+      resMII = std::max(resMII, (total + target_.memPortsPerBank - 1) /
+                                    target_.memPortsPerBank);
+    }
+    for (auto &[base, count] : unknownCount) {
+      int64_t banks = banksOf(base);
+      (void)banks;
+      resMII = std::max(resMII, (count + target_.memPortsPerBank - 1) /
+                                    target_.memPortsPerBank);
+    }
+    // Functional-unit allocation limits contribute too.
+    if (!target_.fuLimits.empty()) {
+      std::map<std::string, int64_t> classOps;
+      for (Instruction *inst : ops) {
+        OpInfo info = characterize(*inst);
+        if (target_.fuLimitFor(info.fuClass) > 0)
+          classOps[info.fuClass]++;
+      }
+      for (auto &[cls, count] : classOps) {
+        int64_t limit = target_.fuLimitFor(cls);
+        resMII = std::max(resMII, (count + limit - 1) / limit);
+      }
+    }
+    lr.resMII = resMII;
+
+    // --- RecMII ---
+    // Longest intra-iteration path between ops (SSA + ordering edges),
+    // then for each carried edge s->t (distance d):
+    //   II*d >= lat(s) + longestPath(t -> s).
+    std::map<const Instruction *, size_t> index;
+    for (size_t i = 0; i < ops.size(); ++i)
+      index[ops[i]] = i;
+    size_t n = ops.size();
+    const int64_t kNegInf = INT64_MIN / 4;
+    std::vector<std::vector<int64_t>> longest(
+        n, std::vector<int64_t>(n, kNegInf));
+    auto latOf = [&](const Instruction *inst) {
+      OpInfo info = characterize(*inst);
+      return callAwareLatency(inst, info);
+    };
+    // Direct edges.
+    for (size_t i = 0; i < n; ++i) {
+      longest[i][i] = 0;
+      for (const lir::Use *use : ops[i]->uses()) {
+        const auto *user = dyn_cast<Instruction>(use->user());
+        if (!user || user->parent() != body)
+          continue;
+        auto it = index.find(user);
+        if (it != index.end() && it->second != i)
+          longest[i][it->second] =
+              std::max(longest[i][it->second], latOf(ops[i]));
+      }
+    }
+    for (const lir::LoopDependence &dep : deps) {
+      if (dep.distance != 0)
+        continue;
+      auto si = index.find(cast<Instruction>(dep.src));
+      auto ti = index.find(cast<Instruction>(dep.dst));
+      if (si != index.end() && ti != index.end() && si->second != ti->second)
+        longest[si->second][ti->second] = std::max(
+            longest[si->second][ti->second], latOf(ops[si->second]));
+    }
+    // Floyd-Warshall longest path (body blocks are small).
+    for (size_t k = 0; k < n; ++k)
+      for (size_t i = 0; i < n; ++i) {
+        if (longest[i][k] == kNegInf)
+          continue;
+        for (size_t j = 0; j < n; ++j)
+          if (longest[k][j] != kNegInf)
+            longest[i][j] =
+                std::max(longest[i][j], longest[i][k] + longest[k][j]);
+      }
+    int64_t recMII = 1;
+    for (const lir::LoopDependence &dep : deps) {
+      if (dep.distance <= 0)
+        continue;
+      auto si = index.find(cast<Instruction>(dep.src));
+      auto ti = index.find(cast<Instruction>(dep.dst));
+      if (si == index.end() || ti == index.end())
+        continue;
+      int64_t path = longest[ti->second][si->second];
+      if (path == kNegInf)
+        path = 0;
+      int64_t cycleLen = latOf(ops[si->second]) + path;
+      recMII = std::max(recMII, (cycleLen + dep.distance - 1) / dep.distance);
+    }
+    lr.recMII = recMII;
+
+    // --- iterative modulo scheduling ---
+    int64_t mii = std::max({resMII, recMII, targetII});
+    for (int64_t ii = mii; ii <= mii + 128; ++ii) {
+      int64_t depth = 0;
+      if (tryModuloSchedule(ops, deps, loop, ii, depth)) {
+        lr.achievedII = ii;
+        lr.iterationLatency = depth;
+        return;
+      }
+    }
+    // Should not happen; fall back to sequential.
+    lr.achievedII = blockLatency_[body];
+    lr.iterationLatency = blockLatency_[body];
+    lr.note = "modulo scheduling failed; serialized";
+  }
+
+  bool tryModuloSchedule(const std::vector<Instruction *> &ops,
+                         const std::vector<lir::LoopDependence> &deps,
+                         lir::CanonicalLoop &loop, int64_t ii,
+                         int64_t &depthOut) {
+    std::map<const Instruction *, int64_t> start;
+    auto latOf = [&](const Instruction *inst) {
+      OpInfo info = characterize(*inst);
+      return callAwareLatency(inst, info);
+    };
+
+    bool changed = true;
+    int sweeps = 0;
+    while (changed) {
+      if (++sweeps > 64)
+        return false;
+      changed = false;
+      // Reservation tables rebuilt per sweep.
+      std::map<std::pair<const lir::Value *, int64_t>,
+               std::map<int64_t, int>>
+          ports;
+      std::map<std::string, std::map<int64_t, int>> fuUsage;
+      auto reserveFU = [&](const std::string &fuClass, int64_t &cycle) {
+        int limit = target_.fuLimitFor(fuClass);
+        if (limit <= 0)
+          return true;
+        auto &usage = fuUsage[fuClass];
+        int64_t tries = 0;
+        while (usage[cycle % ii] >= limit) {
+          ++cycle;
+          if (++tries > ii)
+            return false;
+        }
+        usage[cycle % ii]++;
+        return true;
+      };
+      auto reserve = [&](Instruction *inst, int64_t &cycle) {
+        BankClass bank = classify(inst, loop.indVar);
+        auto key = std::make_pair(bank.base,
+                                  bank.known ? bank.residue * 1000 + bank.ivCoef
+                                             : int64_t(-1));
+        auto &usage = ports[key];
+        int64_t tries = 0;
+        while (usage[cycle % ii] >= target_.memPortsPerBank) {
+          ++cycle;
+          if (++tries > ii)
+            return false;
+        }
+        usage[cycle % ii]++;
+        if (!bank.known)
+          for (auto &[otherKey, otherUsage] : ports)
+            if (otherKey.first == bank.base && otherKey != key)
+              otherUsage[cycle % ii]++;
+        return true;
+      };
+
+      for (Instruction *inst : ops) {
+        int64_t lb = 0;
+        for (unsigned i = 0; i < inst->numOperands(); ++i) {
+          const auto *def = dyn_cast<Instruction>(inst->operand(i));
+          if (!def || def->parent() != inst->parent() ||
+              def->opcode() == Opcode::Phi)
+            continue;
+          auto it = start.find(def);
+          if (it != start.end())
+            lb = std::max(lb, it->second + std::max<int64_t>(latOf(def), 0));
+        }
+        for (const lir::LoopDependence &dep : deps) {
+          if (dep.dst != inst)
+            continue;
+          auto it = start.find(cast<Instruction>(dep.src));
+          if (it == start.end())
+            continue;
+          lb = std::max(lb, it->second + latOf(cast<Instruction>(dep.src)) -
+                                ii * dep.distance);
+        }
+        int64_t cycle = std::max(lb, int64_t(0));
+        if (inst->opcode() == Opcode::Load ||
+            inst->opcode() == Opcode::Store) {
+          if (!reserve(inst, cycle))
+            return false;
+        }
+        if (!reserveFU(characterize(*inst).fuClass, cycle))
+          return false;
+        auto it = start.find(inst);
+        if (it == start.end() || it->second != cycle) {
+          start[inst] = cycle;
+          changed = true;
+        }
+      }
+    }
+    int64_t depth = 1;
+    for (Instruction *inst : ops)
+      depth = std::max(depth, start[inst] + std::max<int64_t>(latOf(inst), 1));
+    depthOut = depth;
+    // Record starts for FU counting.
+    for (Instruction *inst : ops)
+      opStart_[inst] = start[inst];
+    pipelinedII_[inst2loopBody(ops)] = ii;
+    return true;
+  }
+
+  const BasicBlock *inst2loopBody(const std::vector<Instruction *> &ops) {
+    return ops.empty() ? nullptr : ops.front()->parent();
+  }
+
+  // ====================== binding ======================
+
+  void bindResources(lir::LoopInfo &loopInfo) {
+    // FU demand per class: for pipelined bodies ceil(ops/II); for
+    // straight-line code the max number of same-class ops issued in one
+    // cycle. FUs are reused across regions (max, not sum).
+    std::map<std::string, int64_t> fuCount;
+    std::map<std::string, ResourceUsage> fuCost;
+
+    for (BasicBlock *bb : fn_.blockPtrs()) {
+      auto pipeIt = pipelinedII_.find(bb);
+      std::map<std::string, std::map<int64_t, int64_t>> perCycle;
+      std::map<std::string, int64_t> perBody;
+      for (auto &inst : *bb) {
+        OpInfo info = characterize(*inst);
+        if (info.perUnit.dsp == 0 && info.perUnit.lut == 0)
+          continue;
+        fuCost[info.fuClass] = info.perUnit;
+        if (pipeIt != pipelinedII_.end())
+          perBody[info.fuClass]++;
+        else
+          perCycle[info.fuClass][opStart_[inst.get()]]++;
+      }
+      for (auto &[cls, count] : perBody) {
+        int64_t ii = pipeIt->second;
+        fuCount[cls] = std::max(fuCount[cls], (count + ii - 1) / ii);
+      }
+      for (auto &[cls, cycles] : perCycle)
+        for (auto &[cycle, count] : cycles)
+          fuCount[cls] = std::max(fuCount[cls], count);
+    }
+
+    ResourceUsage total;
+    for (auto &[cls, count] : fuCount) {
+      // The allocation limit caps how many units ever get instantiated.
+      if (int limit = target_.fuLimitFor(cls); limit > 0)
+        count = std::min<int64_t>(count, limit);
+      ResourceUsage cost = fuCost[cls];
+      total.dsp += cost.dsp * count;
+      total.lut += cost.lut * count;
+      total.ff += cost.ff * count;
+    }
+    // Control FSM overhead.
+    total.lut += report_.fsmStates * target_.lutPerState;
+    total.ff += report_.fsmStates * target_.ffPerState;
+
+    // Memories.
+    for (auto &[base, info] : arrays_) {
+      ArrayReport ar;
+      ar.name = info.name;
+      ar.bytes = info.bytes;
+      ar.banks = std::max<int64_t>(1, info.partition.factor);
+      ar.partition =
+          info.partition.factor > 1
+              ? strfmt("%s dim=%u factor=%lld",
+                       info.partition.cyclic ? "cyclic" : "block",
+                       info.partition.dim,
+                       static_cast<long long>(info.partition.factor))
+              : "-";
+      ar.bramBlocks = ar.banks * bramBlocksFor(info.bytes / ar.banks);
+      ar.onChip = info.onChip;
+      if (info.onChip)
+        total.bram += ar.bramBlocks;
+      report_.arrays.push_back(ar);
+    }
+
+    // Called user functions instantiate their resources per call site.
+    for (BasicBlock *bb : fn_.blockPtrs()) {
+      for (auto &inst : *bb) {
+        if (inst->opcode() != Opcode::Call)
+          continue;
+        const Function *callee = inst->calledFunction();
+        if (!callee || callee->isDeclaration())
+          continue;
+        auto it = callees_.find(callee->name());
+        if (it != callees_.end())
+          total += it->second.resources;
+      }
+    }
+    (void)loopInfo;
+    report_.resources = total;
+  }
+
+  Function &fn_;
+  const TargetSpec &target_;
+  const std::map<std::string, FunctionReport> &callees_;
+  DiagnosticEngine &diags_;
+  FunctionReport report_;
+
+  std::map<const lir::Value *, ArrayInfo> arrays_;
+  std::map<const BasicBlock *, int64_t> blockLatency_;
+  std::map<const lir::Loop *, int64_t> loopTotal_;
+  std::map<const lir::Loop *, LoopReport> loopReports_;
+  std::map<const Instruction *, int64_t> opStart_;
+  std::map<const BasicBlock *, int64_t> pipelinedII_;
+  int64_t fsmStates_ = 0;
+  double achievedPeriod_ = 0;
+};
+
+/// Applies xlx.unroll directives before scheduling (backend unrolling).
+void applyUnrollDirectives(Function &fn, DiagnosticEngine &diags) {
+  (void)diags;
+  bool changed = true;
+  int rounds = 0;
+  while (changed && ++rounds < 8) {
+    changed = false;
+    lir::DominatorTree domTree(fn);
+    lir::LoopInfo loopInfo(fn, domTree);
+    for (const auto &loop : loopInfo.loops()) {
+      Instruction *latchTerm =
+          loop->latch() ? loop->latch()->terminator() : nullptr;
+      if (!latchTerm)
+        continue;
+      const lir::MDNode *unrollMD = latchTerm->getMetadata("xlx.unroll");
+      if (!unrollMD || !unrollMD->isInt(0))
+        continue;
+      int64_t requested = unrollMD->getInt(0);
+      latchTerm->removeMetadata("xlx.unroll");
+      auto canonical = lir::matchCanonicalLoop(loop.get());
+      if (!canonical || !canonical->tripCount)
+        continue;
+      int64_t factor = lir::clampUnrollFactor(*canonical->tripCount,
+                                              requested);
+      if (factor > 1 && lir::unrollLoopByFactor(*canonical, factor)) {
+        changed = true;
+        break; // loop info invalidated
+      }
+    }
+  }
+}
+
+} // namespace
+
+SynthesisReport synthesize(lir::Module &module,
+                           const SynthesisOptions &options,
+                           DiagnosticEngine &diags) {
+  SynthesisReport report;
+  report.compat = lir::checkHlsCompatibility(module, diags);
+  report.accepted = report.compat.accepted &&
+                    (!options.strictAcceptance || report.compat.warnings == 0);
+  if (!report.accepted)
+    return report;
+
+  // Bottom-up over the (acyclic) call graph: schedule callees first.
+  std::map<std::string, FunctionReport> done;
+  std::vector<Function *> order;
+  std::set<Function *> visited;
+  std::function<void(Function *)> visit = [&](Function *fn) {
+    if (!visited.insert(fn).second || fn->isDeclaration())
+      return;
+    for (lir::BasicBlock *bb : fn->blockPtrs())
+      for (auto &inst : *bb)
+        if (inst->opcode() == Opcode::Call)
+          if (Function *callee = inst->calledFunction())
+            visit(callee);
+    order.push_back(fn);
+  };
+  for (Function *fn : module.functions())
+    visit(fn);
+
+  for (Function *fn : order) {
+    if (options.applyUnrollDirectives)
+      applyUnrollDirectives(*fn, diags);
+    FunctionScheduler scheduler(*fn, options.target, done, diags);
+    FunctionReport fnReport = scheduler.run();
+    done[fn->name()] = fnReport;
+    report.functions.push_back(std::move(fnReport));
+  }
+  report.topName = options.topFunction;
+  if (report.topName.empty() && !report.functions.empty())
+    report.topName = report.functions.back().name;
+  return report;
+}
+
+} // namespace mha::vhls

@@ -1,0 +1,134 @@
+#include "vhls/TechLibrary.h"
+
+#include "lir/Function.h"
+#include "support/StringUtils.h"
+
+namespace mha::vhls {
+
+namespace {
+
+bool isDouble(const lir::Type *t) {
+  return t->kind() == lir::Type::Kind::Double;
+}
+
+OpInfo make(int64_t latency, double delayNs, std::string fuClass,
+            ResourceUsage perUnit) {
+  OpInfo info;
+  info.latency = latency;
+  info.delayNs = delayNs;
+  info.fuClass = std::move(fuClass);
+  info.perUnit = perUnit;
+  return info;
+}
+
+} // namespace
+
+OpInfo characterize(const lir::Instruction &inst) {
+  using lir::Opcode;
+  const lir::Type *type = inst.type();
+  switch (inst.opcode()) {
+  // --- Memory ---
+  case Opcode::Load:
+    // BRAM read: address register + synchronous read.
+    return make(2, 1.2, "mem", {0, 0, 10, 10});
+  case Opcode::Store:
+    return make(1, 1.2, "mem", {0, 0, 10, 10});
+  case Opcode::GEP:
+  case Opcode::Alloca:
+    return make(0, 0.8, "addr", {0, 0, 20, 0});
+
+  // --- Integer ---
+  case Opcode::Add:
+  case Opcode::Sub:
+    return make(0, 1.8, "int", {0, 0, 64, 0});
+  case Opcode::Mul:
+    return make(2, 3.2, "imul", {4, 0, 80, 120});
+  case Opcode::SDiv:
+  case Opcode::UDiv:
+  case Opcode::SRem:
+  case Opcode::URem:
+    return make(34, 3.5, "idiv", {0, 0, 1200, 1800});
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Shl:
+  case Opcode::LShr:
+  case Opcode::AShr:
+    return make(0, 0.9, "int", {0, 0, 32, 0});
+  case Opcode::ICmp:
+    return make(0, 1.4, "int", {0, 0, 40, 0});
+
+  // --- Floating point ---
+  case Opcode::FAdd:
+  case Opcode::FSub:
+    return isDouble(type) ? make(4, 4.5, "fadd", {3, 0, 430, 600})
+                          : make(3, 4.0, "fadd", {2, 0, 220, 320});
+  case Opcode::FMul:
+    return isDouble(type) ? make(4, 4.5, "fmul", {11, 0, 220, 330})
+                          : make(3, 4.0, "fmul", {3, 0, 120, 180});
+  case Opcode::FDiv:
+    return isDouble(type) ? make(29, 4.8, "fdiv", {0, 0, 3200, 4800})
+                          : make(15, 4.5, "fdiv", {0, 0, 800, 1400});
+  case Opcode::FNeg:
+    return make(0, 0.6, "int", {0, 0, 16, 0});
+  case Opcode::FCmp:
+    return make(1, 2.5, "fcmp", {0, 0, 120, 80});
+
+  // --- Casts / moves (wiring or near-free) ---
+  case Opcode::Trunc:
+  case Opcode::ZExt:
+  case Opcode::SExt:
+  case Opcode::Bitcast:
+  case Opcode::PtrToInt:
+  case Opcode::IntToPtr:
+  case Opcode::Freeze:
+    return make(0, 0.2, "wire", {0, 0, 0, 0});
+  case Opcode::FPTrunc:
+  case Opcode::FPExt:
+    return make(2, 2.0, "fcast", {0, 0, 100, 120});
+  case Opcode::SIToFP:
+  case Opcode::UIToFP:
+  case Opcode::FPToSI:
+    return make(3, 3.0, "fcast", {0, 0, 200, 250});
+
+  case Opcode::Select:
+  case Opcode::Phi:
+    return make(0, 0.8, "int", {0, 0, 32, 0});
+
+  case Opcode::Call: {
+    const lir::Function *callee = inst.calledFunction();
+    const std::string &name = callee ? callee->name() : "";
+    bool f32 = endsWith(name, "f") || endsWith(name, ".f32");
+    if (startsWith(name, "hls_sqrt") || startsWith(name, "llvm.sqrt."))
+      return f32 ? make(16, 4.0, "fsqrt", {0, 0, 600, 900})
+                 : make(28, 4.5, "fsqrt", {0, 0, 1500, 2300});
+    if (startsWith(name, "hls_exp") || startsWith(name, "hls_log") ||
+        startsWith(name, "hls_sin") || startsWith(name, "hls_cos") ||
+        startsWith(name, "hls_pow"))
+      return make(30, 4.5, "felem", {8, 0, 2500, 3000});
+    if (startsWith(name, "hls_fabs"))
+      return make(0, 0.6, "int", {0, 0, 16, 0});
+    if (startsWith(name, "llvm.fmuladd."))
+      return isDouble(type) ? make(8, 4.5, "ffma", {14, 0, 650, 900})
+                            : make(6, 4.0, "ffma", {5, 0, 340, 500});
+    // User function: the scheduler substitutes the callee's latency.
+    return make(1, 1.0, "call", {0, 0, 0, 0});
+  }
+
+  // Terminators contribute control, not datapath.
+  case Opcode::Ret:
+  case Opcode::Br:
+  case Opcode::CondBr:
+  case Opcode::Unreachable:
+    return make(0, 0.3, "ctrl", {0, 0, 0, 0});
+  }
+  return make(0, 0.5, "int", {0, 0, 16, 0});
+}
+
+int64_t bramBlocksFor(int64_t bytes) {
+  // BRAM18K: 18 Kbit = 2304 bytes.
+  constexpr int64_t kBytesPerBlock = 2304;
+  return (bytes + kBytesPerBlock - 1) / kBytesPerBlock;
+}
+
+} // namespace mha::vhls

@@ -1,0 +1,219 @@
+// End-to-end flow tests: every kernel goes through both flows, is accepted
+// by the virtual HLS frontend, co-simulates bit-exactly, and the two flows
+// produce comparable results (the paper's headline claim).
+#include "flow/Flow.h"
+
+#include <gtest/gtest.h>
+
+using namespace mha;
+using namespace mha::flow;
+
+namespace {
+
+class AllKernels : public ::testing::TestWithParam<std::string> {
+protected:
+  const KernelSpec &spec() { return *findKernel(GetParam()); }
+};
+
+std::vector<std::string> kernelNames() {
+  std::vector<std::string> names;
+  for (const KernelSpec &spec : allKernels())
+    names.push_back(spec.name);
+  return names;
+}
+
+} // namespace
+
+INSTANTIATE_TEST_SUITE_P(Kernels, AllKernels,
+                         ::testing::ValuesIn(kernelNames()),
+                         [](const auto &info) {
+                           std::string name = info.param;
+                           for (char &c : name)
+                             if (!isalnum(static_cast<unsigned char>(c)))
+                               c = '_';
+                           return name;
+                         });
+
+TEST_P(AllKernels, AdaptorFlowAcceptedAndCorrect) {
+  KernelConfig config;
+  config.pipelineII = 1;
+  config.partitionFactor = 2;
+  FlowResult result = runAdaptorFlow(spec(), config);
+  ASSERT_TRUE(result.ok) << result.diagnostics;
+  EXPECT_TRUE(result.synth.accepted);
+  EXPECT_EQ(result.synth.compat.warnings, 0) << result.diagnostics;
+  std::string error;
+  EXPECT_TRUE(cosimAgainstReference(result, spec(), error)) << error;
+}
+
+TEST_P(AllKernels, HlsCppFlowAcceptedAndCorrect) {
+  KernelConfig config;
+  config.pipelineII = 1;
+  config.partitionFactor = 2;
+  FlowResult result = runHlsCppFlow(spec(), config);
+  ASSERT_TRUE(result.ok) << result.diagnostics << "\n" << result.hlsCpp;
+  EXPECT_TRUE(result.synth.accepted);
+  std::string error;
+  EXPECT_TRUE(cosimAgainstReference(result, spec(), error)) << error;
+}
+
+TEST_P(AllKernels, FlowsProduceComparableLatency) {
+  // The paper's claim: the adaptor flow performs comparably to the HLS C++
+  // flow. Enforce a generous band (within 25% either way).
+  KernelConfig config;
+  config.pipelineII = 1;
+  config.partitionFactor = 2;
+  FlowResult adaptorResult = runAdaptorFlow(spec(), config);
+  FlowResult cppResult = runHlsCppFlow(spec(), config);
+  ASSERT_TRUE(adaptorResult.ok) << adaptorResult.diagnostics;
+  ASSERT_TRUE(cppResult.ok) << cppResult.diagnostics;
+  double a = static_cast<double>(adaptorResult.synth.top()->latencyCycles);
+  double c = static_cast<double>(cppResult.synth.top()->latencyCycles);
+  EXPECT_GT(a, 0);
+  EXPECT_GT(c, 0);
+  double ratio = a / c;
+  EXPECT_GT(ratio, 0.75) << "adaptor=" << a << " hls-c++=" << c;
+  EXPECT_LT(ratio, 1.25) << "adaptor=" << a << " hls-c++=" << c;
+}
+
+TEST_P(AllKernels, UnoptimizedBaselineIsSlower) {
+  KernelConfig plain;
+  plain.applyDirectives = false;
+  KernelConfig optimized;
+  optimized.pipelineII = 1;
+  optimized.partitionFactor = 2;
+  FlowResult baseline = runAdaptorFlow(spec(), plain);
+  FlowResult tuned = runAdaptorFlow(spec(), optimized);
+  ASSERT_TRUE(baseline.ok) << baseline.diagnostics;
+  ASSERT_TRUE(tuned.ok) << tuned.diagnostics;
+  // Directives must never make things slower.
+  EXPECT_LE(tuned.synth.top()->latencyCycles,
+            baseline.synth.top()->latencyCycles);
+}
+
+TEST(Flow, AdaptorStatsPopulated) {
+  KernelConfig config;
+  config.pipelineII = 1;
+  config.partitionFactor = 4;
+  FlowResult result = runAdaptorFlow(*findKernel("gemm"), config);
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.adaptorStats.at("adaptor.descriptors-eliminated"), 3);
+  EXPECT_GT(result.adaptorStats.at("adaptor.geps-delinearized"), 0);
+  EXPECT_GT(result.adaptorStats.at("adaptor.loop-directives-converted"), 0);
+  EXPECT_EQ(result.adaptorStats.at("compat.errors"), 0);
+}
+
+TEST(Flow, TimingsRecorded) {
+  FlowResult result = runAdaptorFlow(*findKernel("fir"), {});
+  ASSERT_TRUE(result.ok);
+  EXPECT_GT(result.timings.totalMs, 0);
+  EXPECT_GE(result.timings.totalMs,
+            result.timings.mlirOptMs + result.timings.bridgeMs);
+}
+
+TEST(Flow, HlsCppFlowEmitsCode) {
+  FlowResult result = runHlsCppFlow(*findKernel("fir"), {});
+  ASSERT_TRUE(result.ok);
+  EXPECT_NE(result.hlsCpp.find("void fir("), std::string::npos);
+  // The adaptor flow never emits C++.
+  FlowResult adaptorResult = runAdaptorFlow(*findKernel("fir"), {});
+  EXPECT_TRUE(adaptorResult.hlsCpp.empty());
+}
+
+TEST(Flow, PipelineIIRespondsToDirective) {
+  KernelConfig fast;
+  fast.pipelineII = 1;
+  KernelConfig slow;
+  slow.pipelineII = 8;
+  FlowResult fastResult = runAdaptorFlow(*findKernel("conv2d"), fast);
+  FlowResult slowResult = runAdaptorFlow(*findKernel("conv2d"), slow);
+  ASSERT_TRUE(fastResult.ok && slowResult.ok);
+  auto innerII = [](const FlowResult &r) {
+    int64_t ii = 0;
+    for (const auto &loop : r.synth.top()->loops)
+      if (loop.pipelined)
+        ii = std::max(ii, loop.achievedII);
+    return ii;
+  };
+  EXPECT_GE(innerII(slowResult), innerII(fastResult));
+  EXPECT_GE(innerII(slowResult), 8);
+}
+
+TEST(Flow, PartitioningImprovesOrMatchesLatency) {
+  KernelConfig one;
+  one.pipelineII = 1;
+  one.unrollFactor = 4;
+  one.partitionFactor = 1;
+  KernelConfig four = one;
+  four.partitionFactor = 4;
+  FlowResult p1 = runAdaptorFlow(*findKernel("gemm"), one);
+  FlowResult p4 = runAdaptorFlow(*findKernel("gemm"), four);
+  ASSERT_TRUE(p1.ok && p4.ok);
+  EXPECT_LE(p4.synth.top()->latencyCycles, p1.synth.top()->latencyCycles);
+}
+
+TEST(Flow, DataflowOverlapsMvt) {
+  KernelConfig off;
+  off.pipelineII = 1;
+  KernelConfig on = off;
+  on.dataflow = true;
+  FlowResult plain = runAdaptorFlow(*findKernel("mvt"), off);
+  FlowResult df = runAdaptorFlow(*findKernel("mvt"), on);
+  ASSERT_TRUE(plain.ok && df.ok) << plain.diagnostics << df.diagnostics;
+  EXPECT_TRUE(df.synth.top()->dataflow);
+  EXPECT_FALSE(plain.synth.top()->dataflow);
+  // mvt's two nests are symmetric: dataflow halves the latency (~2x).
+  double speedup = static_cast<double>(plain.synth.top()->latencyCycles) /
+                   static_cast<double>(df.synth.top()->latencyCycles);
+  EXPECT_GT(speedup, 1.8);
+  std::string error;
+  EXPECT_TRUE(cosimAgainstReference(df, *findKernel("mvt"), error)) << error;
+}
+
+TEST(Flow, DataflowMatchesAcrossFlows) {
+  KernelConfig config;
+  config.pipelineII = 1;
+  config.dataflow = true;
+  FlowResult a = runAdaptorFlow(*findKernel("mm2"), config);
+  FlowResult c = runHlsCppFlow(*findKernel("mm2"), config);
+  ASSERT_TRUE(a.ok && c.ok) << a.diagnostics << c.diagnostics;
+  EXPECT_EQ(a.synth.top()->latencyCycles, c.synth.top()->latencyCycles);
+  EXPECT_TRUE(a.synth.top()->dataflow);
+  EXPECT_TRUE(c.synth.top()->dataflow);
+}
+
+TEST(Flow, MlirLevelUnrollMatchesBackendUnroll) {
+  KernelConfig config;
+  config.pipelineII = 1;
+  config.unrollFactor = 4;
+  config.partitionFactor = 4;
+  FlowOptions backend;
+  FlowOptions mlirLevel;
+  mlirLevel.unrollAtMlirLevel = true;
+  for (const char *name : {"jacobi2d", "conv2d"}) {
+    FlowResult b = runAdaptorFlow(*findKernel(name), config, backend);
+    FlowResult m = runAdaptorFlow(*findKernel(name), config, mlirLevel);
+    ASSERT_TRUE(b.ok && m.ok) << name;
+    EXPECT_EQ(b.synth.top()->latencyCycles, m.synth.top()->latencyCycles)
+        << name;
+    std::string error;
+    EXPECT_TRUE(cosimAgainstReference(m, *findKernel(name), error))
+        << name << ": " << error;
+  }
+}
+
+TEST(Flow, MlirLevelUnrollThroughCppFlow) {
+  KernelConfig config;
+  config.pipelineII = 1;
+  config.unrollFactor = 4;
+  config.partitionFactor = 4;
+  FlowOptions mlirLevel;
+  mlirLevel.unrollAtMlirLevel = true;
+  FlowResult m = runHlsCppFlow(*findKernel("jacobi2d"), config, mlirLevel);
+  ASSERT_TRUE(m.ok) << m.diagnostics;
+  // The emitted C++ carries the pre-unrolled body: no unroll pragma left.
+  EXPECT_EQ(m.hlsCpp.find("unroll"), std::string::npos);
+  std::string error;
+  EXPECT_TRUE(cosimAgainstReference(m, *findKernel("jacobi2d"), error))
+      << error;
+}

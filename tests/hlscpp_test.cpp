@@ -1,0 +1,246 @@
+// Tests for the baseline flow pieces: the HLS C++ emitter and the C-subset
+// HLS frontend.
+#include "flow/Kernels.h"
+#include "hlscpp/Emitter.h"
+#include "lir/LContext.h"
+#include "hlscpp/Frontend.h"
+#include "interp/Interp.h"
+#include "lir/HlsCompat.h"
+#include "lir/Printer.h"
+#include "lir/Verifier.h"
+#include "lir/analysis/Dominators.h"
+#include "lir/analysis/LoopInfo.h"
+#include "mir/Pass.h"
+#include "mir/transforms/MirTransforms.h"
+
+#include <gtest/gtest.h>
+
+using namespace mha;
+
+namespace {
+
+std::string emitKernel(const std::string &name,
+                       const flow::KernelConfig &config) {
+  const flow::KernelSpec *spec = flow::findKernel(name);
+  mir::MContext mctx;
+  DiagnosticEngine diags;
+  mir::OwnedModule module = spec->build(mctx, config);
+  std::string code = hlscpp::emitHlsCpp(module.get(), diags);
+  EXPECT_FALSE(code.empty()) << diags.str();
+  return code;
+}
+
+} // namespace
+
+TEST(HlsCppEmitter, GemmShape) {
+  flow::KernelConfig config;
+  config.pipelineII = 1;
+  config.unrollFactor = 4;
+  config.partitionFactor = 2;
+  std::string code = emitKernel("gemm", config);
+  EXPECT_NE(code.find("void gemm(double a0[32][32]"), std::string::npos);
+  EXPECT_NE(code.find("#pragma HLS pipeline II=1"), std::string::npos);
+  EXPECT_NE(code.find("#pragma HLS unroll factor=4"), std::string::npos);
+  EXPECT_NE(code.find("#pragma HLS array_partition"), std::string::npos);
+  // Vitis pragmas use 1-based dims.
+  EXPECT_NE(code.find("dim=2"), std::string::npos);
+  // Three nested loops.
+  EXPECT_NE(code.find("for (int i0 = 0; i0 < 32; i0 += 1)"),
+            std::string::npos);
+}
+
+TEST(HlsCppEmitter, NoDirectivesWhenDisabled) {
+  flow::KernelConfig config;
+  config.applyDirectives = false;
+  config.pipelineII = 1;
+  config.partitionFactor = 4;
+  std::string code = emitKernel("gemm", config);
+  EXPECT_EQ(code.find("#pragma"), std::string::npos);
+}
+
+TEST(HlsCppEmitter, LocalArrayFor2mm) {
+  std::string code = emitKernel("mm2", {});
+  // The tmp buffer becomes a local C array.
+  EXPECT_NE(code.find("[32][32];"), std::string::npos);
+}
+
+TEST(HlsCppEmitter, AllKernelsEmit) {
+  for (const flow::KernelSpec &spec : flow::allKernels()) {
+    std::string code = emitKernel(spec.name, {});
+    EXPECT_NE(code.find("void " + spec.name + "("), std::string::npos)
+        << spec.name;
+  }
+}
+
+TEST(HlsFrontend, ParsesSimpleFunction) {
+  lir::LContext ctx;
+  DiagnosticEngine diags;
+  auto module = hlscpp::parseHlsCpp(R"(
+void scale(double a[16], double f) {
+  for (int i = 0; i < 16; i += 1) {
+    #pragma HLS pipeline II=1
+    double v = a[i];
+    a[i] = v * f;
+  }
+}
+)",
+                                    ctx, diags);
+  ASSERT_NE(module, nullptr) << diags.str();
+  DiagnosticEngine verifyDiags;
+  EXPECT_TRUE(lir::verifyModule(*module, verifyDiags)) << verifyDiags.str();
+
+  lir::Function *fn = module->getFunction("scale");
+  ASSERT_NE(fn, nullptr);
+  EXPECT_EQ(fn->numArgs(), 2u);
+  // Array parameter decays to a typed array pointer.
+  auto *pt = dyn_cast<lir::PointerType>(fn->arg(0)->type());
+  ASSERT_NE(pt, nullptr);
+  EXPECT_FALSE(pt->isOpaque());
+  EXPECT_TRUE(pt->pointee()->isArray());
+
+  // The pipeline pragma landed as xlx metadata, O2-lite promoted locals.
+  std::string out = lir::printModule(*module);
+  EXPECT_NE(out.find("xlx.pipeline"), std::string::npos);
+  EXPECT_NE(out.find("xlx.tripcount !{i64 16}"), std::string::npos);
+  EXPECT_EQ(out.find("alloca"), std::string::npos) << out;
+}
+
+TEST(HlsFrontend, ProducesAcceptedIR) {
+  lir::LContext ctx;
+  DiagnosticEngine diags;
+  auto module = hlscpp::parseHlsCpp(R"(
+void k(double a[8][8]) {
+#pragma HLS array_partition variable=a cyclic factor=2 dim=2
+  for (int i = 0; i < 8; i += 1) {
+    for (int j = 0; j < 8; j += 1) {
+      #pragma HLS pipeline II=1
+      a[i][j] = a[i][j] + 1.0;
+    }
+  }
+}
+)",
+                                    ctx, diags);
+  ASSERT_NE(module, nullptr) << diags.str();
+  DiagnosticEngine compatDiags;
+  lir::HlsCompatReport report =
+      lir::checkHlsCompatibility(*module, compatDiags);
+  EXPECT_TRUE(report.accepted) << compatDiags.str();
+  EXPECT_EQ(report.warnings, 0) << compatDiags.str();
+  // Partition metadata on the argument.
+  lir::Function *fn = module->getFunction("k");
+  EXPECT_NE(fn->arg(0)->getMetadata("xlx.array_partition"), nullptr);
+}
+
+TEST(HlsFrontend, CanonicalLoopShapeAfterO2) {
+  lir::LContext ctx;
+  DiagnosticEngine diags;
+  auto module = hlscpp::parseHlsCpp(R"(
+void k(double a[32]) {
+  for (int i = 0; i < 32; i += 1) {
+    a[i] = a[i] * 2.0;
+  }
+}
+)",
+                                    ctx, diags);
+  ASSERT_NE(module, nullptr) << diags.str();
+  lir::Function *fn = module->getFunction("k");
+  lir::DominatorTree domTree(*fn);
+  lir::LoopInfo loopInfo(*fn, domTree);
+  ASSERT_EQ(loopInfo.loops().size(), 1u);
+  auto canonical = lir::matchCanonicalLoop(loopInfo.loops().front().get());
+  ASSERT_TRUE(canonical.has_value()) << lir::printModule(*fn->parentModule());
+  EXPECT_EQ(*canonical->tripCount, 32);
+  // Pipelinable shape: header + single body/latch block.
+  EXPECT_EQ(canonical->loop->blocks().size(), 2u);
+}
+
+TEST(HlsFrontend, ScalarParamsAndCasts) {
+  lir::LContext ctx;
+  DiagnosticEngine diags;
+  auto module = hlscpp::parseHlsCpp(R"(
+void k(double a[4], int n) {
+  double s = (double)n;
+  a[0] = s + 0.5;
+}
+)",
+                                    ctx, diags);
+  ASSERT_NE(module, nullptr) << diags.str();
+  std::string out = lir::printModule(*module);
+  EXPECT_NE(out.find("sitofp"), std::string::npos);
+}
+
+TEST(HlsFrontend, MathCallsMapToHlsCores) {
+  lir::LContext ctx;
+  DiagnosticEngine diags;
+  auto module = hlscpp::parseHlsCpp(R"(
+void k(double a[4]) {
+  a[0] = sqrt(a[1]);
+  a[2] = fabs(a[3]);
+}
+)",
+                                    ctx, diags);
+  ASSERT_NE(module, nullptr) << diags.str();
+  std::string out = lir::printModule(*module);
+  EXPECT_NE(out.find("call double @hls_sqrt"), std::string::npos);
+  EXPECT_NE(out.find("call double @hls_fabs"), std::string::npos);
+}
+
+TEST(HlsFrontend, TernaryExpression) {
+  lir::LContext ctx;
+  DiagnosticEngine diags;
+  auto module = hlscpp::parseHlsCpp(R"(
+void k(double a[4]) {
+  double x = a[0];
+  a[1] = x > 0.0 ? x : -x;
+}
+)",
+                                    ctx, diags);
+  ASSERT_NE(module, nullptr) << diags.str();
+  std::string out = lir::printModule(*module);
+  EXPECT_NE(out.find("select"), std::string::npos);
+  EXPECT_NE(out.find("fcmp ogt"), std::string::npos);
+}
+
+TEST(HlsFrontend, RejectsUnknownVariable) {
+  lir::LContext ctx;
+  DiagnosticEngine diags;
+  auto module = hlscpp::parseHlsCpp("void k(double a[4]) { a[0] = bogus; }",
+                                    ctx, diags);
+  EXPECT_EQ(module, nullptr);
+  EXPECT_NE(diags.str().find("unknown variable"), std::string::npos);
+}
+
+TEST(HlsFrontend, RejectsUnsupportedCall) {
+  lir::LContext ctx;
+  DiagnosticEngine diags;
+  auto module = hlscpp::parseHlsCpp(
+      "void k(double a[4]) { a[0] = launch_rockets(a[1]); }", ctx, diags);
+  EXPECT_EQ(module, nullptr);
+}
+
+TEST(HlsRoundTrip, EmittedGemmComputesCorrectly) {
+  // MLIR -> C++ -> frontend -> interp must equal the host reference.
+  const flow::KernelSpec *spec = flow::findKernel("gemm");
+  std::string code = emitKernel("gemm", {});
+  lir::LContext ctx;
+  DiagnosticEngine diags;
+  auto module = hlscpp::parseHlsCpp(code, ctx, diags);
+  ASSERT_NE(module, nullptr) << diags.str() << code;
+
+  flow::Buffers device = flow::makeBuffers(*spec);
+  flow::seedBuffers(device);
+  flow::Buffers host = device;
+  spec->reference(host);
+
+  std::vector<void *> pointers;
+  for (auto &buffer : device)
+    pointers.push_back(buffer.data());
+  interp::Interpreter interp(*module);
+  DiagnosticEngine runDiags;
+  auto result = interp.run(module->getFunction("gemm"),
+                           interp::pointerArgs(pointers), runDiags);
+  ASSERT_TRUE(result.has_value()) << runDiags.str();
+  for (unsigned out : spec->outputs)
+    for (size_t i = 0; i < device[out].size(); ++i)
+      ASSERT_EQ(device[out][i], host[out][i]) << "element " << i;
+}

@@ -1,0 +1,261 @@
+// Tests for the MiniLLVM interpreter.
+#include "interp/Interp.h"
+#include "lir/LContext.h"
+#include "lir/Parser.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace mha;
+using namespace mha::interp;
+
+namespace {
+
+struct Program {
+  lir::LContext ctx;
+  std::unique_ptr<lir::Module> module;
+
+  explicit Program(const std::string &text) {
+    DiagnosticEngine diags;
+    module = lir::parseModule(text, ctx, diags);
+    EXPECT_NE(module, nullptr) << diags.str();
+  }
+
+  std::optional<RtValue> run(const std::string &fn,
+                             std::vector<RtValue> args,
+                             DiagnosticEngine &diags) {
+    Interpreter interp(*module);
+    return interp.run(module->getFunction(fn), std::move(args), diags);
+  }
+};
+
+} // namespace
+
+TEST(Interp, ReturnsScalar) {
+  Program p(R"(
+define i64 @f(i64 %x) {
+entry:
+  %a = mul i64 %x, 3
+  %b = add i64 %a, 4
+  ret i64 %b
+}
+)");
+  DiagnosticEngine diags;
+  auto result = p.run("f", {RtValue::ofInt(5)}, diags);
+  ASSERT_TRUE(result.has_value()) << diags.str();
+  EXPECT_EQ(result->i, 19);
+}
+
+TEST(Interp, LoopSumsArray) {
+  Program p(R"(
+define double @sum([8 x double]* %a) {
+entry:
+  %acc0 = fadd double 0.0, 0.0
+  br label %header
+header:
+  %iv = phi i64 [ 0, %entry ], [ %next, %body ]
+  %acc = phi double [ %acc0, %entry ], [ %acc2, %body ]
+  %cmp = icmp slt i64 %iv, 8
+  br i1 %cmp, label %body, label %exit
+body:
+  %addr = getelementptr [8 x double], [8 x double]* %a, i64 0, i64 %iv
+  %v = load double, double* %addr
+  %acc2 = fadd double %acc, %v
+  %next = add i64 %iv, 1
+  br label %header
+exit:
+  ret double %acc
+}
+)");
+  double data[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  DiagnosticEngine diags;
+  auto result = p.run("sum", {RtValue::ofPtr(data)}, diags);
+  ASSERT_TRUE(result.has_value()) << diags.str();
+  EXPECT_EQ(result->f, 36.0);
+}
+
+TEST(Interp, AllocaAndStore) {
+  Program p(R"(
+define i64 @f() {
+entry:
+  %slot = alloca i64
+  store i64 41, i64* %slot
+  %v = load i64, i64* %slot
+  %r = add i64 %v, 1
+  ret i64 %r
+}
+)");
+  DiagnosticEngine diags;
+  auto result = p.run("f", {}, diags);
+  ASSERT_TRUE(result.has_value()) << diags.str();
+  EXPECT_EQ(result->i, 42);
+}
+
+TEST(Interp, SelectAndCompare) {
+  Program p(R"(
+define i64 @max(i64 %a, i64 %b) {
+entry:
+  %cmp = icmp sgt i64 %a, %b
+  %m = select i1 %cmp, i64 %a, i64 %b
+  ret i64 %m
+}
+)");
+  DiagnosticEngine diags;
+  auto r1 = p.run("max", {RtValue::ofInt(3), RtValue::ofInt(9)}, diags);
+  EXPECT_EQ(r1->i, 9);
+  auto r2 = p.run("max", {RtValue::ofInt(-3), RtValue::ofInt(-9)}, diags);
+  EXPECT_EQ(r2->i, -3);
+}
+
+TEST(Interp, UserFunctionCall) {
+  Program p(R"(
+define double @square(double %x) {
+entry:
+  %r = fmul double %x, %x
+  ret double %r
+}
+
+define double @f(double %x) {
+entry:
+  %s = call double @square(double %x)
+  %r = fadd double %s, 1.0
+  ret double %r
+}
+)");
+  DiagnosticEngine diags;
+  auto result = p.run("f", {RtValue::ofFloat(3.0)}, diags);
+  ASSERT_TRUE(result.has_value()) << diags.str();
+  EXPECT_EQ(result->f, 10.0);
+}
+
+TEST(Interp, HlsMathCalls) {
+  Program p(R"(
+declare double @hls_sqrt(double)
+
+define double @f(double %x) {
+entry:
+  %r = call double @hls_sqrt(double %x)
+  ret double %r
+}
+)");
+  DiagnosticEngine diags;
+  auto result = p.run("f", {RtValue::ofFloat(16.0)}, diags);
+  ASSERT_TRUE(result.has_value()) << diags.str();
+  EXPECT_EQ(result->f, 4.0);
+}
+
+TEST(Interp, MemcpyIntrinsic) {
+  Program p(R"(
+!flag opaque-pointers = "true"
+declare void @llvm.memcpy.p0.p0.i64(ptr, ptr, i64)
+
+define void @f(ptr %dst, ptr %src) {
+entry:
+  call void @llvm.memcpy.p0.p0.i64(ptr %dst, ptr %src, i64 32)
+  ret void
+}
+)");
+  double src[4] = {1.5, 2.5, 3.5, 4.5};
+  double dst[4] = {0, 0, 0, 0};
+  DiagnosticEngine diags;
+  auto result =
+      p.run("f", {RtValue::ofPtr(dst), RtValue::ofPtr(src)}, diags);
+  ASSERT_TRUE(result.has_value()) << diags.str();
+  EXPECT_EQ(dst[0], 1.5);
+  EXPECT_EQ(dst[3], 4.5);
+}
+
+TEST(Interp, FMulAddIntrinsic) {
+  Program p(R"(
+declare double @llvm.fmuladd.f64(double, double, double)
+
+define double @f(double %a, double %b, double %c) {
+entry:
+  %r = call double @llvm.fmuladd.f64(double %a, double %b, double %c)
+  ret double %r
+}
+)");
+  DiagnosticEngine diags;
+  auto result = p.run("f",
+                      {RtValue::ofFloat(2.0), RtValue::ofFloat(3.0),
+                       RtValue::ofFloat(4.0)},
+                      diags);
+  EXPECT_EQ(result->f, 10.0);
+}
+
+TEST(Interp, IntegerWidthSemantics) {
+  Program p(R"(
+define i64 @f(i32 %x) {
+entry:
+  %t = trunc i32 %x to i8
+  %s = sext i8 %t to i64
+  ret i64 %s
+}
+)");
+  DiagnosticEngine diags;
+  // 0x180 truncates to i8 0x80 = -128.
+  auto result = p.run("f", {RtValue::ofInt(0x180)}, diags);
+  EXPECT_EQ(result->i, -128);
+}
+
+TEST(Interp, FloatStorageRoundsToF32) {
+  Program p(R"(
+define float @f(float* %p) {
+entry:
+  store float 0.1, float* %p
+  %v = load float, float* %p
+  ret float %v
+}
+)");
+  float storage = 0;
+  DiagnosticEngine diags;
+  auto result = p.run("f", {RtValue::ofPtr(&storage)}, diags);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(static_cast<float>(result->f), 0.1f);
+}
+
+TEST(Interp, DivisionByZeroDiagnosed) {
+  Program p(R"(
+define i64 @f(i64 %x) {
+entry:
+  %r = sdiv i64 %x, 0
+  ret i64 %r
+}
+)");
+  DiagnosticEngine diags;
+  auto result = p.run("f", {RtValue::ofInt(5)}, diags);
+  EXPECT_FALSE(result.has_value());
+  EXPECT_NE(diags.str().find("division by zero"), std::string::npos);
+}
+
+TEST(Interp, StepLimitStopsInfiniteLoop) {
+  Program p(R"(
+define void @f() {
+entry:
+  br label %spin
+spin:
+  br label %spin
+}
+)");
+  DiagnosticEngine diags;
+  Interpreter interp(*p.module);
+  interp.stepLimit = 1000;
+  auto result = interp.run(p.module->getFunction("f"), {}, diags);
+  EXPECT_FALSE(result.has_value());
+  EXPECT_NE(diags.str().find("step limit"), std::string::npos);
+}
+
+TEST(Interp, ArgCountMismatchDiagnosed) {
+  Program p(R"(
+define void @f(i64 %x) {
+entry:
+  ret void
+}
+)");
+  DiagnosticEngine diags;
+  Interpreter interp(*p.module);
+  auto result = interp.run(p.module->getFunction("f"), {}, diags);
+  EXPECT_FALSE(result.has_value());
+  EXPECT_NE(diags.str().find("expects 1 args"), std::string::npos);
+}

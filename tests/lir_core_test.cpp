@@ -1,0 +1,209 @@
+// Unit tests for the MiniLLVM core: types, constants, use-def chains,
+// instructions, blocks, functions, metadata.
+#include "lir/IRBuilder.h"
+#include "lir/LContext.h"
+
+#include <gtest/gtest.h>
+
+using namespace mha;
+using namespace mha::lir;
+
+TEST(LirTypes, Uniquing) {
+  LContext ctx;
+  EXPECT_EQ(ctx.i32(), ctx.intTy(32));
+  EXPECT_NE(ctx.i32(), ctx.i64());
+  EXPECT_EQ(ctx.ptrTy(ctx.doubleTy()), ctx.ptrTy(ctx.doubleTy()));
+  EXPECT_NE(ctx.ptrTy(ctx.doubleTy()), ctx.opaquePtrTy());
+  EXPECT_EQ(ctx.arrayTy(ctx.doubleTy(), 8), ctx.arrayTy(ctx.doubleTy(), 8));
+  EXPECT_NE(ctx.arrayTy(ctx.doubleTy(), 8), ctx.arrayTy(ctx.doubleTy(), 9));
+  EXPECT_EQ(ctx.fnTy(ctx.voidTy(), {ctx.i32()}),
+            ctx.fnTy(ctx.voidTy(), {ctx.i32()}));
+}
+
+TEST(LirTypes, Strings) {
+  LContext ctx;
+  EXPECT_EQ(ctx.i1()->str(), "i1");
+  EXPECT_EQ(ctx.doubleTy()->str(), "double");
+  EXPECT_EQ(ctx.opaquePtrTy()->str(), "ptr");
+  EXPECT_EQ(ctx.ptrTy(ctx.floatTy())->str(), "float*");
+  EXPECT_EQ(ctx.arrayTy(ctx.arrayTy(ctx.doubleTy(), 4), 2)->str(),
+            "[2 x [4 x double]]");
+}
+
+TEST(LirTypes, Sizes) {
+  LContext ctx;
+  EXPECT_EQ(ctx.i1()->sizeInBytes(), 1u);
+  EXPECT_EQ(ctx.i32()->sizeInBytes(), 4u);
+  EXPECT_EQ(ctx.doubleTy()->sizeInBytes(), 8u);
+  EXPECT_EQ(ctx.opaquePtrTy()->sizeInBytes(), 8u);
+  EXPECT_EQ(ctx.arrayTy(ctx.doubleTy(), 16)->sizeInBytes(), 128u);
+  EXPECT_EQ(ctx.structTy("", {ctx.i64(), ctx.doubleTy()})->sizeInBytes(),
+            16u);
+}
+
+TEST(LirConstants, UniquingAndNormalization) {
+  LContext ctx;
+  EXPECT_EQ(ctx.constI64(7), ctx.constI64(7));
+  EXPECT_NE(ctx.constI64(7), ctx.constI64(8));
+  EXPECT_NE(ctx.constI64(7), ctx.constI32(7));
+  // i1 values normalize: true is stored canonically.
+  EXPECT_EQ(ctx.constI1(true), ctx.constInt(ctx.i1(), 1));
+  EXPECT_EQ(ctx.constI1(false), ctx.constInt(ctx.i1(), 0));
+  EXPECT_EQ(ctx.constFP(ctx.doubleTy(), 1.5), ctx.constFP(ctx.doubleTy(), 1.5));
+  EXPECT_EQ(ctx.undef(ctx.i32()), ctx.undef(ctx.i32()));
+}
+
+TEST(LirValues, UseDefAndRAUW) {
+  LContext ctx;
+  Module module(ctx, "m");
+  Function *fn = module.createFunction(ctx.fnTy(ctx.voidTy(), {ctx.i64()}),
+                                       "f");
+  BasicBlock *bb = fn->createBlock("entry");
+  IRBuilder builder(ctx);
+  builder.setInsertPoint(bb);
+
+  Argument *arg = fn->arg(0);
+  Instruction *add1 = builder.createAdd(arg, ctx.constI64(1));
+  Instruction *add2 = builder.createAdd(add1, arg);
+  builder.createRet();
+
+  EXPECT_EQ(arg->numUses(), 2u);
+  EXPECT_EQ(add1->numUses(), 1u);
+  EXPECT_EQ(add2->operand(0), add1);
+
+  // RAUW: all uses of arg become the constant.
+  arg->replaceAllUsesWith(ctx.constI64(5));
+  EXPECT_EQ(arg->numUses(), 0u);
+  EXPECT_EQ(add1->operand(0), ctx.constI64(5));
+  EXPECT_EQ(add2->operand(1), ctx.constI64(5));
+}
+
+TEST(LirValues, OperandRemovalReindexes) {
+  LContext ctx;
+  Module module(ctx, "m");
+  Function *fn = module.createFunction(ctx.fnTy(ctx.voidTy(), {}), "f");
+  BasicBlock *bb = fn->createBlock("entry");
+  IRBuilder builder(ctx);
+  builder.setInsertPoint(bb);
+  Instruction *phi = builder.createPhi(ctx.i64());
+  BasicBlock *p1 = fn->createBlock("p1");
+  BasicBlock *p2 = fn->createBlock("p2");
+  phi->addIncoming(ctx.constI64(1), p1);
+  phi->addIncoming(ctx.constI64(2), p2);
+  EXPECT_EQ(phi->numIncoming(), 2u);
+  phi->removeIncoming(p1);
+  EXPECT_EQ(phi->numIncoming(), 1u);
+  EXPECT_EQ(phi->incomingBlock(0), p2);
+  EXPECT_EQ(phi->incomingValue(0), ctx.constI64(2));
+  // The remaining use's index must be consistent.
+  EXPECT_EQ(phi->incomingValueFor(p2), ctx.constI64(2));
+  EXPECT_EQ(phi->incomingValueFor(p1), nullptr);
+  phi->dropAllOperands();
+}
+
+TEST(LirInstructions, CloneCopiesPayloadAndMetadata) {
+  LContext ctx;
+  Module module(ctx, "m");
+  Function *fn = module.createFunction(ctx.fnTy(ctx.voidTy(), {ctx.i64()}),
+                                       "f");
+  BasicBlock *bb = fn->createBlock("entry");
+  IRBuilder builder(ctx);
+  builder.setInsertPoint(bb);
+  Instruction *cmp =
+      builder.createICmp(CmpPred::SLT, fn->arg(0), ctx.constI64(10));
+  cmp->setMetadata("xlx.pipeline", MDNode::ofInt(2));
+
+  auto clone = cmp->clone();
+  EXPECT_EQ(clone->opcode(), Opcode::ICmp);
+  EXPECT_EQ(clone->predicate(), CmpPred::SLT);
+  EXPECT_EQ(clone->operand(0), fn->arg(0));
+  ASSERT_NE(clone->getMetadata("xlx.pipeline"), nullptr);
+  EXPECT_EQ(clone->getMetadata("xlx.pipeline")->getInt(0), 2);
+  clone->dropAllOperands();
+  // Original unaffected.
+  EXPECT_EQ(cmp->numOperands(), 2u);
+}
+
+TEST(LirInstructions, SuccessorsAndReplace) {
+  LContext ctx;
+  Module module(ctx, "m");
+  Function *fn = module.createFunction(
+      ctx.fnTy(ctx.voidTy(), {ctx.intTy(1)}), "f");
+  BasicBlock *entry = fn->createBlock("entry");
+  BasicBlock *a = fn->createBlock("a");
+  BasicBlock *b = fn->createBlock("b");
+  BasicBlock *c = fn->createBlock("c");
+  IRBuilder builder(ctx);
+  builder.setInsertPoint(entry);
+  Instruction *br = builder.createCondBr(fn->arg(0), a, b);
+  EXPECT_EQ(br->successors(), (std::vector<BasicBlock *>{a, b}));
+  br->replaceSuccessor(b, c);
+  EXPECT_EQ(br->successors(), (std::vector<BasicBlock *>{a, c}));
+  EXPECT_EQ(entry->successors().size(), 2u);
+  EXPECT_EQ(a->predecessors(), (std::vector<BasicBlock *>{entry}));
+  EXPECT_TRUE(b->predecessors().empty());
+}
+
+TEST(LirFunctions, ResetSignature) {
+  LContext ctx;
+  Module module(ctx, "m");
+  Function *fn = module.createFunction(
+      ctx.fnTy(ctx.voidTy(), {ctx.i64(), ctx.i64()}), "f");
+  EXPECT_EQ(fn->numArgs(), 2u);
+  std::vector<Argument *> newArgs =
+      fn->resetSignature(ctx.fnTy(ctx.voidTy(), {ctx.opaquePtrTy()}));
+  EXPECT_EQ(fn->numArgs(), 1u);
+  EXPECT_EQ(newArgs[0]->type(), ctx.opaquePtrTy());
+  EXPECT_EQ(newArgs[0]->index(), 0u);
+}
+
+TEST(LirMetadata, TreeOperations) {
+  MDNode node;
+  node.addInt(42).addString("hello").addFP(2.5);
+  auto child = std::make_unique<MDNode>();
+  child->addInt(7);
+  node.addNode(std::move(child));
+
+  EXPECT_EQ(node.size(), 4u);
+  EXPECT_TRUE(node.isInt(0));
+  EXPECT_EQ(node.getInt(0), 42);
+  EXPECT_TRUE(node.isString(1));
+  EXPECT_EQ(node.getString(1), "hello");
+  EXPECT_EQ(node.getFP(2), 2.5);
+  EXPECT_EQ(node.getNode(3)->getInt(0), 7);
+
+  auto clone = node.clone();
+  EXPECT_EQ(clone->size(), 4u);
+  EXPECT_EQ(clone->getNode(3)->getInt(0), 7);
+}
+
+TEST(LirModule, FunctionLookupAndFlags) {
+  LContext ctx;
+  Module module(ctx, "m");
+  module.createFunction(ctx.fnTy(ctx.voidTy(), {}), "a");
+  module.createFunction(ctx.fnTy(ctx.voidTy(), {}), "b");
+  EXPECT_NE(module.getFunction("a"), nullptr);
+  EXPECT_EQ(module.getFunction("zz"), nullptr);
+  module.flags()["opaque-pointers"] = "true";
+  EXPECT_TRUE(module.flagIs("opaque-pointers", "true"));
+  EXPECT_FALSE(module.flagIs("opaque-pointers", "false"));
+  EXPECT_FALSE(module.flagIs("missing", "x"));
+}
+
+TEST(LirModule, CrossFunctionCallDestruction) {
+  // A module where f calls g must destruct cleanly regardless of order.
+  LContext ctx;
+  auto module = std::make_unique<Module>(ctx, "m");
+  Function *g = module->createFunction(ctx.fnTy(ctx.voidTy(), {}), "g");
+  BasicBlock *gb = g->createBlock("entry");
+  IRBuilder builder(ctx);
+  builder.setInsertPoint(gb);
+  builder.createRet();
+  Function *f = module->createFunction(ctx.fnTy(ctx.voidTy(), {}), "f");
+  BasicBlock *fb = f->createBlock("entry");
+  builder.setInsertPoint(fb);
+  builder.createCall(g, {});
+  builder.createRet();
+  module.reset(); // must not assert
+  SUCCEED();
+}

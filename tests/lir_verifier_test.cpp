@@ -1,0 +1,219 @@
+// MiniLLVM verifier tests: good IR passes, malformed IR is diagnosed.
+#include "lir/IRBuilder.h"
+#include "lir/LContext.h"
+#include "lir/Parser.h"
+#include "lir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace mha;
+using namespace mha::lir;
+
+namespace {
+
+/// Expects `text` to parse but fail verification with `needle` in the
+/// diagnostics.
+void expectInvalid(const std::string &text, const std::string &needle) {
+  LContext ctx;
+  DiagnosticEngine parseDiags;
+  auto module = parseModule(text, ctx, parseDiags);
+  ASSERT_NE(module, nullptr) << parseDiags.str();
+  DiagnosticEngine diags;
+  EXPECT_FALSE(verifyModule(*module, diags));
+  EXPECT_NE(diags.str().find(needle), std::string::npos) << diags.str();
+}
+
+void expectValid(const std::string &text) {
+  LContext ctx;
+  DiagnosticEngine parseDiags;
+  auto module = parseModule(text, ctx, parseDiags);
+  ASSERT_NE(module, nullptr) << parseDiags.str();
+  DiagnosticEngine diags;
+  EXPECT_TRUE(verifyModule(*module, diags)) << diags.str();
+}
+
+} // namespace
+
+TEST(LirVerifier, AcceptsWellFormedLoop) {
+  expectValid(R"(
+define void @f(ptr %p) {
+entry:
+  br label %header
+header:
+  %iv = phi i64 [ 0, %entry ], [ %next, %body ]
+  %cmp = icmp slt i64 %iv, 8
+  br i1 %cmp, label %body, label %exit
+body:
+  %next = add i64 %iv, 1
+  br label %header
+exit:
+  ret void
+}
+)");
+}
+
+TEST(LirVerifier, MissingTerminator) {
+  LContext ctx;
+  Module module(ctx, "m");
+  Function *fn = module.createFunction(ctx.fnTy(ctx.voidTy(), {}), "f");
+  fn->createBlock("entry"); // empty block, no terminator
+  DiagnosticEngine diags;
+  EXPECT_FALSE(verifyModule(module, diags));
+  EXPECT_NE(diags.str().find("no terminator"), std::string::npos);
+}
+
+TEST(LirVerifier, PhiMissingPredecessor) {
+  expectInvalid(R"(
+define void @f(i1 %c) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  br label %join
+b:
+  br label %join
+join:
+  %phi = phi i64 [ 1, %a ]
+  ret void
+}
+)",
+                "missing an entry for predecessor");
+}
+
+TEST(LirVerifier, PhiFromNonPredecessor) {
+  expectInvalid(R"(
+define void @f() {
+entry:
+  br label %next
+other:
+  br label %next
+next:
+  %phi = phi i64 [ 1, %entry ], [ 2, %other ], [ 3, %next ]
+  ret void
+}
+)",
+                "not a predecessor");
+}
+
+TEST(LirVerifier, BinopTypeMismatch) {
+  // Built via API (parser would coerce constants).
+  LContext ctx;
+  Module module(ctx, "m");
+  Function *fn = module.createFunction(
+      ctx.fnTy(ctx.voidTy(), {ctx.i64(), ctx.i32()}), "f");
+  BasicBlock *bb = fn->createBlock("entry");
+  // Hand-assemble a bad add (bypassing the builder's assert).
+  auto bad = std::make_unique<Instruction>(Opcode::Add, ctx.i64());
+  bad->addOperand(fn->arg(0));
+  bad->addOperand(fn->arg(1));
+  bb->append(std::move(bad));
+  IRBuilder builder(ctx);
+  builder.setInsertPoint(bb);
+  builder.createRet();
+  DiagnosticEngine diags;
+  EXPECT_FALSE(verifyModule(module, diags));
+  EXPECT_NE(diags.str().find("type mismatch"), std::string::npos);
+}
+
+TEST(LirVerifier, UseBeforeDef) {
+  expectInvalid(R"(
+define void @f() {
+entry:
+  %0 = add i64 %1, 1
+  %1 = add i64 2, 3
+  ret void
+}
+)",
+                "does not dominate");
+}
+
+TEST(LirVerifier, UseNotDominatingAcrossBlocks) {
+  expectInvalid(R"(
+define void @f(i1 %c) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  %x = add i64 1, 2
+  br label %join
+b:
+  br label %join
+join:
+  %y = add i64 %x, 1
+  ret void
+}
+)",
+                "does not dominate");
+}
+
+TEST(LirVerifier, TypedPointerPointeeMismatch) {
+  expectInvalid(R"(
+define void @f(double* %p) {
+entry:
+  %0 = load i64, double* %p
+  ret void
+}
+)",
+                "pointee does not match");
+}
+
+TEST(LirVerifier, CallArgumentMismatch) {
+  expectInvalid(R"(
+declare double @hls_sqrt(double)
+
+define void @f(i64 %x) {
+entry:
+  %0 = call double @hls_sqrt(i64 %x)
+  ret void
+}
+)",
+                "argument 0 type mismatch");
+}
+
+TEST(LirVerifier, RetTypeMismatch) {
+  LContext ctx;
+  Module module(ctx, "m");
+  Function *fn = module.createFunction(ctx.fnTy(ctx.voidTy(), {}), "f");
+  BasicBlock *bb = fn->createBlock("entry");
+  IRBuilder builder(ctx);
+  builder.setInsertPoint(bb);
+  builder.createRet(ctx.constI64(1)); // void fn returning a value
+  DiagnosticEngine diags;
+  EXPECT_FALSE(verifyModule(module, diags));
+  EXPECT_NE(diags.str().find("ret"), std::string::npos);
+}
+
+TEST(LirVerifier, CondBrNonBoolCondition) {
+  LContext ctx;
+  Module module(ctx, "m");
+  Function *fn =
+      module.createFunction(ctx.fnTy(ctx.voidTy(), {ctx.i64()}), "f");
+  BasicBlock *entry = fn->createBlock("entry");
+  BasicBlock *a = fn->createBlock("a");
+  BasicBlock *b = fn->createBlock("b");
+  auto bad = std::make_unique<Instruction>(Opcode::CondBr, ctx.voidTy());
+  bad->addOperand(fn->arg(0)); // i64 condition
+  bad->addOperand(a);
+  bad->addOperand(b);
+  entry->append(std::move(bad));
+  IRBuilder builder(ctx);
+  builder.setInsertPoint(a);
+  builder.createRet();
+  builder.setInsertPoint(b);
+  builder.createRet();
+  DiagnosticEngine diags;
+  EXPECT_FALSE(verifyModule(module, diags));
+  EXPECT_NE(diags.str().find("not i1"), std::string::npos);
+}
+
+TEST(LirVerifier, TerminatorMidBlock) {
+  LContext ctx;
+  Module module(ctx, "m");
+  Function *fn = module.createFunction(ctx.fnTy(ctx.voidTy(), {}), "f");
+  BasicBlock *bb = fn->createBlock("entry");
+  IRBuilder builder(ctx);
+  builder.setInsertPoint(bb);
+  builder.createRet();
+  builder.createRet(); // second terminator
+  DiagnosticEngine diags;
+  EXPECT_FALSE(verifyModule(module, diags));
+  EXPECT_NE(diags.str().find("middle of a block"), std::string::npos);
+}

@@ -1,0 +1,281 @@
+// Property-based/parameterized tests over randomized inputs:
+//  * random affine kernels survive lowering+adaptor with bit-exact
+//    semantics (the adaptor is a semantics-preserving bridge),
+//  * random linear addresses delinearize consistently,
+//  * scheduling invariants: achieved II >= max(RecMII, ResMII, target).
+#include "adaptor/Adaptor.h"
+#include "adaptor/ShapeInfo.h"
+#include "flow/Flow.h"
+#include "lir/Parser.h"
+#include "lir/analysis/Dependence.h"
+#include "mir/Builder.h"
+#include "support/StringUtils.h"
+#include "mir/Pass.h"
+#include "mir/Verifier.h"
+#include "mir/transforms/MirTransforms.h"
+#include "vhls/Vhls.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace mha;
+
+namespace {
+
+/// Deterministic PRNG per seed.
+struct Rng {
+  std::mt19937_64 gen;
+  explicit Rng(uint64_t seed) : gen(seed) {}
+  int64_t range(int64_t lo, int64_t hi) {
+    return std::uniform_int_distribution<int64_t>(lo, hi)(gen);
+  }
+  bool flip() { return range(0, 1) == 1; }
+};
+
+/// Builds a random 2-level affine kernel over two 2-D arrays:
+///   for i in [0,N): for j in [0,M):
+///     B[f(i,j)] = g(A[h(i,j)], B[...]) with random linear subscripts and
+///     a random arithmetic expression tree.
+struct RandomKernel {
+  flow::KernelSpec spec;
+  int64_t rows, cols;
+  int64_t ra, rb, ca, cb; // subscript coefficients for the A access
+  int64_t mode;           // expression shape selector
+
+  int64_t lb0, step0; // randomized outer-loop bounds
+
+  explicit RandomKernel(uint64_t seed) {
+    Rng rng(seed);
+    rows = rng.range(4, 12);
+    cols = rng.range(4, 12);
+    ra = rng.range(0, 1);
+    rb = rng.range(0, 2);
+    ca = rng.range(0, 1);
+    cb = rng.range(0, 2);
+    mode = rng.range(0, 3);
+    lb0 = rng.range(0, 2);
+    step0 = rng.range(1, 2);
+    if (lb0 >= rows)
+      lb0 = 0;
+    // Keep subscripts in range: dims sized to fit the max index.
+    int64_t dimA0 = rows * std::max<int64_t>(ra, 1) + rb * cols + 1;
+    int64_t dimA1 = cols * std::max<int64_t>(ca, 1) + cb + 1;
+
+    spec.name = "rand";
+    spec.bufferShapes = {{dimA0, dimA1}, {rows, cols}};
+    spec.outputs = {1};
+    int64_t r = rows, c = cols, m = mode;
+    int64_t lra = ra, lrb = rb, lca = ca, lcb = cb;
+    int64_t llb = lb0, lstep = step0;
+    spec.build = [=](mir::MContext &ctx, const flow::KernelConfig &cfg) {
+      mir::OpBuilder b(ctx);
+      mir::OwnedModule module = mir::OpBuilder::createModule();
+      b.setInsertPoint(module.get().body());
+      mir::FuncOp fn = b.createFunc(
+          "rand", ctx.fnTy({ctx.memrefTy({dimA0, dimA1}, ctx.f64()),
+                            ctx.memrefTy({r, c}, ctx.f64())},
+                           {}));
+      b.setInsertPoint(fn.entryBlock());
+      mir::ForOp iLoop = b.affineFor(llb, r, lstep);
+      b.setInsertPointToLoopBody(iLoop);
+      mir::ForOp jLoop = b.affineFor(0, c);
+      if (cfg.applyDirectives && cfg.pipelineII > 0)
+        mir::setPipelineDirective(jLoop, cfg.pipelineII);
+      b.setInsertPointToLoopBody(jLoop);
+      mir::Value *i = iLoop.inductionVar();
+      mir::Value *j = jLoop.inductionVar();
+      // A[lra*i + lrb*j][lca*j + lcb]
+      mir::AffineMap aMap(
+          2, 0,
+          {ctx.affineAdd(
+               ctx.affineMul(ctx.affineDim(0), ctx.affineConst(lra)),
+               ctx.affineMul(ctx.affineDim(1), ctx.affineConst(lrb))),
+           ctx.affineAdd(
+               ctx.affineMul(ctx.affineDim(1), ctx.affineConst(lca)),
+               ctx.affineConst(lcb))});
+      mir::Value *a = b.affineLoad(fn.arg(0), aMap, {i, j});
+      mir::Value *old = b.affineLoad(fn.arg(1),
+                                     mir::AffineMap::identity(ctx, 2),
+                                     {i, j});
+      mir::Value *expr = nullptr;
+      switch (m) {
+      case 0:
+        expr = b.binary(mir::ops::AddF, a, old);
+        break;
+      case 1:
+        expr = b.binary(mir::ops::MulF, a,
+                        b.binary(mir::ops::AddF, old,
+                                 b.constantFloat(1.0, ctx.f64())));
+        break;
+      case 2:
+        expr = b.binary(mir::ops::SubF, b.binary(mir::ops::MulF, a, a), old);
+        break;
+      default:
+        expr = b.binary(mir::ops::DivF, a,
+                        b.binary(mir::ops::AddF,
+                                 b.binary(mir::ops::MulF, old, old),
+                                 b.constantFloat(1.5, ctx.f64())));
+        break;
+      }
+      b.affineStore(expr, fn.arg(1), mir::AffineMap::identity(ctx, 2),
+                    {i, j});
+      b.setInsertPoint(fn.entryBlock());
+      b.createReturn();
+      return module;
+    };
+    int64_t da0 = dimA0, da1 = dimA1;
+    spec.reference = [=](flow::Buffers &buf) {
+      auto &A = buf[0];
+      auto &B = buf[1];
+      (void)da0;
+      for (int64_t i = llb; i < r; i += lstep)
+        for (int64_t j = 0; j < c; ++j) {
+          double a = A[(lra * i + lrb * j) * da1 + (lca * j + lcb)];
+          double old = B[i * c + j];
+          double v;
+          switch (m) {
+          case 0: v = a + old; break;
+          case 1: v = a * (old + 1.0); break;
+          case 2: v = (a * a) - old; break;
+          default: v = a / ((old * old) + 1.5); break;
+          }
+          B[i * c + j] = v;
+        }
+    };
+  }
+};
+
+class RandomKernelTest : public ::testing::TestWithParam<uint64_t> {};
+
+} // namespace
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomKernelTest,
+                         ::testing::Range<uint64_t>(0, 24));
+
+TEST_P(RandomKernelTest, AdaptorFlowPreservesSemantics) {
+  RandomKernel kernel(GetParam());
+  flow::KernelConfig config;
+  config.pipelineII = 1;
+  flow::FlowResult result = flow::runAdaptorFlow(kernel.spec, config);
+  ASSERT_TRUE(result.ok) << result.diagnostics;
+  EXPECT_EQ(result.synth.compat.warnings, 0) << result.diagnostics;
+  std::string error;
+  EXPECT_TRUE(flow::cosimAgainstReference(result, kernel.spec, error))
+      << error;
+}
+
+TEST_P(RandomKernelTest, BothFlowsAgreeBitExactly) {
+  RandomKernel kernel(GetParam());
+  flow::KernelConfig config;
+  config.pipelineII = 1;
+  flow::FlowResult a = flow::runAdaptorFlow(kernel.spec, config);
+  flow::FlowResult c = flow::runHlsCppFlow(kernel.spec, config);
+  ASSERT_TRUE(a.ok) << a.diagnostics;
+  ASSERT_TRUE(c.ok) << c.diagnostics;
+  std::string error;
+  EXPECT_TRUE(flow::cosimAgainstReference(a, kernel.spec, error)) << error;
+  EXPECT_TRUE(flow::cosimAgainstReference(c, kernel.spec, error)) << error;
+}
+
+TEST_P(RandomKernelTest, ScheduleInvariants) {
+  RandomKernel kernel(GetParam());
+  flow::KernelConfig config;
+  config.pipelineII = 1;
+  flow::FlowResult result = flow::runAdaptorFlow(kernel.spec, config);
+  ASSERT_TRUE(result.ok) << result.diagnostics;
+  for (const vhls::LoopReport &loop : result.synth.top()->loops) {
+    if (!loop.pipelined)
+      continue;
+    EXPECT_GE(loop.achievedII, loop.recMII);
+    EXPECT_GE(loop.achievedII, loop.resMII);
+    EXPECT_GE(loop.achievedII, loop.targetII);
+    EXPECT_GE(loop.iterationLatency, 1);
+    if (loop.tripCount > 0) {
+      EXPECT_GE(loop.totalLatency, loop.iterationLatency +
+                                       (loop.tripCount - 1) * loop.achievedII);
+    }
+  }
+}
+
+// --- Delinearization property: decompose(linear(i,j)) reconstructs the
+// same address for random shapes/coefficients. ---
+
+namespace {
+class DelinearizeTest : public ::testing::TestWithParam<uint64_t> {};
+} // namespace
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DelinearizeTest,
+                         ::testing::Range<uint64_t>(100, 120));
+
+TEST_P(DelinearizeTest, RoundTripsThroughGepCanonicalize) {
+  Rng rng(GetParam());
+  int64_t d0 = rng.range(2, 16);
+  int64_t d1 = rng.range(2, 16);
+  int64_t cI = rng.range(0, 2);
+  int64_t cC = rng.range(0, d1 - 1);
+
+  // Build:  addr = iv*(cI*d1) + (cC)  (i.e. A[cI*iv][cC]) and check the
+  // adaptor recovers exactly those indices.
+  lir::LContext ctx;
+  DiagnosticEngine diags;
+  std::string text = strfmt(R"(
+!flag opaque-pointers = "true"
+
+define void @k(ptr !mha.shape !{!"f64", i64 2, i64 %lld, i64 %lld} %%A) {
+entry:
+  br label %%header
+header:
+  %%iv = phi i64 [ 0, %%entry ], [ %%next, %%body ]
+  %%cmp = icmp slt i64 %%iv, 2
+  br i1 %%cmp, label %%body, label %%exit
+body:
+  %%scaled = mul i64 %%iv, %lld
+  %%lin = add i64 %%scaled, %lld
+  %%addr = getelementptr double, ptr %%A, i64 %%lin
+  %%v = load double, ptr %%addr
+  store double %%v, ptr %%addr
+  %%next = add i64 %%iv, 1
+  br label %%header
+exit:
+  ret void
+}
+)",
+                            static_cast<long long>(d0),
+                            static_cast<long long>(d1),
+                            static_cast<long long>(cI * d1),
+                            static_cast<long long>(cC));
+  auto module = lir::parseModule(text, ctx, diags);
+  ASSERT_NE(module, nullptr) << diags.str() << text;
+  lir::PassManager pm(true);
+  pm.add(adaptor::createGepCanonicalizePass());
+  ASSERT_TRUE(pm.run(*module, diags)) << diags.str();
+  EXPECT_EQ(pm.totalStats().at("adaptor.geps-delinearized"), 1);
+
+  // Interpret both index expressions: evaluate the shaped GEP's indices
+  // at iv=1 and compare with the original linear form.
+  lir::Function *fn = module->getFunction("k");
+  const lir::Instruction *gep = nullptr;
+  for (lir::BasicBlock *bb : fn->blockPtrs())
+    for (auto &inst : *bb)
+      if (inst->opcode() == lir::Opcode::GEP &&
+          inst->sourceElemType()->isArray())
+        gep = inst.get();
+  ASSERT_NE(gep, nullptr);
+  // Expected: [0][cI*iv][cC] with strides d1, 1 — reconstruct linear.
+  // Evaluate indices symbolically via linearizeInIV.
+  const lir::Value *iv = nullptr;
+  for (lir::BasicBlock *bb : fn->blockPtrs())
+    for (lir::Instruction *phi : bb->phis())
+      iv = phi;
+  ASSERT_NE(iv, nullptr);
+  int64_t reconstructed = 0;
+  std::vector<int64_t> strides = {d1, 1};
+  for (unsigned idx = 2; idx < gep->numOperands(); ++idx) {
+    lir::LinearSubscript sub = lir::linearizeInIV(gep->operand(idx), iv);
+    ASSERT_TRUE(sub.valid);
+    ASSERT_TRUE(sub.symbols.empty());
+    reconstructed += (sub.ivCoef * 1 + sub.constant) * strides[idx - 2];
+  }
+  EXPECT_EQ(reconstructed, cI * d1 * 1 + cC);
+}

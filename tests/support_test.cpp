@@ -1,0 +1,100 @@
+// Unit tests for the support library.
+#include "support/Diagnostics.h"
+#include "support/StringUtils.h"
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+using namespace mha;
+
+TEST(StringUtils, StrFmt) {
+  EXPECT_EQ(strfmt("x=%d", 42), "x=42");
+  EXPECT_EQ(strfmt("%s-%s", "a", "b"), "a-b");
+  EXPECT_EQ(strfmt("%.2f", 1.5), "1.50");
+  EXPECT_EQ(strfmt("empty"), "empty");
+}
+
+TEST(StringUtils, Split) {
+  EXPECT_EQ(splitString("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(splitString("a,,c", ','), (std::vector<std::string>{"a", "c"}));
+  EXPECT_EQ(splitString("a,,c", ',', /*keepEmpty=*/true),
+            (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_TRUE(splitString("", ',').empty());
+  EXPECT_EQ(splitString("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(StringUtils, Trim) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("x"), "x");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("\ta b\n"), "a b");
+}
+
+TEST(StringUtils, StartsEndsWith) {
+  EXPECT_TRUE(startsWith("llvm.memcpy", "llvm."));
+  EXPECT_FALSE(startsWith("l", "llvm."));
+  EXPECT_TRUE(endsWith("foo.f32", ".f32"));
+  EXPECT_FALSE(endsWith("f32", "xf32"));
+}
+
+TEST(StringUtils, Join) {
+  EXPECT_EQ(joinStrings({"a", "b"}, ", "), "a, b");
+  EXPECT_EQ(joinStrings({}, ","), "");
+  EXPECT_EQ(joinStrings({"only"}, ","), "only");
+}
+
+TEST(StringUtils, ValidIdentifier) {
+  EXPECT_TRUE(isValidIdentifier("foo"));
+  EXPECT_TRUE(isValidIdentifier("_x1"));
+  EXPECT_TRUE(isValidIdentifier("a.b"));
+  EXPECT_FALSE(isValidIdentifier(""));
+  EXPECT_FALSE(isValidIdentifier("1a"));
+  EXPECT_FALSE(isValidIdentifier("a b"));
+}
+
+TEST(Diagnostics, CollectsAndCounts) {
+  DiagnosticEngine diags;
+  EXPECT_FALSE(diags.hadError());
+  diags.warning("careful");
+  EXPECT_FALSE(diags.hadError());
+  diags.error("boom", {3, 7});
+  EXPECT_TRUE(diags.hadError());
+  EXPECT_EQ(diags.errorCount(), 1u);
+  EXPECT_EQ(diags.diagnostics().size(), 2u);
+  EXPECT_NE(diags.str().find("3:7: error: boom"), std::string::npos);
+  EXPECT_NE(diags.str().find("warning: careful"), std::string::npos);
+  diags.clear();
+  EXPECT_FALSE(diags.hadError());
+  EXPECT_TRUE(diags.diagnostics().empty());
+}
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i)
+    pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ParallelFor) {
+  ThreadPool pool(3);
+  std::vector<int> data(257, 0);
+  parallelFor(pool, data.size(), [&](size_t i) { data[i] = static_cast<int>(i); });
+  long long sum = std::accumulate(data.begin(), data.end(), 0ll);
+  EXPECT_EQ(sum, 257ll * 256 / 2);
+}
+
+TEST(ThreadPool, ReusableAfterWait) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.submit([&] { counter++; });
+  pool.wait();
+  pool.submit([&] { counter++; });
+  pool.wait();
+  EXPECT_EQ(counter.load(), 2);
+}

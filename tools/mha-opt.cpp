@@ -1,0 +1,178 @@
+// mha-opt - opt-style driver over MiniLLVM textual IR.
+//
+//   mha-opt [file.ll] --passes=mem2reg,simplifycfg,adaptor --verify
+//   mha-opt file.ll --passes=hls-compat-check
+//   mha-opt file.ll --synthesize [--top=name] [--json]
+//
+// Reads from stdin when no file is given. Pass names:
+//   mem2reg simplifycfg instcombine cse dce licm
+//   descriptor-elim intrinsic-legalize gep-canonicalize ptr-recovery
+//   metadata-convert attr-scrub adaptor (= the full pipeline)
+//   hls-compat-check (report only)
+#include "adaptor/Adaptor.h"
+#include "lir/HlsCompat.h"
+#include "lir/LContext.h"
+#include "lir/Parser.h"
+#include "lir/Printer.h"
+#include "lir/Verifier.h"
+#include "lir/transforms/Transforms.h"
+#include "support/StringUtils.h"
+#include "vhls/Vhls.h"
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+using namespace mha;
+
+namespace {
+
+std::unique_ptr<lir::ModulePass> makePass(const std::string &name) {
+  if (name == "mem2reg")
+    return lir::createMem2RegPass();
+  if (name == "simplifycfg")
+    return lir::createSimplifyCFGPass();
+  if (name == "instcombine")
+    return lir::createInstCombinePass();
+  if (name == "cse")
+    return lir::createCSEPass();
+  if (name == "dce")
+    return lir::createDCEPass();
+  if (name == "licm")
+    return lir::createLICMPass();
+  if (name == "descriptor-elim")
+    return adaptor::createDescriptorEliminationPass();
+  if (name == "intrinsic-legalize")
+    return adaptor::createIntrinsicLegalizePass();
+  if (name == "gep-canonicalize")
+    return adaptor::createGepCanonicalizePass();
+  if (name == "ptr-recovery")
+    return adaptor::createPointerTypeRecoveryPass();
+  if (name == "metadata-convert")
+    return adaptor::createMetadataConvertPass();
+  if (name == "attr-scrub")
+    return adaptor::createAttributeScrubPass();
+  if (name == "hls-compat-check")
+    return adaptor::createHlsCompatVerifyPass();
+  return nullptr;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: mha-opt [file.ll] [--passes=p1,p2,...] [--verify] "
+               "[--stats]\n"
+               "               [--synthesize [--top=name] [--json] "
+               "[--strict]]\n");
+  return 2;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string file;
+  std::string passList;
+  bool verify = false, stats = false, synthesizeIt = false, json = false;
+  bool strict = false;
+  std::string top;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (startsWith(arg, "--passes="))
+      passList = arg.substr(9);
+    else if (arg == "--verify")
+      verify = true;
+    else if (arg == "--stats")
+      stats = true;
+    else if (arg == "--synthesize")
+      synthesizeIt = true;
+    else if (arg == "--json")
+      json = true;
+    else if (arg == "--strict")
+      strict = true;
+    else if (startsWith(arg, "--top="))
+      top = arg.substr(6);
+    else if (arg == "--help" || arg == "-h")
+      return usage();
+    else if (arg[0] != '-')
+      file = arg;
+    else {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      return usage();
+    }
+  }
+
+  std::string source;
+  if (file.empty()) {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    source = buffer.str();
+  } else {
+    std::ifstream in(file);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", file.c_str());
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    source = buffer.str();
+  }
+
+  lir::LContext ctx;
+  DiagnosticEngine diags;
+  auto module = lir::parseModule(source, ctx, diags);
+  if (!module) {
+    std::fprintf(stderr, "parse error:\n%s", diags.str().c_str());
+    return 1;
+  }
+  if (verify) {
+    DiagnosticEngine verifyDiags;
+    if (!lir::verifyModule(*module, verifyDiags)) {
+      std::fprintf(stderr, "verification failed:\n%s",
+                   verifyDiags.str().c_str());
+      return 1;
+    }
+  }
+
+  if (!passList.empty()) {
+    lir::PassManager pm(/*verifyEach=*/true);
+    for (const std::string &name : splitString(passList, ',')) {
+      if (name == "adaptor") {
+        adaptor::buildAdaptorPipeline(pm, {});
+        continue;
+      }
+      auto pass = makePass(name);
+      if (!pass) {
+        std::fprintf(stderr, "unknown pass '%s'\n", name.c_str());
+        return 2;
+      }
+      pm.add(std::move(pass));
+    }
+    DiagnosticEngine passDiags;
+    bool ok = pm.run(*module, passDiags);
+    if (!passDiags.diagnostics().empty())
+      std::fprintf(stderr, "%s", passDiags.str().c_str());
+    if (stats)
+      for (const lir::PassRunRecord &record : pm.records())
+        for (const auto &[key, value] : record.stats)
+          std::fprintf(stderr, "%-40s %lld\n", key.c_str(),
+                       static_cast<long long>(value));
+    if (!ok)
+      return 1;
+  }
+
+  if (synthesizeIt) {
+    vhls::SynthesisOptions options;
+    options.topFunction = top;
+    options.strictAcceptance = strict;
+    DiagnosticEngine synthDiags;
+    vhls::SynthesisReport report =
+        vhls::synthesize(*module, options, synthDiags);
+    if (!synthDiags.diagnostics().empty())
+      std::fprintf(stderr, "%s", synthDiags.str().c_str());
+    std::fputs(json ? report.json().c_str() : report.str().c_str(), stdout);
+    return report.accepted ? 0 : 1;
+  }
+
+  std::fputs(lir::printModule(*module).c_str(), stdout);
+  return 0;
+}

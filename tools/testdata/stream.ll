@@ -1,0 +1,17 @@
+define void @k([16 x double]* noalias %a) {
+entry:
+  br label %header
+header:
+  %iv = phi i64 [ 0, %entry ], [ %next, %body ]
+  %cmp = icmp slt i64 %iv, 16
+  br i1 %cmp, label %body, label %exit
+body:
+  %addr = getelementptr [16 x double], [16 x double]* %a, i64 0, i64 %iv
+  %v = load double, double* %addr
+  %d = fmul double %v, 2.0
+  store double %d, double* %addr
+  %next = add i64 %iv, 1
+  br label %header, !xlx.pipeline !{i64 1}
+exit:
+  ret void
+}
