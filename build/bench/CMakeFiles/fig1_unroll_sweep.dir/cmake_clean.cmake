@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_unroll_sweep.dir/fig1_unroll_sweep.cpp.o"
+  "CMakeFiles/fig1_unroll_sweep.dir/fig1_unroll_sweep.cpp.o.d"
+  "fig1_unroll_sweep"
+  "fig1_unroll_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_unroll_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

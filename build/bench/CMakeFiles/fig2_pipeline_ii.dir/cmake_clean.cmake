@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_pipeline_ii.dir/fig2_pipeline_ii.cpp.o"
+  "CMakeFiles/fig2_pipeline_ii.dir/fig2_pipeline_ii.cpp.o.d"
+  "fig2_pipeline_ii"
+  "fig2_pipeline_ii.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_pipeline_ii.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_dataflow.dir/fig5_dataflow.cpp.o"
+  "CMakeFiles/fig5_dataflow.dir/fig5_dataflow.cpp.o.d"
+  "fig5_dataflow"
+  "fig5_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

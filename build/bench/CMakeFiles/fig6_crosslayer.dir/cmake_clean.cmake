@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_crosslayer.dir/fig6_crosslayer.cpp.o"
+  "CMakeFiles/fig6_crosslayer.dir/fig6_crosslayer.cpp.o.d"
+  "fig6_crosslayer"
+  "fig6_crosslayer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_crosslayer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_fu_allocation.dir/fig7_fu_allocation.cpp.o"
+  "CMakeFiles/fig7_fu_allocation.dir/fig7_fu_allocation.cpp.o.d"
+  "fig7_fu_allocation"
+  "fig7_fu_allocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_fu_allocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

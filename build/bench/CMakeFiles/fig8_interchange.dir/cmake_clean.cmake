@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_interchange.dir/fig8_interchange.cpp.o"
+  "CMakeFiles/fig8_interchange.dir/fig8_interchange.cpp.o.d"
+  "fig8_interchange"
+  "fig8_interchange.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_interchange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptor_tool.dir/adaptor_tool.cpp.o"
+  "CMakeFiles/adaptor_tool.dir/adaptor_tool.cpp.o.d"
+  "adaptor_tool"
+  "adaptor_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptor_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/textual_kernel.dir/textual_kernel.cpp.o"
+  "CMakeFiles/textual_kernel.dir/textual_kernel.cpp.o.d"
+  "textual_kernel"
+  "textual_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/textual_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("mir")
+subdirs("lir")
+subdirs("lowering")
+subdirs("adaptor")
+subdirs("hlscpp")
+subdirs("vhls")
+subdirs("interp")
+subdirs("flow")

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adaptor/AttributeScrub.cpp" "src/adaptor/CMakeFiles/mha_adaptor.dir/AttributeScrub.cpp.o" "gcc" "src/adaptor/CMakeFiles/mha_adaptor.dir/AttributeScrub.cpp.o.d"
+  "/root/repo/src/adaptor/DescriptorElimination.cpp" "src/adaptor/CMakeFiles/mha_adaptor.dir/DescriptorElimination.cpp.o" "gcc" "src/adaptor/CMakeFiles/mha_adaptor.dir/DescriptorElimination.cpp.o.d"
+  "/root/repo/src/adaptor/GepCanonicalize.cpp" "src/adaptor/CMakeFiles/mha_adaptor.dir/GepCanonicalize.cpp.o" "gcc" "src/adaptor/CMakeFiles/mha_adaptor.dir/GepCanonicalize.cpp.o.d"
+  "/root/repo/src/adaptor/IntrinsicLegalize.cpp" "src/adaptor/CMakeFiles/mha_adaptor.dir/IntrinsicLegalize.cpp.o" "gcc" "src/adaptor/CMakeFiles/mha_adaptor.dir/IntrinsicLegalize.cpp.o.d"
+  "/root/repo/src/adaptor/MetadataConvert.cpp" "src/adaptor/CMakeFiles/mha_adaptor.dir/MetadataConvert.cpp.o" "gcc" "src/adaptor/CMakeFiles/mha_adaptor.dir/MetadataConvert.cpp.o.d"
+  "/root/repo/src/adaptor/Pipeline.cpp" "src/adaptor/CMakeFiles/mha_adaptor.dir/Pipeline.cpp.o" "gcc" "src/adaptor/CMakeFiles/mha_adaptor.dir/Pipeline.cpp.o.d"
+  "/root/repo/src/adaptor/PointerTypeRecovery.cpp" "src/adaptor/CMakeFiles/mha_adaptor.dir/PointerTypeRecovery.cpp.o" "gcc" "src/adaptor/CMakeFiles/mha_adaptor.dir/PointerTypeRecovery.cpp.o.d"
+  "/root/repo/src/adaptor/ShapeInfo.cpp" "src/adaptor/CMakeFiles/mha_adaptor.dir/ShapeInfo.cpp.o" "gcc" "src/adaptor/CMakeFiles/mha_adaptor.dir/ShapeInfo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lir/CMakeFiles/mha_lir.dir/DependInfo.cmake"
+  "/root/repo/build/src/lowering/CMakeFiles/mha_lowering.dir/DependInfo.cmake"
+  "/root/repo/build/src/mir/CMakeFiles/mha_mir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mha_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

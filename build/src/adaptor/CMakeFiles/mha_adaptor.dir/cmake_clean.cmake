@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mha_adaptor.dir/AttributeScrub.cpp.o"
+  "CMakeFiles/mha_adaptor.dir/AttributeScrub.cpp.o.d"
+  "CMakeFiles/mha_adaptor.dir/DescriptorElimination.cpp.o"
+  "CMakeFiles/mha_adaptor.dir/DescriptorElimination.cpp.o.d"
+  "CMakeFiles/mha_adaptor.dir/GepCanonicalize.cpp.o"
+  "CMakeFiles/mha_adaptor.dir/GepCanonicalize.cpp.o.d"
+  "CMakeFiles/mha_adaptor.dir/IntrinsicLegalize.cpp.o"
+  "CMakeFiles/mha_adaptor.dir/IntrinsicLegalize.cpp.o.d"
+  "CMakeFiles/mha_adaptor.dir/MetadataConvert.cpp.o"
+  "CMakeFiles/mha_adaptor.dir/MetadataConvert.cpp.o.d"
+  "CMakeFiles/mha_adaptor.dir/Pipeline.cpp.o"
+  "CMakeFiles/mha_adaptor.dir/Pipeline.cpp.o.d"
+  "CMakeFiles/mha_adaptor.dir/PointerTypeRecovery.cpp.o"
+  "CMakeFiles/mha_adaptor.dir/PointerTypeRecovery.cpp.o.d"
+  "CMakeFiles/mha_adaptor.dir/ShapeInfo.cpp.o"
+  "CMakeFiles/mha_adaptor.dir/ShapeInfo.cpp.o.d"
+  "libmha_adaptor.a"
+  "libmha_adaptor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mha_adaptor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

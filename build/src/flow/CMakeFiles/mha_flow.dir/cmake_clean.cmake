@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mha_flow.dir/Flow.cpp.o"
+  "CMakeFiles/mha_flow.dir/Flow.cpp.o.d"
+  "CMakeFiles/mha_flow.dir/Kernels.cpp.o"
+  "CMakeFiles/mha_flow.dir/Kernels.cpp.o.d"
+  "libmha_flow.a"
+  "libmha_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mha_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

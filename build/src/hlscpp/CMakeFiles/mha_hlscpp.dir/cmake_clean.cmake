@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mha_hlscpp.dir/Emitter.cpp.o"
+  "CMakeFiles/mha_hlscpp.dir/Emitter.cpp.o.d"
+  "CMakeFiles/mha_hlscpp.dir/Frontend.cpp.o"
+  "CMakeFiles/mha_hlscpp.dir/Frontend.cpp.o.d"
+  "libmha_hlscpp.a"
+  "libmha_hlscpp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mha_hlscpp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mha_interp.dir/Interp.cpp.o"
+  "CMakeFiles/mha_interp.dir/Interp.cpp.o.d"
+  "libmha_interp.a"
+  "libmha_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mha_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lir/BasicBlock.cpp" "src/lir/CMakeFiles/mha_lir.dir/BasicBlock.cpp.o" "gcc" "src/lir/CMakeFiles/mha_lir.dir/BasicBlock.cpp.o.d"
+  "/root/repo/src/lir/Function.cpp" "src/lir/CMakeFiles/mha_lir.dir/Function.cpp.o" "gcc" "src/lir/CMakeFiles/mha_lir.dir/Function.cpp.o.d"
+  "/root/repo/src/lir/HlsCompat.cpp" "src/lir/CMakeFiles/mha_lir.dir/HlsCompat.cpp.o" "gcc" "src/lir/CMakeFiles/mha_lir.dir/HlsCompat.cpp.o.d"
+  "/root/repo/src/lir/IRBuilder.cpp" "src/lir/CMakeFiles/mha_lir.dir/IRBuilder.cpp.o" "gcc" "src/lir/CMakeFiles/mha_lir.dir/IRBuilder.cpp.o.d"
+  "/root/repo/src/lir/Instruction.cpp" "src/lir/CMakeFiles/mha_lir.dir/Instruction.cpp.o" "gcc" "src/lir/CMakeFiles/mha_lir.dir/Instruction.cpp.o.d"
+  "/root/repo/src/lir/Intrinsics.cpp" "src/lir/CMakeFiles/mha_lir.dir/Intrinsics.cpp.o" "gcc" "src/lir/CMakeFiles/mha_lir.dir/Intrinsics.cpp.o.d"
+  "/root/repo/src/lir/LContext.cpp" "src/lir/CMakeFiles/mha_lir.dir/LContext.cpp.o" "gcc" "src/lir/CMakeFiles/mha_lir.dir/LContext.cpp.o.d"
+  "/root/repo/src/lir/Parser.cpp" "src/lir/CMakeFiles/mha_lir.dir/Parser.cpp.o" "gcc" "src/lir/CMakeFiles/mha_lir.dir/Parser.cpp.o.d"
+  "/root/repo/src/lir/PassManager.cpp" "src/lir/CMakeFiles/mha_lir.dir/PassManager.cpp.o" "gcc" "src/lir/CMakeFiles/mha_lir.dir/PassManager.cpp.o.d"
+  "/root/repo/src/lir/Printer.cpp" "src/lir/CMakeFiles/mha_lir.dir/Printer.cpp.o" "gcc" "src/lir/CMakeFiles/mha_lir.dir/Printer.cpp.o.d"
+  "/root/repo/src/lir/Utils.cpp" "src/lir/CMakeFiles/mha_lir.dir/Utils.cpp.o" "gcc" "src/lir/CMakeFiles/mha_lir.dir/Utils.cpp.o.d"
+  "/root/repo/src/lir/Value.cpp" "src/lir/CMakeFiles/mha_lir.dir/Value.cpp.o" "gcc" "src/lir/CMakeFiles/mha_lir.dir/Value.cpp.o.d"
+  "/root/repo/src/lir/Verifier.cpp" "src/lir/CMakeFiles/mha_lir.dir/Verifier.cpp.o" "gcc" "src/lir/CMakeFiles/mha_lir.dir/Verifier.cpp.o.d"
+  "/root/repo/src/lir/analysis/Dependence.cpp" "src/lir/CMakeFiles/mha_lir.dir/analysis/Dependence.cpp.o" "gcc" "src/lir/CMakeFiles/mha_lir.dir/analysis/Dependence.cpp.o.d"
+  "/root/repo/src/lir/analysis/Dominators.cpp" "src/lir/CMakeFiles/mha_lir.dir/analysis/Dominators.cpp.o" "gcc" "src/lir/CMakeFiles/mha_lir.dir/analysis/Dominators.cpp.o.d"
+  "/root/repo/src/lir/analysis/LoopInfo.cpp" "src/lir/CMakeFiles/mha_lir.dir/analysis/LoopInfo.cpp.o" "gcc" "src/lir/CMakeFiles/mha_lir.dir/analysis/LoopInfo.cpp.o.d"
+  "/root/repo/src/lir/transforms/CSE.cpp" "src/lir/CMakeFiles/mha_lir.dir/transforms/CSE.cpp.o" "gcc" "src/lir/CMakeFiles/mha_lir.dir/transforms/CSE.cpp.o.d"
+  "/root/repo/src/lir/transforms/DCE.cpp" "src/lir/CMakeFiles/mha_lir.dir/transforms/DCE.cpp.o" "gcc" "src/lir/CMakeFiles/mha_lir.dir/transforms/DCE.cpp.o.d"
+  "/root/repo/src/lir/transforms/InstCombine.cpp" "src/lir/CMakeFiles/mha_lir.dir/transforms/InstCombine.cpp.o" "gcc" "src/lir/CMakeFiles/mha_lir.dir/transforms/InstCombine.cpp.o.d"
+  "/root/repo/src/lir/transforms/LICM.cpp" "src/lir/CMakeFiles/mha_lir.dir/transforms/LICM.cpp.o" "gcc" "src/lir/CMakeFiles/mha_lir.dir/transforms/LICM.cpp.o.d"
+  "/root/repo/src/lir/transforms/LoopUnroll.cpp" "src/lir/CMakeFiles/mha_lir.dir/transforms/LoopUnroll.cpp.o" "gcc" "src/lir/CMakeFiles/mha_lir.dir/transforms/LoopUnroll.cpp.o.d"
+  "/root/repo/src/lir/transforms/Mem2Reg.cpp" "src/lir/CMakeFiles/mha_lir.dir/transforms/Mem2Reg.cpp.o" "gcc" "src/lir/CMakeFiles/mha_lir.dir/transforms/Mem2Reg.cpp.o.d"
+  "/root/repo/src/lir/transforms/SimplifyCFG.cpp" "src/lir/CMakeFiles/mha_lir.dir/transforms/SimplifyCFG.cpp.o" "gcc" "src/lir/CMakeFiles/mha_lir.dir/transforms/SimplifyCFG.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/mha_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lowering/Lowering.cpp" "src/lowering/CMakeFiles/mha_lowering.dir/Lowering.cpp.o" "gcc" "src/lowering/CMakeFiles/mha_lowering.dir/Lowering.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mir/CMakeFiles/mha_mir.dir/DependInfo.cmake"
+  "/root/repo/build/src/lir/CMakeFiles/mha_lir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mha_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mha_lowering.dir/Lowering.cpp.o"
+  "CMakeFiles/mha_lowering.dir/Lowering.cpp.o.d"
+  "libmha_lowering.a"
+  "libmha_lowering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mha_lowering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

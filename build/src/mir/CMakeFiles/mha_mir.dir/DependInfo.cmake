@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mir/Builder.cpp" "src/mir/CMakeFiles/mha_mir.dir/Builder.cpp.o" "gcc" "src/mir/CMakeFiles/mha_mir.dir/Builder.cpp.o.d"
+  "/root/repo/src/mir/MContext.cpp" "src/mir/CMakeFiles/mha_mir.dir/MContext.cpp.o" "gcc" "src/mir/CMakeFiles/mha_mir.dir/MContext.cpp.o.d"
+  "/root/repo/src/mir/Operation.cpp" "src/mir/CMakeFiles/mha_mir.dir/Operation.cpp.o" "gcc" "src/mir/CMakeFiles/mha_mir.dir/Operation.cpp.o.d"
+  "/root/repo/src/mir/Ops.cpp" "src/mir/CMakeFiles/mha_mir.dir/Ops.cpp.o" "gcc" "src/mir/CMakeFiles/mha_mir.dir/Ops.cpp.o.d"
+  "/root/repo/src/mir/Parser.cpp" "src/mir/CMakeFiles/mha_mir.dir/Parser.cpp.o" "gcc" "src/mir/CMakeFiles/mha_mir.dir/Parser.cpp.o.d"
+  "/root/repo/src/mir/Pass.cpp" "src/mir/CMakeFiles/mha_mir.dir/Pass.cpp.o" "gcc" "src/mir/CMakeFiles/mha_mir.dir/Pass.cpp.o.d"
+  "/root/repo/src/mir/Printer.cpp" "src/mir/CMakeFiles/mha_mir.dir/Printer.cpp.o" "gcc" "src/mir/CMakeFiles/mha_mir.dir/Printer.cpp.o.d"
+  "/root/repo/src/mir/Verifier.cpp" "src/mir/CMakeFiles/mha_mir.dir/Verifier.cpp.o" "gcc" "src/mir/CMakeFiles/mha_mir.dir/Verifier.cpp.o.d"
+  "/root/repo/src/mir/transforms/AffineLoopUtils.cpp" "src/mir/CMakeFiles/mha_mir.dir/transforms/AffineLoopUtils.cpp.o" "gcc" "src/mir/CMakeFiles/mha_mir.dir/transforms/AffineLoopUtils.cpp.o.d"
+  "/root/repo/src/mir/transforms/AffineToScf.cpp" "src/mir/CMakeFiles/mha_mir.dir/transforms/AffineToScf.cpp.o" "gcc" "src/mir/CMakeFiles/mha_mir.dir/transforms/AffineToScf.cpp.o.d"
+  "/root/repo/src/mir/transforms/Canonicalize.cpp" "src/mir/CMakeFiles/mha_mir.dir/transforms/Canonicalize.cpp.o" "gcc" "src/mir/CMakeFiles/mha_mir.dir/transforms/Canonicalize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/mha_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

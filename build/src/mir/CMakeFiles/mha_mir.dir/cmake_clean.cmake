@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mha_mir.dir/Builder.cpp.o"
+  "CMakeFiles/mha_mir.dir/Builder.cpp.o.d"
+  "CMakeFiles/mha_mir.dir/MContext.cpp.o"
+  "CMakeFiles/mha_mir.dir/MContext.cpp.o.d"
+  "CMakeFiles/mha_mir.dir/Operation.cpp.o"
+  "CMakeFiles/mha_mir.dir/Operation.cpp.o.d"
+  "CMakeFiles/mha_mir.dir/Ops.cpp.o"
+  "CMakeFiles/mha_mir.dir/Ops.cpp.o.d"
+  "CMakeFiles/mha_mir.dir/Parser.cpp.o"
+  "CMakeFiles/mha_mir.dir/Parser.cpp.o.d"
+  "CMakeFiles/mha_mir.dir/Pass.cpp.o"
+  "CMakeFiles/mha_mir.dir/Pass.cpp.o.d"
+  "CMakeFiles/mha_mir.dir/Printer.cpp.o"
+  "CMakeFiles/mha_mir.dir/Printer.cpp.o.d"
+  "CMakeFiles/mha_mir.dir/Verifier.cpp.o"
+  "CMakeFiles/mha_mir.dir/Verifier.cpp.o.d"
+  "CMakeFiles/mha_mir.dir/transforms/AffineLoopUtils.cpp.o"
+  "CMakeFiles/mha_mir.dir/transforms/AffineLoopUtils.cpp.o.d"
+  "CMakeFiles/mha_mir.dir/transforms/AffineToScf.cpp.o"
+  "CMakeFiles/mha_mir.dir/transforms/AffineToScf.cpp.o.d"
+  "CMakeFiles/mha_mir.dir/transforms/Canonicalize.cpp.o"
+  "CMakeFiles/mha_mir.dir/transforms/Canonicalize.cpp.o.d"
+  "libmha_mir.a"
+  "libmha_mir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mha_mir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

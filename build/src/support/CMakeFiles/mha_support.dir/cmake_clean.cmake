@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mha_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/mha_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/mha_support.dir/StringUtils.cpp.o"
+  "CMakeFiles/mha_support.dir/StringUtils.cpp.o.d"
+  "CMakeFiles/mha_support.dir/ThreadPool.cpp.o"
+  "CMakeFiles/mha_support.dir/ThreadPool.cpp.o.d"
+  "libmha_support.a"
+  "libmha_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mha_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vhls/Report.cpp" "src/vhls/CMakeFiles/mha_vhls.dir/Report.cpp.o" "gcc" "src/vhls/CMakeFiles/mha_vhls.dir/Report.cpp.o.d"
+  "/root/repo/src/vhls/Scheduler.cpp" "src/vhls/CMakeFiles/mha_vhls.dir/Scheduler.cpp.o" "gcc" "src/vhls/CMakeFiles/mha_vhls.dir/Scheduler.cpp.o.d"
+  "/root/repo/src/vhls/TechLibrary.cpp" "src/vhls/CMakeFiles/mha_vhls.dir/TechLibrary.cpp.o" "gcc" "src/vhls/CMakeFiles/mha_vhls.dir/TechLibrary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lir/CMakeFiles/mha_lir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mha_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mha_vhls.dir/Report.cpp.o"
+  "CMakeFiles/mha_vhls.dir/Report.cpp.o.d"
+  "CMakeFiles/mha_vhls.dir/Scheduler.cpp.o"
+  "CMakeFiles/mha_vhls.dir/Scheduler.cpp.o.d"
+  "CMakeFiles/mha_vhls.dir/TechLibrary.cpp.o"
+  "CMakeFiles/mha_vhls.dir/TechLibrary.cpp.o.d"
+  "libmha_vhls.a"
+  "libmha_vhls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mha_vhls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/flow_test.cpp" "tests/CMakeFiles/flow_test.dir/flow_test.cpp.o" "gcc" "tests/CMakeFiles/flow_test.dir/flow_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/flow/CMakeFiles/mha_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/adaptor/CMakeFiles/mha_adaptor.dir/DependInfo.cmake"
+  "/root/repo/build/src/lowering/CMakeFiles/mha_lowering.dir/DependInfo.cmake"
+  "/root/repo/build/src/hlscpp/CMakeFiles/mha_hlscpp.dir/DependInfo.cmake"
+  "/root/repo/build/src/mir/CMakeFiles/mha_mir.dir/DependInfo.cmake"
+  "/root/repo/build/src/vhls/CMakeFiles/mha_vhls.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/mha_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/lir/CMakeFiles/mha_lir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mha_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

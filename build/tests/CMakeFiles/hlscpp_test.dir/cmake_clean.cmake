@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlscpp_test.dir/hlscpp_test.cpp.o"
+  "CMakeFiles/hlscpp_test.dir/hlscpp_test.cpp.o.d"
+  "hlscpp_test"
+  "hlscpp_test.pdb"
+  "hlscpp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlscpp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

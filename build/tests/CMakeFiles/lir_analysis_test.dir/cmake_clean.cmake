@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lir_analysis_test.dir/lir_analysis_test.cpp.o"
+  "CMakeFiles/lir_analysis_test.dir/lir_analysis_test.cpp.o.d"
+  "lir_analysis_test"
+  "lir_analysis_test.pdb"
+  "lir_analysis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lir_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lir_core_test.dir/lir_core_test.cpp.o"
+  "CMakeFiles/lir_core_test.dir/lir_core_test.cpp.o.d"
+  "lir_core_test"
+  "lir_core_test.pdb"
+  "lir_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lir_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

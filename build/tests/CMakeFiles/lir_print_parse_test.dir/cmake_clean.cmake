@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lir_print_parse_test.dir/lir_print_parse_test.cpp.o"
+  "CMakeFiles/lir_print_parse_test.dir/lir_print_parse_test.cpp.o.d"
+  "lir_print_parse_test"
+  "lir_print_parse_test.pdb"
+  "lir_print_parse_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lir_print_parse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

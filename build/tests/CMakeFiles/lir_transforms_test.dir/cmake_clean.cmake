@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lir_transforms_test.dir/lir_transforms_test.cpp.o"
+  "CMakeFiles/lir_transforms_test.dir/lir_transforms_test.cpp.o.d"
+  "lir_transforms_test"
+  "lir_transforms_test.pdb"
+  "lir_transforms_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lir_transforms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lir_verifier_test.dir/lir_verifier_test.cpp.o"
+  "CMakeFiles/lir_verifier_test.dir/lir_verifier_test.cpp.o.d"
+  "lir_verifier_test"
+  "lir_verifier_test.pdb"
+  "lir_verifier_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lir_verifier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

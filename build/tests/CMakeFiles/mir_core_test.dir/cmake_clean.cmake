@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mir_core_test.dir/mir_core_test.cpp.o"
+  "CMakeFiles/mir_core_test.dir/mir_core_test.cpp.o.d"
+  "mir_core_test"
+  "mir_core_test.pdb"
+  "mir_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mir_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

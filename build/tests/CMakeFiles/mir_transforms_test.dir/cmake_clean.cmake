@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mir_transforms_test.dir/mir_transforms_test.cpp.o"
+  "CMakeFiles/mir_transforms_test.dir/mir_transforms_test.cpp.o.d"
+  "mir_transforms_test"
+  "mir_transforms_test.pdb"
+  "mir_transforms_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mir_transforms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vhls_test.dir/vhls_test.cpp.o"
+  "CMakeFiles/vhls_test.dir/vhls_test.cpp.o.d"
+  "vhls_test"
+  "vhls_test.pdb"
+  "vhls_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vhls_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/lir_core_test[1]_include.cmake")
+include("/root/repo/build/tests/lir_print_parse_test[1]_include.cmake")
+include("/root/repo/build/tests/lir_verifier_test[1]_include.cmake")
+include("/root/repo/build/tests/lir_analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/lir_transforms_test[1]_include.cmake")
+include("/root/repo/build/tests/mir_core_test[1]_include.cmake")
+include("/root/repo/build/tests/mir_transforms_test[1]_include.cmake")
+include("/root/repo/build/tests/lowering_test[1]_include.cmake")
+include("/root/repo/build/tests/adaptor_test[1]_include.cmake")
+include("/root/repo/build/tests/interp_test[1]_include.cmake")
+include("/root/repo/build/tests/hlscpp_test[1]_include.cmake")
+include("/root/repo/build/tests/vhls_test[1]_include.cmake")
+include("/root/repo/build/tests/flow_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mha-opt.dir/mha-opt.cpp.o"
+  "CMakeFiles/mha-opt.dir/mha-opt.cpp.o.d"
+  "mha-opt"
+  "mha-opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mha-opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(mha-opt-roundtrip "/root/repo/build/tools/mha-opt" "/root/repo/tools/testdata/stream.ll" "--verify" "--passes=licm,dce")
+set_tests_properties(mha-opt-roundtrip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(mha-opt-synthesize "/root/repo/build/tools/mha-opt" "/root/repo/tools/testdata/stream.ll" "--synthesize" "--json")
+set_tests_properties(mha-opt-synthesize PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(mha-opt-compat-check "/root/repo/build/tools/mha-opt" "/root/repo/tools/testdata/stream.ll" "--passes=hls-compat-check")
+set_tests_properties(mha-opt-compat-check PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(mha-opt-rejects-unknown-pass "/root/repo/build/tools/mha-opt" "/root/repo/tools/testdata/stream.ll" "--passes=frobnicate")
+set_tests_properties(mha-opt-rejects-unknown-pass PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
