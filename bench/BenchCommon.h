@@ -1,6 +1,7 @@
 // BenchCommon.h - shared helpers for the table/figure reproduction benches.
 #pragma once
 
+#include "flow/BatchRunner.h"
 #include "flow/Flow.h"
 
 #include <cstdio>
@@ -38,6 +39,22 @@ inline void mustCosim(const flow::FlowResult &result,
                  spec.name.c_str(), error.c_str());
     std::exit(1);
   }
+}
+
+/// Runs the jobs across all cores (BatchRunner) and prints a one-line
+/// utilization summary to stderr — stdout stays reserved for the table
+/// rows, which must be byte-identical to a serial run.
+inline flow::BatchOutcome runBenchBatch(const std::vector<flow::BatchJob> &jobs) {
+  flow::BatchOutcome outcome = flow::runBatch(jobs);
+  std::fprintf(stderr,
+               "[batch] %zu jobs on %u threads: %.0f ms wall, %.0f ms "
+               "serial (%.2fx)\n",
+               outcome.trace.jobCount, outcome.trace.threads,
+               outcome.trace.wallMs, outcome.trace.serialMs,
+               outcome.trace.wallMs > 0
+                   ? outcome.trace.serialMs / outcome.trace.wallMs
+                   : 0.0);
+  return outcome;
 }
 
 inline void printRule(int width) {

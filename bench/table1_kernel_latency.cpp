@@ -16,21 +16,33 @@ int main() {
               "hls-c++", "adaptor", "ratio", "speedup");
   printRule(76);
 
+  // Three jobs per kernel, all dispatched in one parallel batch; results
+  // come back in submission order, so the rows below are byte-identical
+  // to a serial run.
+  flow::KernelConfig plain;
+  plain.applyDirectives = false;
+  std::vector<flow::BatchJob> jobs;
+  for (const flow::KernelSpec &spec : flow::allKernels()) {
+    jobs.push_back({&spec, plain, flow::FlowKind::Adaptor, {}, "baseline"});
+    jobs.push_back(
+        {&spec, defaultConfig(), flow::FlowKind::HlsCpp, {}, "hls-c++"});
+    jobs.push_back(
+        {&spec, defaultConfig(), flow::FlowKind::Adaptor, {}, "adaptor"});
+  }
+  flow::BatchOutcome outcome = runBenchBatch(jobs);
+
   double ratioSum = 0;
   int count = 0;
+  size_t job = 0;
   for (const flow::KernelSpec &spec : flow::allKernels()) {
-    flow::KernelConfig plain;
-    plain.applyDirectives = false;
     flow::FlowResult baseline =
-        mustRun(flow::runAdaptorFlow(spec, plain), "baseline");
+        mustRun(std::move(outcome.results[job++]), "baseline");
     mustCosim(baseline, spec);
-
-    flow::KernelConfig config = defaultConfig();
     flow::FlowResult cpp =
-        mustRun(flow::runHlsCppFlow(spec, config), "hls-c++");
+        mustRun(std::move(outcome.results[job++]), "hls-c++");
     mustCosim(cpp, spec);
     flow::FlowResult adaptorFlow =
-        mustRun(flow::runAdaptorFlow(spec, config), "adaptor");
+        mustRun(std::move(outcome.results[job++]), "adaptor");
     mustCosim(adaptorFlow, spec);
 
     int64_t base = baseline.synth.top()->latencyCycles;

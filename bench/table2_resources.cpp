@@ -14,12 +14,23 @@ int main() {
               "BRAM", "LUT", "FF", "DSP", "BRAM", "LUT", "FF");
   printRule(66);
 
+  // Both flows for every kernel in one parallel batch (submission-order
+  // results keep the rows byte-identical to a serial run).
+  std::vector<flow::BatchJob> jobs;
   for (const flow::KernelSpec &spec : flow::allKernels()) {
-    flow::KernelConfig config = defaultConfig();
+    jobs.push_back(
+        {&spec, defaultConfig(), flow::FlowKind::HlsCpp, {}, "hls-c++"});
+    jobs.push_back(
+        {&spec, defaultConfig(), flow::FlowKind::Adaptor, {}, "adaptor"});
+  }
+  flow::BatchOutcome outcome = runBenchBatch(jobs);
+
+  size_t job = 0;
+  for (const flow::KernelSpec &spec : flow::allKernels()) {
     flow::FlowResult cpp =
-        mustRun(flow::runHlsCppFlow(spec, config), "hls-c++");
+        mustRun(std::move(outcome.results[job++]), "hls-c++");
     flow::FlowResult adaptorFlow =
-        mustRun(flow::runAdaptorFlow(spec, config), "adaptor");
+        mustRun(std::move(outcome.results[job++]), "adaptor");
     const vhls::ResourceUsage &rc = cpp.synth.top()->resources;
     const vhls::ResourceUsage &ra = adaptorFlow.synth.top()->resources;
     std::printf("%-10s | %5lld %5lld %6lld %6lld | %5lld %5lld %6lld %6lld\n",

@@ -1,6 +1,13 @@
 // Table 4 — compile time of the two flows (google-benchmark timing).
 // The direct-IR adaptor flow skips C++ emission and re-parsing, which is
 // the practical argument the paper makes for a direct IR bridge.
+//
+// All flow executions go through the BatchRunner. Timing semantics are
+// preserved: per-kernel numbers are the per-job wall times recorded
+// *inside* the job (around the flow call only, via UseManualTime), so
+// batch queueing/harness overhead never leaks into the measurement. The
+// extra table4/batch benchmarks time a whole 11-kernel batch end to end —
+// the throughput the parallel driver buys on a multi-core host.
 #include "BenchCommon.h"
 
 #include <benchmark/benchmark.h>
@@ -10,74 +17,100 @@ using namespace mha::bench;
 
 namespace {
 
-void BM_AdaptorFlow(benchmark::State &state, const std::string &kernel) {
+// Shared across iterations so pool start-up never pollutes a measurement.
+ThreadPool *gPool = nullptr;
+
+flow::BatchOptions poolOptions() {
+  flow::BatchOptions options;
+  options.pool = gPool;
+  return options;
+}
+
+void BM_FullFlow(benchmark::State &state, const std::string &kernel,
+                 flow::FlowKind kind) {
   const flow::KernelSpec *spec = flow::findKernel(kernel);
-  flow::KernelConfig config = defaultConfig();
+  std::vector<flow::BatchJob> jobs{
+      {spec, defaultConfig(), kind, {}, "table4"}};
   for (auto _ : state) {
-    flow::FlowResult result = flow::runAdaptorFlow(*spec, config);
-    if (!result.ok)
-      state.SkipWithError("adaptor flow failed");
-    benchmark::DoNotOptimize(result.synth.functions.size());
+    flow::BatchOutcome out = flow::runBatch(jobs, poolOptions());
+    if (!out.results[0].ok)
+      state.SkipWithError("flow failed");
+    state.SetIterationTime(out.trace.jobs[0].wallMs / 1000.0);
+    benchmark::DoNotOptimize(out.results[0].synth.functions.size());
   }
 }
 
-void BM_HlsCppFlow(benchmark::State &state, const std::string &kernel) {
+void BM_BridgeOnly(benchmark::State &state, const std::string &kernel,
+                   flow::FlowKind kind) {
+  // Stage timing: the flow-specific bridge leg only (scf conversion +
+  // lowering + adaptor, or C++ emission + HLS frontend) — excludes the
+  // shared MLIR opts and the backend.
   const flow::KernelSpec *spec = flow::findKernel(kernel);
-  flow::KernelConfig config = defaultConfig();
+  std::vector<flow::BatchJob> jobs{
+      {spec, defaultConfig(), kind, {}, "table4-bridge"}};
   for (auto _ : state) {
-    flow::FlowResult result = flow::runHlsCppFlow(*spec, config);
-    if (!result.ok)
-      state.SkipWithError("hls-c++ flow failed");
-    benchmark::DoNotOptimize(result.synth.functions.size());
+    flow::BatchOutcome out = flow::runBatch(jobs, poolOptions());
+    if (!out.results[0].ok)
+      state.SkipWithError("flow failed");
+    state.SetIterationTime(out.results[0].timings.bridgeMs / 1000.0);
   }
 }
 
-void BM_BridgeOnly_Adaptor(benchmark::State &state,
-                           const std::string &kernel) {
-  // Stage timing: lowering+adaptor leg only (excludes shared MLIR opts and
-  // the backend).
-  const flow::KernelSpec *spec = flow::findKernel(kernel);
-  flow::KernelConfig config = defaultConfig();
+void BM_BatchAllKernels(benchmark::State &state, flow::FlowKind kind) {
+  // Whole-batch throughput: every kernel through one flow, in parallel.
+  std::vector<flow::BatchJob> jobs;
+  for (const flow::KernelSpec &spec : flow::allKernels())
+    jobs.push_back({&spec, defaultConfig(), kind, {}, "table4-batch"});
+  double serialMs = 0;
   for (auto _ : state) {
-    flow::FlowResult result = flow::runAdaptorFlow(*spec, config);
-    state.SetIterationTime(result.timings.bridgeMs / 1000.0);
+    flow::BatchOutcome out = flow::runBatch(jobs, poolOptions());
+    if (out.trace.failures != 0)
+      state.SkipWithError("batch had failures");
+    state.SetIterationTime(out.trace.wallMs / 1000.0);
+    serialMs = out.trace.serialMs;
   }
-}
-
-void BM_BridgeOnly_HlsCpp(benchmark::State &state,
-                          const std::string &kernel) {
-  const flow::KernelSpec *spec = flow::findKernel(kernel);
-  flow::KernelConfig config = defaultConfig();
-  for (auto _ : state) {
-    flow::FlowResult result = flow::runHlsCppFlow(*spec, config);
-    state.SetIterationTime(result.timings.bridgeMs / 1000.0);
-  }
+  state.counters["serial_ms"] = serialMs;
+  state.counters["threads"] = gPool->size();
 }
 
 } // namespace
 
 int main(int argc, char **argv) {
+  ThreadPool pool;
+  gPool = &pool;
   for (const flow::KernelSpec &spec : flow::allKernels()) {
     benchmark::RegisterBenchmark(("table4/full/adaptor/" + spec.name).c_str(),
-                                 BM_AdaptorFlow, spec.name)
+                                 BM_FullFlow, spec.name,
+                                 flow::FlowKind::Adaptor)
+        ->UseManualTime()
         ->Unit(benchmark::kMillisecond);
     benchmark::RegisterBenchmark(("table4/full/hls-c++/" + spec.name).c_str(),
-                                 BM_HlsCppFlow, spec.name)
+                                 BM_FullFlow, spec.name,
+                                 flow::FlowKind::HlsCpp)
+        ->UseManualTime()
         ->Unit(benchmark::kMillisecond);
   }
   // Bridge-leg comparison on a representative subset.
   for (const char *kernel : {"gemm", "atax", "conv2d"}) {
     benchmark::RegisterBenchmark(
         (std::string("table4/bridge/adaptor/") + kernel).c_str(),
-        BM_BridgeOnly_Adaptor, std::string(kernel))
+        BM_BridgeOnly, std::string(kernel), flow::FlowKind::Adaptor)
         ->UseManualTime()
         ->Unit(benchmark::kMillisecond);
     benchmark::RegisterBenchmark(
         (std::string("table4/bridge/hls-c++/") + kernel).c_str(),
-        BM_BridgeOnly_HlsCpp, std::string(kernel))
+        BM_BridgeOnly, std::string(kernel), flow::FlowKind::HlsCpp)
         ->UseManualTime()
         ->Unit(benchmark::kMillisecond);
   }
+  benchmark::RegisterBenchmark("table4/batch/adaptor/all-kernels",
+                               BM_BatchAllKernels, flow::FlowKind::Adaptor)
+      ->UseManualTime()
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("table4/batch/hls-c++/all-kernels",
+                               BM_BatchAllKernels, flow::FlowKind::HlsCpp)
+      ->UseManualTime()
+      ->Unit(benchmark::kMillisecond);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -1,0 +1,198 @@
+#include "flow/BatchRunner.h"
+
+#include "support/StringUtils.h"
+
+#include <chrono>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+
+namespace mha::flow {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double msBetween(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+std::string firstLine(const std::string &text) {
+  size_t eol = text.find('\n');
+  return eol == std::string::npos ? text : text.substr(0, eol);
+}
+
+std::string jsonEscape(const std::string &s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\')
+      out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+/// Runs one job with full error containment: any exception becomes a
+/// failed FlowResult instead of escaping into the pool.
+FlowResult runJobContained(const BatchJob &job) {
+  try {
+    if (!job.spec)
+      throw std::invalid_argument("batch job has no kernel spec");
+    return job.kind == FlowKind::Adaptor
+               ? runAdaptorFlow(*job.spec, job.config, job.options)
+               : runHlsCppFlow(*job.spec, job.config, job.options);
+  } catch (const std::exception &e) {
+    FlowResult failed;
+    failed.kind = job.kind;
+    failed.kernelName = job.spec ? job.spec->name : "<null>";
+    failed.diagnostics = std::string("exception: ") + e.what();
+    return failed;
+  } catch (...) {
+    FlowResult failed;
+    failed.kind = job.kind;
+    failed.kernelName = job.spec ? job.spec->name : "<null>";
+    failed.diagnostics = "exception: unknown";
+    return failed;
+  }
+}
+
+} // namespace
+
+std::string BatchTrace::json() const {
+  std::ostringstream os;
+  os << "{\n  \"schema\": \"mha.batch-trace.v1\",\n";
+  os << strfmt("  \"threads\": %u,\n", threads);
+  os << strfmt("  \"job_count\": %zu,\n  \"failures\": %zu,\n", jobCount,
+               failures);
+  os << strfmt("  \"wall_ms\": %.3f,\n  \"serial_ms\": %.3f,\n", wallMs,
+               serialMs);
+  os << strfmt("  \"speedup\": %.3f,\n",
+               wallMs > 0 ? serialMs / wallMs : 0.0);
+  os << "  \"jobs_per_worker\": [";
+  for (size_t w = 0; w < jobsPerWorker.size(); ++w)
+    os << (w ? ", " : "") << jobsPerWorker[w];
+  os << "],\n";
+  os << "  \"jobs\": [\n";
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    const JobTrace &job = jobs[i];
+    os << "    {\n";
+    os << strfmt("      \"index\": %zu,\n", job.index);
+    os << "      \"kernel\": \"" << jsonEscape(job.kernel) << "\",\n";
+    os << "      \"label\": \"" << jsonEscape(job.label) << "\",\n";
+    os << "      \"flow\": \"" << flowKindName(job.kind) << "\",\n";
+    os << "      \"ok\": " << (job.ok ? "true" : "false") << ",\n";
+    os << "      \"accepted\": " << (job.accepted ? "true" : "false")
+       << ",\n";
+    os << strfmt("      \"worker\": %d,\n", job.worker);
+    os << strfmt("      \"queue_ms\": %.3f,\n", job.queueMs);
+    os << strfmt("      \"wall_ms\": %.3f,\n", job.wallMs);
+    os << strfmt("      \"queue_depth_at_start\": %zu,\n",
+                 job.queueDepthAtStart);
+    os << strfmt("      \"timings\": {\"mlir_opt_ms\": %.3f, "
+                 "\"bridge_ms\": %.3f, \"synth_ms\": %.3f, "
+                 "\"total_ms\": %.3f},\n",
+                 job.timings.mlirOptMs, job.timings.bridgeMs,
+                 job.timings.synthMs, job.timings.totalMs);
+    os << "      \"spans\": [";
+    for (size_t s = 0; s < job.spans.size(); ++s) {
+      const StageSpan &span = job.spans[s];
+      os << (s ? ", " : "")
+         << strfmt("{\"stage\": \"%s\", \"name\": \"%s\", \"ms\": %.3f}",
+                   jsonEscape(span.stage).c_str(),
+                   jsonEscape(span.name).c_str(), span.ms);
+    }
+    os << "],\n";
+    os << "      \"adaptor_stats\": {";
+    bool first = true;
+    for (const auto &[key, value] : job.adaptorStats) {
+      os << (first ? "" : ", ") << "\"" << jsonEscape(key)
+         << "\": " << value;
+      first = false;
+    }
+    os << "}";
+    if (!job.error.empty())
+      os << ",\n      \"error\": \"" << jsonEscape(job.error) << "\"";
+    os << "\n    }" << (i + 1 < jobs.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  return os.str();
+}
+
+void JsonFileTraceSink::onBatchFinished(const BatchTrace &trace) {
+  std::ofstream out(path_);
+  if (!out) {
+    error_ = "cannot open " + path_;
+    return;
+  }
+  out << trace.json();
+  error_ = out.good() ? "" : "write to " + path_ + " failed";
+}
+
+BatchOutcome runBatch(const std::vector<BatchJob> &jobs,
+                      const BatchOptions &options) {
+  BatchOutcome out;
+  out.results.resize(jobs.size());
+  out.trace.jobs.resize(jobs.size());
+  out.trace.jobCount = jobs.size();
+
+  std::unique_ptr<ThreadPool> ownedPool;
+  ThreadPool *pool = options.pool;
+  if (!pool) {
+    ownedPool = std::make_unique<ThreadPool>(options.numThreads);
+    pool = ownedPool.get();
+  }
+  out.trace.threads = pool->size();
+  out.trace.jobsPerWorker.assign(pool->size(), 0);
+
+  std::mutex sinkMutex;
+  auto batchStart = Clock::now();
+  TaskGroup group(*pool);
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    auto submitted = Clock::now();
+    group.submit([&, i, submitted] {
+      const BatchJob &job = jobs[i];
+      JobTrace &trace = out.trace.jobs[i];
+      trace.index = i;
+      trace.kernel = job.spec ? job.spec->name : "<null>";
+      trace.label = job.label;
+      trace.kind = job.kind;
+      trace.worker = ThreadPool::currentWorkerIndex();
+      trace.queueDepthAtStart = pool->queueDepth();
+
+      auto start = Clock::now();
+      trace.queueMs = msBetween(submitted, start);
+      FlowResult result = runJobContained(job);
+      trace.wallMs = msBetween(start, Clock::now());
+
+      trace.ok = result.ok;
+      trace.accepted = result.synth.accepted;
+      trace.timings = result.timings;
+      trace.spans = result.spans;
+      trace.adaptorStats = result.adaptorStats;
+      if (!result.ok)
+        trace.error = firstLine(result.diagnostics);
+      out.results[i] = std::move(result);
+
+      if (options.sink) {
+        std::lock_guard<std::mutex> lock(sinkMutex);
+        options.sink->onJobFinished(trace);
+      }
+    });
+  }
+  group.wait();
+  out.trace.wallMs = msBetween(batchStart, Clock::now());
+
+  for (const JobTrace &trace : out.trace.jobs) {
+    out.trace.serialMs += trace.wallMs;
+    if (!trace.ok)
+      ++out.trace.failures;
+    if (trace.worker >= 0 &&
+        static_cast<size_t>(trace.worker) < out.trace.jobsPerWorker.size())
+      ++out.trace.jobsPerWorker[static_cast<size_t>(trace.worker)];
+  }
+  if (options.sink)
+    options.sink->onBatchFinished(out.trace);
+  return out;
+}
+
+} // namespace mha::flow

@@ -58,6 +58,10 @@ std::optional<mir::OwnedModule> prepareMlir(const KernelSpec &spec,
 
 } // namespace
 
+const char *flowKindName(FlowKind kind) {
+  return kind == FlowKind::Adaptor ? "adaptor" : "hls-c++";
+}
+
 FlowResult runAdaptorFlow(const KernelSpec &spec, const KernelConfig &config,
                           const FlowOptions &options) {
   FlowResult result;
@@ -66,38 +70,50 @@ FlowResult runAdaptorFlow(const KernelSpec &spec, const KernelConfig &config,
   DiagnosticEngine diags;
   auto total = std::chrono::steady_clock::now();
 
-  // MLIR level.
+  // MLIR level: exactly the shared preparation both flows run, so Table 4's
+  // mlirOptMs windows compare like with like.
   auto t0 = std::chrono::steady_clock::now();
   mir::MContext mctx;
   auto module = prepareMlir(spec, config, mctx, options, diags);
+  result.timings.mlirOptMs = msSince(t0);
+  result.spans.push_back({"mlirOpt", "prepare-mlir", result.timings.mlirOptMs});
   if (!module) {
     result.diagnostics = diags.str();
     return result;
   }
-  // Structured -> scf conversion belongs to this flow's lowering leg.
+
+  // Bridge: this flow's lowering leg. The structured->scf conversion is
+  // flow-specific work (the C++ flow's emitter consumes structured IR
+  // directly), so it is charged to bridgeMs, mirroring how the C++ flow
+  // charges its emission leg.
+  auto t1 = std::chrono::steady_clock::now();
   mir::MPassManager convert;
   convert.add(mir::createAffineToScfPass());
   convert.add(mir::createCanonicalizePass());
-  if (!convert.run(module->get(), diags)) {
+  bool convertOk = convert.run(module->get(), diags);
+  result.spans.push_back({"bridge", "affine-to-scf", msSince(t1)});
+  if (!convertOk) {
+    result.timings.bridgeMs = msSince(t1);
     result.diagnostics = diags.str();
     return result;
   }
-  result.timings.mlirOptMs = msSince(t0);
-
-  // Lowering + adaptor.
-  auto t1 = std::chrono::steady_clock::now();
+  auto tLower = std::chrono::steady_clock::now();
   result.ctx = std::make_unique<lir::LContext>();
   result.module =
       lowering::lowerToLIR(module->get(), *result.ctx, options.lowering,
                            diags);
+  result.spans.push_back({"bridge", "lower-to-lir", msSince(tLower)});
   if (!result.module) {
+    result.timings.bridgeMs = msSince(t1);
     result.diagnostics = diags.str();
     return result;
   }
+  auto tAdaptor = std::chrono::steady_clock::now();
   lir::PassManager pm(/*verifyEach=*/true);
   adaptor::buildAdaptorPipeline(pm, options.adaptor);
   bool adaptorOk = pm.run(*result.module, diags);
   result.adaptorStats = pm.totalStats();
+  result.spans.push_back({"bridge", "adaptor-pipeline", msSince(tAdaptor)});
   result.timings.bridgeMs = msSince(t1);
   if (!adaptorOk) {
     result.diagnostics = diags.str();
@@ -111,6 +127,7 @@ FlowResult runAdaptorFlow(const KernelSpec &spec, const KernelConfig &config,
     synthOpts.topFunction = spec.name;
   result.synth = vhls::synthesize(*result.module, synthOpts, diags);
   result.timings.synthMs = msSince(t2);
+  result.spans.push_back({"synth", "vhls", result.timings.synthMs});
   result.timings.totalMs = msSince(total);
   result.diagnostics = diags.str();
   result.ok = result.synth.accepted;
@@ -128,21 +145,26 @@ FlowResult runHlsCppFlow(const KernelSpec &spec, const KernelConfig &config,
   auto t0 = std::chrono::steady_clock::now();
   mir::MContext mctx;
   auto module = prepareMlir(spec, config, mctx, options, diags);
+  result.timings.mlirOptMs = msSince(t0);
+  result.spans.push_back({"mlirOpt", "prepare-mlir", result.timings.mlirOptMs});
   if (!module) {
     result.diagnostics = diags.str();
     return result;
   }
-  result.timings.mlirOptMs = msSince(t0);
 
-  // Emit C++, re-parse with the HLS frontend.
+  // Bridge: emit C++, re-parse with the HLS frontend.
   auto t1 = std::chrono::steady_clock::now();
   result.hlsCpp = hlscpp::emitHlsCpp(module->get(), diags);
+  result.spans.push_back({"bridge", "emit-hls-cpp", msSince(t1)});
   if (result.hlsCpp.empty()) {
+    result.timings.bridgeMs = msSince(t1);
     result.diagnostics = diags.str();
     return result;
   }
+  auto tFrontend = std::chrono::steady_clock::now();
   result.ctx = std::make_unique<lir::LContext>();
   result.module = hlscpp::parseHlsCpp(result.hlsCpp, *result.ctx, diags);
+  result.spans.push_back({"bridge", "hls-frontend", msSince(tFrontend)});
   result.timings.bridgeMs = msSince(t1);
   if (!result.module) {
     result.diagnostics = diags.str();
@@ -155,6 +177,7 @@ FlowResult runHlsCppFlow(const KernelSpec &spec, const KernelConfig &config,
     synthOpts.topFunction = spec.name;
   result.synth = vhls::synthesize(*result.module, synthOpts, diags);
   result.timings.synthMs = msSince(t2);
+  result.spans.push_back({"synth", "vhls", result.timings.synthMs});
   result.timings.totalMs = msSince(total);
   result.diagnostics = diags.str();
   result.ok = result.synth.accepted;

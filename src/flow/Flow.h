@@ -19,16 +19,31 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 namespace mha::flow {
 
 enum class FlowKind { Adaptor, HlsCpp };
 
+/// Short human/JSON name for a flow kind ("adaptor" / "hls-c++").
+const char *flowKindName(FlowKind kind);
+
 struct StageTimings {
-  double mlirOptMs = 0;   // MLIR-level passes
-  double bridgeMs = 0;    // lowering+adaptor OR emission+frontend
+  double mlirOptMs = 0;   // shared MLIR-level preparation (both flows)
+  double bridgeMs = 0;    // scf-conversion+lowering+adaptor OR emission+frontend
   double synthMs = 0;     // virtual HLS
   double totalMs = 0;
+};
+
+/// A named sub-stage measurement attributed to one of the three timing
+/// windows ("mlirOpt", "bridge", "synth"). The span list makes timing
+/// attribution auditable: tests assert both flows charge the same work to
+/// mlirOptMs (Table 4 compares like with like), and the batch tracer
+/// exports spans per job.
+struct StageSpan {
+  std::string stage; // "mlirOpt" | "bridge" | "synth"
+  std::string name;  // e.g. "prepare-mlir", "affine-to-scf", "adaptor"
+  double ms = 0;
 };
 
 struct FlowResult {
@@ -38,6 +53,7 @@ struct FlowResult {
   vhls::SynthesisReport synth;
   lir::PassStats adaptorStats; // adaptor flow only
   StageTimings timings;
+  std::vector<StageSpan> spans;
   std::string hlsCpp;          // baseline flow only: the emitted C++
   std::string diagnostics;     // rendered diagnostics (errors/warnings)
 

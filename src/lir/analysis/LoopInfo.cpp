@@ -58,8 +58,15 @@ LoopInfo::LoopInfo(Function &fn, const DominatorTree &domTree) {
     }
   }
 
-  // Materialize loops, header-first block order following RPO.
-  for (auto &[header, body] : headerBodies) {
+  // Materialize loops, header-first block order following RPO. Iterate
+  // headers in RPO as well — headerBodies is keyed by pointer, so its own
+  // order depends on allocation addresses and would make loops() order
+  // (and everything downstream, e.g. report emission) nondeterministic.
+  for (BasicBlock *header : domTree.rpo()) {
+    auto it = headerBodies.find(header);
+    if (it == headerBodies.end())
+      continue;
+    std::set<BasicBlock *> &body = it->second;
     auto loop = std::make_unique<Loop>();
     loop->header_ = header;
     loop->latch_ = headerLatch[header];

@@ -1,15 +1,20 @@
 #include "support/ThreadPool.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace mha {
+
+namespace {
+thread_local int tlWorkerIndex = -1;
+} // namespace
 
 ThreadPool::ThreadPool(unsigned numThreads) {
   if (numThreads == 0)
     numThreads = std::max(1u, std::thread::hardware_concurrency());
   workers_.reserve(numThreads);
   for (unsigned i = 0; i < numThreads; ++i)
-    workers_.emplace_back([this] { workerLoop(); });
+    workers_.emplace_back([this, i] { workerLoop(i); });
 }
 
 ThreadPool::~ThreadPool() {
@@ -34,9 +39,22 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::wait() {
   std::unique_lock<std::mutex> lock(mutex_);
   idle_.wait(lock, [this] { return inFlight_ == 0; });
+  if (firstError_) {
+    std::exception_ptr error = std::exchange(firstError_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
-void ThreadPool::workerLoop() {
+int ThreadPool::currentWorkerIndex() { return tlWorkerIndex; }
+
+size_t ThreadPool::queueDepth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+void ThreadPool::workerLoop(unsigned index) {
+  tlWorkerIndex = static_cast<int>(index);
   for (;;) {
     std::function<void()> task;
     {
@@ -50,20 +68,68 @@ void ThreadPool::workerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
-    {
+    // The decrement must happen on every exit path — a skipped decrement
+    // deadlocks wait() forever — so it lives in a scope guard.
+    struct FlightGuard {
+      ThreadPool &pool;
+      ~FlightGuard() {
+        std::lock_guard<std::mutex> lock(pool.mutex_);
+        if (--pool.inFlight_ == 0)
+          pool.idle_.notify_all();
+      }
+    } guard{*this};
+    try {
+      task();
+    } catch (...) {
       std::lock_guard<std::mutex> lock(mutex_);
-      if (--inFlight_ == 0)
-        idle_.notify_all();
+      if (!firstError_)
+        firstError_ = std::current_exception();
     }
+  }
+}
+
+TaskGroup::~TaskGroup() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void TaskGroup::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++pending_;
+  }
+  pool_.submit([this, task = std::move(task)]() mutable {
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    task = nullptr; // release captures before signalling completion
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (error && !firstError_)
+      firstError_ = error;
+    if (--pending_ == 0)
+      done_.notify_all();
+  });
+}
+
+void TaskGroup::wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_.wait(lock, [this] { return pending_ == 0; });
+  if (firstError_) {
+    std::exception_ptr error = std::exchange(firstError_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
   }
 }
 
 void parallelFor(ThreadPool &pool, size_t count,
                  const std::function<void(size_t)> &fn) {
+  TaskGroup group(pool);
   for (size_t i = 0; i < count; ++i)
-    pool.submit([i, &fn] { fn(i); });
-  pool.wait();
+    group.submit([i, &fn] { fn(i); });
+  group.wait();
 }
 
 } // namespace mha

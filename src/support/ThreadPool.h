@@ -1,12 +1,19 @@
 // ThreadPool.h - a small fixed-size worker pool.
 //
-// Used by the design-space-exploration example and the flow driver to
-// evaluate independent HLS configurations in parallel. Tasks are plain
-// std::function<void()>; completion is observed via wait().
+// Used by the batch flow driver, the design-space-exploration example and
+// the benches to evaluate independent HLS configurations in parallel.
+// Tasks are plain std::function<void()>; completion is observed via wait().
+//
+// Exception safety: a task that throws does not take its worker thread
+// down and cannot deadlock wait() — the first exception is captured and
+// rethrown from the matching wait() (pool-wide for loose submit()s, per
+// group for TaskGroup submissions). Later exceptions from the same wait
+// window are dropped.
 #pragma once
 
 #include <condition_variable>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -26,24 +33,71 @@ public:
   /// Enqueues a task. Safe to call from any thread, including workers.
   void submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished.
+  /// Blocks until every submitted task has finished (including tasks
+  /// submitted through TaskGroups). If a loose-submitted task threw, the
+  /// first captured exception is rethrown; the error state is cleared so
+  /// the pool stays usable.
   void wait();
 
   unsigned size() const { return static_cast<unsigned>(workers_.size()); }
 
+  /// Index of the calling pool worker in [0, size()), or -1 when the
+  /// caller is not a pool worker. Lets instrumented tasks (e.g. the batch
+  /// flow tracer) attribute work to workers.
+  static int currentWorkerIndex();
+
+  /// Number of queued-but-not-yet-started tasks (instrumentation only;
+  /// the value is stale the moment it is returned).
+  size_t queueDepth() const;
+
 private:
-  void workerLoop();
+  friend class TaskGroup;
+
+  void workerLoop(unsigned index);
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable wakeWorker_;
   std::condition_variable idle_;
   size_t inFlight_ = 0;
   bool shutdown_ = false;
+  std::exception_ptr firstError_;
 };
 
-/// Runs `fn(i)` for i in [0, count) across the pool and waits.
+/// A completion token for a subset of a pool's tasks. Tasks run on the
+/// shared pool, but wait() blocks only on this group's tasks — concurrent
+/// groups (and loose pool.submit() work) are independent, so two
+/// parallelFor calls on one pool each return exactly when their own work
+/// is done. Exceptions thrown by group tasks are confined to the group:
+/// the first one is rethrown from the group's wait(), never from the
+/// pool's.
+class TaskGroup {
+public:
+  explicit TaskGroup(ThreadPool &pool) : pool_(pool) {}
+  /// Blocks until the group is drained; swallows any unretrieved error.
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup &) = delete;
+  TaskGroup &operator=(const TaskGroup &) = delete;
+
+  void submit(std::function<void()> task);
+
+  /// Blocks until every task submitted through this group has finished;
+  /// rethrows the group's first captured exception (then clears it).
+  void wait();
+
+private:
+  ThreadPool &pool_;
+  std::mutex mutex_;
+  std::condition_variable done_;
+  size_t pending_ = 0;
+  std::exception_ptr firstError_;
+};
+
+/// Runs `fn(i)` for i in [0, count) across the pool and waits for exactly
+/// those iterations (not for unrelated in-flight work). Rethrows the first
+/// exception any iteration threw.
 void parallelFor(ThreadPool &pool, size_t count,
                  const std::function<void(size_t)> &fn);
 

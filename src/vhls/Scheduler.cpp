@@ -53,6 +53,8 @@ struct ArrayInfo {
   bool onChip = false; // alloca (vs. interface argument)
   unsigned partitionedRank = 0;
   std::vector<int64_t> dims;
+  size_t order = 0; // discovery order — reports must not depend on the
+                    // pointer-keyed map's (allocation-dependent) order
 };
 
 const lir::Value *pointerRootOf(const lir::Value *ptr) {
@@ -96,8 +98,12 @@ public:
     std::vector<lir::Loop *> loops;
     for (const auto &loop : loopInfo.loops())
       loops.push_back(loop.get());
-    std::sort(loops.begin(), loops.end(),
-              [](lir::Loop *a, lir::Loop *b) { return a->depth() > b->depth(); });
+    // Stable sort keeps LoopInfo's deterministic (RPO-header) order among
+    // loops of equal depth, so report rows come out the same every run.
+    std::stable_sort(loops.begin(), loops.end(),
+                     [](lir::Loop *a, lir::Loop *b) {
+                       return a->depth() > b->depth();
+                     });
 
     // Schedule every block once (list scheduling).
     for (BasicBlock *bb : domTree.rpo())
@@ -158,6 +164,7 @@ private:
           info.partition.cyclic = triple->getString(2) != "block";
         }
       }
+      info.order = arrays_.size();
       arrays_[base] = info;
     };
 
@@ -750,8 +757,18 @@ private:
     total.lut += report_.fsmStates * target_.lutPerState;
     total.ff += report_.fsmStates * target_.ffPerState;
 
-    // Memories.
-    for (auto &[base, info] : arrays_) {
+    // Memories, in deterministic discovery order (arguments first, then
+    // allocas as encountered) rather than pointer order.
+    std::vector<const ArrayInfo *> ordered;
+    ordered.reserve(arrays_.size());
+    for (auto &[base, arrayInfo] : arrays_)
+      ordered.push_back(&arrayInfo);
+    std::sort(ordered.begin(), ordered.end(),
+              [](const ArrayInfo *a, const ArrayInfo *b) {
+                return a->order < b->order;
+              });
+    for (const ArrayInfo *infoPtr : ordered) {
+      const ArrayInfo &info = *infoPtr;
       ArrayReport ar;
       ar.name = info.name;
       ar.bytes = info.bytes;

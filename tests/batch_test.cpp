@@ -1,0 +1,215 @@
+// BatchRunner tests: deterministic submission-order results that are
+// bit-identical to serial flow runs, per-job error containment, and the
+// structured trace (stage timings, worker occupancy, JSON export).
+#include "flow/BatchRunner.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+using namespace mha;
+using namespace mha::flow;
+
+namespace {
+
+KernelConfig tunedConfig() {
+  KernelConfig config;
+  config.pipelineII = 1;
+  config.partitionFactor = 2;
+  return config;
+}
+
+// Built through a named value rather than an aggregate temporary: GCC 12's
+// -Wmaybe-uninitialized false-fires on pushing brace-init temporaries that
+// contain a std::map (the FlowOptions fuLimits).
+BatchJob makeJob(const KernelSpec *spec, FlowKind kind,
+                 std::string label = "") {
+  BatchJob job;
+  job.spec = spec;
+  job.config = tunedConfig();
+  job.kind = kind;
+  job.label = std::move(label);
+  return job;
+}
+
+/// A kernel whose module construction throws — the adversarial job the
+/// batch must contain without poisoning its neighbors.
+KernelSpec bombKernel() {
+  KernelSpec bomb = *findKernel("fir");
+  bomb.name = "bomb";
+  bomb.build = [](mir::MContext &, const KernelConfig &) -> mir::OwnedModule {
+    throw std::runtime_error("kernel construction exploded");
+  };
+  return bomb;
+}
+
+} // namespace
+
+TEST(BatchRunner, MatchesSerialBitExact) {
+  std::vector<BatchJob> jobs;
+  for (const char *name : {"gemm", "fir", "atax"})
+    jobs.push_back(makeJob(findKernel(name), FlowKind::Adaptor));
+  jobs.push_back(makeJob(findKernel("mvt"), FlowKind::HlsCpp));
+
+  BatchOptions options;
+  options.numThreads = 4;
+  BatchOutcome outcome = runBatch(jobs, options);
+  ASSERT_EQ(outcome.results.size(), jobs.size());
+
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    FlowResult serial = jobs[i].kind == FlowKind::Adaptor
+                            ? runAdaptorFlow(*jobs[i].spec, jobs[i].config)
+                            : runHlsCppFlow(*jobs[i].spec, jobs[i].config);
+    const FlowResult &batched = outcome.results[i];
+    ASSERT_TRUE(batched.ok) << batched.diagnostics;
+    EXPECT_EQ(batched.kernelName, jobs[i].spec->name);
+    // The whole synthesis report — latency, resources, loops, arrays —
+    // must be byte-identical to the serial run.
+    EXPECT_EQ(batched.synth.str(), serial.synth.str());
+    EXPECT_EQ(batched.synth.json(), serial.synth.json());
+    EXPECT_EQ(batched.adaptorStats, serial.adaptorStats);
+    EXPECT_EQ(batched.hlsCpp, serial.hlsCpp);
+  }
+}
+
+TEST(BatchRunner, DeterministicSubmissionOrder) {
+  std::vector<BatchJob> jobs;
+  for (const KernelSpec &spec : allKernels())
+    jobs.push_back(makeJob(&spec, FlowKind::Adaptor));
+
+  BatchOptions wide;
+  wide.numThreads = 8;
+  BatchOutcome parallel = runBatch(jobs, wide);
+  BatchOptions narrow;
+  narrow.numThreads = 1;
+  BatchOutcome serial = runBatch(jobs, narrow);
+
+  ASSERT_EQ(parallel.results.size(), jobs.size());
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    // Results sit at their submission index regardless of which worker
+    // finished first, so any thread count yields the same ordering.
+    EXPECT_EQ(parallel.results[i].kernelName, jobs[i].spec->name);
+    EXPECT_EQ(parallel.results[i].synth.str(), serial.results[i].synth.str());
+    EXPECT_EQ(parallel.trace.jobs[i].index, i);
+  }
+}
+
+TEST(BatchRunner, FailingJobDoesNotPoisonNeighbors) {
+  KernelSpec bomb = bombKernel();
+  std::vector<BatchJob> jobs;
+  jobs.push_back(makeJob(findKernel("fir"), FlowKind::Adaptor));
+  jobs.push_back(makeJob(&bomb, FlowKind::Adaptor));
+  jobs.push_back(makeJob(findKernel("gemm"), FlowKind::Adaptor));
+
+  BatchOptions options;
+  options.numThreads = 3;
+  BatchOutcome outcome = runBatch(jobs, options);
+
+  EXPECT_FALSE(outcome.results[1].ok);
+  EXPECT_NE(outcome.results[1].diagnostics.find(
+                "kernel construction exploded"),
+            std::string::npos);
+  EXPECT_EQ(outcome.trace.failures, 1u);
+  EXPECT_FALSE(outcome.trace.jobs[1].error.empty());
+
+  // The neighbors are untouched: bit-identical to serial runs.
+  FlowResult serialFir = runAdaptorFlow(*findKernel("fir"), tunedConfig());
+  FlowResult serialGemm = runAdaptorFlow(*findKernel("gemm"), tunedConfig());
+  ASSERT_TRUE(outcome.results[0].ok) << outcome.results[0].diagnostics;
+  ASSERT_TRUE(outcome.results[2].ok) << outcome.results[2].diagnostics;
+  EXPECT_EQ(outcome.results[0].synth.str(), serialFir.synth.str());
+  EXPECT_EQ(outcome.results[2].synth.str(), serialGemm.synth.str());
+}
+
+TEST(BatchRunner, NullSpecIsContained) {
+  std::vector<BatchJob> jobs(1);
+  BatchOutcome outcome = runBatch(jobs);
+  EXPECT_FALSE(outcome.results[0].ok);
+  EXPECT_NE(outcome.results[0].diagnostics.find("no kernel spec"),
+            std::string::npos);
+  EXPECT_EQ(outcome.trace.failures, 1u);
+}
+
+TEST(BatchRunner, TraceRecordsStagesAndWorkers) {
+  std::vector<BatchJob> jobs;
+  for (const char *name : {"gemm", "fir", "atax", "bicg"})
+    jobs.push_back(makeJob(findKernel(name), FlowKind::Adaptor, "tuned"));
+
+  BatchOptions options;
+  options.numThreads = 2;
+  BatchOutcome outcome = runBatch(jobs, options);
+
+  EXPECT_EQ(outcome.trace.threads, 2u);
+  EXPECT_EQ(outcome.trace.jobCount, 4u);
+  EXPECT_EQ(outcome.trace.failures, 0u);
+  EXPECT_GT(outcome.trace.wallMs, 0);
+  EXPECT_GT(outcome.trace.serialMs, 0);
+  ASSERT_EQ(outcome.trace.jobsPerWorker.size(), 2u);
+  EXPECT_EQ(outcome.trace.jobsPerWorker[0] + outcome.trace.jobsPerWorker[1],
+            4u);
+  for (const JobTrace &job : outcome.trace.jobs) {
+    EXPECT_TRUE(job.ok);
+    EXPECT_TRUE(job.accepted);
+    EXPECT_EQ(job.label, "tuned");
+    EXPECT_GT(job.wallMs, 0);
+    EXPECT_GE(job.worker, 0);
+    EXPECT_LT(job.worker, 2);
+    EXPECT_FALSE(job.spans.empty());
+    EXPECT_GT(job.timings.totalMs, 0);
+    EXPECT_FALSE(job.adaptorStats.empty());
+  }
+
+  std::string json = outcome.trace.json();
+  EXPECT_NE(json.find("\"schema\": \"mha.batch-trace.v1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"kernel\": \"gemm\""), std::string::npos);
+  EXPECT_NE(json.find("\"stage\": \"bridge\""), std::string::npos);
+  EXPECT_NE(json.find("adaptor.descriptors-eliminated"), std::string::npos);
+}
+
+TEST(BatchRunner, SinkObservesEveryJobAndTheBatch) {
+  struct CountingSink : TraceSink {
+    size_t jobCalls = 0;
+    size_t batchCalls = 0;
+    void onJobFinished(const JobTrace &) override { ++jobCalls; }
+    void onBatchFinished(const BatchTrace &trace) override {
+      ++batchCalls;
+      lastJobCount = trace.jobs.size();
+    }
+    size_t lastJobCount = 0;
+  } sink;
+
+  std::vector<BatchJob> jobs;
+  for (const char *name : {"gemm", "fir", "mvt"})
+    jobs.push_back(makeJob(findKernel(name), FlowKind::Adaptor));
+  BatchOptions options;
+  options.numThreads = 3;
+  options.sink = &sink;
+  runBatch(jobs, options);
+
+  EXPECT_EQ(sink.jobCalls, 3u);
+  EXPECT_EQ(sink.batchCalls, 1u);
+  EXPECT_EQ(sink.lastJobCount, 3u);
+}
+
+TEST(BatchRunner, JsonFileTraceSinkWritesFile) {
+  const char *path = "batch_trace_test.json";
+  JsonFileTraceSink sink(path);
+  std::vector<BatchJob> jobs;
+  jobs.push_back(makeJob(findKernel("gemm"), FlowKind::Adaptor));
+  BatchOptions options;
+  options.sink = &sink;
+  runBatch(jobs, options);
+  ASSERT_TRUE(sink.ok()) << sink.error();
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_NE(buffer.str().find("mha.batch-trace.v1"), std::string::npos);
+  EXPECT_NE(buffer.str().find("\"kernel\": \"gemm\""), std::string::npos);
+  std::remove(path);
+}

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 using namespace mha;
 using namespace mha::flow;
 
@@ -109,6 +111,44 @@ TEST(Flow, TimingsRecorded) {
   EXPECT_GT(result.timings.totalMs, 0);
   EXPECT_GE(result.timings.totalMs,
             result.timings.mlirOptMs + result.timings.bridgeMs);
+}
+
+TEST(Flow, TimingWindowsAreSymmetricAcrossFlows) {
+  // Table 4 compares compile time per stage, so both flows must charge
+  // the same work to mlirOptMs: exactly the shared MLIR preparation.
+  // Flow-specific legs (the adaptor flow's affine->scf conversion, the
+  // C++ flow's emission) belong to bridgeMs.
+  FlowResult a = runAdaptorFlow(*findKernel("gemm"), {});
+  FlowResult c = runHlsCppFlow(*findKernel("gemm"), {});
+  ASSERT_TRUE(a.ok && c.ok) << a.diagnostics << c.diagnostics;
+
+  auto stageNames = [](const FlowResult &result, const char *stage) {
+    std::vector<std::string> names;
+    for (const StageSpan &span : result.spans)
+      if (span.stage == stage)
+        names.push_back(span.name);
+    return names;
+  };
+  EXPECT_EQ(stageNames(a, "mlirOpt"), stageNames(c, "mlirOpt"));
+  EXPECT_EQ(stageNames(a, "mlirOpt"),
+            std::vector<std::string>{"prepare-mlir"});
+  std::vector<std::string> bridge = stageNames(a, "bridge");
+  EXPECT_NE(std::find(bridge.begin(), bridge.end(), "affine-to-scf"),
+            bridge.end())
+      << "scf conversion must be charged to the bridge window";
+
+  // Each stage window covers at least the spans attributed to it.
+  for (const FlowResult *result : {&a, &c}) {
+    double mlirSpanMs = 0, bridgeSpanMs = 0;
+    for (const StageSpan &span : result->spans) {
+      if (span.stage == "mlirOpt")
+        mlirSpanMs += span.ms;
+      if (span.stage == "bridge")
+        bridgeSpanMs += span.ms;
+    }
+    EXPECT_GE(result->timings.mlirOptMs, mlirSpanMs - 0.5);
+    EXPECT_GE(result->timings.bridgeMs, bridgeSpanMs - 0.5);
+  }
 }
 
 TEST(Flow, HlsCppFlowEmitsCode) {

@@ -6,7 +6,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <future>
 #include <numeric>
+#include <set>
+#include <stdexcept>
 
 using namespace mha;
 
@@ -97,4 +101,126 @@ TEST(ThreadPool, ReusableAfterWait) {
   pool.submit([&] { counter++; });
   pool.wait();
   EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPool, ThrowingTaskDoesNotHangWait) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  // The error state is cleared and the pool stays usable.
+  std::atomic<int> counter{0};
+  pool.submit([&] { counter++; });
+  pool.wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPool, FirstExceptionSurvivesManyThrows) {
+  ThreadPool pool(4);
+  for (int i = 0; i < 32; ++i)
+    pool.submit([] { throw std::runtime_error("boom"); });
+  try {
+    pool.wait();
+    FAIL() << "wait() must rethrow";
+  } catch (const std::runtime_error &e) {
+    EXPECT_STREQ(e.what(), "boom");
+  }
+  pool.wait(); // all work already drained; no stale exception
+}
+
+TEST(ThreadPool, StressMixedThrowingTasks) {
+  ThreadPool pool(8);
+  std::atomic<int> completed{0};
+  for (int i = 0; i < 500; ++i)
+    pool.submit([&completed, i] {
+      if (i % 7 == 0)
+        throw std::runtime_error("x");
+      completed.fetch_add(1);
+    });
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  EXPECT_EQ(completed.load(), 500 - 72); // every 7th task threw
+}
+
+TEST(ThreadPool, TasksSubmittingTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 10; ++i)
+    pool.submit([&] {
+      counter.fetch_add(1);
+      pool.submit([&] { counter.fetch_add(1); });
+    });
+  pool.wait();
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPool, RepeatedWaitReuseCycles) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int cycle = 0; cycle < 50; ++cycle) {
+    for (int i = 0; i < 8; ++i)
+      pool.submit([&] { counter.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(counter.load(), (cycle + 1) * 8);
+  }
+}
+
+TEST(ThreadPool, ParallelForPropagatesException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(parallelFor(pool, 8,
+                           [](size_t i) {
+                             if (i == 3)
+                               throw std::runtime_error("iteration 3");
+                           }),
+               std::runtime_error);
+  // The pool is unaffected afterwards.
+  std::atomic<int> counter{0};
+  parallelFor(pool, 4, [&](size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 4);
+}
+
+TEST(ThreadPool, ConcurrentParallelForWaitsOnlyItsOwnWork) {
+  // Regression: parallelFor used to call pool.wait(), which waits for ALL
+  // in-flight work. Here two of four workers sit blocked on a gate that
+  // only opens after the second parallelFor returned — if the second call
+  // waited for the gated group too, this test would deadlock.
+  ThreadPool pool(4);
+  std::promise<void> release;
+  std::shared_future<void> gate(release.get_future());
+  std::thread blocked([&] {
+    parallelFor(pool, 2, [&](size_t) { gate.wait(); });
+  });
+  std::atomic<int> fast{0};
+  parallelFor(pool, 16, [&](size_t) { fast.fetch_add(1); });
+  EXPECT_EQ(fast.load(), 16);
+  release.set_value();
+  blocked.join();
+}
+
+TEST(ThreadPool, TaskGroupIsolatesExceptions) {
+  ThreadPool pool(2);
+  TaskGroup bad(pool);
+  TaskGroup good(pool);
+  bad.submit([] { throw std::runtime_error("bad group"); });
+  std::atomic<int> counter{0};
+  good.submit([&] { counter.fetch_add(1); });
+  good.wait(); // must not observe the other group's exception
+  EXPECT_EQ(counter.load(), 1);
+  EXPECT_THROW(bad.wait(), std::runtime_error);
+  pool.wait(); // group errors never leak into the pool-level wait
+}
+
+TEST(ThreadPool, WorkerIndexVisibleInTasks) {
+  ThreadPool pool(3);
+  EXPECT_EQ(ThreadPool::currentWorkerIndex(), -1);
+  std::mutex mutex;
+  std::set<int> seen;
+  parallelFor(pool, 64, [&](size_t) {
+    int index = ThreadPool::currentWorkerIndex();
+    std::lock_guard<std::mutex> lock(mutex);
+    seen.insert(index);
+  });
+  EXPECT_FALSE(seen.empty());
+  for (int index : seen) {
+    EXPECT_GE(index, 0);
+    EXPECT_LT(index, 3);
+  }
 }

@@ -1,0 +1,167 @@
+// mha-flow - batch flow driver over the benchmark kernels.
+//
+//   mha-flow [--kernels=gemm,atax|all] [--flow=adaptor|hls-cpp|both]
+//            [--batch] [--threads=N] [--trace=out.json]
+//            [--ii=N] [--unroll=N] [--partition=N] [--dataflow]
+//            [--no-directives] [--cosim]
+//
+// Runs every (kernel, flow) pair and prints one row per job with
+// accept/reject status, latency and resources. Results are always in
+// submission order. By default jobs run serially (a one-worker pool);
+// --batch runs them across all cores. --trace dumps the structured batch
+// trace (per-stage timings, adaptor stats, worker/queue occupancy) as
+// JSON. Exit status is 0 iff every job succeeded (and co-simulated, with
+// --cosim).
+#include "flow/BatchRunner.h"
+#include "support/StringUtils.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace mha;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: mha-flow [--kernels=a,b,...|all] [--flow=adaptor|hls-cpp|both]\n"
+      "                [--batch] [--threads=N] [--trace=out.json]\n"
+      "                [--ii=N] [--unroll=N] [--partition=N] [--dataflow]\n"
+      "                [--no-directives] [--cosim]\n");
+  return 2;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string kernelList = "all";
+  std::string flowName = "both";
+  std::string tracePath;
+  bool batch = false, cosim = false;
+  unsigned threads = 0;
+  flow::KernelConfig config;
+  config.pipelineII = 1;
+  config.partitionFactor = 2;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (startsWith(arg, "--kernels="))
+      kernelList = arg.substr(10);
+    else if (startsWith(arg, "--flow="))
+      flowName = arg.substr(7);
+    else if (arg == "--batch")
+      batch = true;
+    else if (startsWith(arg, "--threads="))
+      threads = static_cast<unsigned>(std::atoi(arg.c_str() + 10));
+    else if (startsWith(arg, "--trace="))
+      tracePath = arg.substr(8);
+    else if (startsWith(arg, "--ii="))
+      config.pipelineII = std::atoll(arg.c_str() + 5);
+    else if (startsWith(arg, "--unroll="))
+      config.unrollFactor = std::atoll(arg.c_str() + 9);
+    else if (startsWith(arg, "--partition="))
+      config.partitionFactor = std::atoll(arg.c_str() + 12);
+    else if (arg == "--dataflow")
+      config.dataflow = true;
+    else if (arg == "--no-directives")
+      config.applyDirectives = false;
+    else if (arg == "--cosim")
+      cosim = true;
+    else if (arg == "--help" || arg == "-h")
+      return usage();
+    else {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      return usage();
+    }
+  }
+
+  std::vector<flow::FlowKind> kinds;
+  if (flowName == "adaptor")
+    kinds = {flow::FlowKind::Adaptor};
+  else if (flowName == "hls-cpp" || flowName == "hls-c++")
+    kinds = {flow::FlowKind::HlsCpp};
+  else if (flowName == "both")
+    kinds = {flow::FlowKind::HlsCpp, flow::FlowKind::Adaptor};
+  else {
+    std::fprintf(stderr, "unknown flow '%s'\n", flowName.c_str());
+    return usage();
+  }
+
+  std::vector<const flow::KernelSpec *> kernels;
+  if (kernelList == "all") {
+    for (const flow::KernelSpec &spec : flow::allKernels())
+      kernels.push_back(&spec);
+  } else {
+    for (const std::string &name : splitString(kernelList, ',')) {
+      const flow::KernelSpec *spec = flow::findKernel(name);
+      if (!spec) {
+        std::fprintf(stderr, "unknown kernel '%s'\n", name.c_str());
+        return 2;
+      }
+      kernels.push_back(spec);
+    }
+  }
+
+  std::vector<flow::BatchJob> jobs;
+  for (const flow::KernelSpec *spec : kernels)
+    for (flow::FlowKind kind : kinds)
+      jobs.push_back({spec, config, kind, {}, ""});
+
+  flow::JsonFileTraceSink traceSink(tracePath);
+  flow::BatchOptions options;
+  options.numThreads = batch ? threads : 1;
+  if (!tracePath.empty())
+    options.sink = &traceSink;
+  flow::BatchOutcome outcome = flow::runBatch(jobs, options);
+
+  std::printf("%-10s %-8s %-7s %12s %6s %6s %8s %8s %9s\n", "kernel",
+              "flow", "status", "latency", "DSP", "BRAM", "LUT", "FF",
+              "wall-ms");
+  int failures = 0;
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    const flow::FlowResult &result = outcome.results[i];
+    const flow::JobTrace &trace = outcome.trace.jobs[i];
+    if (!result.ok) {
+      std::printf("%-10s %-8s %-7s %s\n", trace.kernel.c_str(),
+                  flow::flowKindName(trace.kind), "FAIL",
+                  trace.error.c_str());
+      ++failures;
+      continue;
+    }
+    std::string status = "ok";
+    if (cosim) {
+      std::string error;
+      if (!flow::cosimAgainstReference(result, *jobs[i].spec, error)) {
+        status = "MISMATCH";
+        ++failures;
+      } else {
+        status = "ok+cosim";
+      }
+    }
+    const vhls::FunctionReport *top = result.synth.top();
+    std::printf("%-10s %-8s %-7s %12lld %6lld %6lld %8lld %8lld %9.1f\n",
+                trace.kernel.c_str(), flow::flowKindName(trace.kind),
+                status.c_str(), static_cast<long long>(top->latencyCycles),
+                static_cast<long long>(top->resources.dsp),
+                static_cast<long long>(top->resources.bram),
+                static_cast<long long>(top->resources.lut),
+                static_cast<long long>(top->resources.ff), trace.wallMs);
+  }
+  std::printf("\n%zu jobs on %u threads: %.0f ms wall, %.0f ms serial "
+              "(%.2fx), %zu failed\n",
+              outcome.trace.jobCount, outcome.trace.threads,
+              outcome.trace.wallMs, outcome.trace.serialMs,
+              outcome.trace.wallMs > 0
+                  ? outcome.trace.serialMs / outcome.trace.wallMs
+                  : 0.0,
+              outcome.trace.failures);
+  if (!tracePath.empty()) {
+    if (!traceSink.ok()) {
+      std::fprintf(stderr, "trace: %s\n", traceSink.error().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "trace written to %s\n", tracePath.c_str());
+  }
+  return failures == 0 ? 0 : 1;
+}
