@@ -1,6 +1,8 @@
 #include "flow/BatchRunner.h"
 
+#include "support/Json.h"
 #include "support/StringUtils.h"
+#include "support/Telemetry.h"
 
 #include <chrono>
 #include <fstream>
@@ -20,16 +22,6 @@ double msBetween(Clock::time_point from, Clock::time_point to) {
 std::string firstLine(const std::string &text) {
   size_t eol = text.find('\n');
   return eol == std::string::npos ? text : text.substr(0, eol);
-}
-
-std::string jsonEscape(const std::string &s) {
-  std::string out;
-  for (char c : s) {
-    if (c == '"' || c == '\\')
-      out += '\\';
-    out += c;
-  }
-  return out;
 }
 
 /// Runs one job with full error containment: any exception becomes a
@@ -64,10 +56,10 @@ std::string BatchTrace::json() const {
   os << strfmt("  \"threads\": %u,\n", threads);
   os << strfmt("  \"job_count\": %zu,\n  \"failures\": %zu,\n", jobCount,
                failures);
-  os << strfmt("  \"wall_ms\": %.3f,\n  \"serial_ms\": %.3f,\n", wallMs,
-               serialMs);
-  os << strfmt("  \"speedup\": %.3f,\n",
-               wallMs > 0 ? serialMs / wallMs : 0.0);
+  os << "  \"wall_ms\": " << json::number(wallMs)
+     << ",\n  \"serial_ms\": " << json::number(serialMs) << ",\n";
+  os << "  \"speedup\": "
+     << json::number(wallMs > 0 ? serialMs / wallMs : 0.0) << ",\n";
   os << "  \"jobs_per_worker\": [";
   for (size_t w = 0; w < jobsPerWorker.size(); ++w)
     os << (w ? ", " : "") << jobsPerWorker[w];
@@ -77,41 +69,40 @@ std::string BatchTrace::json() const {
     const JobTrace &job = jobs[i];
     os << "    {\n";
     os << strfmt("      \"index\": %zu,\n", job.index);
-    os << "      \"kernel\": \"" << jsonEscape(job.kernel) << "\",\n";
-    os << "      \"label\": \"" << jsonEscape(job.label) << "\",\n";
+    os << "      \"kernel\": \"" << json::escape(job.kernel) << "\",\n";
+    os << "      \"label\": \"" << json::escape(job.label) << "\",\n";
     os << "      \"flow\": \"" << flowKindName(job.kind) << "\",\n";
     os << "      \"ok\": " << (job.ok ? "true" : "false") << ",\n";
     os << "      \"accepted\": " << (job.accepted ? "true" : "false")
        << ",\n";
     os << strfmt("      \"worker\": %d,\n", job.worker);
-    os << strfmt("      \"queue_ms\": %.3f,\n", job.queueMs);
-    os << strfmt("      \"wall_ms\": %.3f,\n", job.wallMs);
+    os << "      \"queue_ms\": " << json::number(job.queueMs) << ",\n";
+    os << "      \"wall_ms\": " << json::number(job.wallMs) << ",\n";
     os << strfmt("      \"queue_depth_at_start\": %zu,\n",
                  job.queueDepthAtStart);
-    os << strfmt("      \"timings\": {\"mlir_opt_ms\": %.3f, "
-                 "\"bridge_ms\": %.3f, \"synth_ms\": %.3f, "
-                 "\"total_ms\": %.3f},\n",
-                 job.timings.mlirOptMs, job.timings.bridgeMs,
-                 job.timings.synthMs, job.timings.totalMs);
+    os << "      \"timings\": {\"mlir_opt_ms\": "
+       << json::number(job.timings.mlirOptMs)
+       << ", \"bridge_ms\": " << json::number(job.timings.bridgeMs)
+       << ", \"synth_ms\": " << json::number(job.timings.synthMs)
+       << ", \"total_ms\": " << json::number(job.timings.totalMs) << "},\n";
     os << "      \"spans\": [";
     for (size_t s = 0; s < job.spans.size(); ++s) {
       const StageSpan &span = job.spans[s];
-      os << (s ? ", " : "")
-         << strfmt("{\"stage\": \"%s\", \"name\": \"%s\", \"ms\": %.3f}",
-                   jsonEscape(span.stage).c_str(),
-                   jsonEscape(span.name).c_str(), span.ms);
+      os << (s ? ", " : "") << "{\"stage\": \"" << json::escape(span.stage)
+         << "\", \"name\": \"" << json::escape(span.name)
+         << "\", \"ms\": " << json::number(span.ms) << "}";
     }
     os << "],\n";
     os << "      \"adaptor_stats\": {";
     bool first = true;
     for (const auto &[key, value] : job.adaptorStats) {
-      os << (first ? "" : ", ") << "\"" << jsonEscape(key)
+      os << (first ? "" : ", ") << "\"" << json::escape(key)
          << "\": " << value;
       first = false;
     }
     os << "}";
     if (!job.error.empty())
-      os << ",\n      \"error\": \"" << jsonEscape(job.error) << "\"";
+      os << ",\n      \"error\": \"" << json::escape(job.error) << "\"";
     os << "\n    }" << (i + 1 < jobs.size() ? "," : "") << "\n";
   }
   os << "  ]\n}\n";
@@ -119,12 +110,18 @@ std::string BatchTrace::json() const {
 }
 
 void JsonFileTraceSink::onBatchFinished(const BatchTrace &trace) {
+  std::string rendered = trace.json();
+  std::string validateError;
+  if (!json::validate(rendered, &validateError)) {
+    error_ = "batch trace is not well-formed JSON: " + validateError;
+    return;
+  }
   std::ofstream out(path_);
   if (!out) {
     error_ = "cannot open " + path_;
     return;
   }
-  out << trace.json();
+  out << rendered;
   error_ = out.good() ? "" : "write to " + path_ + " failed";
 }
 
@@ -145,6 +142,11 @@ BatchOutcome runBatch(const std::vector<BatchJob> &jobs,
   out.trace.jobsPerWorker.assign(pool->size(), 0);
 
   std::mutex sinkMutex;
+  // The whole batch is one span on the submitting thread; each job runs
+  // inside its own span in the executing worker's lane, so a Chrome trace
+  // shows one lane per pool worker with the per-job flow-stage/pass spans
+  // nested beneath the job.
+  telemetry::Span batchSpan(strfmt("batch:%zu-jobs", jobs.size()), "batch");
   auto batchStart = Clock::now();
   TaskGroup group(*pool);
   for (size_t i = 0; i < jobs.size(); ++i) {
@@ -158,19 +160,29 @@ BatchOutcome runBatch(const std::vector<BatchJob> &jobs,
       trace.kind = job.kind;
       trace.worker = ThreadPool::currentWorkerIndex();
       trace.queueDepthAtStart = pool->queueDepth();
+      if (trace.worker >= 0)
+        telemetry::Tracer::setThreadLane(trace.worker,
+                                         strfmt("worker %d", trace.worker));
 
       auto start = Clock::now();
       trace.queueMs = msBetween(submitted, start);
+      telemetry::Span jobSpan(
+          strfmt("job:%s:%s", trace.kernel.c_str(), flowKindName(job.kind)),
+          "batch-job",
+          {{"index", strfmt("%zu", i)}, {"label", job.label}});
       FlowResult result = runJobContained(job);
-      trace.wallMs = msBetween(start, Clock::now());
+      trace.wallMs = jobSpan.finish();
 
       trace.ok = result.ok;
       trace.accepted = result.synth.accepted;
       trace.timings = result.timings;
       trace.spans = result.spans;
       trace.adaptorStats = result.adaptorStats;
-      if (!result.ok)
+      if (!result.ok) {
         trace.error = firstLine(result.diagnostics);
+        telemetry::Tracer::global().instant(
+            strfmt("job-failed:%s", trace.kernel.c_str()), "batch-job");
+      }
       out.results[i] = std::move(result);
 
       if (options.sink) {
@@ -180,6 +192,7 @@ BatchOutcome runBatch(const std::vector<BatchJob> &jobs,
     });
   }
   group.wait();
+  batchSpan.finish();
   out.trace.wallMs = msBetween(batchStart, Clock::now());
 
   for (const JobTrace &trace : out.trace.jobs) {

@@ -10,18 +10,18 @@
 #include "mir/Verifier.h"
 #include "mir/transforms/MirTransforms.h"
 #include "support/StringUtils.h"
+#include "support/Telemetry.h"
 
-#include <chrono>
 #include <cmath>
 
 namespace mha::flow {
 
 namespace {
 
-double msSince(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double, std::milli>(
-             std::chrono::steady_clock::now() - start)
-      .count();
+/// Args attached to every flow-level telemetry span so a Chrome trace
+/// lane can be filtered by kernel or flow kind.
+telemetry::SpanArgs flowSpanArgs(const KernelSpec &spec, FlowKind kind) {
+  return {{"kernel", spec.name}, {"flow", flowKindName(kind)}};
 }
 
 /// Builds the kernel and runs the shared MLIR-level preparation.
@@ -68,14 +68,15 @@ FlowResult runAdaptorFlow(const KernelSpec &spec, const KernelConfig &config,
   result.kind = FlowKind::Adaptor;
   result.kernelName = spec.name;
   DiagnosticEngine diags;
-  auto total = std::chrono::steady_clock::now();
+  telemetry::Span totalSpan(strfmt("flow:adaptor:%s", spec.name.c_str()),
+                            "flow", flowSpanArgs(spec, FlowKind::Adaptor));
 
   // MLIR level: exactly the shared preparation both flows run, so Table 4's
   // mlirOptMs windows compare like with like.
-  auto t0 = std::chrono::steady_clock::now();
+  telemetry::Span mlirSpan("mlirOpt", "flow-stage");
   mir::MContext mctx;
   auto module = prepareMlir(spec, config, mctx, options, diags);
-  result.timings.mlirOptMs = msSince(t0);
+  result.timings.mlirOptMs = mlirSpan.finish();
   result.spans.push_back({"mlirOpt", "prepare-mlir", result.timings.mlirOptMs});
   if (!module) {
     result.diagnostics = diags.str();
@@ -86,49 +87,54 @@ FlowResult runAdaptorFlow(const KernelSpec &spec, const KernelConfig &config,
   // flow-specific work (the C++ flow's emitter consumes structured IR
   // directly), so it is charged to bridgeMs, mirroring how the C++ flow
   // charges its emission leg.
-  auto t1 = std::chrono::steady_clock::now();
-  mir::MPassManager convert;
-  convert.add(mir::createAffineToScfPass());
-  convert.add(mir::createCanonicalizePass());
-  bool convertOk = convert.run(module->get(), diags);
-  result.spans.push_back({"bridge", "affine-to-scf", msSince(t1)});
-  if (!convertOk) {
-    result.timings.bridgeMs = msSince(t1);
-    result.diagnostics = diags.str();
-    return result;
+  telemetry::Span bridgeSpan("bridge", "flow-stage");
+  {
+    telemetry::Span convertSpan("affine-to-scf", "flow-substage");
+    mir::MPassManager convert;
+    convert.add(mir::createAffineToScfPass());
+    convert.add(mir::createCanonicalizePass());
+    bool convertOk = convert.run(module->get(), diags);
+    result.spans.push_back({"bridge", "affine-to-scf", convertSpan.finish()});
+    if (!convertOk) {
+      result.timings.bridgeMs = bridgeSpan.finish();
+      result.diagnostics = diags.str();
+      return result;
+    }
   }
-  auto tLower = std::chrono::steady_clock::now();
-  result.ctx = std::make_unique<lir::LContext>();
-  result.module =
-      lowering::lowerToLIR(module->get(), *result.ctx, options.lowering,
-                           diags);
-  result.spans.push_back({"bridge", "lower-to-lir", msSince(tLower)});
-  if (!result.module) {
-    result.timings.bridgeMs = msSince(t1);
-    result.diagnostics = diags.str();
-    return result;
+  {
+    telemetry::Span lowerSpan("lower-to-lir", "flow-substage");
+    result.ctx = std::make_unique<lir::LContext>();
+    result.module =
+        lowering::lowerToLIR(module->get(), *result.ctx, options.lowering,
+                             diags);
+    result.spans.push_back({"bridge", "lower-to-lir", lowerSpan.finish()});
+    if (!result.module) {
+      result.timings.bridgeMs = bridgeSpan.finish();
+      result.diagnostics = diags.str();
+      return result;
+    }
   }
-  auto tAdaptor = std::chrono::steady_clock::now();
+  telemetry::Span adaptorSpan("adaptor-pipeline", "flow-substage");
   lir::PassManager pm(/*verifyEach=*/true);
   adaptor::buildAdaptorPipeline(pm, options.adaptor);
   bool adaptorOk = pm.run(*result.module, diags);
   result.adaptorStats = pm.totalStats();
-  result.spans.push_back({"bridge", "adaptor-pipeline", msSince(tAdaptor)});
-  result.timings.bridgeMs = msSince(t1);
+  result.spans.push_back({"bridge", "adaptor-pipeline", adaptorSpan.finish()});
+  result.timings.bridgeMs = bridgeSpan.finish();
   if (!adaptorOk) {
     result.diagnostics = diags.str();
     return result;
   }
 
   // Virtual HLS.
-  auto t2 = std::chrono::steady_clock::now();
+  telemetry::Span synthSpan("synth", "flow-stage");
   vhls::SynthesisOptions synthOpts = options.synthesis;
   if (synthOpts.topFunction.empty())
     synthOpts.topFunction = spec.name;
   result.synth = vhls::synthesize(*result.module, synthOpts, diags);
-  result.timings.synthMs = msSince(t2);
+  result.timings.synthMs = synthSpan.finish();
   result.spans.push_back({"synth", "vhls", result.timings.synthMs});
-  result.timings.totalMs = msSince(total);
+  result.timings.totalMs = totalSpan.finish();
   result.diagnostics = diags.str();
   result.ok = result.synth.accepted;
   return result;
@@ -140,12 +146,13 @@ FlowResult runHlsCppFlow(const KernelSpec &spec, const KernelConfig &config,
   result.kind = FlowKind::HlsCpp;
   result.kernelName = spec.name;
   DiagnosticEngine diags;
-  auto total = std::chrono::steady_clock::now();
+  telemetry::Span totalSpan(strfmt("flow:hls-c++:%s", spec.name.c_str()),
+                            "flow", flowSpanArgs(spec, FlowKind::HlsCpp));
 
-  auto t0 = std::chrono::steady_clock::now();
+  telemetry::Span mlirSpan("mlirOpt", "flow-stage");
   mir::MContext mctx;
   auto module = prepareMlir(spec, config, mctx, options, diags);
-  result.timings.mlirOptMs = msSince(t0);
+  result.timings.mlirOptMs = mlirSpan.finish();
   result.spans.push_back({"mlirOpt", "prepare-mlir", result.timings.mlirOptMs});
   if (!module) {
     result.diagnostics = diags.str();
@@ -153,32 +160,35 @@ FlowResult runHlsCppFlow(const KernelSpec &spec, const KernelConfig &config,
   }
 
   // Bridge: emit C++, re-parse with the HLS frontend.
-  auto t1 = std::chrono::steady_clock::now();
-  result.hlsCpp = hlscpp::emitHlsCpp(module->get(), diags);
-  result.spans.push_back({"bridge", "emit-hls-cpp", msSince(t1)});
-  if (result.hlsCpp.empty()) {
-    result.timings.bridgeMs = msSince(t1);
-    result.diagnostics = diags.str();
-    return result;
+  telemetry::Span bridgeSpan("bridge", "flow-stage");
+  {
+    telemetry::Span emitSpan("emit-hls-cpp", "flow-substage");
+    result.hlsCpp = hlscpp::emitHlsCpp(module->get(), diags);
+    result.spans.push_back({"bridge", "emit-hls-cpp", emitSpan.finish()});
+    if (result.hlsCpp.empty()) {
+      result.timings.bridgeMs = bridgeSpan.finish();
+      result.diagnostics = diags.str();
+      return result;
+    }
   }
-  auto tFrontend = std::chrono::steady_clock::now();
+  telemetry::Span frontendSpan("hls-frontend", "flow-substage");
   result.ctx = std::make_unique<lir::LContext>();
   result.module = hlscpp::parseHlsCpp(result.hlsCpp, *result.ctx, diags);
-  result.spans.push_back({"bridge", "hls-frontend", msSince(tFrontend)});
-  result.timings.bridgeMs = msSince(t1);
+  result.spans.push_back({"bridge", "hls-frontend", frontendSpan.finish()});
+  result.timings.bridgeMs = bridgeSpan.finish();
   if (!result.module) {
     result.diagnostics = diags.str();
     return result;
   }
 
-  auto t2 = std::chrono::steady_clock::now();
+  telemetry::Span synthSpan("synth", "flow-stage");
   vhls::SynthesisOptions synthOpts = options.synthesis;
   if (synthOpts.topFunction.empty())
     synthOpts.topFunction = spec.name;
   result.synth = vhls::synthesize(*result.module, synthOpts, diags);
-  result.timings.synthMs = msSince(t2);
+  result.timings.synthMs = synthSpan.finish();
   result.spans.push_back({"synth", "vhls", result.timings.synthMs});
-  result.timings.totalMs = msSince(total);
+  result.timings.totalMs = totalSpan.finish();
   result.diagnostics = diags.str();
   result.ok = result.synth.accepted;
   return result;

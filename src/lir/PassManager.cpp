@@ -1,22 +1,77 @@
 #include "lir/PassManager.h"
 
+#include "lir/Function.h"
+#include "lir/Printer.h"
 #include "lir/Verifier.h"
 #include "support/StringUtils.h"
+#include "support/Telemetry.h"
 
-#include <chrono>
+#include <algorithm>
+#include <ostream>
 
 namespace mha::lir {
 
+void countModuleSize(const Module &module, int64_t &insts, int64_t &blocks) {
+  insts = 0;
+  blocks = 0;
+  for (const Function *fn : module.functions()) {
+    for (const BasicBlock *bb : fn->blockPtrs()) {
+      ++blocks;
+      insts += static_cast<int64_t>(bb->size());
+    }
+  }
+}
+
+PrintIRInstrumentation::PrintIRInstrumentation(Options options,
+                                               std::ostream &os)
+    : options_(std::move(options)), os_(os) {}
+
+namespace {
+
+bool nameListed(const std::vector<std::string> &names,
+                const std::string &name) {
+  return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+} // namespace
+
+void PrintIRInstrumentation::beforePass(const ModulePass &pass,
+                                        const Module &module) {
+  if (!options_.beforeAll && !nameListed(options_.beforePasses, pass.name()))
+    return;
+  os_ << "*** IR before pass '" << pass.name() << "' ***\n"
+      << printModule(module);
+}
+
+void PrintIRInstrumentation::afterPass(const ModulePass &pass,
+                                       const Module &module,
+                                       const PassRunRecord &record) {
+  if (!options_.afterAll && !nameListed(options_.afterPasses, pass.name()))
+    return;
+  os_ << "*** IR after pass '" << pass.name() << "' ("
+      << (record.changed ? "changed" : "no change") << ") ***\n"
+      << printModule(module);
+}
+
 bool PassManager::run(Module &module, DiagnosticEngine &diags) {
   records_.clear();
+  telemetry::Tracer &tracer = telemetry::Tracer::global();
   for (auto &pass : passes_) {
     PassRunRecord record;
     record.passName = pass->name();
-    auto start = std::chrono::steady_clock::now();
+    countModuleSize(module, record.instsBefore, record.blocksBefore);
+    for (PassInstrumentation *instrumentation : instrumentations_)
+      instrumentation->beforePass(*pass, module);
+    telemetry::Span span(record.passName, "lir-pass");
     record.changed = pass->run(module, record.stats, diags);
-    auto end = std::chrono::steady_clock::now();
-    record.millis =
-        std::chrono::duration<double, std::milli>(end - start).count();
+    record.millis = span.finish();
+    countModuleSize(module, record.instsAfter, record.blocksAfter);
+    if (tracer.timePassesEnabled())
+      tracer.recordPassTime("lir", record.passName, record.millis,
+                            record.changed);
+    for (auto it = instrumentations_.rbegin(); it != instrumentations_.rend();
+         ++it)
+      (*it)->afterPass(*pass, module, record);
     records_.push_back(std::move(record));
     if (diags.hadError()) {
       diags.note(strfmt("pipeline aborted after pass '%s'",

@@ -3,11 +3,20 @@
 // Passes mutate the module in place and report statistics; the pipeline
 // optionally re-verifies after each pass (on by default — the adaptor's
 // whole point is producing *valid* IR for a picky consumer).
+//
+// Observability: the pipeline is instrumented. Every pass run is wrapped
+// in a telemetry span (category "lir-pass", so a Chrome trace shows the
+// pass stack nested under its flow stage), records IR-delta statistics
+// (instruction/block counts before vs. after), feeds the --time-passes
+// aggregation when enabled, and fires registered PassInstrumentation
+// hooks: before hooks in registration order, after hooks in reverse
+// (LLVM-style), so paired instrumentations nest like scopes.
 #pragma once
 
 #include "support/Diagnostics.h"
 
 #include <functional>
+#include <iosfwd>
 #include <map>
 #include <memory>
 #include <string>
@@ -49,8 +58,53 @@ struct PassRunRecord {
   std::string passName;
   bool changed = false;
   double millis = 0;
+  // IR-delta: module size around the pass, so per-pass shrink/growth is
+  // visible without diffing printed IR.
+  int64_t instsBefore = 0;
+  int64_t instsAfter = 0;
+  int64_t blocksBefore = 0;
+  int64_t blocksAfter = 0;
   PassStats stats;
 };
+
+/// Observation hooks around each pass run. Implementations must not
+/// mutate the module. Hooks run on the thread executing the pipeline;
+/// one PassManager (and therefore one hook sequence) is always confined
+/// to a single thread, but distinct pipelines run concurrently under the
+/// batch driver, so implementations shared across PassManagers must be
+/// thread-safe.
+class PassInstrumentation {
+public:
+  virtual ~PassInstrumentation() = default;
+  virtual void beforePass(const ModulePass &, const Module &) {}
+  /// `record` is fully populated (timing, IR delta, stats) when this runs.
+  virtual void afterPass(const ModulePass &, const Module &,
+                         const PassRunRecord &) {}
+};
+
+/// Prints the module around selected passes (--print-ir-before/after).
+class PrintIRInstrumentation : public PassInstrumentation {
+public:
+  struct Options {
+    bool beforeAll = false;
+    bool afterAll = false;
+    std::vector<std::string> beforePasses; // pass names
+    std::vector<std::string> afterPasses;
+  };
+
+  PrintIRInstrumentation(Options options, std::ostream &os);
+
+  void beforePass(const ModulePass &pass, const Module &module) override;
+  void afterPass(const ModulePass &pass, const Module &module,
+                 const PassRunRecord &record) override;
+
+private:
+  Options options_;
+  std::ostream &os_;
+};
+
+/// Counts instructions and basic blocks over every function in `module`.
+void countModuleSize(const Module &module, int64_t &insts, int64_t &blocks);
 
 class PassManager {
 public:
@@ -62,6 +116,11 @@ public:
   void add(std::string name, LambdaPass::Fn fn) {
     passes_.push_back(
         std::make_unique<LambdaPass>(std::move(name), std::move(fn)));
+  }
+
+  /// Registers an observation hook (not owned; must outlive run()).
+  void addInstrumentation(PassInstrumentation *instrumentation) {
+    instrumentations_.push_back(instrumentation);
   }
 
   /// Runs every pass in order. Returns false if a pass errored or a
@@ -76,6 +135,7 @@ public:
 private:
   bool verifyEach_;
   std::vector<std::unique_ptr<ModulePass>> passes_;
+  std::vector<PassInstrumentation *> instrumentations_;
   std::vector<PassRunRecord> records_;
 };
 

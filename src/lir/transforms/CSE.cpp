@@ -1,6 +1,7 @@
 #include "lir/Function.h"
 #include "lir/analysis/Dominators.h"
 #include "lir/transforms/Transforms.h"
+#include "support/Telemetry.h"
 
 #include <functional>
 #include <map>
@@ -9,6 +10,9 @@
 namespace mha::lir {
 
 namespace {
+
+telemetry::Statistic numEliminated("cse", "eliminated",
+                                   "redundant instructions eliminated");
 
 /// Structural key for pure instructions. Commutative binops canonicalize
 /// operand order by pointer so a+b and b+a unify.
@@ -72,6 +76,7 @@ private:
           inst->replaceAllUsesWith(it->second);
           dead.push_back(inst);
           stats["cse.eliminated"]++;
+          ++numEliminated;
           changed = true;
         } else {
           shadowed.push_back({key, nullptr});

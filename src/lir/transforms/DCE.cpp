@@ -1,9 +1,13 @@
 #include "lir/Function.h"
 #include "lir/transforms/Transforms.h"
+#include "support/Telemetry.h"
 
 namespace mha::lir {
 
 namespace {
+
+telemetry::Statistic numRemoved("dce", "removed",
+                                "dead instructions removed");
 
 class DCE : public ModulePass {
 public:
@@ -23,6 +27,7 @@ public:
           for (Instruction *inst : dead) {
             inst->eraseFromParent();
             stats["dce.removed"]++;
+            ++numRemoved;
             local = changed = true;
           }
         }

@@ -2,12 +2,16 @@
 #include "lir/analysis/Dominators.h"
 #include "lir/analysis/LoopInfo.h"
 #include "lir/transforms/Transforms.h"
+#include "support/Telemetry.h"
 
 #include <set>
 
 namespace mha::lir {
 
 namespace {
+
+telemetry::Statistic numHoisted("licm", "hoisted",
+                                "loop-invariant instructions hoisted");
 
 class LICM : public ModulePass {
 public:
@@ -83,6 +87,7 @@ private:
           preheader->insert(preheader->positionOf(insertBefore),
                             std::move(owned));
           stats["licm.hoisted"]++;
+          ++numHoisted;
           progress = changed = true;
         }
       }

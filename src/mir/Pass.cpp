@@ -3,21 +3,35 @@
 #include "mir/Ops.h"
 #include "mir/Verifier.h"
 #include "support/StringUtils.h"
-
-#include <chrono>
+#include "support/Telemetry.h"
 
 namespace mha::mir {
 
+int64_t countOps(ModuleOp module) {
+  int64_t ops = 0;
+  module.op->walk([&](Operation *) { ++ops; });
+  return ops;
+}
+
 bool MPassManager::run(ModuleOp module, DiagnosticEngine &diags) {
   records_.clear();
+  telemetry::Tracer &tracer = telemetry::Tracer::global();
   for (auto &pass : passes_) {
     MPassRecord record;
     record.passName = pass->name();
-    auto start = std::chrono::steady_clock::now();
+    record.opsBefore = countOps(module);
+    for (MPassInstrumentation *instrumentation : instrumentations_)
+      instrumentation->beforePass(*pass, module);
+    telemetry::Span span(record.passName, "mir-pass");
     record.changed = pass->run(module, record.stats, diags);
-    auto end = std::chrono::steady_clock::now();
-    record.millis =
-        std::chrono::duration<double, std::milli>(end - start).count();
+    record.millis = span.finish();
+    record.opsAfter = countOps(module);
+    if (tracer.timePassesEnabled())
+      tracer.recordPassTime("mir", record.passName, record.millis,
+                            record.changed);
+    for (auto it = instrumentations_.rbegin(); it != instrumentations_.rend();
+         ++it)
+      (*it)->afterPass(*pass, module, record);
     records_.push_back(std::move(record));
     if (diags.hadError()) {
       diags.note(strfmt("MLIR pipeline aborted after pass '%s'",

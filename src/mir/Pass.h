@@ -42,8 +42,27 @@ struct MPassRecord {
   std::string passName;
   bool changed = false;
   double millis = 0;
+  // IR-delta: operation count around the pass.
+  int64_t opsBefore = 0;
+  int64_t opsAfter = 0;
   MPassStats stats;
 };
+
+/// Observation hooks around each MLIR pass run, mirroring
+/// lir::PassInstrumentation: before hooks fire in registration order,
+/// after hooks in reverse, and `record` is fully populated (timing, op
+/// delta, stats) by the time afterPass runs. Implementations must not
+/// mutate the module; ones shared across concurrently-running pipelines
+/// must be thread-safe.
+class MPassInstrumentation {
+public:
+  virtual ~MPassInstrumentation() = default;
+  virtual void beforePass(const MPass &, ModuleOp) {}
+  virtual void afterPass(const MPass &, ModuleOp, const MPassRecord &) {}
+};
+
+/// Counts every operation in the module (the module op itself included).
+int64_t countOps(ModuleOp module);
 
 class MPassManager {
 public:
@@ -55,6 +74,11 @@ public:
         std::make_unique<MLambdaPass>(std::move(name), std::move(fn)));
   }
 
+  /// Registers an observation hook (not owned; must outlive run()).
+  void addInstrumentation(MPassInstrumentation *instrumentation) {
+    instrumentations_.push_back(instrumentation);
+  }
+
   bool run(ModuleOp module, DiagnosticEngine &diags);
 
   const std::vector<MPassRecord> &records() const { return records_; }
@@ -62,6 +86,7 @@ public:
 private:
   bool verifyEach_;
   std::vector<std::unique_ptr<MPass>> passes_;
+  std::vector<MPassInstrumentation *> instrumentations_;
   std::vector<MPassRecord> records_;
 };
 

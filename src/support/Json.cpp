@@ -1,0 +1,264 @@
+#include "support/Json.h"
+
+#include "support/StringUtils.h"
+
+#include <cctype>
+#include <cmath>
+
+namespace mha::json {
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char ch : s) {
+    unsigned char c = static_cast<unsigned char>(ch);
+    switch (c) {
+    case '"':
+      out += "\\\"";
+      break;
+    case '\\':
+      out += "\\\\";
+      break;
+    case '\b':
+      out += "\\b";
+      break;
+    case '\f':
+      out += "\\f";
+      break;
+    case '\n':
+      out += "\\n";
+      break;
+    case '\r':
+      out += "\\r";
+      break;
+    case '\t':
+      out += "\\t";
+      break;
+    default:
+      if (c < 0x20)
+        out += strfmt("\\u%04x", c);
+      else
+        out += ch;
+    }
+  }
+  return out;
+}
+
+std::string number(double value, int precision) {
+  if (!std::isfinite(value))
+    value = 0;
+  std::string out = strfmt("%.*f", precision, value);
+  // %f uses LC_NUMERIC's decimal separator; JSON requires '.'.
+  for (char &c : out)
+    if (c == ',')
+      c = '.';
+  return out;
+}
+
+namespace {
+
+/// Minimal recursive-descent checker. Only answers "is this well-formed?"
+/// — it builds no values, so it stays a few dozen lines and is safe to run
+/// on every trace the tools write.
+class Validator {
+public:
+  explicit Validator(std::string_view text) : text_(text) {}
+
+  bool run(std::string *error) {
+    skipWs();
+    bool ok = value(0);
+    if (ok) {
+      skipWs();
+      if (pos_ != text_.size())
+        ok = fail("trailing characters after value");
+    }
+    if (!ok && error)
+      *error = strfmt("%s at offset %zu", message_.c_str(), errorPos_);
+    return ok;
+  }
+
+private:
+  bool fail(const char *what) {
+    if (message_.empty()) {
+      message_ = what;
+      errorPos_ = pos_;
+    }
+    return false;
+  }
+
+  bool eof() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+
+  void skipWs() {
+    while (!eof() && (peek() == ' ' || peek() == '\t' || peek() == '\n' ||
+                      peek() == '\r'))
+      ++pos_;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word)
+      return fail("invalid literal");
+    pos_ += word.size();
+    return true;
+  }
+
+  bool value(int depth) {
+    if (depth > 128)
+      return fail("nesting too deep");
+    if (eof())
+      return fail("unexpected end of input");
+    switch (peek()) {
+    case '{':
+      return object(depth);
+    case '[':
+      return array(depth);
+    case '"':
+      return string();
+    case 't':
+      return literal("true");
+    case 'f':
+      return literal("false");
+    case 'n':
+      return literal("null");
+    default:
+      return numberToken();
+    }
+  }
+
+  bool object(int depth) {
+    ++pos_; // '{'
+    skipWs();
+    if (!eof() && peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skipWs();
+      if (eof() || peek() != '"')
+        return fail("expected object key");
+      if (!string())
+        return false;
+      skipWs();
+      if (eof() || peek() != ':')
+        return fail("expected ':' after object key");
+      ++pos_;
+      skipWs();
+      if (!value(depth + 1))
+        return false;
+      skipWs();
+      if (eof())
+        return fail("unterminated object");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool array(int depth) {
+    ++pos_; // '['
+    skipWs();
+    if (!eof() && peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skipWs();
+      if (!value(depth + 1))
+        return false;
+      skipWs();
+      if (eof())
+        return fail("unterminated array");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool string() {
+    ++pos_; // opening quote
+    while (!eof()) {
+      unsigned char c = static_cast<unsigned char>(peek());
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c < 0x20)
+        return fail("unescaped control character in string");
+      if (c == '\\') {
+        ++pos_;
+        if (eof())
+          return fail("unterminated escape");
+        char esc = peek();
+        if (esc == 'u') {
+          ++pos_;
+          for (int i = 0; i < 4; ++i, ++pos_)
+            if (eof() || !std::isxdigit(static_cast<unsigned char>(peek())))
+              return fail("invalid \\u escape");
+          continue;
+        }
+        if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' &&
+            esc != 'f' && esc != 'n' && esc != 'r' && esc != 't')
+          return fail("invalid escape character");
+        ++pos_;
+        continue;
+      }
+      ++pos_;
+    }
+    return fail("unterminated string");
+  }
+
+  bool numberToken() {
+    size_t start = pos_;
+    if (!eof() && peek() == '-')
+      ++pos_;
+    if (eof() || !std::isdigit(static_cast<unsigned char>(peek())))
+      return fail("invalid number");
+    if (peek() == '0')
+      ++pos_;
+    else
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek())))
+        ++pos_;
+    if (!eof() && peek() == '.') {
+      ++pos_;
+      if (eof() || !std::isdigit(static_cast<unsigned char>(peek())))
+        return fail("digit required after decimal point");
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek())))
+        ++pos_;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-'))
+        ++pos_;
+      if (eof() || !std::isdigit(static_cast<unsigned char>(peek())))
+        return fail("digit required in exponent");
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek())))
+        ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  std::string message_;
+  size_t errorPos_ = 0;
+};
+
+} // namespace
+
+bool validate(std::string_view text, std::string *error) {
+  return Validator(text).run(error);
+}
+
+} // namespace mha::json

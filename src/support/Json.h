@@ -1,0 +1,36 @@
+// Json.h - shared JSON emission and validation helpers.
+//
+// Every JSON producer in the repo (batch trace, synthesis report, Chrome
+// trace) goes through these helpers so escaping and number formatting are
+// correct in exactly one place:
+//  * escape() implements RFC 8259 string escaping (quotes, backslashes,
+//    and control characters as \uXXXX / short forms);
+//  * number() formats doubles locale-independently — printf's %f honours
+//    LC_NUMERIC and emits a decimal comma under e.g. de_DE, which is not
+//    valid JSON;
+//  * validate() is a dependency-free well-formedness checker used by
+//    tests and by the trace writers to fail loudly instead of shipping a
+//    broken file.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace mha::json {
+
+/// Escapes `s` for inclusion inside a JSON string literal (no surrounding
+/// quotes added).
+std::string escape(std::string_view s);
+
+/// Formats `value` with `precision` digits after the decimal point using
+/// '.' as the decimal separator regardless of the process locale.
+/// Non-finite values (which JSON cannot represent) render as 0 with the
+/// requested precision.
+std::string number(double value, int precision = 3);
+
+/// Returns true iff `text` is one complete well-formed JSON value with
+/// nothing but whitespace around it. On failure, `*error` (when non-null)
+/// describes the first problem and its byte offset.
+bool validate(std::string_view text, std::string *error = nullptr);
+
+} // namespace mha::json

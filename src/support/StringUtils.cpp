@@ -1,6 +1,7 @@
 #include "support/StringUtils.h"
 
 #include <cctype>
+#include <charconv>
 #include <cstring>
 
 namespace mha {
@@ -67,6 +68,16 @@ std::string joinStrings(const std::vector<std::string> &parts,
     out += parts[i];
   }
   return out;
+}
+
+std::optional<int64_t> parseInt(std::string_view text) {
+  int64_t value = 0;
+  const char *first = text.data();
+  const char *last = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(first, last, value, 10);
+  if (ec != std::errc() || ptr != last)
+    return std::nullopt;
+  return value;
 }
 
 bool isValidIdentifier(std::string_view name) {

@@ -2,7 +2,9 @@
 #pragma once
 
 #include <cstdarg>
+#include <cstdint>
 #include <cstdio>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -28,5 +30,11 @@ std::string joinStrings(const std::vector<std::string> &parts,
 
 /// True if `name` is a valid identifier ([A-Za-z_][A-Za-z0-9_.]*).
 bool isValidIdentifier(std::string_view name);
+
+/// Strictly parses the whole of `text` as a base-10 integer (optional
+/// leading '-'). Rejects empty input, whitespace, trailing characters and
+/// out-of-range values — unlike atoi/atoll, which silently return 0 or
+/// stop at the first bad character.
+std::optional<int64_t> parseInt(std::string_view text);
 
 } // namespace mha

@@ -1,0 +1,273 @@
+#include "support/Telemetry.h"
+
+#include "support/Json.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <tuple>
+
+namespace mha::telemetry {
+
+namespace {
+
+// The calling thread's lane. -1 = not yet assigned; an auto lane is
+// claimed on first use so unnamed threads still get a stable id.
+thread_local int tlsLane = -1;
+
+} // namespace
+
+Tracer &Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+int Tracer::currentLane() {
+  if (tlsLane < 0)
+    tlsLane = nextAutoLane_.fetch_add(1, std::memory_order_relaxed);
+  return tlsLane;
+}
+
+void Tracer::setThreadLane(int lane, std::string name) {
+  tlsLane = lane;
+  if (name.empty())
+    return;
+  Tracer &tracer = global();
+  std::lock_guard<std::mutex> lock(tracer.mutex_);
+  for (auto &entry : tracer.laneNames_)
+    if (entry.first == lane) {
+      entry.second = std::move(name);
+      return;
+    }
+  tracer.laneNames_.emplace_back(lane, std::move(name));
+}
+
+void Tracer::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+  laneNames_.clear();
+  passTimes_.clear();
+  epoch_ = Clock::now();
+}
+
+void Tracer::recordSpan(std::string name, std::string category,
+                        Clock::time_point start, Clock::time_point end,
+                        SpanArgs args) {
+  TraceEvent event;
+  event.name = std::move(name);
+  event.category = std::move(category);
+  event.phase = 'X';
+  event.lane = currentLane();
+  event.args = std::move(args);
+  std::lock_guard<std::mutex> lock(mutex_);
+  event.startUs = usSinceEpoch(start);
+  event.durUs =
+      std::chrono::duration<double, std::micro>(end - start).count();
+  events_.push_back(std::move(event));
+}
+
+void Tracer::instant(std::string name, std::string category) {
+  if (!enabled())
+    return;
+  TraceEvent event;
+  event.name = std::move(name);
+  event.category = std::move(category);
+  event.phase = 'i';
+  event.lane = currentLane();
+  std::lock_guard<std::mutex> lock(mutex_);
+  event.startUs = usSinceEpoch(Clock::now());
+  events_.push_back(std::move(event));
+}
+
+void Tracer::recordPassTime(std::string_view pipeline, std::string_view pass,
+                            double ms, bool changed) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (PassTime &entry : passTimes_)
+    if (entry.pipeline == pipeline && entry.pass == pass) {
+      ++entry.runs;
+      entry.changed += changed ? 1 : 0;
+      entry.totalMs += ms;
+      return;
+    }
+  PassTime entry;
+  entry.pipeline = std::string(pipeline);
+  entry.pass = std::string(pass);
+  entry.runs = 1;
+  entry.changed = changed ? 1 : 0;
+  entry.totalMs = ms;
+  passTimes_.push_back(std::move(entry));
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+std::vector<PassTime> Tracer::passTimes() const {
+  std::vector<PassTime> out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out = passTimes_;
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const PassTime &a, const PassTime &b) {
+                     return a.totalMs > b.totalMs;
+                   });
+  return out;
+}
+
+std::string Tracer::passTimesTable() const {
+  std::vector<PassTime> times = passTimes();
+  if (times.empty())
+    return "";
+  double grand = 0;
+  for (const PassTime &entry : times)
+    grand += entry.totalMs;
+  std::ostringstream os;
+  os << "=== pass execution timing (aggregated over "
+     << strfmt("%zu", times.size()) << " passes) ===\n";
+  os << strfmt("%-10s %-28s %6s %8s %10s %7s\n", "pipeline", "pass", "runs",
+               "changed", "total-ms", "%");
+  for (const PassTime &entry : times)
+    os << strfmt("%-10s %-28s %6lld %8lld %10.3f %6.1f%%\n",
+                 entry.pipeline.c_str(), entry.pass.c_str(),
+                 static_cast<long long>(entry.runs),
+                 static_cast<long long>(entry.changed), entry.totalMs,
+                 grand > 0 ? 100.0 * entry.totalMs / grand : 0.0);
+  os << strfmt("%-10s %-28s %6s %8s %10.3f %6.1f%%\n", "total", "", "", "",
+               grand, 100.0);
+  return os.str();
+}
+
+std::string Tracer::chromeTraceJson() const {
+  std::vector<TraceEvent> events;
+  std::vector<std::pair<int, std::string>> laneNames;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    events = events_;
+    laneNames = laneNames_;
+  }
+  std::ostringstream os;
+  os << "{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n";
+  bool first = true;
+  auto comma = [&] {
+    if (!first)
+      os << ",\n";
+    first = false;
+  };
+  for (const auto &[lane, name] : laneNames) {
+    comma();
+    os << "{\"ph\": \"M\", \"pid\": 1, \"tid\": " << lane
+       << ", \"name\": \"thread_name\", \"args\": {\"name\": \""
+       << json::escape(name) << "\"}}";
+  }
+  for (const TraceEvent &event : events) {
+    comma();
+    os << "{\"ph\": \"" << event.phase << "\", \"pid\": 1, \"tid\": "
+       << event.lane << ", \"ts\": " << json::number(event.startUs, 3);
+    if (event.phase == 'X')
+      os << ", \"dur\": " << json::number(event.durUs, 3);
+    if (event.phase == 'i')
+      os << ", \"s\": \"t\"";
+    os << ", \"name\": \"" << json::escape(event.name) << "\", \"cat\": \""
+       << json::escape(event.category) << "\"";
+    if (!event.args.empty()) {
+      os << ", \"args\": {";
+      for (size_t i = 0; i < event.args.size(); ++i)
+        os << (i ? ", " : "") << "\"" << json::escape(event.args[i].first)
+           << "\": \"" << json::escape(event.args[i].second) << "\"";
+      os << "}";
+    }
+    os << "}";
+  }
+  os << "\n]\n}\n";
+  return os.str();
+}
+
+bool Tracer::writeChromeTrace(const std::string &path,
+                              std::string *error) const {
+  std::string rendered = chromeTraceJson();
+  std::string validateError;
+  if (!json::validate(rendered, &validateError)) {
+    if (error)
+      *error = "chrome trace is not well-formed JSON: " + validateError;
+    return false;
+  }
+  std::ofstream out(path);
+  if (!out) {
+    if (error)
+      *error = "cannot open " + path;
+    return false;
+  }
+  out << rendered;
+  if (!out.good()) {
+    if (error)
+      *error = "write to " + path + " failed";
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+struct StatisticRegistry {
+  std::mutex mutex;
+  std::vector<Statistic *> entries;
+
+  static StatisticRegistry &get() {
+    static StatisticRegistry registry;
+    return registry;
+  }
+};
+
+} // namespace
+
+Statistic::Statistic(const char *group, const char *name,
+                     const char *description)
+    : group_(group), name_(name), description_(description) {
+  StatisticRegistry &registry = StatisticRegistry::get();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  registry.entries.push_back(this);
+}
+
+std::vector<StatisticValue> statisticValues(bool includeZero) {
+  StatisticRegistry &registry = StatisticRegistry::get();
+  std::vector<StatisticValue> out;
+  {
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    for (const Statistic *stat : registry.entries) {
+      int64_t value = stat->value();
+      if (value == 0 && !includeZero)
+        continue;
+      out.push_back({stat->group(), stat->name(), stat->description(), value});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const StatisticValue &a, const StatisticValue &b) {
+              return std::tie(a.group, a.name) < std::tie(b.group, b.name);
+            });
+  return out;
+}
+
+std::string statisticsReport() {
+  std::vector<StatisticValue> values = statisticValues();
+  if (values.empty())
+    return "";
+  std::ostringstream os;
+  os << "=== statistics ===\n";
+  for (const StatisticValue &value : values)
+    os << strfmt("%10lld %s.%s - %s\n", static_cast<long long>(value.value),
+                 value.group.c_str(), value.name.c_str(),
+                 value.description.c_str());
+  return os.str();
+}
+
+void resetStatistics() {
+  StatisticRegistry &registry = StatisticRegistry::get();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  for (Statistic *stat : registry.entries)
+    stat->reset();
+}
+
+} // namespace mha::telemetry

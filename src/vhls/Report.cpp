@@ -1,5 +1,6 @@
 #include "vhls/Report.h"
 
+#include "support/Json.h"
 #include "support/StringUtils.h"
 
 #include <sstream>
@@ -69,20 +70,6 @@ std::string SynthesisReport::str() const {
   return os.str();
 }
 
-namespace {
-
-std::string jsonEscape(const std::string &s) {
-  std::string out;
-  for (char c : s) {
-    if (c == '"' || c == '\\')
-      out += '\\';
-    out += c;
-  }
-  return out;
-}
-
-} // namespace
-
 std::string SynthesisReport::json() const {
   std::ostringstream os;
   os << "{\n  \"accepted\": " << (accepted ? "true" : "false") << ",\n";
@@ -95,22 +82,22 @@ std::string SynthesisReport::json() const {
     if (!first)
       os << ", ";
     first = false;
-    os << "\"" << jsonEscape(category) << "\": " << count;
+    os << "\"" << json::escape(category) << "\": " << count;
   }
   os << "},\n";
-  os << "  \"top\": \"" << jsonEscape(topName) << "\",\n";
+  os << "  \"top\": \"" << json::escape(topName) << "\",\n";
   os << "  \"functions\": [\n";
   for (size_t f = 0; f < functions.size(); ++f) {
     const FunctionReport &fn = functions[f];
-    os << "    {\n      \"name\": \"" << jsonEscape(fn.name) << "\",\n";
+    os << "    {\n      \"name\": \"" << json::escape(fn.name) << "\",\n";
     os << strfmt("      \"latency_cycles\": %lld,\n",
                  static_cast<long long>(fn.latencyCycles));
     os << "      \"dataflow\": " << (fn.dataflow ? "true" : "false")
        << ",\n";
     os << strfmt("      \"fsm_states\": %lld,\n",
                  static_cast<long long>(fn.fsmStates));
-    os << strfmt("      \"estimated_period_ns\": %.3f,\n",
-                 fn.achievedPeriodNs);
+    os << "      \"estimated_period_ns\": "
+       << json::number(fn.achievedPeriodNs) << ",\n";
     os << strfmt("      \"resources\": {\"dsp\": %lld, \"bram\": %lld, "
                  "\"lut\": %lld, \"ff\": %lld},\n",
                  static_cast<long long>(fn.resources.dsp),
@@ -125,7 +112,7 @@ std::string SynthesisReport::json() const {
       os << strfmt("{\"name\": \"%s\", \"trip\": %lld, \"pipelined\": %s, "
                    "\"ii\": %lld, \"rec_mii\": %lld, \"res_mii\": %lld, "
                    "\"depth\": %lld, \"latency\": %lld}",
-                   jsonEscape(loop.name).c_str(),
+                   json::escape(loop.name).c_str(),
                    static_cast<long long>(loop.tripCount),
                    loop.pipelined ? "true" : "false",
                    static_cast<long long>(loop.achievedII),
@@ -142,10 +129,10 @@ std::string SynthesisReport::json() const {
       os << strfmt("{\"name\": \"%s\", \"bytes\": %lld, \"banks\": %lld, "
                    "\"partition\": \"%s\", \"bram\": %lld, "
                    "\"on_chip\": %s}",
-                   jsonEscape(array.name).c_str(),
+                   json::escape(array.name).c_str(),
                    static_cast<long long>(array.bytes),
                    static_cast<long long>(array.banks),
-                   jsonEscape(array.partition).c_str(),
+                   json::escape(array.partition).c_str(),
                    static_cast<long long>(array.bramBlocks),
                    array.onChip ? "true" : "false");
     }

@@ -3,8 +3,12 @@
 // structured trace (stage timings, worker occupancy, JSON export).
 #include "flow/BatchRunner.h"
 
+#include "support/Json.h"
+#include "support/Telemetry.h"
+
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -212,4 +216,125 @@ TEST(BatchRunner, JsonFileTraceSinkWritesFile) {
   EXPECT_NE(buffer.str().find("mha.batch-trace.v1"), std::string::npos);
   EXPECT_NE(buffer.str().find("\"kernel\": \"gemm\""), std::string::npos);
   std::remove(path);
+}
+
+TEST(BatchRunner, TraceJsonIsWellFormed) {
+  std::vector<BatchJob> jobs;
+  jobs.push_back(makeJob(findKernel("gemm"), FlowKind::Adaptor, "tuned"));
+  jobs.push_back(makeJob(findKernel("fir"), FlowKind::HlsCpp,
+                         "hostile \"label\"\twith\nnasties\\"));
+  KernelSpec bomb = bombKernel();
+  jobs.push_back(makeJob(&bomb, FlowKind::Adaptor)); // error path too
+  BatchOptions options;
+  options.numThreads = 2;
+  BatchOutcome outcome = runBatch(jobs, options);
+
+  std::string error;
+  EXPECT_TRUE(json::validate(outcome.trace.json(), &error)) << error;
+  // The schema is unchanged by the telemetry work: still v1.
+  EXPECT_NE(outcome.trace.json().find("mha.batch-trace.v1"),
+            std::string::npos);
+}
+
+TEST(BatchRunner, ChromeTraceHasWorkerLanesAndNestedSpans) {
+  namespace tel = mha::telemetry;
+  tel::Tracer &tracer = tel::Tracer::global();
+  tracer.setEnabled(true);
+  tracer.reset();
+
+  std::vector<BatchJob> jobs;
+  for (const char *name : {"gemm", "fir", "atax", "bicg"})
+    jobs.push_back(makeJob(findKernel(name), FlowKind::Adaptor));
+  BatchOptions options;
+  options.numThreads = 2;
+  BatchOutcome outcome = runBatch(jobs, options);
+  tracer.setEnabled(false);
+  ASSERT_EQ(outcome.trace.failures, 0u);
+
+  std::vector<tel::TraceEvent> events = tracer.events();
+
+  // One batch span on the submitting thread covering everything.
+  auto batch = std::find_if(events.begin(), events.end(),
+                            [](const tel::TraceEvent &e) {
+                              return e.category == "batch";
+                            });
+  ASSERT_NE(batch, events.end());
+  EXPECT_EQ(batch->name, "batch:4-jobs");
+
+  // Every job span sits in its executing worker's lane (= worker index).
+  std::vector<const tel::TraceEvent *> jobSpans;
+  for (const tel::TraceEvent &event : events)
+    if (event.category == "batch-job" && event.phase == 'X')
+      jobSpans.push_back(&event);
+  ASSERT_EQ(jobSpans.size(), 4u);
+  for (const tel::TraceEvent *span : jobSpans) {
+    EXPECT_GE(span->lane, 0);
+    EXPECT_LT(span->lane, 2);
+  }
+  // The lane matches the worker recorded in the structured trace.
+  for (const JobTrace &job : outcome.trace.jobs) {
+    std::string name =
+        "job:" + job.kernel + ":" + flowKindName(job.kind);
+    auto it = std::find_if(jobSpans.begin(), jobSpans.end(),
+                           [&](const tel::TraceEvent *e) {
+                             return e->name == name;
+                           });
+    ASSERT_NE(it, jobSpans.end()) << name;
+    EXPECT_EQ((*it)->lane, job.worker);
+  }
+
+  // Flow stages nest inside their job's span (same lane, contained
+  // interval), and lir pass spans nest inside the bridge stage.
+  auto within = [](const tel::TraceEvent &outer, const tel::TraceEvent &e) {
+    return e.lane == outer.lane && e.startUs >= outer.startUs &&
+           e.startUs + e.durUs <= outer.startUs + outer.durUs;
+  };
+  size_t nestedStages = 0;
+  for (const tel::TraceEvent &event : events) {
+    if (event.category != "flow-stage")
+      continue;
+    bool inSomeJob = std::any_of(jobSpans.begin(), jobSpans.end(),
+                                 [&](const tel::TraceEvent *job) {
+                                   return within(*job, event);
+                                 });
+    EXPECT_TRUE(inSomeJob) << event.name;
+    ++nestedStages;
+  }
+  EXPECT_EQ(nestedStages, 4u * 3u); // mlirOpt + bridge + synth per job
+
+  // The worker lanes are named in the exported trace, and the whole
+  // document is valid JSON.
+  std::string json = tracer.chromeTraceJson();
+  std::string error;
+  EXPECT_TRUE(json::validate(json, &error)) << error;
+  // Every lane that actually executed a job is named after its worker.
+  // (Jobs this fast can all land on one worker, so only used lanes are
+  // guaranteed a name.)
+  for (const tel::TraceEvent *span : jobSpans) {
+    std::string laneName = "worker " + std::to_string(span->lane);
+    EXPECT_NE(json.find(laneName), std::string::npos) << laneName;
+  }
+  tracer.reset();
+}
+
+TEST(BatchRunner, FailedJobEmitsInstantMarker) {
+  namespace tel = mha::telemetry;
+  tel::Tracer &tracer = tel::Tracer::global();
+  tracer.setEnabled(true);
+  tracer.reset();
+
+  KernelSpec bomb = bombKernel();
+  std::vector<BatchJob> jobs;
+  jobs.push_back(makeJob(&bomb, FlowKind::Adaptor));
+  runBatch(jobs);
+  tracer.setEnabled(false);
+
+  std::vector<tel::TraceEvent> events = tracer.events();
+  auto it = std::find_if(events.begin(), events.end(),
+                         [](const tel::TraceEvent &e) {
+                           return e.phase == 'i' &&
+                                  e.name == "job-failed:bomb";
+                         });
+  EXPECT_NE(it, events.end());
+  tracer.reset();
 }

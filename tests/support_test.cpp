@@ -1,5 +1,6 @@
 // Unit tests for the support library.
 #include "support/Diagnostics.h"
+#include "support/Json.h"
 #include "support/StringUtils.h"
 #include "support/ThreadPool.h"
 
@@ -7,6 +8,8 @@
 
 #include <atomic>
 #include <chrono>
+#include <clocale>
+#include <cmath>
 #include <future>
 #include <numeric>
 #include <set>
@@ -58,6 +61,95 @@ TEST(StringUtils, ValidIdentifier) {
   EXPECT_FALSE(isValidIdentifier(""));
   EXPECT_FALSE(isValidIdentifier("1a"));
   EXPECT_FALSE(isValidIdentifier("a b"));
+}
+
+TEST(StringUtils, ParseIntAcceptsStrictIntegers) {
+  EXPECT_EQ(parseInt("0"), 0);
+  EXPECT_EQ(parseInt("42"), 42);
+  EXPECT_EQ(parseInt("-7"), -7);
+  EXPECT_EQ(parseInt("+7"), std::nullopt); // from_chars: no leading '+'
+  EXPECT_EQ(parseInt("9223372036854775807"), INT64_MAX);
+  EXPECT_EQ(parseInt("-9223372036854775808"), INT64_MIN);
+}
+
+TEST(StringUtils, ParseIntRejectsGarbageAtoiWouldAccept) {
+  // atoi("abc") == 0 and atoi("12abc") == 12 — both must be rejected.
+  EXPECT_EQ(parseInt(""), std::nullopt);
+  EXPECT_EQ(parseInt("abc"), std::nullopt);
+  EXPECT_EQ(parseInt("12abc"), std::nullopt);
+  EXPECT_EQ(parseInt("1.5"), std::nullopt);
+  EXPECT_EQ(parseInt(" 4"), std::nullopt);
+  EXPECT_EQ(parseInt("4 "), std::nullopt);
+  EXPECT_EQ(parseInt("-"), std::nullopt);
+  EXPECT_EQ(parseInt("9223372036854775808"), std::nullopt); // overflow
+  EXPECT_EQ(parseInt("0x10"), std::nullopt);
+}
+
+TEST(Json, EscapeHandlesQuotesBackslashesAndControls) {
+  EXPECT_EQ(json::escape("plain"), "plain");
+  EXPECT_EQ(json::escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json::escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json::escape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(json::escape("\t\r\b\f"), "\\t\\r\\b\\f");
+  EXPECT_EQ(json::escape(std::string_view("\x01\x1f", 2)),
+            "\\u0001\\u001f");
+  // Non-control bytes pass through untouched.
+  EXPECT_EQ(json::escape("ok: {x} [y], 100%"), "ok: {x} [y], 100%");
+}
+
+TEST(Json, NumberFormatsWithDotAndPrecision) {
+  EXPECT_EQ(json::number(1.5), "1.500");
+  EXPECT_EQ(json::number(0.0), "0.000");
+  EXPECT_EQ(json::number(-2.25, 2), "-2.25");
+  EXPECT_EQ(json::number(3.14159, 1), "3.1");
+  // JSON has no NaN/Inf; they degrade to zero rather than break parsers.
+  EXPECT_EQ(json::number(std::nan("")), "0.000");
+}
+
+TEST(Json, NumberIgnoresDecimalCommaLocales) {
+  // Under e.g. de_DE, printf("%.3f", 1.5) yields "1,500" — invalid JSON.
+  // number() must emit '.' regardless of LC_NUMERIC.
+  const char *old = std::setlocale(LC_NUMERIC, nullptr);
+  std::string saved = old ? old : "C";
+  bool haveLocale = std::setlocale(LC_NUMERIC, "de_DE.UTF-8") != nullptr ||
+                    std::setlocale(LC_NUMERIC, "de_DE.utf8") != nullptr;
+  if (!haveLocale) {
+    std::setlocale(LC_NUMERIC, saved.c_str());
+    GTEST_SKIP() << "no decimal-comma locale installed";
+  }
+  std::string formatted = json::number(1234.5);
+  std::string escaped = json::escape("x");
+  std::setlocale(LC_NUMERIC, saved.c_str());
+  EXPECT_EQ(formatted, "1234.500");
+  EXPECT_EQ(escaped, "x");
+}
+
+TEST(Json, ValidateAcceptsWellFormedDocuments) {
+  EXPECT_TRUE(json::validate("{}"));
+  EXPECT_TRUE(json::validate("[]"));
+  EXPECT_TRUE(json::validate("  {\"a\": [1, 2.5, -3e2], \"b\": {\"c\": "
+                             "null}, \"d\": [true, false]}  "));
+  EXPECT_TRUE(json::validate("\"just a string\""));
+  EXPECT_TRUE(json::validate("-0.5"));
+  EXPECT_TRUE(json::validate("{\"esc\": \"a\\n\\\"b\\u00e9\"}"));
+}
+
+TEST(Json, ValidateRejectsMalformedDocuments) {
+  std::string error;
+  EXPECT_FALSE(json::validate("", &error));
+  EXPECT_FALSE(json::validate("{", &error));
+  EXPECT_FALSE(json::validate("{\"a\": }", &error));
+  EXPECT_FALSE(json::validate("[1, 2,]", &error));
+  EXPECT_FALSE(json::validate("{\"a\" 1}", &error));
+  EXPECT_FALSE(json::validate("{} trailing", &error));
+  EXPECT_FALSE(json::validate("{\"a\": 1,500}", &error)); // the locale bug
+  EXPECT_FALSE(json::validate("nulL", &error));
+  EXPECT_FALSE(json::validate("\"unterminated", &error));
+  EXPECT_FALSE(json::validate("\"bad\\escape\"", &error));
+  EXPECT_FALSE(json::validate("01", &error));
+  // The error message carries an offset for debugging.
+  EXPECT_FALSE(json::validate("[1, x]", &error));
+  EXPECT_NE(error.find("offset"), std::string::npos);
 }
 
 TEST(Diagnostics, CollectsAndCounts) {

@@ -2,6 +2,7 @@
 //
 //   mha-flow [--kernels=gemm,atax|all] [--flow=adaptor|hls-cpp|both]
 //            [--batch] [--threads=N] [--trace=out.json]
+//            [--chrome-trace=out.json] [--time-passes] [--stats]
 //            [--ii=N] [--unroll=N] [--partition=N] [--dataflow]
 //            [--no-directives] [--cosim]
 //
@@ -10,10 +11,15 @@
 // submission order. By default jobs run serially (a one-worker pool);
 // --batch runs them across all cores. --trace dumps the structured batch
 // trace (per-stage timings, adaptor stats, worker/queue occupancy) as
-// JSON. Exit status is 0 iff every job succeeded (and co-simulated, with
-// --cosim).
+// JSON. --chrome-trace dumps a Chrome trace-event file (one lane per pool
+// worker, nested batch-job -> flow-stage -> pass spans) loadable in
+// chrome://tracing or Perfetto; --time-passes prints the aggregated
+// per-pass timing table and --stats the statistic-counter registry, both
+// on stderr. Exit status is 0 iff every job succeeded (and co-simulated,
+// with --cosim).
 #include "flow/BatchRunner.h"
 #include "support/StringUtils.h"
+#include "support/Telemetry.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -27,9 +33,30 @@ int usage() {
       stderr,
       "usage: mha-flow [--kernels=a,b,...|all] [--flow=adaptor|hls-cpp|both]\n"
       "                [--batch] [--threads=N] [--trace=out.json]\n"
+      "                [--chrome-trace=out.json] [--time-passes] [--stats]\n"
       "                [--ii=N] [--unroll=N] [--partition=N] [--dataflow]\n"
       "                [--no-directives] [--cosim]\n");
   return 2;
+}
+
+/// Strictly parses the value of `--flag=value` into [min, max]. Unlike
+/// atoi, rejects non-numeric input and out-of-range values instead of
+/// silently producing 0.
+bool parseNumericFlag(const std::string &arg, size_t prefixLen,
+                      const char *flag, int64_t min, int64_t max,
+                      int64_t &out) {
+  std::string value = arg.substr(prefixLen);
+  std::optional<int64_t> parsed = parseInt(value);
+  if (!parsed || *parsed < min || *parsed > max) {
+    std::fprintf(stderr,
+                 "invalid value '%s' for %s (expected integer in "
+                 "[%lld, %lld])\n",
+                 value.c_str(), flag, static_cast<long long>(min),
+                 static_cast<long long>(max));
+    return false;
+  }
+  out = *parsed;
+  return true;
 }
 
 } // namespace
@@ -38,8 +65,9 @@ int main(int argc, char **argv) {
   std::string kernelList = "all";
   std::string flowName = "both";
   std::string tracePath;
-  bool batch = false, cosim = false;
-  unsigned threads = 0;
+  std::string chromeTracePath;
+  bool batch = false, cosim = false, timePasses = false, statsFlag = false;
+  int64_t threads = 0;
   flow::KernelConfig config;
   config.pipelineII = 1;
   config.partitionFactor = 2;
@@ -52,17 +80,29 @@ int main(int argc, char **argv) {
       flowName = arg.substr(7);
     else if (arg == "--batch")
       batch = true;
-    else if (startsWith(arg, "--threads="))
-      threads = static_cast<unsigned>(std::atoi(arg.c_str() + 10));
-    else if (startsWith(arg, "--trace="))
+    else if (startsWith(arg, "--threads=")) {
+      if (!parseNumericFlag(arg, 10, "--threads", 0, 4096, threads))
+        return usage();
+    } else if (startsWith(arg, "--trace="))
       tracePath = arg.substr(8);
-    else if (startsWith(arg, "--ii="))
-      config.pipelineII = std::atoll(arg.c_str() + 5);
-    else if (startsWith(arg, "--unroll="))
-      config.unrollFactor = std::atoll(arg.c_str() + 9);
-    else if (startsWith(arg, "--partition="))
-      config.partitionFactor = std::atoll(arg.c_str() + 12);
-    else if (arg == "--dataflow")
+    else if (startsWith(arg, "--chrome-trace="))
+      chromeTracePath = arg.substr(15);
+    else if (arg == "--time-passes")
+      timePasses = true;
+    else if (arg == "--stats")
+      statsFlag = true;
+    else if (startsWith(arg, "--ii=")) {
+      if (!parseNumericFlag(arg, 5, "--ii", 0, 1 << 20, config.pipelineII))
+        return usage();
+    } else if (startsWith(arg, "--unroll=")) {
+      if (!parseNumericFlag(arg, 9, "--unroll", 1, 1 << 20,
+                            config.unrollFactor))
+        return usage();
+    } else if (startsWith(arg, "--partition=")) {
+      if (!parseNumericFlag(arg, 12, "--partition", 1, 1 << 20,
+                            config.partitionFactor))
+        return usage();
+    } else if (arg == "--dataflow")
       config.dataflow = true;
     else if (arg == "--no-directives")
       config.applyDirectives = false;
@@ -75,6 +115,14 @@ int main(int argc, char **argv) {
       return usage();
     }
   }
+
+  telemetry::Tracer &tracer = telemetry::Tracer::global();
+  if (!chromeTracePath.empty()) {
+    tracer.setEnabled(true);
+    telemetry::Tracer::setThreadLane(1000, "main");
+  }
+  if (timePasses)
+    tracer.setTimePasses(true);
 
   std::vector<flow::FlowKind> kinds;
   if (flowName == "adaptor")
@@ -110,7 +158,7 @@ int main(int argc, char **argv) {
 
   flow::JsonFileTraceSink traceSink(tracePath);
   flow::BatchOptions options;
-  options.numThreads = batch ? threads : 1;
+  options.numThreads = batch ? static_cast<unsigned>(threads) : 1;
   if (!tracePath.empty())
     options.sink = &traceSink;
   flow::BatchOutcome outcome = flow::runBatch(jobs, options);
@@ -156,12 +204,25 @@ int main(int argc, char **argv) {
                   ? outcome.trace.serialMs / outcome.trace.wallMs
                   : 0.0,
               outcome.trace.failures);
+  if (timePasses)
+    std::fprintf(stderr, "%s", tracer.passTimesTable().c_str());
+  if (statsFlag)
+    std::fprintf(stderr, "%s", telemetry::statisticsReport().c_str());
   if (!tracePath.empty()) {
     if (!traceSink.ok()) {
       std::fprintf(stderr, "trace: %s\n", traceSink.error().c_str());
       return 1;
     }
     std::fprintf(stderr, "trace written to %s\n", tracePath.c_str());
+  }
+  if (!chromeTracePath.empty()) {
+    std::string error;
+    if (!tracer.writeChromeTrace(chromeTracePath, &error)) {
+      std::fprintf(stderr, "chrome trace: %s\n", error.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "chrome trace written to %s\n",
+                 chromeTracePath.c_str());
   }
   return failures == 0 ? 0 : 1;
 }

@@ -3,12 +3,21 @@
 //   mha-opt [file.ll] --passes=mem2reg,simplifycfg,adaptor --verify
 //   mha-opt file.ll --passes=hls-compat-check
 //   mha-opt file.ll --synthesize [--top=name] [--json]
+//   mha-opt file.ll --passes=adaptor --time-passes --stats
+//          --chrome-trace=out.json --print-ir-after=dce
 //
 // Reads from stdin when no file is given. Pass names:
 //   mem2reg simplifycfg instcombine cse dce licm
 //   descriptor-elim intrinsic-legalize gep-canonicalize ptr-recovery
 //   metadata-convert attr-scrub adaptor (= the full pipeline)
 //   hls-compat-check (report only)
+//
+// Telemetry (all output on stderr / to files, never stdout):
+//   --time-passes            aggregated per-pass timing table
+//   --stats                  per-pass statistics + the global counter
+//                            registry (LLVM-style Statistic dump)
+//   --chrome-trace=FILE      Chrome trace-event JSON of every pass span
+//   --print-ir-before[-all]/--print-ir-after[-all]  IR around passes
 #include "adaptor/Adaptor.h"
 #include "lir/HlsCompat.h"
 #include "lir/LContext.h"
@@ -17,6 +26,7 @@
 #include "lir/Verifier.h"
 #include "lir/transforms/Transforms.h"
 #include "support/StringUtils.h"
+#include "support/Telemetry.h"
 #include "vhls/Vhls.h"
 
 #include <cstdio>
@@ -62,6 +72,9 @@ int usage() {
   std::fprintf(stderr,
                "usage: mha-opt [file.ll] [--passes=p1,p2,...] [--verify] "
                "[--stats]\n"
+               "               [--time-passes] [--chrome-trace=out.json]\n"
+               "               [--print-ir-before=p|--print-ir-before-all]\n"
+               "               [--print-ir-after=p|--print-ir-after-all]\n"
                "               [--synthesize [--top=name] [--json] "
                "[--strict]]\n");
   return 2;
@@ -73,8 +86,10 @@ int main(int argc, char **argv) {
   std::string file;
   std::string passList;
   bool verify = false, stats = false, synthesizeIt = false, json = false;
-  bool strict = false;
+  bool strict = false, timePasses = false;
   std::string top;
+  std::string chromeTracePath;
+  lir::PrintIRInstrumentation::Options printIR;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (startsWith(arg, "--passes="))
@@ -83,6 +98,18 @@ int main(int argc, char **argv) {
       verify = true;
     else if (arg == "--stats")
       stats = true;
+    else if (arg == "--time-passes")
+      timePasses = true;
+    else if (startsWith(arg, "--chrome-trace="))
+      chromeTracePath = arg.substr(15);
+    else if (arg == "--print-ir-before-all")
+      printIR.beforeAll = true;
+    else if (arg == "--print-ir-after-all")
+      printIR.afterAll = true;
+    else if (startsWith(arg, "--print-ir-before="))
+      printIR.beforePasses.push_back(arg.substr(18));
+    else if (startsWith(arg, "--print-ir-after="))
+      printIR.afterPasses.push_back(arg.substr(17));
     else if (arg == "--synthesize")
       synthesizeIt = true;
     else if (arg == "--json")
@@ -100,6 +127,14 @@ int main(int argc, char **argv) {
       return usage();
     }
   }
+
+  telemetry::Tracer &tracer = telemetry::Tracer::global();
+  if (!chromeTracePath.empty()) {
+    tracer.setEnabled(true);
+    telemetry::Tracer::setThreadLane(0, "main");
+  }
+  if (timePasses)
+    tracer.setTimePasses(true);
 
   std::string source;
   if (file.empty()) {
@@ -135,6 +170,10 @@ int main(int argc, char **argv) {
 
   if (!passList.empty()) {
     lir::PassManager pm(/*verifyEach=*/true);
+    lir::PrintIRInstrumentation printer(printIR, std::cerr);
+    if (printIR.beforeAll || printIR.afterAll ||
+        !printIR.beforePasses.empty() || !printIR.afterPasses.empty())
+      pm.addInstrumentation(&printer);
     for (const std::string &name : splitString(passList, ',')) {
       if (name == "adaptor") {
         adaptor::buildAdaptorPipeline(pm, {});
@@ -151,11 +190,24 @@ int main(int argc, char **argv) {
     bool ok = pm.run(*module, passDiags);
     if (!passDiags.diagnostics().empty())
       std::fprintf(stderr, "%s", passDiags.str().c_str());
-    if (stats)
+    if (stats) {
       for (const lir::PassRunRecord &record : pm.records())
         for (const auto &[key, value] : record.stats)
           std::fprintf(stderr, "%-40s %lld\n", key.c_str(),
                        static_cast<long long>(value));
+      std::fprintf(stderr, "%s", telemetry::statisticsReport().c_str());
+    }
+    if (timePasses)
+      std::fprintf(stderr, "%s", tracer.passTimesTable().c_str());
+    if (!chromeTracePath.empty()) {
+      std::string error;
+      if (!tracer.writeChromeTrace(chromeTracePath, &error)) {
+        std::fprintf(stderr, "chrome trace: %s\n", error.c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "chrome trace written to %s\n",
+                   chromeTracePath.c_str());
+    }
     if (!ok)
       return 1;
   }
