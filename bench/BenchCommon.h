@@ -3,11 +3,113 @@
 
 #include "flow/BatchRunner.h"
 #include "flow/Flow.h"
+#include "support/Json.h"
 
 #include <cstdio>
+#include <fstream>
 #include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 namespace mha::bench {
+
+/// Structured output for the benches: `--json <path>` (or `--json=<path>`)
+/// writes one document per run, schema "mha.bench.v1", with one row per
+/// printed table row so BENCH_*.json perf trajectories can accumulate.
+/// The flag is consumed from argv (anything else — e.g. google-benchmark
+/// flags — passes through untouched); stdout is never written to, so the
+/// human tables stay byte-identical with the flag off. The document is
+/// validated with json::validate before it hits disk.
+class JsonReport {
+public:
+  JsonReport(std::string bench, int &argc, char **argv)
+      : bench_(std::move(bench)) {
+    int kept = 1;
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg == "--json" && i + 1 < argc)
+        path_ = argv[++i];
+      else if (arg.rfind("--json=", 0) == 0)
+        path_ = arg.substr(7);
+      else
+        argv[kept++] = argv[i];
+    }
+    argc = kept;
+  }
+
+  bool enabled() const { return !path_.empty(); }
+
+  /// Starts a new row; field() calls append to the most recent row. Both
+  /// are no-ops with the flag off, so call sites stay unconditional.
+  void beginRow() {
+    if (enabled())
+      rows_.emplace_back();
+  }
+  void field(const char *key, int64_t value) {
+    addRaw(key, std::to_string(value));
+  }
+  void field(const char *key, int value) {
+    field(key, static_cast<int64_t>(value));
+  }
+  void field(const char *key, double value) {
+    addRaw(key, json::number(value));
+  }
+  void field(const char *key, bool value) {
+    addRaw(key, value ? "true" : "false");
+  }
+  void field(const char *key, std::string_view value) {
+    addRaw(key, "\"" + json::escape(value) + "\"");
+  }
+  void field(const char *key, const char *value) {
+    field(key, std::string_view(value));
+  }
+
+  /// Validates and writes the report (when enabled). Returns `status`, or
+  /// 1 when validation or the write fails.
+  int finish(int status = 0) const {
+    if (!enabled())
+      return status;
+    std::string text = "{\n  \"schema\": \"mha.bench.v1\",\n  \"bench\": \"" +
+                       json::escape(bench_) + "\",\n  \"rows\": [";
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      text += i ? ",\n    {" : "\n    {";
+      for (size_t f = 0; f < rows_[i].size(); ++f) {
+        if (f)
+          text += ", ";
+        text += "\"" + json::escape(rows_[i][f].first) +
+                "\": " + rows_[i][f].second;
+      }
+      text += "}";
+    }
+    text += "\n  ]\n}\n";
+    std::string error;
+    if (!json::validate(text, &error)) {
+      std::fprintf(stderr, "bench json: malformed output: %s\n",
+                   error.c_str());
+      return 1;
+    }
+    std::ofstream out(path_, std::ios::binary);
+    out << text;
+    out.close();
+    if (!out) {
+      std::fprintf(stderr, "bench json: cannot write %s\n", path_.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "bench report written to %s\n", path_.c_str());
+    return status;
+  }
+
+private:
+  void addRaw(const char *key, std::string rendered) {
+    if (enabled() && !rows_.empty())
+      rows_.back().emplace_back(key, std::move(rendered));
+  }
+
+  std::string bench_;
+  std::string path_;
+  std::vector<std::vector<std::pair<std::string, std::string>>> rows_;
+};
 
 /// The default experiment configuration used across tables (pipeline II=1,
 /// modest partitioning — the "optimized design point" both flows share).

@@ -7,7 +7,8 @@
 using namespace mha;
 using namespace mha::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  JsonReport report("fig1_unroll_sweep", argc, argv);
   std::printf("Figure 1: latency (cycles) vs unroll factor\n");
   std::printf("%-10s %-8s %14s %14s %9s %12s %12s\n", "kernel", "unroll",
               "hls-c++", "adaptor", "ratio", "c++ DSP", "adaptor DSP");
@@ -37,7 +38,15 @@ int main() {
                   static_cast<long long>(cpp.synth.top()->resources.dsp),
                   static_cast<long long>(
                       adaptorFlow.synth.top()->resources.dsp));
+      report.beginRow();
+      report.field("kernel", name);
+      report.field("unroll", factor);
+      report.field("hls_cpp_latency", c);
+      report.field("adaptor_latency", a);
+      report.field("ratio", static_cast<double>(a) / static_cast<double>(c));
+      report.field("hls_cpp_dsp", cpp.synth.top()->resources.dsp);
+      report.field("adaptor_dsp", adaptorFlow.synth.top()->resources.dsp);
     }
   }
-  return 0;
+  return report.finish();
 }

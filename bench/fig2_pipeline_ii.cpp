@@ -26,7 +26,8 @@ int64_t worstRecMII(const flow::FlowResult &result) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  JsonReport report("fig2_pipeline_ii", argc, argv);
   std::printf("Figure 2: achieved pipeline II vs target II (innermost "
               "loops)\n");
   std::printf("%-10s %8s | %12s %12s | %8s\n", "kernel", "target",
@@ -46,9 +47,15 @@ int main() {
                   static_cast<long long>(worstInnerII(cpp)),
                   static_cast<long long>(worstInnerII(adaptorFlow)),
                   static_cast<long long>(worstRecMII(adaptorFlow)));
+      report.beginRow();
+      report.field("kernel", spec.name);
+      report.field("target_ii", target);
+      report.field("hls_cpp_ii", worstInnerII(cpp));
+      report.field("adaptor_ii", worstInnerII(adaptorFlow));
+      report.field("rec_mii", worstRecMII(adaptorFlow));
     }
   }
   std::printf("\nAchieved II = max(target, RecMII, ResMII); accumulation "
               "kernels are recurrence-limited on both paths.\n");
-  return 0;
+  return report.finish();
 }

@@ -8,7 +8,8 @@
 using namespace mha;
 using namespace mha::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  JsonReport report("fig3_partition_sweep", argc, argv);
   std::printf("Figure 3: latency (cycles) vs cyclic partition factor "
               "(inner loop unrolled 4x)\n");
   std::printf("%-10s %-10s %14s %14s %9s\n", "kernel", "factor", "hls-c++",
@@ -33,7 +34,13 @@ int main() {
                   static_cast<long long>(factor), static_cast<long long>(c),
                   static_cast<long long>(a),
                   static_cast<double>(a) / static_cast<double>(c));
+      report.beginRow();
+      report.field("kernel", name);
+      report.field("partition", factor);
+      report.field("hls_cpp_latency", c);
+      report.field("adaptor_latency", a);
+      report.field("ratio", static_cast<double>(a) / static_cast<double>(c));
     }
   }
-  return 0;
+  return report.finish();
 }

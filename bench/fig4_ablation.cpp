@@ -22,7 +22,8 @@ struct Variant {
 
 /// Runs the kernel through lowering + a tweaked adaptor + synthesis;
 /// reports acceptance and latency (0 when rejected).
-void runVariant(const flow::KernelSpec &spec, const Variant &variant) {
+void runVariant(const flow::KernelSpec &spec, const Variant &variant,
+                JsonReport &report) {
   flow::KernelConfig config = defaultConfig();
   config.unrollFactor = 4;
   config.partitionFactor = 4;
@@ -46,34 +47,44 @@ void runVariant(const flow::KernelSpec &spec, const Variant &variant) {
   variant.tweak(options);
   lir::PassManager pm(true);
   adaptor::buildAdaptorPipeline(pm, options);
+  report.beginRow();
+  report.field("kernel", spec.name);
+  report.field("variant", variant.label);
   if (!pm.run(*module, diags)) {
     std::printf("  %-28s pipeline error\n", variant.label);
+    report.field("status", "pipeline-error");
     return;
   }
   DiagnosticEngine synthDiags;
   vhls::SynthesisOptions synthOptions;
   synthOptions.topFunction = spec.name;
-  vhls::SynthesisReport report =
+  vhls::SynthesisReport synthReport =
       vhls::synthesize(*module, synthOptions, synthDiags);
-  if (!report.accepted) {
+  if (!synthReport.accepted) {
     std::string reasons;
-    for (const auto &[category, count] : report.compat.violations) {
+    for (const auto &[category, count] : synthReport.compat.violations) {
       (void)count;
       if (category != "unshaped-gep")
         reasons += category + " ";
     }
     std::printf("  %-28s REJECTED  (%s)\n", variant.label, reasons.c_str());
+    report.field("status", "rejected");
+    report.field("reasons", reasons);
     return;
   }
   std::printf("  %-28s accepted  latency=%-10lld warnings=%lld\n",
               variant.label,
-              static_cast<long long>(report.top()->latencyCycles),
-              static_cast<long long>(report.compat.warnings));
+              static_cast<long long>(synthReport.top()->latencyCycles),
+              static_cast<long long>(synthReport.compat.warnings));
+  report.field("status", "accepted");
+  report.field("latency", synthReport.top()->latencyCycles);
+  report.field("warnings", synthReport.compat.warnings);
 }
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  JsonReport report("fig4_ablation", argc, argv);
   const Variant variants[] = {
       {"full adaptor", [](adaptor::AdaptorOptions &) {}},
       {"- descriptor elimination",
@@ -95,10 +106,10 @@ int main() {
     std::printf("%s:\n", kernel);
     const flow::KernelSpec *spec = flow::findKernel(kernel);
     for (const Variant &variant : variants)
-      runVariant(*spec, variant);
+      runVariant(*spec, variant, report);
   }
   std::printf("\nWithout gep-canonicalize the IR is *accepted* but arrays "
               "collapse to a single bank\n(flat pointer arithmetic), so "
               "partitioning stops helping: QoR loss, not rejection.\n");
-  return 0;
+  return report.finish();
 }

@@ -9,7 +9,8 @@
 using namespace mha;
 using namespace mha::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  JsonReport report("fig5_dataflow", argc, argv);
   std::printf("Figure 5: function-level dataflow (task overlap)\n");
   std::printf("%-10s %16s %16s %9s | %14s\n", "kernel", "no dataflow",
               "dataflow", "speedup", "adaptor ratio");
@@ -36,8 +37,16 @@ int main() {
                 static_cast<long long>(base), static_cast<long long>(c),
                 static_cast<double>(base) / static_cast<double>(c),
                 static_cast<double>(a) / static_cast<double>(c));
+    report.beginRow();
+    report.field("kernel", name);
+    report.field("no_dataflow_latency", base);
+    report.field("dataflow_latency", c);
+    report.field("adaptor_dataflow_latency", a);
+    report.field("speedup", static_cast<double>(base) / static_cast<double>(c));
+    report.field("adaptor_ratio",
+                 static_cast<double>(a) / static_cast<double>(c));
   }
   std::printf("\nbicg has a single top-level nest: dataflow is a no-op "
               "there (speedup 1.00x), as expected.\n");
-  return 0;
+  return report.finish();
 }

@@ -9,7 +9,8 @@
 using namespace mha;
 using namespace mha::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  JsonReport report("fig6_crosslayer", argc, argv);
   std::printf("Figure 6: unroll at the MLIR level vs in the HLS backend "
               "(factor 4, partition 4)\n");
   std::printf("%-10s | %14s %14s | %14s %14s\n", "", "adaptor flow", "",
@@ -46,10 +47,18 @@ int main() {
                 static_cast<long long>(aMlir.synth.top()->latencyCycles),
                 static_cast<long long>(cBackend.synth.top()->latencyCycles),
                 static_cast<long long>(cMlir.synth.top()->latencyCycles));
+    report.beginRow();
+    report.field("kernel", name);
+    report.field("adaptor_backend_latency",
+                 aBackend.synth.top()->latencyCycles);
+    report.field("adaptor_mlir_latency", aMlir.synth.top()->latencyCycles);
+    report.field("hls_cpp_backend_latency",
+                 cBackend.synth.top()->latencyCycles);
+    report.field("hls_cpp_mlir_latency", cMlir.synth.top()->latencyCycles);
   }
   std::printf("\nMLIR-level unrolling produces pre-unrolled IR (adaptor "
               "path) or pre-unrolled C++ (emission\npath); the backend "
               "variant carries the directive. All four land on equivalent "
               "schedules.\n");
-  return 0;
+  return report.finish();
 }

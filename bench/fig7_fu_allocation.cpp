@@ -8,7 +8,8 @@
 using namespace mha;
 using namespace mha::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  JsonReport report("fig7_fu_allocation", argc, argv);
   const flow::KernelSpec *spec = flow::findKernel("conv2d");
   std::printf("Figure 7: conv2d latency vs fmul allocation budget "
               "(unroll=2, partition=4)\n");
@@ -41,6 +42,13 @@ int main() {
                 static_cast<long long>(
                     adaptorFlow.synth.top()->resources.dsp),
                 static_cast<double>(a) / static_cast<double>(c));
+    report.beginRow();
+    report.field("fmul_limit", limit);
+    report.field("hls_cpp_latency", c);
+    report.field("hls_cpp_dsp", cpp.synth.top()->resources.dsp);
+    report.field("adaptor_latency", a);
+    report.field("adaptor_dsp", adaptorFlow.synth.top()->resources.dsp);
+    report.field("ratio", static_cast<double>(a) / static_cast<double>(c));
   }
-  return 0;
+  return report.finish();
 }

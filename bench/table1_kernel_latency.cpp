@@ -10,7 +10,8 @@
 using namespace mha;
 using namespace mha::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  JsonReport report("table1_kernel_latency", argc, argv);
   std::printf("Table 1: kernel latency (cycles) per flow\n");
   std::printf("%-10s %14s %14s %14s %9s %9s\n", "kernel", "baseline",
               "hls-c++", "adaptor", "ratio", "speedup");
@@ -56,11 +57,18 @@ int main() {
                 spec.name.c_str(), static_cast<long long>(base),
                 static_cast<long long>(c), static_cast<long long>(a), ratio,
                 speedup);
+    report.beginRow();
+    report.field("kernel", spec.name);
+    report.field("baseline_latency", base);
+    report.field("hls_cpp_latency", c);
+    report.field("adaptor_latency", a);
+    report.field("ratio", ratio);
+    report.field("speedup", speedup);
   }
   printRule(76);
   std::printf("%-10s %44s %9.3f\n", "geo-ish", "mean adaptor/hls-c++ ratio:",
               ratioSum / count);
   std::printf("\nAll co-simulations passed (outputs bit-exact vs host "
               "reference).\n");
-  return 0;
+  return report.finish();
 }

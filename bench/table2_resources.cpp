@@ -6,7 +6,8 @@
 using namespace mha;
 using namespace mha::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  JsonReport report("table2_resources", argc, argv);
   std::printf("Table 2: resource usage per flow "
               "(DSP/BRAM/LUT/FF; BRAM excludes interface arrays)\n");
   std::printf("%-10s | %24s | %24s\n", "", "hls-c++ flow", "adaptor flow");
@@ -42,6 +43,16 @@ int main() {
                 static_cast<long long>(ra.bram),
                 static_cast<long long>(ra.lut),
                 static_cast<long long>(ra.ff));
+    report.beginRow();
+    report.field("kernel", spec.name);
+    report.field("hls_cpp_dsp", rc.dsp);
+    report.field("hls_cpp_bram", rc.bram);
+    report.field("hls_cpp_lut", rc.lut);
+    report.field("hls_cpp_ff", rc.ff);
+    report.field("adaptor_dsp", ra.dsp);
+    report.field("adaptor_bram", ra.bram);
+    report.field("adaptor_lut", ra.lut);
+    report.field("adaptor_ff", ra.ff);
   }
-  return 0;
+  return report.finish();
 }

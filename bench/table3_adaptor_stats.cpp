@@ -13,7 +13,8 @@
 using namespace mha;
 using namespace mha::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  JsonReport report("table3_adaptor_stats", argc, argv);
   std::printf("Table 3: HLS-frontend violations before the adaptor and "
               "adaptor activity\n");
   std::printf("%-10s %7s %7s %7s %7s %7s | %7s %7s %7s | %s\n", "kernel",
@@ -77,11 +78,28 @@ int main() {
         result.synth.accepted && result.synth.compat.warnings == 0
             ? "ACCEPT"
             : "REJECT");
+    report.beginRow();
+    report.field("kernel", spec.name);
+    report.field("opaque_pointers", before.violations["opaque-pointers"]);
+    report.field("descriptor_args", before.violations["descriptor-arg"]);
+    report.field("intrinsic_calls", before.violations["intrinsic-call"]);
+    report.field("modern_metadata", before.violations["modern-metadata"]);
+    report.field("bad_attributes", before.violations["bad-attribute"]);
+    report.field("descriptors_eliminated",
+                 stat("adaptor.descriptors-eliminated"));
+    report.field("geps_delinearized", stat("adaptor.geps-delinearized"));
+    report.field("intrinsics_legalized",
+                 stat("adaptor.fmuladd-expanded") +
+                     stat("adaptor.memcpy-expanded") +
+                     stat("adaptor.math-calls-retargeted") +
+                     stat("adaptor.minmax-expanded"));
+    report.field("accepted", result.synth.accepted &&
+                                 result.synth.compat.warnings == 0);
   }
   std::printf("\ncolumns: violations in raw MLIR-lowered IR (opaque "
               "pointers, descriptor args,\nintrinsic calls, modern "
               "metadata, modern attributes) | adaptor rewrites\n(descriptor "
               "groups flattened, GEPs delinearized, intrinsics legalized) | "
               "final verdict\n");
-  return 0;
+  return report.finish();
 }

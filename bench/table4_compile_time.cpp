@@ -76,6 +76,8 @@ void BM_BatchAllKernels(benchmark::State &state, flow::FlowKind kind) {
 } // namespace
 
 int main(int argc, char **argv) {
+  // Consumes --json before google-benchmark sees (and rejects) it.
+  JsonReport report("table4_compile_time", argc, argv);
   ThreadPool pool;
   gPool = &pool;
   for (const flow::KernelSpec &spec : flow::allKernels()) {
@@ -113,5 +115,31 @@ int main(int argc, char **argv) {
       ->Unit(benchmark::kMillisecond);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  if (report.enabled()) {
+    // One measured batch per flow for the JSON trajectory: the per-job
+    // wall time is recorded inside the job, same as the benchmarks above.
+    for (flow::FlowKind kind :
+         {flow::FlowKind::Adaptor, flow::FlowKind::HlsCpp}) {
+      const char *flowName =
+          kind == flow::FlowKind::Adaptor ? "adaptor" : "hls-c++";
+      std::vector<flow::BatchJob> jobs;
+      for (const flow::KernelSpec &spec : flow::allKernels())
+        jobs.push_back({&spec, defaultConfig(), kind, {}, "table4-json"});
+      flow::BatchOutcome out = flow::runBatch(jobs, poolOptions());
+      if (out.trace.failures != 0) {
+        std::fprintf(stderr, "table4: batch had failures\n");
+        return 1;
+      }
+      size_t job = 0;
+      for (const flow::KernelSpec &spec : flow::allKernels()) {
+        report.beginRow();
+        report.field("kernel", spec.name);
+        report.field("flow", flowName);
+        report.field("wall_ms", out.trace.jobs[job].wallMs);
+        report.field("bridge_ms", out.results[job].timings.bridgeMs);
+        ++job;
+      }
+    }
+  }
+  return report.finish();
 }

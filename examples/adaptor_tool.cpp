@@ -71,10 +71,8 @@ int main(int argc, char **argv) {
 
   const flow::KernelSpec *spec = flow::findKernel(kernelName);
   if (!spec) {
-    std::fprintf(stderr, "unknown kernel '%s'. available:", kernelName.c_str());
-    for (const flow::KernelSpec &s : flow::allKernels())
-      std::fprintf(stderr, " %s", s.name.c_str());
-    std::fprintf(stderr, "\n");
+    std::fprintf(stderr, "unknown kernel '%s'\n%s\n", kernelName.c_str(),
+                 flow::availableKernelsHint().c_str());
     return 2;
   }
 

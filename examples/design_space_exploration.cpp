@@ -1,115 +1,76 @@
 // design_space_exploration - sweeps the ScaleHLS-style design knobs
 // (pipeline II, unroll factor, partition factor) for one kernel through the
-// adaptor flow, in parallel on a thread pool, and prints the design points
-// with the Pareto frontier (latency vs DSP) marked.
+// adaptor flow and prints the design points with the Pareto frontier
+// (latency vs DSP) marked. The enumeration, parallel evaluation, QoR cache
+// and Pareto bookkeeping all live in the dse library; this example is a
+// thin wrapper around it (the full CLI is tools/mha-dse).
 //
 //   design_space_exploration [kernel]     (default: jacobi2d)
-#include "flow/Flow.h"
-#include "support/ThreadPool.h"
+#include "dse/Dse.h"
 
-#include <algorithm>
 #include <cstdio>
-#include <mutex>
-#include <vector>
 
 using namespace mha;
-
-namespace {
-
-struct DesignPoint {
-  flow::KernelConfig config;
-  int64_t latency = 0;
-  int64_t dsp = 0;
-  int64_t bram = 0;
-  int64_t lut = 0;
-  bool ok = false;
-  bool pareto = false;
-};
-
-} // namespace
 
 int main(int argc, char **argv) {
   std::string kernelName = argc > 1 ? argv[1] : "jacobi2d";
   const flow::KernelSpec *spec = flow::findKernel(kernelName);
   if (!spec) {
-    std::fprintf(stderr, "unknown kernel '%s'\n", kernelName.c_str());
+    std::fprintf(stderr, "unknown kernel '%s'\n%s\n", kernelName.c_str(),
+                 flow::availableKernelsHint().c_str());
     return 2;
   }
 
-  // The sweep grid.
-  std::vector<DesignPoint> points;
-  for (int64_t ii : {0, 1, 2}) // 0 = no pipeline directive
-    for (int64_t unroll : {1, 2, 4, 8})
-      for (int64_t partition : {1, 2, 4, 8}) {
-        DesignPoint p;
-        p.config.pipelineII = ii;
-        p.config.unrollFactor = unroll;
-        p.config.partitionFactor = partition;
-        points.push_back(p);
-      }
+  // The same ii/unroll/partition grid the hand-rolled version swept, now
+  // deduplicated against the kernel's valid design space (unroll factors
+  // clamp to divisors of the innermost trip count).
+  dse::DesignSpaceOptions spaceOptions;
+  spaceOptions.exploreDataflow = false;
+  dse::DesignSpace space(*spec, spaceOptions);
 
-  std::printf("exploring %zu design points of %s on %u threads...\n\n",
-              points.size(), spec->name.c_str(),
-              std::max(1u, std::thread::hardware_concurrency()));
+  dse::EvaluatorOptions evalOptions;
+  evalOptions.cosim = true; // never report incorrect designs
+  dse::Evaluator evaluator(*spec, evalOptions);
 
-  ThreadPool pool;
-  parallelFor(pool, points.size(), [&](size_t i) {
-    flow::FlowResult result = flow::runAdaptorFlow(*spec, points[i].config);
-    if (!result.ok)
-      return;
-    std::string error;
-    if (!flow::cosimAgainstReference(result, *spec, error))
-      return; // never report incorrect designs
-    const vhls::FunctionReport *top = result.synth.top();
-    points[i].latency = top->latencyCycles;
-    points[i].dsp = top->resources.dsp;
-    points[i].bram = top->resources.bram;
-    points[i].lut = top->resources.lut;
-    points[i].ok = true;
-  });
+  std::printf("exploring %zu design points of %s...\n\n", space.size(),
+              spec->name.c_str());
 
-  // Pareto frontier on (latency, dsp): a point survives if nothing is
-  // strictly better on one axis and at least as good on the other.
-  for (DesignPoint &p : points) {
-    if (!p.ok)
-      continue;
-    p.pareto = std::none_of(
-        points.begin(), points.end(), [&](const DesignPoint &q) {
-          if (!q.ok || &q == &p)
-            return false;
-          bool noWorse = q.latency <= p.latency && q.dsp <= p.dsp;
-          bool better = q.latency < p.latency || q.dsp < p.dsp;
-          return noWorse && better;
-        });
-  }
+  std::optional<dse::DseResult> result =
+      dse::runDse(space, evaluator, "exhaustive", {},
+                  dse::latencyDspObjectives());
+  if (!result)
+    return 1;
 
   std::printf("%-4s %-7s %-10s %12s %6s %6s %8s  %s\n", "II", "unroll",
               "partition", "latency", "DSP", "BRAM", "LUT", "");
-  for (const DesignPoint &p : points) {
-    if (!p.ok)
+  for (const dse::VisitedPoint &p : result->visited) {
+    if (!p.qor.ok || !p.qor.cosimOk)
       continue;
+    bool pareto = false;
+    for (const dse::ArchiveEntry &entry : result->pareto)
+      if (entry.key == dse::configKey(p.config))
+        pareto = true;
     std::printf("%-4lld %-7lld %-10lld %12lld %6lld %6lld %8lld  %s\n",
                 static_cast<long long>(p.config.pipelineII),
                 static_cast<long long>(p.config.unrollFactor),
                 static_cast<long long>(p.config.partitionFactor),
-                static_cast<long long>(p.latency),
-                static_cast<long long>(p.dsp),
-                static_cast<long long>(p.bram),
-                static_cast<long long>(p.lut),
-                p.pareto ? "<-- pareto" : "");
+                static_cast<long long>(p.qor.latencyCycles),
+                static_cast<long long>(p.qor.dsp),
+                static_cast<long long>(p.qor.bram),
+                static_cast<long long>(p.qor.lut),
+                pareto ? "<-- pareto" : "");
   }
 
-  const DesignPoint *best = nullptr;
-  for (const DesignPoint &p : points)
-    if (p.ok && (!best || p.latency < best->latency))
-      best = &p;
-  if (best)
+  if (!result->pareto.empty()) {
+    // The archive is sorted by objective vector, so front() is fastest.
+    const dse::ArchiveEntry &best = result->pareto.front();
     std::printf("\nfastest design: II=%lld unroll=%lld partition=%lld -> "
                 "%lld cycles, %lld DSP\n",
-                static_cast<long long>(best->config.pipelineII),
-                static_cast<long long>(best->config.unrollFactor),
-                static_cast<long long>(best->config.partitionFactor),
-                static_cast<long long>(best->latency),
-                static_cast<long long>(best->dsp));
+                static_cast<long long>(best.config.pipelineII),
+                static_cast<long long>(best.config.unrollFactor),
+                static_cast<long long>(best.config.partitionFactor),
+                static_cast<long long>(best.qor.latencyCycles),
+                static_cast<long long>(best.qor.dsp));
+  }
   return 0;
 }

@@ -1,0 +1,93 @@
+#include "dse/Dse.h"
+
+#include "support/Json.h"
+#include "support/StringUtils.h"
+#include "support/Telemetry.h"
+
+namespace mha::dse {
+
+namespace {
+
+void appendPoint(std::string &out, const flow::KernelConfig &config,
+                 const QoR &qor, const char *indent) {
+  out += strfmt(
+      "%s{\"ii\": %lld, \"unroll\": %lld, \"partition\": %lld, "
+      "\"dataflow\": %s, \"baseline\": %s, \"ok\": %s, \"cosim_ok\": %s, "
+      "\"latency\": %lld, \"dsp\": %lld, \"bram\": %lld, \"lut\": %lld, "
+      "\"ff\": %lld}",
+      indent, static_cast<long long>(config.pipelineII),
+      static_cast<long long>(config.unrollFactor),
+      static_cast<long long>(config.partitionFactor),
+      config.dataflow ? "true" : "false",
+      config.applyDirectives ? "false" : "true", qor.ok ? "true" : "false",
+      qor.cosimOk ? "true" : "false",
+      static_cast<long long>(qor.latencyCycles),
+      static_cast<long long>(qor.dsp), static_cast<long long>(qor.bram),
+      static_cast<long long>(qor.lut), static_cast<long long>(qor.ff));
+}
+
+} // namespace
+
+std::string DseResult::json() const {
+  std::string out;
+  out += "{\n  \"schema\": \"mha.dse.v1\",\n";
+  out += strfmt("  \"kernel\": \"%s\",\n", json::escape(kernel).c_str());
+  out += strfmt("  \"strategy\": \"%s\",\n", json::escape(strategy).c_str());
+  out += strfmt("  \"seed\": %llu,\n",
+                static_cast<unsigned long long>(seed));
+  out += strfmt("  \"budget\": %zu,\n", budget);
+  out += strfmt("  \"space_size\": %zu,\n", spaceSize);
+  out += strfmt("  \"evaluated\": %zu,\n", evaluated);
+  out += strfmt("  \"synth_runs\": %lld,\n",
+                static_cast<long long>(synthRuns));
+  out += strfmt("  \"cache_hits\": %lld,\n",
+                static_cast<long long>(cacheHits));
+  out += "  \"objectives\": [";
+  for (size_t i = 0; i < objectives.size(); ++i)
+    out += strfmt("%s\"%s\"", i ? ", " : "", objectiveName(objectives[i]));
+  out += "],\n  \"points\": [";
+  for (size_t i = 0; i < visited.size(); ++i) {
+    out += i ? ",\n" : "\n";
+    appendPoint(out, visited[i].config, visited[i].qor, "    ");
+  }
+  out += "\n  ],\n  \"pareto\": [";
+  for (size_t i = 0; i < pareto.size(); ++i) {
+    out += i ? ",\n" : "\n";
+    appendPoint(out, pareto[i].config, pareto[i].qor, "    ");
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+std::optional<DseResult>
+runDse(const DesignSpace &space, Evaluator &evaluator,
+       std::string_view strategyName, const StrategyOptions &options,
+       const std::vector<Objective> &objectives) {
+  std::unique_ptr<SearchStrategy> strategy = createStrategy(strategyName);
+  if (!strategy)
+    return std::nullopt;
+
+  telemetry::Span span(strfmt("dse:%s:%s", strategy->name(),
+                              space.spec().name.c_str()),
+                       "dse",
+                       {{"kernel", space.spec().name},
+                        {"strategy", strategy->name()}});
+  ParetoArchive archive(objectives);
+  StrategyResult search = strategy->run(space, evaluator, archive, options);
+
+  DseResult result;
+  result.kernel = space.spec().name;
+  result.strategy = search.strategy;
+  result.seed = options.seed;
+  result.budget = options.budget;
+  result.spaceSize = space.size();
+  result.evaluated = search.evaluated;
+  result.synthRuns = evaluator.synthRuns();
+  result.cacheHits = evaluator.cacheHits();
+  result.objectives = objectives;
+  result.visited = std::move(search.visited);
+  result.pareto = archive.entries();
+  return result;
+}
+
+} // namespace mha::dse

@@ -1,0 +1,48 @@
+// Dse.h - umbrella header and run driver for the DSE subsystem.
+//
+// Wires the pieces together for one search:
+//
+//   DesignSpace space(spec);                  // valid points
+//   Evaluator evaluator(spec);                // QoR cache + thread pool
+//   auto result = runDse(space, evaluator, "greedy", {});
+//   result->json();                           // schema "mha.dse.v1"
+//
+// The evaluator is passed in (not owned) so callers can pre-load a QoR
+// cache (--resume), run several strategies against one shared cache, and
+// save the cache afterwards.
+#pragma once
+
+#include "dse/DesignSpace.h"
+#include "dse/Evaluator.h"
+#include "dse/Pareto.h"
+#include "dse/Strategy.h"
+
+#include <optional>
+
+namespace mha::dse {
+
+struct DseResult {
+  std::string kernel;
+  std::string strategy;
+  uint64_t seed = 0;
+  size_t budget = 0;     // 0 = unlimited
+  size_t spaceSize = 0;
+  size_t evaluated = 0;  // evaluator requests this run
+  int64_t synthRuns = 0; // evaluator-lifetime flow executions
+  int64_t cacheHits = 0; // evaluator-lifetime cache hits
+  std::vector<Objective> objectives;
+  std::vector<VisitedPoint> visited; // strategy visit order
+  std::vector<ArchiveEntry> pareto;  // deterministic archive order
+
+  /// Renders the run as JSON (schema "mha.dse.v1", stable key order).
+  std::string json() const;
+};
+
+/// Runs `strategyName` over the space, feeding a fresh archive with the
+/// given objectives. Returns nullopt for an unknown strategy name.
+std::optional<DseResult>
+runDse(const DesignSpace &space, Evaluator &evaluator,
+       std::string_view strategyName, const StrategyOptions &options,
+       const std::vector<Objective> &objectives = defaultObjectives());
+
+} // namespace mha::dse

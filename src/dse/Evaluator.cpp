@@ -1,0 +1,229 @@
+#include "dse/Evaluator.h"
+
+#include "support/Json.h"
+#include "support/StringUtils.h"
+#include "support/Telemetry.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace mha::dse {
+
+namespace {
+
+telemetry::Statistic numSynthRuns("dse", "synth-runs",
+                                  "design points synthesized");
+telemetry::Statistic numCacheHits("dse", "cache-hits",
+                                  "design points answered from the QoR cache");
+
+} // namespace
+
+Evaluator::Evaluator(const flow::KernelSpec &spec, EvaluatorOptions options)
+    : spec_(&spec), options_(std::move(options)),
+      pool_(std::make_unique<ThreadPool>(options_.numThreads)) {}
+
+QoR Evaluator::runFlow(const flow::KernelConfig &config,
+                       const std::string &key) {
+  telemetry::Span span(strfmt("dse:evaluate:%s", spec_->name.c_str()), "dse",
+                       {{"kernel", spec_->name}, {"config", key}});
+  QoR qor;
+  flow::FlowResult result = flow::runAdaptorFlow(*spec_, config,
+                                                 options_.flow);
+  if (!result.ok) {
+    qor.error = result.diagnostics.substr(0, result.diagnostics.find('\n'));
+    if (qor.error.empty())
+      qor.error = "flow failed";
+    return qor;
+  }
+  const vhls::FunctionReport *top = result.synth.top();
+  if (!top) {
+    qor.error = "no top function report";
+    return qor;
+  }
+  qor.ok = true;
+  qor.latencyCycles = top->latencyCycles;
+  qor.dsp = top->resources.dsp;
+  qor.bram = top->resources.bram;
+  qor.lut = top->resources.lut;
+  qor.ff = top->resources.ff;
+  if (options_.cosim) {
+    std::string error;
+    if (!flow::cosimAgainstReference(result, *spec_, error)) {
+      qor.cosimOk = false;
+      qor.error = error;
+    }
+  }
+  return qor;
+}
+
+QoR Evaluator::evaluate(const flow::KernelConfig &config) {
+  std::string key = configKey(config);
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto [it, inserted] = cache_.try_emplace(key);
+  Entry &entry = it->second;
+  if (!inserted) {
+    // Someone already has (or is producing) this point.
+    while (!entry.done)
+      ready_.wait(lock);
+    ++cacheHits_;
+    ++numCacheHits;
+    return entry.qor;
+  }
+  lock.unlock();
+  QoR qor = runFlow(config, key);
+  lock.lock();
+  entry.qor = qor;
+  entry.done = true;
+  ++synthRuns_;
+  ++numSynthRuns;
+  ready_.notify_all();
+  return qor;
+}
+
+std::vector<QoR>
+Evaluator::evaluateAll(const std::vector<flow::KernelConfig> &configs) {
+  std::vector<QoR> results(configs.size());
+  parallelFor(*pool_, configs.size(),
+              [&](size_t i) { results[i] = evaluate(configs[i]); });
+  return results;
+}
+
+int64_t Evaluator::synthRuns() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return synthRuns_;
+}
+
+int64_t Evaluator::cacheHits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return cacheHits_;
+}
+
+size_t Evaluator::cacheSize() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return cache_.size();
+}
+
+std::string Evaluator::cacheJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  out += "{\n  \"schema\": \"mha.dse.cache.v1\",\n";
+  out += strfmt("  \"kernel\": \"%s\",\n  \"entries\": [",
+                json::escape(spec_->name).c_str());
+  bool first = true;
+  for (const auto &[key, entry] : cache_) {
+    if (!entry.done)
+      continue; // in-flight points are not results yet
+    out += first ? "\n" : ",\n";
+    first = false;
+    const QoR &q = entry.qor;
+    out += strfmt("    {\"key\": \"%s\", \"ok\": %s, \"cosim_ok\": %s, "
+                  "\"latency\": %lld, \"dsp\": %lld, \"bram\": %lld, "
+                  "\"lut\": %lld, \"ff\": %lld, \"error\": \"%s\"}",
+                  json::escape(key).c_str(), q.ok ? "true" : "false",
+                  q.cosimOk ? "true" : "false",
+                  static_cast<long long>(q.latencyCycles),
+                  static_cast<long long>(q.dsp),
+                  static_cast<long long>(q.bram),
+                  static_cast<long long>(q.lut),
+                  static_cast<long long>(q.ff),
+                  json::escape(q.error).c_str());
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+bool Evaluator::loadCacheJson(std::string_view text, std::string *error) {
+  std::string parseError;
+  std::optional<json::Value> doc = json::parse(text, &parseError);
+  if (!doc) {
+    if (error)
+      *error = "malformed cache JSON: " + parseError;
+    return false;
+  }
+  const json::Value *schema = doc->get("schema");
+  if (!schema || schema->asString() != "mha.dse.cache.v1") {
+    if (error)
+      *error = "not an mha.dse.cache.v1 document";
+    return false;
+  }
+  const json::Value *kernel = doc->get("kernel");
+  if (!kernel || kernel->asString() != spec_->name) {
+    if (error)
+      *error = strfmt("cache is for kernel '%s', evaluator is for '%s'",
+                      kernel ? kernel->asString().c_str() : "?",
+                      spec_->name.c_str());
+    return false;
+  }
+  const json::Value *entries = doc->get("entries");
+  if (!entries || !entries->isArray()) {
+    if (error)
+      *error = "cache document has no 'entries' array";
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const json::Value &item : entries->elements()) {
+    const json::Value *key = item.get("key");
+    if (!key || !key->isString())
+      continue;
+    auto [it, inserted] = cache_.try_emplace(key->asString());
+    if (!inserted)
+      continue; // existing (possibly fresher) entry wins
+    Entry &entry = it->second;
+    entry.done = true;
+    auto intField = [&](const char *name) {
+      const json::Value *v = item.get(name);
+      return v ? v->asInt() : 0;
+    };
+    const json::Value *ok = item.get("ok");
+    const json::Value *cosimOk = item.get("cosim_ok");
+    entry.qor.ok = ok && ok->asBool();
+    entry.qor.cosimOk = !cosimOk || cosimOk->asBool();
+    entry.qor.latencyCycles = intField("latency");
+    entry.qor.dsp = intField("dsp");
+    entry.qor.bram = intField("bram");
+    entry.qor.lut = intField("lut");
+    entry.qor.ff = intField("ff");
+    if (const json::Value *err = item.get("error"))
+      entry.qor.error = err->asString();
+  }
+  return true;
+}
+
+bool Evaluator::saveCacheFile(const std::string &path,
+                              std::string *error) const {
+  std::string text = cacheJson();
+  std::string jsonError;
+  if (!json::validate(text, &jsonError)) {
+    if (error)
+      *error = "internal error, malformed cache JSON: " + jsonError;
+    return false;
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    if (error)
+      *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  out << text;
+  out.close();
+  if (!out) {
+    if (error)
+      *error = "write to " + path + " failed";
+    return false;
+  }
+  return true;
+}
+
+bool Evaluator::loadCacheFile(const std::string &path, std::string *error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error)
+      *error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return loadCacheJson(buffer.str(), error);
+}
+
+} // namespace mha::dse

@@ -1,0 +1,103 @@
+// Evaluator.h - QoR evaluation of design points with a config-keyed cache.
+//
+// The evaluator is the subsystem's only bridge to the adaptor flow: a
+// design point goes through flow::runAdaptorFlow (plus optional bit-exact
+// co-simulation) and comes back as a QoR tuple (latency + DSP/BRAM/LUT/FF).
+// Every evaluation is wrapped in a telemetry span and counted by the
+// dse.* statistics, so `--chrome-trace` shows one span per synthesized
+// point and `--stats` reports the synthesis/cache-hit split.
+//
+// The QoR cache is keyed by kernel name + canonical config key
+// (dse::configKey): revisiting a point — within one search, across
+// strategies sharing an evaluator, or across processes via the JSON cache
+// file (schema "mha.dse.cache.v1") — performs no synthesis. Concurrent
+// requests for the same un-cached point synthesize once; late arrivals
+// block on the in-flight entry and count as cache hits.
+//
+// evaluateAll() fans a batch of points out across the evaluator's
+// ThreadPool and returns QoRs in input order.
+#pragma once
+
+#include "dse/DesignSpace.h"
+#include "flow/Flow.h"
+#include "support/ThreadPool.h"
+
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace mha::dse {
+
+/// Quality-of-result tuple for one design point.
+struct QoR {
+  bool ok = false;       // flow ran and the backend accepted the design
+  bool cosimOk = true;   // bit-exact vs the host reference (when checked)
+  int64_t latencyCycles = 0;
+  int64_t dsp = 0;
+  int64_t bram = 0;
+  int64_t lut = 0;
+  int64_t ff = 0;
+  std::string error;     // first diagnostic line when !ok
+};
+
+struct EvaluatorOptions {
+  /// Co-simulate every accepted design against the host reference; a
+  /// mismatching design is recorded with cosimOk=false and never enters a
+  /// Pareto archive.
+  bool cosim = false;
+  /// Worker threads for evaluateAll (0 = hardware concurrency).
+  unsigned numThreads = 0;
+  /// Options forwarded to flow::runAdaptorFlow.
+  flow::FlowOptions flow;
+};
+
+class Evaluator {
+public:
+  Evaluator(const flow::KernelSpec &spec, EvaluatorOptions options = {});
+
+  const flow::KernelSpec &spec() const { return *spec_; }
+
+  /// Evaluates one design point (cached, thread-safe).
+  QoR evaluate(const flow::KernelConfig &config);
+
+  /// Evaluates a batch in parallel on the pool; results in input order.
+  std::vector<QoR> evaluateAll(const std::vector<flow::KernelConfig> &configs);
+
+  /// Actual flow executions (cache misses) performed by this evaluator.
+  int64_t synthRuns() const;
+  /// Evaluations answered from the cache (including waits on in-flight
+  /// synthesis of the same point).
+  int64_t cacheHits() const;
+  size_t cacheSize() const;
+
+  /// Renders the cache as JSON (schema "mha.dse.cache.v1", stable order).
+  std::string cacheJson() const;
+  /// Merges entries from a cache JSON document. Rejects documents with a
+  /// different schema or kernel. Existing entries win on key collision.
+  bool loadCacheJson(std::string_view text, std::string *error = nullptr);
+
+  /// File round-trip for --resume: both validate the JSON side.
+  bool saveCacheFile(const std::string &path, std::string *error = nullptr) const;
+  bool loadCacheFile(const std::string &path, std::string *error = nullptr);
+
+private:
+  struct Entry {
+    bool done = false;
+    QoR qor;
+  };
+
+  QoR runFlow(const flow::KernelConfig &config, const std::string &key);
+
+  const flow::KernelSpec *spec_;
+  EvaluatorOptions options_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::map<std::string, Entry> cache_;
+  int64_t synthRuns_ = 0;
+  int64_t cacheHits_ = 0;
+};
+
+} // namespace mha::dse

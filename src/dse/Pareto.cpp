@@ -1,0 +1,106 @@
+#include "dse/Pareto.h"
+
+#include <algorithm>
+
+namespace mha::dse {
+
+const char *objectiveName(Objective objective) {
+  switch (objective) {
+  case Objective::Latency:
+    return "latency";
+  case Objective::Dsp:
+    return "dsp";
+  case Objective::Bram:
+    return "bram";
+  case Objective::Lut:
+    return "lut";
+  case Objective::Ff:
+    return "ff";
+  }
+  return "?";
+}
+
+std::vector<Objective> defaultObjectives() {
+  return {Objective::Latency, Objective::Dsp, Objective::Bram,
+          Objective::Lut};
+}
+
+std::vector<Objective> latencyDspObjectives() {
+  return {Objective::Latency, Objective::Dsp};
+}
+
+int64_t ParetoArchive::objectiveValue(const QoR &qor, Objective objective) {
+  switch (objective) {
+  case Objective::Latency:
+    return qor.latencyCycles;
+  case Objective::Dsp:
+    return qor.dsp;
+  case Objective::Bram:
+    return qor.bram;
+  case Objective::Lut:
+    return qor.lut;
+  case Objective::Ff:
+    return qor.ff;
+  }
+  return 0;
+}
+
+ParetoArchive::ParetoArchive(std::vector<Objective> objectives)
+    : objectives_(std::move(objectives)) {}
+
+std::vector<int64_t> ParetoArchive::objectiveVector(const QoR &qor) const {
+  std::vector<int64_t> out;
+  out.reserve(objectives_.size());
+  for (Objective objective : objectives_)
+    out.push_back(objectiveValue(qor, objective));
+  return out;
+}
+
+bool ParetoArchive::dominates(const QoR &a, const QoR &b) const {
+  bool strictlyBetter = false;
+  for (Objective objective : objectives_) {
+    int64_t va = objectiveValue(a, objective);
+    int64_t vb = objectiveValue(b, objective);
+    if (va > vb)
+      return false;
+    if (va < vb)
+      strictlyBetter = true;
+  }
+  return strictlyBetter;
+}
+
+bool ParetoArchive::containsKey(const std::string &key) const {
+  return std::any_of(entries_.begin(), entries_.end(),
+                     [&](const ArchiveEntry &e) { return e.key == key; });
+}
+
+bool ParetoArchive::insert(const flow::KernelConfig &config, const QoR &qor) {
+  if (!qor.ok || !qor.cosimOk)
+    return false;
+  std::string key = configKey(config);
+  for (const ArchiveEntry &entry : entries_) {
+    if (entry.key == key)
+      return true; // already archived (idempotent)
+    if (dominates(entry.qor, qor))
+      return false;
+  }
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [&](const ArchiveEntry &entry) {
+                                  return dominates(qor, entry.qor);
+                                }),
+                 entries_.end());
+  ArchiveEntry entry{config, qor, std::move(key)};
+  auto less = [&](const ArchiveEntry &a, const ArchiveEntry &b) {
+    std::vector<int64_t> va = objectiveVector(a.qor);
+    std::vector<int64_t> vb = objectiveVector(b.qor);
+    if (va != vb)
+      return va < vb;
+    return a.key < b.key;
+  };
+  entries_.insert(
+      std::upper_bound(entries_.begin(), entries_.end(), entry, less),
+      std::move(entry));
+  return true;
+}
+
+} // namespace mha::dse

@@ -1,0 +1,177 @@
+#include "dse/Strategy.h"
+
+#include "support/Telemetry.h"
+
+#include <algorithm>
+
+namespace mha::dse {
+
+namespace {
+
+/// Deterministic, platform-independent PRNG (splitmix64). std::shuffle
+/// with a standard engine is implementation-defined; the subset/replay
+/// guarantees in the tests need bit-identical sampling everywhere.
+class SplitMix64 {
+public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound) with rejection (bound is tiny vs 2^64, so the
+  /// modulo bias would be negligible, but rejection keeps it exact).
+  uint64_t below(uint64_t bound) {
+    uint64_t limit = bound * (UINT64_MAX / bound);
+    uint64_t value;
+    do {
+      value = next();
+    } while (value >= limit);
+    return value % bound;
+  }
+
+private:
+  uint64_t state_;
+};
+
+size_t effectiveBudget(const StrategyOptions &options, size_t upper) {
+  if (options.budget == 0)
+    return upper;
+  return std::min(options.budget, upper);
+}
+
+/// Evaluates `configs` in one parallel batch and records them in order.
+void visitBatch(Evaluator &evaluator, ParetoArchive &archive,
+                const std::vector<flow::KernelConfig> &configs,
+                StrategyResult &result) {
+  std::vector<QoR> qors = evaluator.evaluateAll(configs);
+  for (size_t i = 0; i < configs.size(); ++i) {
+    archive.insert(configs[i], qors[i]);
+    result.visited.push_back({configs[i], qors[i]});
+  }
+  result.evaluated += configs.size();
+}
+
+class ExhaustiveStrategy : public SearchStrategy {
+public:
+  const char *name() const override { return "exhaustive"; }
+
+  StrategyResult run(const DesignSpace &space, Evaluator &evaluator,
+                     ParetoArchive &archive,
+                     const StrategyOptions &options) override {
+    StrategyResult result;
+    result.strategy = name();
+    std::vector<flow::KernelConfig> configs = space.points();
+    configs.resize(effectiveBudget(options, configs.size()));
+    visitBatch(evaluator, archive, configs, result);
+    return result;
+  }
+};
+
+class RandomStrategy : public SearchStrategy {
+public:
+  const char *name() const override { return "random"; }
+
+  StrategyResult run(const DesignSpace &space, Evaluator &evaluator,
+                     ParetoArchive &archive,
+                     const StrategyOptions &options) override {
+    StrategyResult result;
+    result.strategy = name();
+    std::vector<flow::KernelConfig> deck = space.points();
+    SplitMix64 rng(options.seed);
+    // Fisher–Yates; the shuffled prefix is the sample.
+    for (size_t i = deck.size(); i > 1; --i)
+      std::swap(deck[i - 1], deck[rng.below(i)]);
+    deck.resize(effectiveBudget(options, deck.size()));
+    visitBatch(evaluator, archive, deck, result);
+    return result;
+  }
+};
+
+class GreedyStrategy : public SearchStrategy {
+public:
+  const char *name() const override { return "greedy"; }
+
+  StrategyResult run(const DesignSpace &space, Evaluator &evaluator,
+                     ParetoArchive &archive,
+                     const StrategyOptions &options) override {
+    StrategyResult result;
+    result.strategy = name();
+    size_t budget = effectiveBudget(options, SIZE_MAX);
+
+    flow::KernelConfig current = space.baseline();
+    visitBatch(evaluator, archive, {current}, result);
+    QoR currentQoR = result.visited.back().qor;
+    if (!currentQoR.ok)
+      return result;
+
+    std::vector<std::string> visitedKeys = {configKey(current)};
+    while (result.evaluated < budget) {
+      std::vector<flow::KernelConfig> frontier;
+      for (const flow::KernelConfig &neighbor : space.neighbors(current)) {
+        std::string key = configKey(neighbor);
+        if (std::find(visitedKeys.begin(), visitedKeys.end(), key) !=
+            visitedKeys.end())
+          continue;
+        frontier.push_back(neighbor);
+        visitedKeys.push_back(std::move(key));
+      }
+      if (frontier.size() > budget - result.evaluated)
+        frontier.resize(budget - result.evaluated);
+      if (frontier.empty())
+        break;
+      visitBatch(evaluator, archive, frontier, result);
+
+      // The move rule: strictly lower latency; among equals, fewer
+      // resources; among full ties, the smaller config key. Deterministic
+      // because the frontier order is the space's enumeration order.
+      const flow::KernelConfig *best = nullptr;
+      QoR bestQoR;
+      auto rank = [](const QoR &q) {
+        return std::make_tuple(q.latencyCycles, q.dsp, q.bram, q.lut, q.ff);
+      };
+      size_t base = result.visited.size() - frontier.size();
+      for (size_t i = 0; i < frontier.size(); ++i) {
+        const VisitedPoint &point = result.visited[base + i];
+        if (!point.qor.ok || !point.qor.cosimOk)
+          continue;
+        if (point.qor.latencyCycles >= currentQoR.latencyCycles)
+          continue;
+        if (!best || rank(point.qor) < rank(bestQoR) ||
+            (rank(point.qor) == rank(bestQoR) &&
+             configKey(point.config) < configKey(*best))) {
+          best = &point.config;
+          bestQoR = point.qor;
+        }
+      }
+      if (!best)
+        break; // local optimum
+      current = *best;
+      currentQoR = bestQoR;
+    }
+    return result;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<SearchStrategy> createStrategy(std::string_view name) {
+  if (name == "exhaustive")
+    return std::make_unique<ExhaustiveStrategy>();
+  if (name == "random")
+    return std::make_unique<RandomStrategy>();
+  if (name == "greedy")
+    return std::make_unique<GreedyStrategy>();
+  return nullptr;
+}
+
+const std::vector<std::string> &strategyNames() {
+  static const std::vector<std::string> names = {"exhaustive", "random",
+                                                 "greedy"};
+  return names;
+}
+
+} // namespace mha::dse

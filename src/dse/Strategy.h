@@ -1,0 +1,67 @@
+// Strategy.h - pluggable search strategies over a DesignSpace.
+//
+// A strategy decides *which* points to evaluate and in what order; the
+// Evaluator decides *how* (parallel flow runs behind the QoR cache) and
+// the ParetoArchive accumulates whatever survives domination. Three
+// strategies ship:
+//
+//  * exhaustive — every enumerated point (truncated to the budget);
+//  * random    — a seeded Fisher–Yates sample without replacement. The
+//                PRNG (splitmix64) is our own, so a given seed visits the
+//                same points on every platform and standard library;
+//  * greedy    — hill-climbing from the unoptimized baseline: each step
+//                evaluates the full one-knob neighborhood in parallel and
+//                moves to the best strictly-latency-improving neighbor
+//                (resources, then config key, break ties), stopping at a
+//                local optimum or when the budget runs out.
+//
+// All visited points are offered to the archive, so a strategy's archive
+// is the frontier of its visited set.
+#pragma once
+
+#include "dse/DesignSpace.h"
+#include "dse/Evaluator.h"
+#include "dse/Pareto.h"
+
+#include <memory>
+
+namespace mha::dse {
+
+struct StrategyOptions {
+  /// Maximum number of evaluator requests (0 = unlimited). Cached points
+  /// count — the budget bounds the search effort deterministically, not
+  /// wall time.
+  size_t budget = 0;
+  /// Seed for randomized strategies; the same seed replays the same walk.
+  uint64_t seed = 0;
+};
+
+struct VisitedPoint {
+  flow::KernelConfig config;
+  QoR qor;
+};
+
+struct StrategyResult {
+  std::string strategy;
+  size_t evaluated = 0; // evaluator requests issued
+  /// Every evaluated point in the strategy's deterministic visit order.
+  std::vector<VisitedPoint> visited;
+};
+
+class SearchStrategy {
+public:
+  virtual ~SearchStrategy() = default;
+  virtual const char *name() const = 0;
+  virtual StrategyResult run(const DesignSpace &space, Evaluator &evaluator,
+                             ParetoArchive &archive,
+                             const StrategyOptions &options) = 0;
+};
+
+/// Factory over the registered strategy names ("exhaustive", "random",
+/// "greedy"); nullptr for unknown names.
+std::unique_ptr<SearchStrategy> createStrategy(std::string_view name);
+
+/// Registered names, in documentation order.
+const std::vector<std::string> &strategyNames();
+
+} // namespace mha::dse

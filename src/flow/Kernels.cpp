@@ -648,6 +648,15 @@ const KernelSpec *findKernel(const std::string &name) {
   return nullptr;
 }
 
+std::string availableKernelsHint() {
+  std::string out = "available kernels:";
+  for (const KernelSpec &spec : allKernels()) {
+    out += out.back() == ':' ? " " : ", ";
+    out += spec.name;
+  }
+  return out;
+}
+
 void seedBuffers(Buffers &buffers, uint64_t seed) {
   uint64_t state = seed * 6364136223846793005ull + 1442695040888963407ull;
   auto next = [&state] {

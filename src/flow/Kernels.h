@@ -63,6 +63,10 @@ const std::vector<KernelSpec> &allKernels();
 /// Lookup by name (nullptr if unknown).
 const KernelSpec *findKernel(const std::string &name);
 
+/// "available kernels: gemm, mm2, ..." — what a failed findKernel lookup
+/// should print so the user can correct the name without reading code.
+std::string availableKernelsHint();
+
 /// Deterministically fills every buffer (inputs and outputs) with small
 /// pseudo-random values; call before reference/co-sim.
 void seedBuffers(Buffers &buffers, uint64_t seed = 42);

@@ -3,6 +3,7 @@
 #include "support/StringUtils.h"
 
 #include <cctype>
+#include <charconv>
 #include <cmath>
 
 namespace mha::json {
@@ -255,10 +256,309 @@ private:
   size_t errorPos_ = 0;
 };
 
+/// Recursive-descent DOM parser. Structurally mirrors the Validator but
+/// builds Values; kept separate so the validator stays allocation-free on
+/// the trace-writing hot path.
+class Parser {
+public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<Value> run(std::string *error) {
+    skipWs();
+    std::optional<Value> result = value(0);
+    if (result) {
+      skipWs();
+      if (pos_ != text_.size()) {
+        fail("trailing characters after value");
+        result.reset();
+      }
+    }
+    if (!result && error)
+      *error = strfmt("%s at offset %zu", message_.c_str(), errorPos_);
+    return result;
+  }
+
+private:
+  std::nullopt_t fail(const char *what) {
+    if (message_.empty()) {
+      message_ = what;
+      errorPos_ = pos_;
+    }
+    return std::nullopt;
+  }
+
+  bool eof() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+
+  void skipWs() {
+    while (!eof() && (peek() == ' ' || peek() == '\t' || peek() == '\n' ||
+                      peek() == '\r'))
+      ++pos_;
+  }
+
+  std::optional<Value> literal(std::string_view word, Value result) {
+    if (text_.substr(pos_, word.size()) != word)
+      return fail("invalid literal");
+    pos_ += word.size();
+    return result;
+  }
+
+  std::optional<Value> value(int depth) {
+    if (depth > 128)
+      return fail("nesting too deep");
+    if (eof())
+      return fail("unexpected end of input");
+    switch (peek()) {
+    case '{':
+      return object(depth);
+    case '[':
+      return array(depth);
+    case '"':
+      return string();
+    case 't':
+      return literal("true", Value::makeBool(true));
+    case 'f':
+      return literal("false", Value::makeBool(false));
+    case 'n':
+      return literal("null", Value::makeNull());
+    default:
+      return numberToken();
+    }
+  }
+
+  std::optional<Value> object(int depth) {
+    ++pos_; // '{'
+    std::vector<std::pair<std::string, Value>> members;
+    skipWs();
+    if (!eof() && peek() == '}') {
+      ++pos_;
+      return Value::makeObject(std::move(members));
+    }
+    while (true) {
+      skipWs();
+      if (eof() || peek() != '"')
+        return fail("expected object key");
+      std::optional<Value> key = string();
+      if (!key)
+        return std::nullopt;
+      skipWs();
+      if (eof() || peek() != ':')
+        return fail("expected ':' after object key");
+      ++pos_;
+      skipWs();
+      std::optional<Value> member = value(depth + 1);
+      if (!member)
+        return std::nullopt;
+      members.emplace_back(key->asString(), std::move(*member));
+      skipWs();
+      if (eof())
+        return fail("unterminated object");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        return Value::makeObject(std::move(members));
+      }
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  std::optional<Value> array(int depth) {
+    ++pos_; // '['
+    std::vector<Value> elements;
+    skipWs();
+    if (!eof() && peek() == ']') {
+      ++pos_;
+      return Value::makeArray(std::move(elements));
+    }
+    while (true) {
+      skipWs();
+      std::optional<Value> element = value(depth + 1);
+      if (!element)
+        return std::nullopt;
+      elements.push_back(std::move(*element));
+      skipWs();
+      if (eof())
+        return fail("unterminated array");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        return Value::makeArray(std::move(elements));
+      }
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  void appendUtf8(std::string &out, unsigned code) {
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xc0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3f));
+    } else {
+      out += static_cast<char>(0xe0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+      out += static_cast<char>(0x80 | (code & 0x3f));
+    }
+  }
+
+  std::optional<Value> string() {
+    ++pos_; // opening quote
+    std::string out;
+    while (!eof()) {
+      unsigned char c = static_cast<unsigned char>(peek());
+      if (c == '"') {
+        ++pos_;
+        return Value::makeString(std::move(out));
+      }
+      if (c < 0x20)
+        return fail("unescaped control character in string");
+      if (c == '\\') {
+        ++pos_;
+        if (eof())
+          return fail("unterminated escape");
+        char esc = peek();
+        ++pos_;
+        switch (esc) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i, ++pos_) {
+            if (eof() || !std::isxdigit(static_cast<unsigned char>(peek())))
+              return fail("invalid \\u escape");
+            char h = peek();
+            code = code * 16 +
+                   (h <= '9' ? h - '0' : (h | 0x20) - 'a' + 10);
+          }
+          appendUtf8(out, code);
+          break;
+        }
+        default:
+          --pos_;
+          return fail("invalid escape character");
+        }
+        continue;
+      }
+      out += static_cast<char>(c);
+      ++pos_;
+    }
+    return fail("unterminated string");
+  }
+
+  std::optional<Value> numberToken() {
+    size_t start = pos_;
+    // Scan loosely, then reuse the validator for the exact grammar.
+    if (!eof() && peek() == '-')
+      ++pos_;
+    if (eof() || !std::isdigit(static_cast<unsigned char>(peek())))
+      return fail("invalid number");
+    while (!eof() && (std::isdigit(static_cast<unsigned char>(peek())) ||
+                      peek() == '.' || peek() == 'e' || peek() == 'E' ||
+                      peek() == '+' || peek() == '-'))
+      ++pos_;
+    std::string token(text_.substr(start, pos_ - start));
+    std::string tokenError;
+    if (!validate(token, &tokenError)) {
+      pos_ = start;
+      return fail("invalid number");
+    }
+    // from_chars, unlike strtod, ignores LC_NUMERIC.
+    double parsed = 0;
+    auto [ptr, ec] = std::from_chars(token.data(),
+                                     token.data() + token.size(), parsed);
+    if (ec != std::errc() || ptr != token.data() + token.size()) {
+      pos_ = start;
+      return fail("invalid number");
+    }
+    return Value::makeNumber(parsed);
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  std::string message_;
+  size_t errorPos_ = 0;
+};
+
 } // namespace
+
+const Value *Value::get(std::string_view key) const {
+  if (!isObject())
+    return nullptr;
+  for (const auto &[name, value] : members_)
+    if (name == key)
+      return &value;
+  return nullptr;
+}
+
+Value Value::makeBool(bool b) {
+  Value v;
+  v.kind_ = Kind::Bool;
+  v.bool_ = b;
+  return v;
+}
+
+Value Value::makeNumber(double n) {
+  Value v;
+  v.kind_ = Kind::Number;
+  v.number_ = n;
+  return v;
+}
+
+Value Value::makeString(std::string s) {
+  Value v;
+  v.kind_ = Kind::String;
+  v.string_ = std::move(s);
+  return v;
+}
+
+Value Value::makeArray(std::vector<Value> elements) {
+  Value v;
+  v.kind_ = Kind::Array;
+  v.elements_ = std::move(elements);
+  return v;
+}
+
+Value Value::makeObject(std::vector<std::pair<std::string, Value>> members) {
+  Value v;
+  v.kind_ = Kind::Object;
+  v.members_ = std::move(members);
+  return v;
+}
 
 bool validate(std::string_view text, std::string *error) {
   return Validator(text).run(error);
+}
+
+std::optional<Value> parse(std::string_view text, std::string *error) {
+  return Parser(text).run(error);
 }
 
 } // namespace mha::json

@@ -10,13 +10,78 @@
 //    valid JSON;
 //  * validate() is a dependency-free well-formedness checker used by
 //    tests and by the trace writers to fail loudly instead of shipping a
-//    broken file.
+//    broken file;
+//  * Value/parse() is a small DOM parser for the JSON the repo itself
+//    writes (DSE QoR caches, traces) — object member order is preserved
+//    and numbers are kept as doubles (exact for the int64 magnitudes the
+//    reports contain).
 #pragma once
 
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 namespace mha::json {
+
+/// A parsed JSON value. Objects preserve member order; lookups are linear
+/// (the documents we read back — QoR caches, trace files — are small).
+class Value {
+public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Value() = default;
+
+  Kind kind() const { return kind_; }
+  bool isNull() const { return kind_ == Kind::Null; }
+  bool isBool() const { return kind_ == Kind::Bool; }
+  bool isNumber() const { return kind_ == Kind::Number; }
+  bool isString() const { return kind_ == Kind::String; }
+  bool isArray() const { return kind_ == Kind::Array; }
+  bool isObject() const { return kind_ == Kind::Object; }
+
+  bool asBool(bool fallback = false) const {
+    return isBool() ? bool_ : fallback;
+  }
+  double asDouble(double fallback = 0) const {
+    return isNumber() ? number_ : fallback;
+  }
+  int64_t asInt(int64_t fallback = 0) const {
+    return isNumber() ? static_cast<int64_t>(number_) : fallback;
+  }
+  const std::string &asString() const { return string_; }
+
+  const std::vector<Value> &elements() const { return elements_; }
+  const std::vector<std::pair<std::string, Value>> &members() const {
+    return members_;
+  }
+
+  /// Object member lookup (nullptr when absent or not an object).
+  const Value *get(std::string_view key) const;
+
+  static Value makeNull() { return Value(); }
+  static Value makeBool(bool b);
+  static Value makeNumber(double n);
+  static Value makeString(std::string s);
+  static Value makeArray(std::vector<Value> elements);
+  static Value makeObject(std::vector<std::pair<std::string, Value>> members);
+
+private:
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<Value> elements_;
+  std::vector<std::pair<std::string, Value>> members_;
+};
+
+/// Parses one complete JSON document (whitespace-padded) into a Value
+/// tree. Returns nullopt on malformed input and describes the first
+/// problem in `*error` (when non-null). String escapes are decoded;
+/// \uXXXX escapes are re-encoded as UTF-8.
+std::optional<Value> parse(std::string_view text, std::string *error = nullptr);
 
 /// Escapes `s` for inclusion inside a JSON string literal (no surrounding
 /// quotes added).

@@ -363,6 +363,48 @@ TEST(LoopUnroll, ClampFactor) {
   EXPECT_EQ(clampUnrollFactor(1, 8), 1);
 }
 
+TEST(LoopUnroll, ClampFactorEdgeCases) {
+  // A requested factor <= 1 or a degenerate/unknown trip count never
+  // unrolls.
+  EXPECT_EQ(clampUnrollFactor(32, 1), 1);
+  EXPECT_EQ(clampUnrollFactor(32, 0), 1);
+  EXPECT_EQ(clampUnrollFactor(32, -8), 1);
+  EXPECT_EQ(clampUnrollFactor(0, 8), 1);
+  EXPECT_EQ(clampUnrollFactor(-16, 8), 1);
+  // Requests at or beyond the trip count fully unroll.
+  EXPECT_EQ(clampUnrollFactor(6, 6), 6);
+  EXPECT_EQ(clampUnrollFactor(6, 100), 6);
+  // A prime trip count only admits 1 and itself.
+  EXPECT_EQ(clampUnrollFactor(13, 12), 1);
+  EXPECT_EQ(clampUnrollFactor(13, 13), 13);
+}
+
+TEST(LoopUnroll, FactorOfOneOrLessIsNoOp) {
+  Parsed p(kUnrollableLoop);
+  DominatorTree domTree(*p.fn());
+  LoopInfo loopInfo(*p.fn(), domTree);
+  auto canonical = matchCanonicalLoop(loopInfo.loops().front().get());
+  ASSERT_TRUE(canonical.has_value());
+  // "Nothing to do" is success, and the loop is untouched.
+  EXPECT_TRUE(unrollLoopByFactor(*canonical, 1));
+  EXPECT_TRUE(unrollLoopByFactor(*canonical, 0));
+  EXPECT_TRUE(unrollLoopByFactor(*canonical, -4));
+  EXPECT_EQ(canonical->step, 1);
+  EXPECT_EQ(*canonical->tripCount, 32);
+  DiagnosticEngine diags;
+  EXPECT_TRUE(verifyModule(*p.module, diags)) << diags.str();
+}
+
+TEST(LoopUnroll, RejectsFactorAboveTripCount) {
+  Parsed p(kUnrollableLoop);
+  DominatorTree domTree(*p.fn());
+  LoopInfo loopInfo(*p.fn(), domTree);
+  auto canonical = matchCanonicalLoop(loopInfo.loops().front().get());
+  ASSERT_TRUE(canonical.has_value());
+  EXPECT_FALSE(unrollLoopByFactor(*canonical, 64)); // trip is 32
+  EXPECT_EQ(canonical->step, 1);
+}
+
 TEST(LoopUnroll, UnrollByFour) {
   Parsed p(kUnrollableLoop);
   DominatorTree domTree(*p.fn());

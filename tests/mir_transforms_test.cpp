@@ -177,6 +177,61 @@ TEST(AffineUnroll, RejectsNonDividing) {
   EXPECT_FALSE(unrollAffineLoop(fixture.inner, 3));
 }
 
+TEST(AffineUnroll, FactorOfOneOrLessIsNoOp) {
+  NestFixture fixture;
+  // <= 1 means "nothing to do": reported as success, IR untouched.
+  EXPECT_TRUE(unrollAffineLoop(fixture.inner, 1));
+  EXPECT_TRUE(unrollAffineLoop(fixture.inner, 0));
+  EXPECT_TRUE(unrollAffineLoop(fixture.inner, -4));
+  EXPECT_EQ(fixture.inner.step(), 1);
+  EXPECT_EQ(fixture.inner.tripCount(), 8);
+  int loads = 0;
+  for (Operation *op : fixture.inner.bodyBlock()->opPtrs())
+    if (op->is(ops::AffineLoad))
+      ++loads;
+  EXPECT_EQ(loads, 1);
+  DiagnosticEngine diags;
+  EXPECT_TRUE(fixture.verify(diags)) << diags.str();
+}
+
+TEST(AffineUnroll, RejectsFactorAboveTripCount) {
+  NestFixture fixture;
+  EXPECT_FALSE(unrollAffineLoop(fixture.inner, 16)); // trip is 8
+  EXPECT_EQ(fixture.inner.step(), 1);
+}
+
+TEST(AffineUnroll, RejectsZeroTripLoop) {
+  MContext ctx;
+  OpBuilder builder(ctx);
+  OwnedModule module = OpBuilder::createModule();
+  builder.setInsertPoint(module.get().body());
+  FuncOp fn = builder.createFunc("k", ctx.fnTy({}, {}));
+  builder.setInsertPoint(fn.entryBlock());
+  ForOp loop = builder.affineFor(0, 0); // empty iteration space
+  builder.setInsertPoint(fn.entryBlock());
+  builder.createReturn();
+  EXPECT_EQ(loop.tripCount(), 0);
+  EXPECT_FALSE(unrollAffineLoop(loop, 2));
+}
+
+TEST(AffineUnroll, RejectsNonAffineLoop) {
+  MContext ctx;
+  OpBuilder builder(ctx);
+  OwnedModule module = OpBuilder::createModule();
+  builder.setInsertPoint(module.get().body());
+  FuncOp fn = builder.createFunc("k", ctx.fnTy({}, {}));
+  builder.setInsertPoint(fn.entryBlock());
+  Value *lb = builder.constantIndex(0);
+  Value *ub = builder.constantIndex(8);
+  Value *step = builder.constantIndex(1);
+  ForOp loop = builder.scfFor(lb, ub, step);
+  builder.setInsertPoint(fn.entryBlock());
+  builder.createReturn();
+  // scf.for carries runtime bounds (unknown trip count); the affine
+  // unroller must refuse it rather than guess.
+  EXPECT_FALSE(unrollAffineLoop(loop, 2));
+}
+
 TEST(AffineUnroll, PassConsumesAttribute) {
   NestFixture fixture;
   fixture.inner.op->setAttr("mha.unroll_now", fixture.ctx.intAttr(4));

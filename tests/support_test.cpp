@@ -152,6 +152,59 @@ TEST(Json, ValidateRejectsMalformedDocuments) {
   EXPECT_NE(error.find("offset"), std::string::npos);
 }
 
+TEST(Json, ParseBuildsValueTree) {
+  std::string error;
+  std::optional<json::Value> doc = json::parse(
+      R"(  {"name": "dse", "count": 3, "ratio": -2.5, "on": true,
+           "off": false, "none": null, "list": [1, 2, 3]}  )",
+      &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  ASSERT_TRUE(doc->isObject());
+  EXPECT_EQ(doc->get("name")->asString(), "dse");
+  EXPECT_EQ(doc->get("count")->asInt(), 3);
+  EXPECT_DOUBLE_EQ(doc->get("ratio")->asDouble(), -2.5);
+  EXPECT_TRUE(doc->get("on")->asBool());
+  EXPECT_FALSE(doc->get("off")->asBool(true));
+  EXPECT_TRUE(doc->get("none")->isNull());
+  ASSERT_TRUE(doc->get("list")->isArray());
+  ASSERT_EQ(doc->get("list")->elements().size(), 3u);
+  EXPECT_EQ(doc->get("list")->elements()[2].asInt(), 3);
+  EXPECT_EQ(doc->get("missing"), nullptr);
+}
+
+TEST(Json, ParsePreservesMemberOrderAndDecodesEscapes) {
+  std::optional<json::Value> doc = json::parse(
+      "{\"z\": 1, \"a\": 2, \"s\": \"tab\\tquote\\\"u\\u00e9\"}");
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_EQ(doc->members().size(), 3u);
+  EXPECT_EQ(doc->members()[0].first, "z"); // emission order, not sorted
+  EXPECT_EQ(doc->members()[1].first, "a");
+  // é re-encodes as two-byte UTF-8.
+  EXPECT_EQ(doc->get("s")->asString(), "tab\tquote\"u\xc3\xa9");
+}
+
+TEST(Json, ParseRejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(json::parse("", &error).has_value());
+  EXPECT_FALSE(json::parse("{", &error).has_value());
+  EXPECT_FALSE(json::parse("[1, 2,]", &error).has_value());
+  EXPECT_FALSE(json::parse("{} trailing", &error).has_value());
+  EXPECT_FALSE(json::parse("{\"a\": 1,5}", &error).has_value());
+  EXPECT_FALSE(json::parse("\"unterminated", &error).has_value());
+  EXPECT_FALSE(json::parse("01", &error).has_value());
+}
+
+TEST(Json, ParseRoundTripsEmittedDocuments) {
+  // Whatever the emission helpers produce, the parser reads back.
+  std::string text = "{\"label\": \"" + json::escape("a\"b\\c\nd") +
+                     "\", \"value\": " + json::number(12.625) + "}";
+  ASSERT_TRUE(json::validate(text));
+  std::optional<json::Value> doc = json::parse(text);
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->get("label")->asString(), "a\"b\\c\nd");
+  EXPECT_DOUBLE_EQ(doc->get("value")->asDouble(), 12.625);
+}
+
 TEST(Diagnostics, CollectsAndCounts) {
   DiagnosticEngine diags;
   EXPECT_FALSE(diags.hadError());

@@ -144,7 +144,8 @@ int main(int argc, char **argv) {
     for (const std::string &name : splitString(kernelList, ',')) {
       const flow::KernelSpec *spec = flow::findKernel(name);
       if (!spec) {
-        std::fprintf(stderr, "unknown kernel '%s'\n", name.c_str());
+        std::fprintf(stderr, "unknown kernel '%s'\n%s\n", name.c_str(),
+                     flow::availableKernelsHint().c_str());
         return 2;
       }
       kernels.push_back(spec);
