@@ -1,0 +1,263 @@
+// Oracle.cpp - staged differential checking.
+//
+// The kernel-mode oracle deliberately re-implements the two flow drivers'
+// stage sequence instead of calling runAdaptorFlow/runHlsCppFlow: the flow
+// drivers only retain the final module, while the oracle must co-simulate
+// every intermediate stage to attribute a divergence to the stage that
+// introduced it (lowering vs adaptor vs C++ round-trip).
+#include "fuzz/Oracle.h"
+
+#include "adaptor/Adaptor.h"
+#include "hlscpp/Emitter.h"
+#include "hlscpp/Frontend.h"
+#include "interp/Interp.h"
+#include "lir/LContext.h"
+#include "lir/Parser.h"
+#include "lir/PassManager.h"
+#include "lir/Verifier.h"
+#include "lir/transforms/Transforms.h"
+#include "lowering/Lowering.h"
+#include "mir/Pass.h"
+#include "mir/Verifier.h"
+#include "mir/transforms/MirTransforms.h"
+#include "support/StringUtils.h"
+#include "vhls/Vhls.h"
+
+#include <cmath>
+
+namespace mha::fuzz {
+
+const char *failureKindName(FailureKind kind) {
+  switch (kind) {
+  case FailureKind::None:
+    return "none";
+  case FailureKind::FlowError:
+    return "flow-error";
+  case FailureKind::Verifier:
+    return "verifier";
+  case FailureKind::InterpError:
+    return "interp-error";
+  case FailureKind::Mismatch:
+    return "mismatch";
+  }
+  return "?";
+}
+
+namespace {
+
+OracleResult fail(FailureKind kind, std::string stage, std::string detail) {
+  OracleResult r;
+  r.ok = false;
+  r.kind = kind;
+  r.stage = std::move(stage);
+  r.detail = std::move(detail);
+  return r;
+}
+
+/// Interprets `module`'s top function on freshly seeded buffers and
+/// compares every output element bit-exactly against `host`. Returns a
+/// failure result, or nullopt when the stage agrees.
+std::optional<OracleResult> compareStage(lir::Module &module,
+                                         const flow::KernelSpec &spec,
+                                         const flow::Buffers &host,
+                                         const std::string &stage,
+                                         bool descriptorConvention) {
+  lir::Function *fn = module.getFunction(spec.name);
+  if (!fn)
+    return fail(FailureKind::FlowError, stage,
+                "top function '" + spec.name + "' missing");
+  flow::Buffers device = flow::makeBuffers(spec);
+  flow::seedBuffers(device);
+  std::vector<void *> pointers;
+  for (auto &buffer : device)
+    pointers.push_back(buffer.data());
+  DiagnosticEngine diags;
+  interp::Interpreter interpreter(module);
+  auto run = interpreter.run(fn,
+                             descriptorConvention
+                                 ? interp::descriptorArgs(pointers,
+                                                          spec.bufferShapes)
+                                 : interp::pointerArgs(pointers),
+                             diags);
+  if (!run)
+    return fail(FailureKind::InterpError, stage, diags.str());
+  for (unsigned out : spec.outputs) {
+    for (size_t i = 0; i < device[out].size(); ++i) {
+      double d = device[out][i], h = host[out][i];
+      if (d != h && !(std::isnan(d) && std::isnan(h)))
+        return fail(FailureKind::Mismatch, stage,
+                    strfmt("buffer %u element %zu: device=%.17g host=%.17g",
+                           out, i, d, h));
+    }
+  }
+  return std::nullopt;
+}
+
+} // namespace
+
+OracleResult checkKernel(const Program &program,
+                         const OracleOptions &options) {
+  flow::KernelSpec spec = program.toKernelSpec();
+
+  // Host reference outputs (the ground truth every stage must match).
+  flow::Buffers host = flow::makeBuffers(spec);
+  flow::seedBuffers(host);
+  spec.reference(host);
+
+  DiagnosticEngine diags;
+  mir::MContext mctx;
+  mir::OwnedModule module = spec.build(mctx, options.config);
+  if (!mir::verifyModule(module.get(), diags))
+    return fail(FailureKind::Verifier, "mlir-build", diags.str());
+
+  {
+    mir::MPassManager pm;
+    pm.add(mir::createCanonicalizePass());
+    if (!pm.run(module.get(), diags))
+      return fail(FailureKind::FlowError, "mlir-canonicalize", diags.str());
+    if (!mir::verifyModule(module.get(), diags))
+      return fail(FailureKind::Verifier, "mlir-canonicalize", diags.str());
+  }
+
+  // Leg 1: HLS-C++ baseline (consumes the structured module, so it runs
+  // before the in-place affine->scf conversion).
+  if (options.runHlsCppLeg) {
+    std::string cpp = hlscpp::emitHlsCpp(module.get(), diags);
+    if (cpp.empty())
+      return fail(FailureKind::FlowError, "emit-hls-cpp", diags.str());
+    lir::LContext cctx;
+    std::unique_ptr<lir::Module> cmod = hlscpp::parseHlsCpp(cpp, cctx, diags);
+    if (!cmod)
+      return fail(FailureKind::FlowError, "hls-frontend", diags.str());
+    if (auto failure =
+            compareStage(*cmod, spec, host, "hls-frontend", false))
+      return *failure;
+  }
+
+  // Leg 2: structured -> scf -> LIR (descriptor convention).
+  {
+    mir::MPassManager pm;
+    pm.add(mir::createAffineToScfPass());
+    pm.add(mir::createCanonicalizePass());
+    if (!pm.run(module.get(), diags))
+      return fail(FailureKind::FlowError, "affine-to-scf", diags.str());
+    if (!mir::verifyModule(module.get(), diags))
+      return fail(FailureKind::Verifier, "affine-to-scf", diags.str());
+  }
+  lir::LContext lctx;
+  std::unique_ptr<lir::Module> lowered =
+      lowering::lowerToLIR(module.get(), lctx, lowering::LoweringOptions{},
+                           diags);
+  if (!lowered)
+    return fail(FailureKind::FlowError, "lower-to-lir", diags.str());
+  if (!lir::verifyModule(*lowered, diags))
+    return fail(FailureKind::Verifier, "lower-to-lir", diags.str());
+  if (auto failure = compareStage(*lowered, spec, host, "lowered-lir", true))
+    return *failure;
+
+  // Leg 3: HLS adaptor (pointer convention), in place on the lowered
+  // module — exactly as runAdaptorFlow does.
+  {
+    lir::PassManager pm(/*verifyEach=*/true);
+    adaptor::buildAdaptorPipeline(pm, adaptor::AdaptorOptions{});
+    if (!pm.run(*lowered, diags))
+      return fail(FailureKind::Verifier, "adaptor", diags.str());
+  }
+  if (options.mutateAdaptorModule)
+    options.mutateAdaptorModule(*lowered);
+  if (auto failure = compareStage(*lowered, spec, host, "adaptor", false))
+    return *failure;
+
+  // Leg 4: the virtual HLS backend must accept what the adaptor produced.
+  if (options.runVhls) {
+    vhls::SynthesisOptions synthOpts;
+    synthOpts.topFunction = spec.name;
+    vhls::SynthesisReport report =
+        vhls::synthesize(*lowered, synthOpts, diags);
+    if (!report.accepted)
+      return fail(FailureKind::FlowError, "vhls",
+                  "synthesis rejected: " + diags.str());
+  }
+  return OracleResult{};
+}
+
+OracleResult checkIr(const IrProgram &program, const OracleOptions &options) {
+  std::string text = program.lir();
+  DiagnosticEngine diags;
+  lir::LContext ctx;
+  std::unique_ptr<lir::Module> module = lir::parseModule(text, ctx, diags);
+  if (!module)
+    return fail(FailureKind::FlowError, "parse",
+                diags.str() + "\n" + text);
+  if (!lir::verifyModule(*module, diags))
+    return fail(FailureKind::Verifier, "parse", diags.str());
+  lir::Function *fn = module->getFunction("fuzz_ir");
+  if (!fn)
+    return fail(FailureKind::FlowError, "parse", "@fuzz_ir missing");
+
+  // Stage 1: interpreter vs host reference, including trap agreement.
+  std::vector<IrEval> refs;
+  bool anyTrap = false;
+  for (size_t s = 0; s < program.argSets.size(); ++s) {
+    const std::vector<int64_t> &args = program.argSets[s];
+    IrEval ref = evalIrReference(program, args);
+    refs.push_back(ref);
+    anyTrap |= ref.trapped;
+    std::vector<interp::RtValue> rtArgs;
+    for (int64_t a : args)
+      rtArgs.push_back(interp::RtValue::ofInt(a));
+    DiagnosticEngine runDiags;
+    interp::Interpreter interpreter(*module);
+    auto run = interpreter.run(fn, rtArgs, runDiags);
+    if (ref.trapped) {
+      if (run)
+        return fail(FailureKind::Mismatch, "interp",
+                    strfmt("argset %zu: expected trap (%s), got %lld", s,
+                           ref.trapReason.c_str(),
+                           static_cast<long long>(run->i)));
+      continue;
+    }
+    if (!run)
+      return fail(FailureKind::InterpError, "interp",
+                  strfmt("argset %zu: ", s) + runDiags.str());
+    if (run->i != ref.value)
+      return fail(FailureKind::Mismatch, "interp",
+                  strfmt("argset %zu: interp=%lld reference=%lld", s,
+                         static_cast<long long>(run->i),
+                         static_cast<long long>(ref.value)));
+  }
+
+  // Stage 2: the O2-lite pipeline must preserve behavior on UB-free
+  // programs (a trapping program may legitimately lose its trap to DCE).
+  if (options.runTransforms && !anyTrap) {
+    lir::PassManager pm(/*verifyEach=*/true);
+    pm.add(lir::createMem2RegPass());
+    pm.add(lir::createInstCombinePass());
+    pm.add(lir::createCSEPass());
+    pm.add(lir::createDCEPass());
+    pm.add(lir::createSimplifyCFGPass());
+    pm.add(lir::createLICMPass());
+    pm.add(lir::createDCEPass());
+    if (!pm.run(*module, diags))
+      return fail(FailureKind::Verifier, "o2-lite", diags.str());
+    for (size_t s = 0; s < program.argSets.size(); ++s) {
+      std::vector<interp::RtValue> rtArgs;
+      for (int64_t a : program.argSets[s])
+        rtArgs.push_back(interp::RtValue::ofInt(a));
+      DiagnosticEngine runDiags;
+      interp::Interpreter interpreter(*module);
+      auto run = interpreter.run(fn, rtArgs, runDiags);
+      if (!run)
+        return fail(FailureKind::InterpError, "o2-lite",
+                    strfmt("argset %zu: ", s) + runDiags.str());
+      if (run->i != refs[s].value)
+        return fail(FailureKind::Mismatch, "o2-lite",
+                    strfmt("argset %zu: transformed=%lld reference=%lld", s,
+                           static_cast<long long>(run->i),
+                           static_cast<long long>(refs[s].value)));
+    }
+  }
+  return OracleResult{};
+}
+
+} // namespace mha::fuzz

@@ -1,0 +1,75 @@
+// Oracle.h - differential oracle over the compilation pipeline.
+//
+// A generated program is "interesting" when any pipeline stage disagrees
+// with the host reference (or fails to compile at all). The oracle runs
+// every executable stage pair and reports the FIRST diverging stage:
+//
+//   kernel mode:  structured MLIR -> {HLS-C++ frontend IR, lowered LIR,
+//                 post-adaptor HLS IR} each co-simulated bit-exactly,
+//                 plus virtual-HLS acceptance;
+//   ir mode:      .lir print/parse round-trip -> interpreter vs host
+//                 reference per argument set (including trap agreement),
+//                 then the O2-lite transform pipeline re-checked on
+//                 UB-free programs.
+#pragma once
+
+#include "flow/Kernels.h"
+#include "fuzz/ProgramGen.h"
+
+#include <functional>
+#include <string>
+
+namespace mha::lir {
+class Module;
+}
+
+namespace mha::fuzz {
+
+enum class FailureKind {
+  None,
+  FlowError,   // a stage failed to produce output (build/parse/lowering)
+  Verifier,    // a stage produced IR its verifier rejects
+  InterpError, // the interpreter diagnosed an error executing a stage
+  Mismatch,    // a stage executed but disagrees with the host reference
+};
+
+const char *failureKindName(FailureKind kind);
+
+struct OracleResult {
+  bool ok = true;
+  FailureKind kind = FailureKind::None;
+  std::string stage;  // first diverging stage, e.g. "adaptor", "o2-lite"
+  std::string detail; // diagnostics or the first mismatching element
+
+  bool failed() const { return !ok; }
+  /// Two results describe the same bug class (the reducer's notion of
+  /// "still interesting": same kind at the same stage).
+  bool sameFailure(const OracleResult &other) const {
+    return ok == other.ok && kind == other.kind && stage == other.stage;
+  }
+};
+
+struct OracleOptions {
+  /// Directive configuration applied to kernel-mode programs.
+  flow::KernelConfig config;
+  /// Require the virtual HLS backend to accept the post-adaptor IR.
+  bool runVhls = true;
+  /// Run the MLIR -> HLS-C++ -> frontend leg (kernel mode).
+  bool runHlsCppLeg = true;
+  /// Run the O2-lite transform differential (ir mode, UB-free programs).
+  bool runTransforms = true;
+  /// Test hook: mutate the post-adaptor module before co-simulation (the
+  /// oracle/reducer tests plant a miscompile here and must catch it).
+  std::function<void(lir::Module &)> mutateAdaptorModule;
+};
+
+/// Differentially checks a kernel-mode program across all pipeline stages.
+OracleResult checkKernel(const Program &program,
+                         const OracleOptions &options = {});
+
+/// Differentially checks an IR-mode program (round-trip, interpretation,
+/// transforms) against evalIrReference on every argument set.
+OracleResult checkIr(const IrProgram &program,
+                     const OracleOptions &options = {});
+
+} // namespace mha::fuzz

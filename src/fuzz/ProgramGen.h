@@ -1,0 +1,183 @@
+// ProgramGen.h - seeded random program generation for differential fuzzing.
+//
+// Two program families, both fully determined by a 64-bit seed:
+//
+//  * Kernel-mode `Program`: a randomized affine kernel (1..3-deep loop
+//    nest, several store statements, FP expression trees over array loads
+//    with integer index subexpressions — division/remainder, wrap-around
+//    arithmetic, boundary constants). Convertible to a flow::KernelSpec so
+//    the differential oracle can push it through every pipeline stage.
+//    This generalizes the RandomKernel generator that used to live in
+//    tests/property_test.cpp (fixed 2-deep nest, single statement, four
+//    expression shapes).
+//
+//  * IR-mode `IrProgram`: a straight-line MiniLLVM integer function over
+//    narrow and wide integer widths (i8/i16/i32/i64) exercising exactly
+//    the operations an affine kernel never reaches: shifts, unsigned
+//    division/remainder, bitwise ops, width casts, selects — with
+//    boundary inputs like INT64_MIN. Evaluated against a host reference
+//    with LLVM semantics (wrap-around, trapping sdiv overflow and
+//    out-of-range shifts).
+#pragma once
+
+#include "flow/Kernels.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mha::fuzz {
+
+struct GenOptions {
+  int maxLoopDepth = 3; // kernel mode: nest depth drawn from [1, max]
+  int maxStmts = 3;     // kernel mode: innermost store statements [1, max]
+  int maxExprDepth = 3; // kernel mode: FP/integer expression tree depth
+  int maxIrInsts = 24;  // ir mode: instruction count drawn from [4, max]
+  int irArgSets = 3;    // ir mode: input tuples evaluated per program
+};
+
+/// Integer expression over loop induction variables. Two's-complement
+/// i64 wrap-around semantics; DivC/RemC divisors are constants outside
+/// {-1, 0, 1} so no evaluation can trap.
+struct IExpr {
+  enum class Kind { IV, Const, Add, Sub, Mul, DivC, RemC };
+  Kind kind = Kind::Const;
+  int iv = 0;      // IV: loop level
+  int64_t cst = 0; // Const: value; DivC/RemC: the divisor
+  int lhs = -1, rhs = -1; // children (indices into Program::ipool)
+};
+
+/// f64 expression over array loads, constants and integer subexpressions.
+struct FExpr {
+  enum class Kind {
+    LoadA,   // A[sum rowCoef[l]*iv_l + rowCst][sum colCoef[l]*iv_l + colCst]
+    LoadOut, // Out[iv0]...[ivD-1] (the element this statement overwrites)
+    ConstF,
+    FromInt, // sitofp(ipool[iexpr])
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Sqrt, // unary (lhs only)
+    Fabs, // unary (lhs only)
+  };
+  Kind kind = Kind::ConstF;
+  double cst = 0;
+  int lhs = -1, rhs = -1; // children (indices into Program::fpool)
+  int iexpr = -1;         // FromInt: root index into Program::ipool
+  std::vector<int64_t> rowCoef, colCoef; // LoadA subscript coefficients
+  int64_t rowCst = 0, colCst = 0;
+};
+
+struct LoopSpec {
+  int64_t lb = 0, ub = 4, step = 1;
+};
+
+/// One innermost-body statement: Out[iv0]...[ivD-1] = fpool[root].
+struct Stmt {
+  int root = -1;
+};
+
+/// A kernel-mode program. Plain data so the reducer can copy and edit it;
+/// shapes are derived (call finalizeShapes after any structural edit).
+struct Program {
+  uint64_t seed = 0;
+  std::vector<LoopSpec> loops;
+  std::vector<FExpr> fpool;
+  std::vector<IExpr> ipool;
+  std::vector<Stmt> stmts;
+  int64_t aRows = 1, aCols = 1; // derived: shape of the read-only input A
+
+  size_t numStmts() const { return stmts.size(); }
+  /// Reachable expression nodes + statements: the "statement count" of the
+  /// reproducer (every node becomes one IR statement after lowering).
+  size_t size() const;
+  /// Deterministic one-line structural rendering (tests compare these).
+  std::string describe() const;
+  /// Recomputes aRows/aCols so every LoadA subscript stays in range.
+  void finalizeShapes();
+  /// Builds the flow::KernelSpec (module builder + host reference).
+  flow::KernelSpec toKernelSpec() const;
+  /// Host-reference evaluation into `buffers` ({A, Out}, pre-seeded).
+  void evalReference(flow::Buffers &buffers) const;
+};
+
+/// One SSA instruction of an IR-mode program. Operand indices address the
+/// program's value space: [0, numArgs) the i64 arguments, then the
+/// constants, then one value per instruction.
+struct IrInst {
+  enum class Op {
+    Add,
+    Sub,
+    Mul,
+    SDiv,
+    UDiv,
+    SRem,
+    URem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    LShr,
+    AShr,
+    Trunc, // width-changing unary casts (a only)
+    ZExt,
+    SExt,
+    ICmp,   // slt; result width 1
+    Select, // a = i1 cond, b/c same-width alternatives
+  };
+  Op op = Op::Add;
+  unsigned width = 64; // result width
+  int a = -1, b = -1, c = -1;
+};
+
+struct IrProgram {
+  uint64_t seed = 0;
+  unsigned numArgs = 3; // all i64
+  std::vector<std::pair<int64_t, unsigned>> consts; // (canonical value, width)
+  std::vector<IrInst> insts;
+  int ret = -1; // value index returned
+  std::vector<std::vector<int64_t>> argSets; // input tuples to evaluate
+
+  unsigned numValues() const {
+    return numArgs + static_cast<unsigned>(consts.size() + insts.size());
+  }
+  unsigned widthOf(int value) const;
+  size_t size() const { return insts.size(); }
+  std::string describe() const;
+  /// Renders the program as a parseable .lir module defining @fuzz_ir.
+  std::string lir() const;
+};
+
+/// Host-reference outcome for one IR-mode argument tuple.
+struct IrEval {
+  bool trapped = false;    // division by zero/overflow, shift out of range
+  std::string trapReason;
+  int64_t value = 0;       // canonical form (meaningful when !trapped)
+};
+
+/// Evaluates `program` on `args` with LLVM semantics (the semantics the
+/// fixed interpreter implements: canonical sign-extended values,
+/// wrap-around arithmetic, trapping sdiv/srem overflow and shifts >=
+/// width).
+IrEval evalIrReference(const IrProgram &program,
+                       const std::vector<int64_t> &args);
+
+/// Deterministic generator: the same seed always yields the same program,
+/// on every platform (SplitMix64, no std::uniform_int_distribution).
+class ProgramGen {
+public:
+  explicit ProgramGen(uint64_t seed, GenOptions options = {});
+
+  /// Generates the kernel-mode program for this generator's seed.
+  Program genKernel();
+  /// Generates the IR-mode program for this generator's seed.
+  IrProgram genIr();
+
+private:
+  uint64_t seed_;
+  GenOptions options_;
+};
+
+} // namespace mha::fuzz

@@ -17,7 +17,7 @@ public:
 
   std::string run(mir::ModuleOp module) {
     os_ << "// Generated HLS C++ (MLIR -> HLS C++ emission flow)\n";
-    os_ << "#include <math.h>\n#include <string.h>\n\n";
+    os_ << "#include <math.h>\n#include <stdint.h>\n#include <string.h>\n\n";
     for (mir::FuncOp fn : module.funcs())
       emitFunc(fn);
     return diags_.hadError() ? std::string() : os_.str();
@@ -28,8 +28,14 @@ private:
     switch (type->kind()) {
     case mir::Type::Kind::Index:
       return "int";
-    case mir::Type::Kind::Integer:
-      return cast<mir::IntegerType>(type)->width() == 1 ? "bool" : "int";
+    case mir::Type::Kind::Integer: {
+      unsigned width = cast<mir::IntegerType>(type)->width();
+      if (width == 1)
+        return "bool";
+      // Emitting a 64-bit value as "int" silently truncates it to 32 bits
+      // when the C++ is parsed back (or compiled by a real HLS tool).
+      return width > 32 ? "int64_t" : "int";
+    }
     case mir::Type::Kind::Float:
       return "float";
     case mir::Type::Kind::Double:
@@ -179,10 +185,18 @@ private:
       if (const auto *i = dyn_cast<mir::IntegerAttr>(value))
         emitAssign(op, strfmt("%lld", static_cast<long long>(i->value())));
       else {
+        // Non-finite values have no C++ literal spelling; printf would
+        // produce "inf"/"nan", which is not parseable source. Use the
+        // math.h macros instead.
         double v = cast<mir::FloatAttr>(value)->value();
-        emitAssign(op, v == std::floor(v) && std::isfinite(v)
-                           ? strfmt("%.1f", v)
-                           : strfmt("%.17g", v));
+        std::string text;
+        if (std::isnan(v))
+          text = "NAN";
+        else if (std::isinf(v))
+          text = v < 0 ? "-INFINITY" : "INFINITY";
+        else
+          text = v == std::floor(v) ? strfmt("%.1f", v) : strfmt("%.17g", v);
+        emitAssign(op, text);
       }
       return;
     }

@@ -7,6 +7,8 @@
 #include "support/StringUtils.h"
 
 #include <cctype>
+#include <cstdint>
+#include <limits>
 #include <map>
 #include <optional>
 
@@ -179,10 +181,22 @@ private:
     std::string word(text_.substr(start, pos_ - start));
     if (isFloat) {
       cur_.kind = Tok::Float;
-      cur_.fpValue = std::stod(word);
+      if (std::optional<double> v = parseDouble(word))
+        cur_.fpValue = *v;
+      else
+        diags_.error(strfmt("hls-frontend: invalid or out-of-range float "
+                            "literal '%s'",
+                            word.c_str()),
+                     cur_.loc);
     } else {
       cur_.kind = Tok::Int;
-      cur_.intValue = std::stoll(word);
+      if (std::optional<int64_t> v = parseInt(word))
+        cur_.intValue = *v;
+      else
+        diags_.error(strfmt("hls-frontend: invalid or out-of-range integer "
+                            "literal '%s'",
+                            word.c_str()),
+                     cur_.loc);
     }
   }
 
@@ -270,6 +284,8 @@ private:
       return ctx_.floatTy();
     if (word == "int")
       return ctx_.i32();
+    if (word == "int64_t")
+      return ctx_.i64();
     if (word == "bool")
       return ctx_.i1();
     return nullptr;
@@ -603,7 +619,12 @@ private:
     const Token &t = lex_.cur();
     if (t.kind == Tok::Int) {
       Token v = lex_.take();
-      return ctx_.constI32(static_cast<int32_t>(v.intValue));
+      // C literal typing: a decimal literal keeps type int only when it
+      // fits; otherwise it is (long) long. Truncating here would silently
+      // fold e.g. INT64_MAX to -1.
+      if (v.intValue >= INT32_MIN && v.intValue <= INT32_MAX)
+        return ctx_.constI32(static_cast<int32_t>(v.intValue));
+      return ctx_.constInt(ctx_.i64(), v.intValue);
     }
     if (t.kind == Tok::Float) {
       Token v = lex_.take();
@@ -624,6 +645,14 @@ private:
     }
     if (t.kind == Tok::Ident) {
       Token name = lex_.take();
+      // math.h non-finite constant macros (the emitter's spelling for
+      // folded inf/nan values).
+      if (name.text == "INFINITY")
+        return ctx_.constFP(ctx_.doubleTy(),
+                            std::numeric_limits<double>::infinity());
+      if (name.text == "NAN")
+        return ctx_.constFP(ctx_.doubleTy(),
+                            std::numeric_limits<double>::quiet_NaN());
       if (lex_.cur().kind == Tok::LParen)
         return parseCall(name.text);
       auto it = vars_.find(name.text);

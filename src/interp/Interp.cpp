@@ -4,6 +4,7 @@
 #include "lir/LContext.h"
 #include "lir/Printer.h"
 #include "support/Compiler.h"
+#include "support/IntMath.h"
 #include "support/StringUtils.h"
 
 #include <cmath>
@@ -16,6 +17,10 @@ namespace {
 
 using lir::CmpPred;
 using lir::Opcode;
+
+using mha::canonicalInt;
+using mha::minSignedInt;
+using mha::truncBits;
 
 /// One function activation.
 struct Frame {
@@ -150,14 +155,20 @@ private:
       return RtValue::ofPtr(base + offset);
     }
     case Opcode::ICmp:
+      // i1 true is canonically -1 (all bits set, sign-extended), matching
+      // LContext::constInt's normalization of i1 constants.
       return RtValue::ofInt(
           evalICmp(inst->predicate(), eval(inst->operand(0), frame),
                    eval(inst->operand(1), frame),
-                   inst->operand(0)->type()->isPointer()));
+                   inst->operand(0)->type()->isPointer())
+              ? -1
+              : 0);
     case Opcode::FCmp:
       return RtValue::ofInt(evalFCmp(inst->predicate(),
                                      eval(inst->operand(0), frame).f,
-                                     eval(inst->operand(1), frame).f));
+                                     eval(inst->operand(1), frame).f)
+                                ? -1
+                                : 0);
     case Opcode::Select: {
       bool cond = eval(inst->operand(0), frame).i != 0;
       return eval(inst->operand(cond ? 1 : 2), frame);
@@ -182,8 +193,10 @@ private:
       return RtValue::ofFloat(
           static_cast<double>(eval(inst->operand(0), frame).i));
     case Opcode::FPToSI:
-      return RtValue::ofInt(
-          static_cast<int64_t>(eval(inst->operand(0), frame).f));
+      return RtValue::ofInt(canonicalInt(
+          static_cast<uint64_t>(
+              static_cast<int64_t>(eval(inst->operand(0), frame).f)),
+          cast<lir::IntType>(inst->type())->width()));
     default:
       if (inst->isBinaryOp())
         return execBinop(inst, frame);
@@ -266,46 +279,83 @@ private:
         r = static_cast<float>(r);
       return RtValue::ofFloat(r);
     }
+    // Integer binops operate modulo 2^width: values stay in the canonical
+    // sign-extended int64 form, wrap-around results are re-canonicalized,
+    // and the unsigned ops see only the low `width` bits. sdiv/srem
+    // overflow (minSigned / -1) and shift amounts >= width are UB in LLVM
+    // IR; they are diagnosed like division by zero instead of silently
+    // producing a host-dependent value (INT64_MIN / -1 is C++ UB too).
+    unsigned width = cast<lir::IntType>(inst->type())->width();
     int64_t r = 0;
     uint64_t ua = static_cast<uint64_t>(a.i), ub = static_cast<uint64_t>(b.i);
     switch (inst->opcode()) {
-    case Opcode::Add: r = static_cast<int64_t>(ua + ub); break;
-    case Opcode::Sub: r = static_cast<int64_t>(ua - ub); break;
-    case Opcode::Mul: r = static_cast<int64_t>(ua * ub); break;
+    case Opcode::Add: r = canonicalInt(ua + ub, width); break;
+    case Opcode::Sub: r = canonicalInt(ua - ub, width); break;
+    case Opcode::Mul: r = canonicalInt(ua * ub, width); break;
     case Opcode::SDiv:
       if (b.i == 0) {
         diags_.error("interp: division by zero");
         return std::nullopt;
       }
+      if (a.i == minSignedInt(width) && b.i == -1) {
+        diags_.error(strfmt("interp: signed division overflow "
+                            "(%lld sdiv -1 in i%u)",
+                            static_cast<long long>(a.i), width));
+        return std::nullopt;
+      }
       r = a.i / b.i;
       break;
-    case Opcode::UDiv:
-      if (ub == 0) {
+    case Opcode::UDiv: {
+      uint64_t la = truncBits(a.i, width), lb = truncBits(b.i, width);
+      if (lb == 0) {
         diags_.error("interp: division by zero");
         return std::nullopt;
       }
-      r = static_cast<int64_t>(ua / ub);
+      r = canonicalInt(la / lb, width);
       break;
+    }
     case Opcode::SRem:
       if (b.i == 0) {
         diags_.error("interp: remainder by zero");
         return std::nullopt;
       }
+      if (a.i == minSignedInt(width) && b.i == -1) {
+        diags_.error(strfmt("interp: signed remainder overflow "
+                            "(%lld srem -1 in i%u)",
+                            static_cast<long long>(a.i), width));
+        return std::nullopt;
+      }
       r = a.i % b.i;
       break;
-    case Opcode::URem:
-      if (ub == 0) {
+    case Opcode::URem: {
+      uint64_t la = truncBits(a.i, width), lb = truncBits(b.i, width);
+      if (lb == 0) {
         diags_.error("interp: remainder by zero");
         return std::nullopt;
       }
-      r = static_cast<int64_t>(ua % ub);
+      r = canonicalInt(la % lb, width);
       break;
+    }
     case Opcode::And: r = a.i & b.i; break;
     case Opcode::Or: r = a.i | b.i; break;
     case Opcode::Xor: r = a.i ^ b.i; break;
-    case Opcode::Shl: r = static_cast<int64_t>(ua << (ub & 63)); break;
-    case Opcode::LShr: r = static_cast<int64_t>(ua >> (ub & 63)); break;
-    case Opcode::AShr: r = a.i >> (ub & 63); break;
+    case Opcode::Shl:
+    case Opcode::LShr:
+    case Opcode::AShr: {
+      if (ub >= width) { // negative amounts are huge as unsigned
+        diags_.error(strfmt("interp: shift amount %lld out of range for i%u",
+                            static_cast<long long>(b.i), width));
+        return std::nullopt;
+      }
+      unsigned amt = static_cast<unsigned>(ub);
+      if (inst->opcode() == Opcode::Shl)
+        r = canonicalInt(truncBits(a.i, width) << amt, width);
+      else if (inst->opcode() == Opcode::LShr)
+        r = canonicalInt(truncBits(a.i, width) >> amt, width);
+      else
+        r = a.i >> amt; // canonical operand: arithmetic shift is exact
+      break;
+    }
     default: unreachable("bad int binop");
     }
     return RtValue::ofInt(r);

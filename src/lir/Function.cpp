@@ -4,6 +4,7 @@
 #include "support/StringUtils.h"
 
 #include <cassert>
+#include <set>
 
 namespace mha::lir {
 
@@ -100,18 +101,50 @@ std::vector<BasicBlock *> Function::blockPtrs() const {
 }
 
 void Function::renumberValues() {
+  // Printed text binds references by name, so every name must be unique
+  // within the function: passes are free to reuse a fixed name (e.g. one
+  // "idx.scaled" per subscript), and a duplicate would make later uses
+  // rebind to the wrong definition when the output is parsed back.
+  std::set<std::string> taken;
+  auto claim = [&taken](const std::string &name) {
+    if (taken.insert(name).second)
+      return name;
+    for (unsigned n = 1;; ++n) {
+      std::string candidate = strfmt("%s.%u", name.c_str(), n);
+      if (taken.insert(candidate).second)
+        return candidate;
+    }
+  };
   unsigned next = 0;
   for (auto &arg : args_)
-    if (!arg->hasName())
-      arg->setName(strfmt("%u", next++));
+    if (arg->hasName())
+      arg->setName(claim(arg->name()));
+    else
+      arg->setName(claim(strfmt("%u", next++)));
   unsigned bbNum = 0;
+  std::set<std::string> takenBlocks;
+  auto claimBlock = [&takenBlocks](const std::string &name) {
+    if (takenBlocks.insert(name).second)
+      return name;
+    for (unsigned n = 1;; ++n) {
+      std::string candidate = strfmt("%s.%u", name.c_str(), n);
+      if (takenBlocks.insert(candidate).second)
+        return candidate;
+    }
+  };
   for (auto &bb : blocks_) {
-    if (!bb->hasName())
-      bb->setName(strfmt("bb%u", bbNum));
+    if (bb->hasName())
+      bb->setName(claimBlock(bb->name()));
+    else
+      bb->setName(claimBlock(strfmt("bb%u", bbNum)));
     ++bbNum;
     for (auto &inst : *bb)
-      if (!inst->type()->isVoid() && !inst->hasName())
-        inst->setName(strfmt("%u", next++));
+      if (!inst->type()->isVoid()) {
+        if (inst->hasName())
+          inst->setName(claim(inst->name()));
+        else
+          inst->setName(claim(strfmt("%u", next++)));
+      }
   }
 }
 

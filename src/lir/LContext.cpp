@@ -4,6 +4,7 @@
 #include "support/StringUtils.h"
 
 #include <cassert>
+#include <cstring>
 
 namespace mha::lir {
 
@@ -34,7 +35,11 @@ struct LContext::Impl {
 
   std::map<std::pair<IntType *, int64_t>, std::unique_ptr<ConstantInt>>
       intConsts;
-  std::map<std::pair<Type *, double>, std::unique_ptr<ConstantFP>> fpConsts;
+  // Keyed by bit pattern, not value: NaN never orders against other keys,
+  // so a std::map keyed on double treats NaN as equivalent to whatever it
+  // happens to be compared with, aliasing constFP(NaN) to an existing
+  // constant.
+  std::map<std::pair<Type *, uint64_t>, std::unique_ptr<ConstantFP>> fpConsts;
   std::map<Type *, std::unique_ptr<UndefValue>> undefs;
 };
 
@@ -122,7 +127,10 @@ ConstantFP *LContext::constFP(Type *type, double value) {
   assert(type->isFloatingPoint());
   if (type->kind() == Type::Kind::Float)
     value = static_cast<float>(value); // round to storage precision
-  auto &slot = impl_->fpConsts[{type, value}];
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  auto &slot = impl_->fpConsts[{type, bits}];
   if (!slot)
     slot.reset(new ConstantFP(type, value));
   return slot.get();

@@ -9,6 +9,7 @@
 #include <cctype>
 #include <map>
 #include <optional>
+#include <vector>
 
 namespace mha::lir {
 
@@ -148,6 +149,52 @@ public:
 
   SrcLoc loc() const { return {line_, col_}; }
 
+  // Consumes the body of a `#[...]` attribute group at the character level,
+  // splitting on commas outside parentheses. Attribute strings such as
+  // "memory(argmem: readwrite)" contain characters that are not single
+  // tokens, so they cannot be reassembled from the token stream.
+  std::vector<std::string> takeAttributeGroup() {
+    std::vector<std::string> attrs;
+    std::string item;
+    int depth = 0;
+    bool closed = false;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == ']' && depth == 0) {
+        ++pos_; ++col_;
+        closed = true;
+        break;
+      }
+      if (c == '(')
+        ++depth;
+      else if (c == ')' && depth > 0)
+        --depth;
+      if (c == ',' && depth == 0) {
+        attrs.push_back(item);
+        item.clear();
+      } else {
+        item += c;
+      }
+      if (c == '\n') {
+        ++line_; col_ = 1;
+      } else {
+        ++col_;
+      }
+      ++pos_;
+    }
+    if (!closed)
+      diags_.error("unterminated attribute group", cur_.loc);
+    attrs.push_back(item);
+    std::vector<std::string> out;
+    for (const std::string &raw : attrs) {
+      std::string_view t = trim(raw);
+      if (!t.empty())
+        out.emplace_back(t);
+    }
+    advance();
+    return out;
+  }
+
 private:
   std::string lexWord() {
     std::string word;
@@ -184,10 +231,20 @@ private:
     std::string word(text_.substr(start, pos_ - start));
     if (isFloat) {
       cur_.kind = Tok::Float;
-      cur_.fpValue = std::stod(word);
+      if (std::optional<double> v = parseDouble(word))
+        cur_.fpValue = *v;
+      else
+        diags_.error(strfmt("invalid or out-of-range float literal '%s'",
+                            word.c_str()),
+                     cur_.loc);
     } else {
       cur_.kind = Tok::Int;
-      cur_.intValue = std::stoll(word);
+      if (std::optional<int64_t> v = parseInt(word))
+        cur_.intValue = *v;
+      else
+        diags_.error(strfmt("invalid or out-of-range integer literal '%s'",
+                            word.c_str()),
+                     cur_.loc);
     }
     cur_.text = std::move(word);
   }
@@ -437,14 +494,8 @@ private:
     }
 
     if (lex_.cur().kind == Tok::HashBracket) {
-      lex_.advance();
-      if (lex_.cur().kind != Tok::RBracket) {
-        do {
-          Token attr = expect(Tok::Ident, "function attribute");
-          fn->attrs().insert(attr.text);
-        } while (accept(Tok::Comma));
-      }
-      expect(Tok::RBracket, "']'");
+      for (std::string &attr : lex_.takeAttributeGroup())
+        fn->attrs().insert(std::move(attr));
     }
 
     if (isDecl)

@@ -2,37 +2,50 @@
 #include "lir/LContext.h"
 #include "lir/transforms/Transforms.h"
 #include "support/Compiler.h"
+#include "support/IntMath.h"
 
 #include <cmath>
+#include <optional>
 
 namespace mha::lir {
 
 namespace {
 
-/// Evaluates an integer binop on constants (wrap-around semantics).
-int64_t evalIntBinop(Opcode op, int64_t a, int64_t b) {
+/// Evaluates an iN binop on canonical-form constants with the same
+/// semantics as interp::Interpreter: wrap-around modulo 2^width, shifts
+/// operating in the value's width. Returns nullopt for operations the
+/// interpreter diagnoses as undefined (division by zero, sdiv/srem
+/// overflow, shift amounts >= width) — those must not be folded away, or
+/// the folded program would diverge from the unfolded one under
+/// co-simulation.
+std::optional<int64_t> evalIntBinop(Opcode op, int64_t a, int64_t b,
+                                    unsigned width) {
   switch (op) {
   case Opcode::Add:
-    return static_cast<int64_t>(static_cast<uint64_t>(a) +
-                                static_cast<uint64_t>(b));
+    return canonicalInt(static_cast<uint64_t>(a) + static_cast<uint64_t>(b),
+                        width);
   case Opcode::Sub:
-    return static_cast<int64_t>(static_cast<uint64_t>(a) -
-                                static_cast<uint64_t>(b));
+    return canonicalInt(static_cast<uint64_t>(a) - static_cast<uint64_t>(b),
+                        width);
   case Opcode::Mul:
-    return static_cast<int64_t>(static_cast<uint64_t>(a) *
-                                static_cast<uint64_t>(b));
+    return canonicalInt(static_cast<uint64_t>(a) * static_cast<uint64_t>(b),
+                        width);
   case Opcode::SDiv:
-    return b == 0 ? 0 : a / b;
+    if (b == 0 || (a == minSignedInt(width) && b == -1))
+      return std::nullopt;
+    return a / b;
   case Opcode::UDiv:
-    return b == 0 ? 0
-                  : static_cast<int64_t>(static_cast<uint64_t>(a) /
-                                         static_cast<uint64_t>(b));
+    if (b == 0)
+      return std::nullopt;
+    return canonicalInt(truncBits(a, width) / truncBits(b, width), width);
   case Opcode::SRem:
-    return b == 0 ? 0 : a % b;
+    if (b == 0 || (a == minSignedInt(width) && b == -1))
+      return std::nullopt;
+    return a % b;
   case Opcode::URem:
-    return b == 0 ? 0
-                  : static_cast<int64_t>(static_cast<uint64_t>(a) %
-                                         static_cast<uint64_t>(b));
+    if (b == 0)
+      return std::nullopt;
+    return canonicalInt(truncBits(a, width) % truncBits(b, width), width);
   case Opcode::And:
     return a & b;
   case Opcode::Or:
@@ -40,11 +53,17 @@ int64_t evalIntBinop(Opcode op, int64_t a, int64_t b) {
   case Opcode::Xor:
     return a ^ b;
   case Opcode::Shl:
-    return static_cast<int64_t>(static_cast<uint64_t>(a) << (b & 63));
+    if (static_cast<uint64_t>(b) >= width)
+      return std::nullopt;
+    return canonicalInt(truncBits(a, width) << b, width);
   case Opcode::LShr:
-    return static_cast<int64_t>(static_cast<uint64_t>(a) >> (b & 63));
+    if (static_cast<uint64_t>(b) >= width)
+      return std::nullopt;
+    return canonicalInt(truncBits(a, width) >> b, width);
   case Opcode::AShr:
-    return a >> (b & 63);
+    if (static_cast<uint64_t>(b) >= width)
+      return std::nullopt;
+    return a >> b;
   default:
     unreachable("not an int binop");
   }
@@ -205,9 +224,13 @@ private:
     auto *rf = dyn_cast<ConstantFP>(rhs);
 
     if (inst->type()->isInteger()) {
-      if (lc && rc)
-        return ctx_->constInt(cast<IntType>(inst->type()),
-                              evalIntBinop(op, lc->value(), rc->value()));
+      if (lc && rc) {
+        if (auto folded =
+                evalIntBinop(op, lc->value(), rc->value(),
+                             cast<IntType>(inst->type())->width()))
+          return ctx_->constInt(cast<IntType>(inst->type()), *folded);
+        return nullptr;
+      }
       // Canonical identities.
       switch (op) {
       case Opcode::Add:

@@ -179,10 +179,20 @@ private:
     std::string word(text_.substr(start, pos_ - start));
     if (isFloat) {
       cur_.kind = Tok::Float;
-      cur_.fpValue = std::stod(word);
+      if (std::optional<double> v = parseDouble(word))
+        cur_.fpValue = *v;
+      else
+        diags_.error(strfmt("invalid or out-of-range float literal '%s'",
+                            word.c_str()),
+                     cur_.loc);
     } else {
       cur_.kind = Tok::Int;
-      cur_.intValue = std::stoll(word);
+      if (std::optional<int64_t> v = parseInt(word))
+        cur_.intValue = *v;
+      else
+        diags_.error(strfmt("invalid or out-of-range integer literal '%s'",
+                            word.c_str()),
+                     cur_.loc);
     }
     cur_.text = std::move(word);
   }

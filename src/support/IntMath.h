@@ -1,0 +1,45 @@
+// IntMath.h - canonical-form arithmetic for arbitrary-width integers.
+//
+// The compiler stores every iN value sign-extended into an int64_t (the
+// "canonical form": lir::LContext::constInt normalizes constants this way,
+// and interp::Interpreter keeps runtime values in the same form). These
+// helpers convert between the canonical form and the low-N-bit pattern so
+// that the interpreter, the constant folders and the fuzzer's host
+// reference all agree bit-for-bit on wrap-around semantics.
+#pragma once
+
+#include <cstdint>
+
+namespace mha {
+
+/// The low `width` bits of an iN value (its two's-complement bit pattern).
+inline uint64_t truncBits(int64_t v, unsigned width) {
+  if (width >= 64)
+    return static_cast<uint64_t>(v);
+  return static_cast<uint64_t>(v) & ((uint64_t(1) << width) - 1);
+}
+
+/// Sign-extends the low `width` bits into the canonical int64 form.
+inline int64_t canonicalInt(uint64_t bits, unsigned width) {
+  if (width >= 64)
+    return static_cast<int64_t>(bits);
+  uint64_t mask = (uint64_t(1) << width) - 1;
+  uint64_t sign = uint64_t(1) << (width - 1);
+  return static_cast<int64_t>(((bits & mask) ^ sign) - sign);
+}
+
+/// Smallest signed value representable in iN (canonical form).
+inline int64_t minSignedInt(unsigned width) {
+  if (width >= 64)
+    return INT64_MIN;
+  return -(int64_t(1) << (width - 1));
+}
+
+/// Largest signed value representable in iN.
+inline int64_t maxSignedInt(unsigned width) {
+  if (width >= 64)
+    return INT64_MAX;
+  return (int64_t(1) << (width - 1)) - 1;
+}
+
+} // namespace mha

@@ -80,6 +80,23 @@ std::optional<int64_t> parseInt(std::string_view text) {
   return value;
 }
 
+std::optional<double> parseDouble(std::string_view text) {
+  // from_chars accepts "inf"/"nan" spellings; the IR grammars never emit
+  // them, so reject any input containing a letter other than the exponent
+  // marker before handing off.
+  for (char c : text)
+    if (std::isalpha(static_cast<unsigned char>(c)) && c != 'e' && c != 'E')
+      return std::nullopt;
+  double value = 0;
+  const char *first = text.data();
+  const char *last = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(first, last, value,
+                                   std::chars_format::general);
+  if (ec != std::errc() || ptr != last)
+    return std::nullopt;
+  return value;
+}
+
 bool isValidIdentifier(std::string_view name) {
   if (name.empty())
     return false;

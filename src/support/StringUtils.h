@@ -37,4 +37,12 @@ bool isValidIdentifier(std::string_view name);
 /// stop at the first bad character.
 std::optional<int64_t> parseInt(std::string_view text);
 
+/// Strictly parses the whole of `text` as a decimal floating-point number
+/// ("1.5", "-2e3", "1e-9"). Locale-independent (from_chars; '.' is always
+/// the decimal separator) and non-throwing — unlike std::stod, which
+/// honours LC_NUMERIC and throws std::out_of_range on e.g. "1e999".
+/// Rejects empty input, whitespace, trailing characters, hex/inf/nan
+/// forms and values outside the finite double range.
+std::optional<double> parseDouble(std::string_view text);
+
 } // namespace mha

@@ -10,10 +10,14 @@
 #include "lir/Verifier.h"
 #include "lir/analysis/Dominators.h"
 #include "lir/analysis/LoopInfo.h"
+#include "mir/Builder.h"
 #include "mir/Pass.h"
 #include "mir/transforms/MirTransforms.h"
 
 #include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
 
 using namespace mha;
 
@@ -243,4 +247,115 @@ TEST(HlsRoundTrip, EmittedGemmComputesCorrectly) {
   for (unsigned out : spec->outputs)
     for (size_t i = 0; i < device[out].size(); ++i)
       ASSERT_EQ(device[out][i], host[out][i]) << "element " << i;
+}
+
+// Regression: the emitter used to print every integer as C "int", so a
+// 64-bit constant silently truncated to 32 bits when the C++ was parsed
+// back (or fed to a real HLS compiler).
+TEST(HlsCppEmitter, WideIntegerValuesEmitAsInt64) {
+  mir::MContext mctx;
+  mir::OpBuilder b(mctx);
+  mir::OwnedModule module = mir::OpBuilder::createModule();
+  b.setInsertPoint(module.get().body());
+  mir::FuncOp fn = b.createFunc(
+      "wide", mctx.fnTy({mctx.memrefTy({2}, mctx.f64())}, {}));
+  b.setInsertPoint(fn.entryBlock());
+  mir::ForOp loop = b.affineFor(0, 2);
+  b.setInsertPointToLoopBody(loop);
+  mir::Value *iv = b.indexCast(loop.inductionVar(), mctx.i64());
+  mir::Value *big = b.constantInt(INT64_MAX, mctx.i64());
+  mir::Value *sum = b.binary(mir::ops::AddI, iv, big);
+  b.affineStore(b.sitofp(sum, mctx.f64()), fn.arg(0),
+                mir::AffineMap::identity(mctx, 1),
+                {loop.inductionVar()});
+  b.setInsertPoint(fn.entryBlock());
+  b.createReturn();
+
+  DiagnosticEngine diags;
+  std::string code = hlscpp::emitHlsCpp(module.get(), diags);
+  ASSERT_FALSE(code.empty()) << diags.str();
+  EXPECT_NE(code.find("int64_t"), std::string::npos) << code;
+  EXPECT_NE(code.find("9223372036854775807"), std::string::npos) << code;
+  EXPECT_NE(code.find("#include <stdint.h>"), std::string::npos) << code;
+
+  // And the frontend must round-trip it at full width: at i0 = 1 the sum
+  // wraps to INT64_MIN; a 32-bit pipeline would produce 0 instead.
+  lir::LContext ctx;
+  auto parsed = hlscpp::parseHlsCpp(code, ctx, diags);
+  ASSERT_NE(parsed, nullptr) << diags.str() << code;
+  double out[2] = {0, 0};
+  std::vector<void *> pointers = {out};
+  interp::Interpreter interp(*parsed);
+  DiagnosticEngine runDiags;
+  auto result = interp.run(parsed->getFunction("wide"),
+                           interp::pointerArgs(pointers), runDiags);
+  ASSERT_TRUE(result.has_value()) << runDiags.str();
+  EXPECT_EQ(out[0], static_cast<double>(INT64_MAX));
+  EXPECT_EQ(out[1], static_cast<double>(INT64_MIN));
+}
+
+// Regression: a decimal literal outside int range kept type int (C rule:
+// it is long long), folding e.g. INT64_MAX to -1.
+TEST(HlsFrontend, WideLiteralKeepsSixtyFourBits) {
+  lir::LContext ctx;
+  DiagnosticEngine diags;
+  auto module = hlscpp::parseHlsCpp(R"(
+void k(double a[1]) {
+  int64_t v = 9223372036854775807;
+  a[0] = (double)v;
+}
+)",
+                                    ctx, diags);
+  ASSERT_NE(module, nullptr) << diags.str();
+  double out[1] = {0};
+  std::vector<void *> pointers = {out};
+  interp::Interpreter interp(*module);
+  DiagnosticEngine runDiags;
+  auto result = interp.run(module->getFunction("k"),
+                           interp::pointerArgs(pointers), runDiags);
+  ASSERT_TRUE(result.has_value()) << runDiags.str();
+  EXPECT_EQ(out[0], static_cast<double>(INT64_MAX));
+}
+
+// Regression: constant folding can produce inf/nan, which the emitter
+// used to print as "inf" — unparseable C++. It now uses the math.h
+// macros, and the frontend understands them.
+TEST(HlsFrontend, InfinityAndNanMacros) {
+  lir::LContext ctx;
+  DiagnosticEngine diags;
+  auto module = hlscpp::parseHlsCpp(R"(
+void k(double a[3]) {
+  a[0] = INFINITY;
+  a[1] = -INFINITY;
+  a[2] = NAN;
+}
+)",
+                                    ctx, diags);
+  ASSERT_NE(module, nullptr) << diags.str();
+  double out[3] = {0, 0, 0};
+  std::vector<void *> pointers = {out};
+  interp::Interpreter interp(*module);
+  DiagnosticEngine runDiags;
+  auto result = interp.run(module->getFunction("k"),
+                           interp::pointerArgs(pointers), runDiags);
+  ASSERT_TRUE(result.has_value()) << runDiags.str();
+  EXPECT_TRUE(std::isinf(out[0]) && out[0] > 0);
+  EXPECT_TRUE(std::isinf(out[1]) && out[1] < 0);
+  EXPECT_TRUE(std::isnan(out[2]));
+}
+
+// Regression: float literals used to go through std::stod (locale
+// dependent, throwing); the strict parser must reject out-of-range and
+// malformed literals with a diagnostic instead of crashing.
+TEST(HlsFrontend, RejectsHugeFloatLiteral) {
+  lir::LContext ctx;
+  DiagnosticEngine diags;
+  auto module = hlscpp::parseHlsCpp(R"(
+void k(double a[1]) {
+  a[0] = 1.0e999;
+}
+)",
+                                    ctx, diags);
+  EXPECT_EQ(module, nullptr);
+  EXPECT_TRUE(diags.hadError());
 }

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 
 using namespace mha;
 using namespace mha::interp;
@@ -244,6 +245,171 @@ spin:
   auto result = interp.run(p.module->getFunction("f"), {}, diags);
   EXPECT_FALSE(result.has_value());
   EXPECT_NE(diags.str().find("step limit"), std::string::npos);
+}
+
+// Regression: INT64_MIN sdiv -1 used to execute the host division (signed
+// overflow, UB); it must be diagnosed like division by zero.
+TEST(Interp, SignedDivisionOverflowDiagnosed) {
+  Program p(R"(
+define i64 @f(i64 %x) {
+entry:
+  %r = sdiv i64 %x, -1
+  ret i64 %r
+}
+)");
+  DiagnosticEngine diags;
+  auto result = p.run("f", {RtValue::ofInt(INT64_MIN)}, diags);
+  EXPECT_FALSE(result.has_value());
+  EXPECT_NE(diags.str().find("signed division overflow"), std::string::npos);
+}
+
+TEST(Interp, SignedRemainderOverflowDiagnosed) {
+  Program p(R"(
+define i64 @f(i64 %x) {
+entry:
+  %r = srem i64 %x, -1
+  ret i64 %r
+}
+)");
+  DiagnosticEngine diags;
+  auto result = p.run("f", {RtValue::ofInt(INT64_MIN)}, diags);
+  EXPECT_FALSE(result.has_value());
+  EXPECT_NE(diags.str().find("overflow"), std::string::npos);
+}
+
+// The overflow case exists at every width: -128 sdiv -1 does not fit in i8.
+TEST(Interp, NarrowSignedDivisionOverflowDiagnosed) {
+  Program p(R"(
+define i8 @f(i8 %x) {
+entry:
+  %r = sdiv i8 %x, -1
+  ret i8 %r
+}
+)");
+  DiagnosticEngine diags;
+  auto result = p.run("f", {RtValue::ofInt(-128)}, diags);
+  EXPECT_FALSE(result.has_value());
+  EXPECT_NE(diags.str().find("i8"), std::string::npos);
+}
+
+TEST(Interp, SRemByMinusOneIsZeroWhenDefined) {
+  Program p(R"(
+define i64 @f(i64 %x) {
+entry:
+  %r = srem i64 %x, -1
+  ret i64 %r
+}
+)");
+  DiagnosticEngine diags;
+  auto result = p.run("f", {RtValue::ofInt(7)}, diags);
+  ASSERT_TRUE(result.has_value()) << diags.str();
+  EXPECT_EQ(result->i, 0);
+}
+
+// Regression: shifts used to mask the amount with & 63 and shift the full
+// sign-extended 64-bit representation; they must operate modulo the
+// operand's IntType width.
+TEST(Interp, LShrUsesOperandWidth) {
+  Program p(R"(
+define i32 @f(i32 %x) {
+entry:
+  %r = lshr i32 %x, 1
+  ret i32 %r
+}
+)");
+  DiagnosticEngine diags;
+  auto result = p.run("f", {RtValue::ofInt(-2)}, diags);
+  ASSERT_TRUE(result.has_value()) << diags.str();
+  // 0xFFFFFFFE logically shifted within 32 bits, not 64.
+  EXPECT_EQ(result->i, 2147483647);
+}
+
+TEST(Interp, ShlWrapsAtOperandWidth) {
+  Program p(R"(
+define i8 @f(i8 %x) {
+entry:
+  %r = shl i8 %x, 1
+  ret i8 %r
+}
+)");
+  DiagnosticEngine diags;
+  auto result = p.run("f", {RtValue::ofInt(96)}, diags);
+  ASSERT_TRUE(result.has_value()) << diags.str();
+  EXPECT_EQ(result->i, -64); // 192 wraps to i8 -64
+}
+
+TEST(Interp, ShiftAmountAtWidthDiagnosed) {
+  Program p(R"(
+define i32 @f(i32 %x) {
+entry:
+  %r = shl i32 %x, 32
+  ret i32 %r
+}
+)");
+  DiagnosticEngine diags;
+  auto result = p.run("f", {RtValue::ofInt(1)}, diags);
+  EXPECT_FALSE(result.has_value());
+  EXPECT_NE(diags.str().find("out of range"), std::string::npos);
+}
+
+TEST(Interp, NarrowShiftAmountDiagnosed) {
+  Program p(R"(
+define i8 @f(i8 %x) {
+entry:
+  %r = lshr i8 %x, 8
+  ret i8 %r
+}
+)");
+  DiagnosticEngine diags;
+  auto result = p.run("f", {RtValue::ofInt(1)}, diags);
+  EXPECT_FALSE(result.has_value());
+  EXPECT_NE(diags.str().find("out of range for i8"), std::string::npos);
+}
+
+TEST(Interp, NarrowAddWraps) {
+  Program p(R"(
+define i8 @f(i8 %x) {
+entry:
+  %r = add i8 %x, 1
+  ret i8 %r
+}
+)");
+  DiagnosticEngine diags;
+  auto result = p.run("f", {RtValue::ofInt(127)}, diags);
+  ASSERT_TRUE(result.has_value()) << diags.str();
+  EXPECT_EQ(result->i, -128);
+}
+
+TEST(Interp, UDivUsesOperandWidth) {
+  Program p(R"(
+define i8 @f(i8 %x) {
+entry:
+  %r = udiv i8 %x, 2
+  ret i8 %r
+}
+)");
+  DiagnosticEngine diags;
+  // -6 is 250 as an unsigned 8-bit value; 250/2 = 125.
+  auto result = p.run("f", {RtValue::ofInt(-6)}, diags);
+  ASSERT_TRUE(result.has_value()) << diags.str();
+  EXPECT_EQ(result->i, 125);
+}
+
+// i1 true is canonically -1 (all bits set, like every other width), so
+// sign-extending a comparison result yields -1, not 1.
+TEST(Interp, ICmpProducesCanonicalBool) {
+  Program p(R"(
+define i64 @f(i64 %a, i64 %b) {
+entry:
+  %c = icmp slt i64 %a, %b
+  %w = sext i1 %c to i64
+  ret i64 %w
+}
+)");
+  DiagnosticEngine diags;
+  auto result = p.run("f", {RtValue::ofInt(1), RtValue::ofInt(2)}, diags);
+  ASSERT_TRUE(result.has_value()) << diags.str();
+  EXPECT_EQ(result->i, -1);
 }
 
 TEST(Interp, ArgCountMismatchDiagnosed) {

@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 using namespace mha;
 using namespace mha::lir;
 
@@ -206,4 +209,23 @@ TEST(LirModule, CrossFunctionCallDestruction) {
   builder.createRet();
   module.reset(); // must not assert
   SUCCEED();
+}
+
+// Regression: fp constants were interned in a std::map keyed on the double
+// value. NaN never orders against any other key, so the map treated it as
+// equivalent to whichever constant it was first compared with, and
+// constFP(NaN) silently returned an aliased non-NaN constant.
+TEST(LirConstants, NanConstantsDoNotAliasOtherConstants) {
+  LContext ctx;
+  ConstantFP *inf =
+      ctx.constFP(ctx.doubleTy(), std::numeric_limits<double>::infinity());
+  ConstantFP *one = ctx.constFP(ctx.doubleTy(), 1.0);
+  ConstantFP *nan =
+      ctx.constFP(ctx.doubleTy(), std::numeric_limits<double>::quiet_NaN());
+  EXPECT_TRUE(std::isnan(nan->value()));
+  EXPECT_NE(nan, inf);
+  EXPECT_NE(nan, one);
+  EXPECT_EQ(nan,
+            ctx.constFP(ctx.doubleTy(), std::numeric_limits<double>::quiet_NaN()));
+  EXPECT_EQ(ctx.constFP(ctx.doubleTy(), 1.0), one);
 }

@@ -225,3 +225,76 @@ TEST(LirPrint, BuilderOutputParsesBack) {
   ASSERT_NE(reparsed, nullptr) << diags.str() << text;
   EXPECT_EQ(printModule(*reparsed), text);
 }
+
+// Regression: float literals used to go through std::stod, which throws
+// std::out_of_range on overflow instead of reporting a parse diagnostic.
+TEST(LirParseErrors, HugeFloatLiteralRejected) {
+  LContext ctx;
+  DiagnosticEngine diags;
+  auto module = parseModule(R"(
+define double @f() {
+entry:
+  %0 = fadd double 1.0e999, 0.0
+  ret double %0
+}
+)",
+                            ctx, diags);
+  EXPECT_EQ(module, nullptr);
+  EXPECT_NE(diags.str().find("float literal"), std::string::npos);
+}
+
+TEST(LirParseErrors, HugeIntegerLiteralRejected) {
+  LContext ctx;
+  DiagnosticEngine diags;
+  auto module = parseModule(R"(
+define i64 @f() {
+entry:
+  %0 = add i64 9223372036854775808, 1
+  ret i64 %0
+}
+)",
+                            ctx, diags);
+  EXPECT_EQ(module, nullptr);
+  EXPECT_NE(diags.str().find("integer literal"), std::string::npos);
+}
+
+// Regression: the parser read function attributes one identifier at a time,
+// so printed groups containing non-identifier characters — e.g. the
+// lowering's #[memory(argmem: readwrite)] — failed to reparse.
+TEST(LirParse, FunctionAttributeGroupsRoundTrip) {
+  expectRoundTrip(R"(
+define void @f() #[memory(argmem: readwrite), mha.partition.0:1:4:cyclic, mustprogress, nofree, nosync, willreturn] {
+entry:
+  ret void
+}
+)");
+}
+
+// Regression: lowering reuses fixed instruction names (one "idx.scaled" per
+// array subscript). The printer used names verbatim, emitting duplicate
+// %defs; the parser binds references by name, so later uses rebound to the
+// wrong definition on reparse.
+TEST(LirPrint, DuplicateValueNamesAreUniquifiedWhenPrinting) {
+  LContext ctx;
+  Module module(ctx, "m");
+  module.flags()["opaque-pointers"] = "false";
+  Function *fn = module.createFunction(
+      ctx.fnTy(ctx.voidTy(), {ctx.i64(), ctx.i64()}), "k");
+  fn->arg(0)->setName("a");
+  fn->arg(1)->setName("b");
+  BasicBlock *entry = fn->createBlock("entry");
+  IRBuilder builder(ctx);
+  builder.setInsertPoint(entry);
+  Instruction *first = builder.createAdd(fn->arg(0), fn->arg(1), "idx");
+  Instruction *second = builder.createAdd(first, fn->arg(1), "idx");
+  builder.createAdd(first, second, "sum");
+  builder.createRet();
+
+  std::string text = printModule(module);
+  EXPECT_NE(first->name(), second->name());
+  LContext ctx2;
+  DiagnosticEngine diags;
+  auto reparsed = parseModule(text, ctx2, diags);
+  ASSERT_NE(reparsed, nullptr) << diags.str() << text;
+  EXPECT_EQ(printModule(*reparsed), text);
+}

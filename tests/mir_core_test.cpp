@@ -311,3 +311,19 @@ TEST(MirParse, ModFloorDivExpressions) {
   ASSERT_NE(map, nullptr);
   EXPECT_EQ(map->evaluate({13})[0], 13 % 4 + 13 / 4);
 }
+
+// Regression: the lexer used to hand float words to std::stod, which
+// throws on out-of-range values instead of diagnosing them.
+TEST(MirParseErrors, HugeFloatLiteralRejected) {
+  MContext ctx;
+  DiagnosticEngine diags;
+  auto module = parseModule(R"(builtin.module {
+  func.func @k() {
+    %0 = "arith.constant"() {value = 1.0e999} : () -> (f64)
+    "func.return"() : () -> ()
+  }
+})",
+                            ctx, diags);
+  EXPECT_FALSE(module.has_value());
+  EXPECT_NE(diags.str().find("float literal"), std::string::npos);
+}

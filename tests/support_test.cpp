@@ -85,6 +85,30 @@ TEST(StringUtils, ParseIntRejectsGarbageAtoiWouldAccept) {
   EXPECT_EQ(parseInt("0x10"), std::nullopt);
 }
 
+TEST(StringUtils, ParseDoubleAcceptsStrictLiterals) {
+  EXPECT_EQ(parseDouble("0"), 0.0);
+  EXPECT_EQ(parseDouble("1.5"), 1.5);
+  EXPECT_EQ(parseDouble("-2.25"), -2.25);
+  EXPECT_EQ(parseDouble("1e10"), 1e10);
+  EXPECT_EQ(parseDouble("2.5E-3"), 2.5e-3);
+  EXPECT_EQ(parseDouble("0.1"), 0.1);
+}
+
+TEST(StringUtils, ParseDoubleRejectsWhatStodWouldAccept) {
+  // std::stod throws on overflow, honours LC_NUMERIC, accepts trailing
+  // garbage via its pos out-param, and parses "inf"/"nan"/hex floats.
+  // The strict parser rejects all of these.
+  EXPECT_EQ(parseDouble(""), std::nullopt);
+  EXPECT_EQ(parseDouble("abc"), std::nullopt);
+  EXPECT_EQ(parseDouble("1.5x"), std::nullopt);
+  EXPECT_EQ(parseDouble(" 1.5"), std::nullopt);
+  EXPECT_EQ(parseDouble("1,5"), std::nullopt);
+  EXPECT_EQ(parseDouble("inf"), std::nullopt);
+  EXPECT_EQ(parseDouble("nan"), std::nullopt);
+  EXPECT_EQ(parseDouble("0x1p4"), std::nullopt);
+  EXPECT_EQ(parseDouble("1e999"), std::nullopt); // overflow, not throw
+}
+
 TEST(Json, EscapeHandlesQuotesBackslashesAndControls) {
   EXPECT_EQ(json::escape("plain"), "plain");
   EXPECT_EQ(json::escape("a\"b"), "a\\\"b");
