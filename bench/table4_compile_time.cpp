@@ -10,6 +10,8 @@
 // the throughput the parallel driver buys on a multi-core host.
 #include "BenchCommon.h"
 
+#include "flow/StageCache.h"
+
 #include <benchmark/benchmark.h>
 
 using namespace mha;
@@ -135,10 +137,53 @@ int main(int argc, char **argv) {
         report.beginRow();
         report.field("kernel", spec.name);
         report.field("flow", flowName);
+        report.field("mode", "uncached");
         report.field("wall_ms", out.trace.jobs[job].wallMs);
         report.field("bridge_ms", out.results[job].timings.bridgeMs);
         ++job;
       }
+    }
+    // Incremental-recompilation trajectory: the same batch twice with the
+    // stage cache on. The first (cold) run populates the cache, the second
+    // (warm) run answers every stage from it — the warm/cold ratio is the
+    // recompile speedup a no-op rebuild sees.
+    for (flow::FlowKind kind :
+         {flow::FlowKind::Adaptor, flow::FlowKind::HlsCpp}) {
+      const char *flowName =
+          kind == flow::FlowKind::Adaptor ? "adaptor" : "hls-c++";
+      flow::FlowOptions cachedFlow;
+      cachedFlow.useStageCache = true;
+      std::vector<flow::BatchJob> jobs;
+      for (const flow::KernelSpec &spec : flow::allKernels())
+        jobs.push_back({&spec, defaultConfig(), kind, cachedFlow,
+                        "table4-cache"});
+      flow::StageCache::global().clear();
+      double totals[2] = {0, 0};
+      for (int pass = 0; pass < 2; ++pass) {
+        const char *mode = pass == 0 ? "cold" : "warm";
+        flow::BatchOutcome out = flow::runBatch(jobs, poolOptions());
+        if (out.trace.failures != 0) {
+          std::fprintf(stderr, "table4: cached batch had failures\n");
+          return 1;
+        }
+        size_t job = 0;
+        for (const flow::KernelSpec &spec : flow::allKernels()) {
+          report.beginRow();
+          report.field("kernel", spec.name);
+          report.field("flow", flowName);
+          report.field("mode", mode);
+          report.field("wall_ms", out.trace.jobs[job].wallMs);
+          totals[pass] += out.trace.jobs[job].wallMs;
+          ++job;
+        }
+      }
+      report.beginRow();
+      report.field("kernel", "all");
+      report.field("flow", flowName);
+      report.field("mode", "cache-speedup");
+      report.field("cold_ms", totals[0]);
+      report.field("warm_ms", totals[1]);
+      report.field("speedup", totals[1] > 0 ? totals[0] / totals[1] : 0.0);
     }
   }
   return report.finish();

@@ -1,18 +1,25 @@
 #include "flow/Flow.h"
 
+#include "flow/StageCache.h"
 #include "hlscpp/Emitter.h"
 #include "hlscpp/Frontend.h"
 #include "interp/Interp.h"
+#include "lir/Parser.h"
+#include "lir/Printer.h"
 #include "lir/transforms/Transforms.h"
 #include "lowering/Lowering.h"
+#include "mir/Parser.h"
 #include "mir/Pass.h"
 #include "mir/Printer.h"
 #include "mir/Verifier.h"
 #include "mir/transforms/MirTransforms.h"
+#include "support/Hash.h"
 #include "support/StringUtils.h"
 #include "support/Telemetry.h"
+#include "support/ThreadPool.h"
 
 #include <cmath>
+#include <optional>
 
 namespace mha::flow {
 
@@ -56,6 +63,103 @@ std::optional<mir::OwnedModule> prepareMlir(const KernelSpec &spec,
   return module;
 }
 
+// --- Stage-cache keys -------------------------------------------------
+//
+// Option structs are hashed field by field (no reflection); when an
+// option that changes a stage's output gains a field, add it to the
+// matching hash* helper or the cache will serve stale entries for runs
+// that differ only in the new field.
+
+void hashConfig(HashBuilder &hb, const KernelConfig &config) {
+  hb.i64(config.pipelineII)
+      .i64(config.unrollFactor)
+      .i64(config.partitionFactor)
+      .boolean(config.dataflow)
+      .boolean(config.applyDirectives);
+}
+
+/// Stage 1 input: kernel identity + directives + MLIR-level options. The
+/// kernel name stands in for the builder function — the registry is
+/// static, so the name determines the built IR.
+uint64_t mlirStageKey(const KernelSpec &spec, const KernelConfig &config,
+                      const FlowOptions &options) {
+  HashBuilder hb;
+  hb.str("mlir").str(spec.name);
+  hashConfig(hb, config);
+  hb.boolean(options.runMlirOpts).boolean(options.unrollAtMlirLevel);
+  return hb.get();
+}
+
+/// Stage 2 input (adaptor flow): the mir text plus everything that shapes
+/// lowering and the adaptor pipeline.
+uint64_t adaptorBridgeKey(const std::string &mirText,
+                          const FlowOptions &options) {
+  HashBuilder hb;
+  hb.str("bridge-adaptor").str(mirText);
+  const lowering::LoweringOptions &lo = options.lowering;
+  hb.boolean(lo.useOpaquePointers)
+      .boolean(lo.fuseMulAdd)
+      .boolean(lo.useMemcpyIntrinsic)
+      .boolean(lo.emitModernAttributes);
+  const adaptor::AdaptorOptions &ao = options.adaptor;
+  hb.boolean(ao.runDescriptorElimination)
+      .boolean(ao.runIntrinsicLegalize)
+      .boolean(ao.runGepCanonicalize)
+      .boolean(ao.runPointerTypeRecovery)
+      .boolean(ao.runMetadataConvert)
+      .boolean(ao.runAttributeScrub)
+      .boolean(ao.verifyCompat)
+      .boolean(ao.runCleanups)
+      .boolean(ao.fusePasses);
+  return hb.get();
+}
+
+/// Stage 2 input (C++ flow): emission and the HLS frontend take no
+/// options, so the mir text alone addresses the output.
+uint64_t hlsCppBridgeKey(const std::string &mirText) {
+  HashBuilder hb;
+  hb.str("bridge-hlscpp").str(mirText);
+  return hb.get();
+}
+
+/// Runs stage 1 through the cache: on a hit, returns the cached mir text
+/// without building the kernel; on a miss (or with the cache disabled),
+/// builds and prepares the module, printing it into `mirText` only when
+/// the cache is on. `module` is empty after a hit — bridge stages reparse
+/// lazily, and only when they miss too.
+bool runMlirStage(const KernelSpec &spec, const KernelConfig &config,
+                  mir::MContext &mctx, const FlowOptions &options,
+                  DiagnosticEngine &diags,
+                  std::optional<mir::OwnedModule> &module,
+                  std::string &mirText) {
+  if (options.useStageCache &&
+      StageCache::global().lookupMlir(mlirStageKey(spec, config, options),
+                                      mirText))
+    return true;
+  module = prepareMlir(spec, config, mctx, options, diags);
+  if (!module)
+    return false;
+  if (options.useStageCache) {
+    mirText = mir::printModule(module->get());
+    StageCache::global().storeMlir(mlirStageKey(spec, config, options),
+                                   mirText);
+  }
+  return true;
+}
+
+/// Reparses a cached stage-1 result when a bridge stage needs the actual
+/// module. Round-trips through the mir parser (the printer's contract).
+bool ensureMirModule(std::optional<mir::OwnedModule> &module,
+                     const std::string &mirText, mir::MContext &mctx,
+                     DiagnosticEngine &diags, FlowResult &result) {
+  if (module)
+    return true;
+  telemetry::Span parseSpan("parse-cached-mlir", "flow-substage");
+  module = mir::parseModule(mirText, mctx, diags);
+  result.spans.push_back({"bridge", "parse-cached-mlir", parseSpan.finish()});
+  return module.has_value();
+}
+
 } // namespace
 
 const char *flowKindName(FlowKind kind) {
@@ -72,13 +176,17 @@ FlowResult runAdaptorFlow(const KernelSpec &spec, const KernelConfig &config,
                             "flow", flowSpanArgs(spec, FlowKind::Adaptor));
 
   // MLIR level: exactly the shared preparation both flows run, so Table 4's
-  // mlirOptMs windows compare like with like.
+  // mlirOptMs windows compare like with like. With the stage cache on, a
+  // hit serves the printed module and skips build+verify+canonicalize.
   telemetry::Span mlirSpan("mlirOpt", "flow-stage");
   mir::MContext mctx;
-  auto module = prepareMlir(spec, config, mctx, options, diags);
+  std::optional<mir::OwnedModule> module;
+  std::string mirText;
+  bool mlirOk = runMlirStage(spec, config, mctx, options, diags, module,
+                             mirText);
   result.timings.mlirOptMs = mlirSpan.finish();
   result.spans.push_back({"mlirOpt", "prepare-mlir", result.timings.mlirOptMs});
-  if (!module) {
+  if (!mlirOk) {
     result.diagnostics = diags.str();
     return result;
   }
@@ -86,52 +194,109 @@ FlowResult runAdaptorFlow(const KernelSpec &spec, const KernelConfig &config,
   // Bridge: this flow's lowering leg. The structured->scf conversion is
   // flow-specific work (the C++ flow's emitter consumes structured IR
   // directly), so it is charged to bridgeMs, mirroring how the C++ flow
-  // charges its emission leg.
+  // charges its emission leg. A cache hit replaces the whole leg with one
+  // lir parse (the module must live for synthesis and co-simulation).
   telemetry::Span bridgeSpan("bridge", "flow-stage");
-  {
-    telemetry::Span convertSpan("affine-to-scf", "flow-substage");
-    mir::MPassManager convert;
-    convert.add(mir::createAffineToScfPass());
-    convert.add(mir::createCanonicalizePass());
-    bool convertOk = convert.run(module->get(), diags);
-    result.spans.push_back({"bridge", "affine-to-scf", convertSpan.finish()});
-    if (!convertOk) {
+  std::string lirText; // bridge output text; addresses the synth stage
+  bool bridgeFromCache = false;
+  uint64_t bridgeKey = 0;
+  if (options.useStageCache) {
+    bridgeKey = adaptorBridgeKey(mirText, options);
+    StageCache::BridgeEntry entry;
+    if (StageCache::global().lookupBridge(bridgeKey, entry)) {
+      telemetry::Span restoreSpan("bridge-cache-restore", "flow-substage");
+      result.ctx = std::make_unique<lir::LContext>();
+      result.module = lir::parseModule(entry.lirText, *result.ctx, diags);
+      result.spans.push_back(
+          {"bridge", "bridge-cache-restore", restoreSpan.finish()});
+      if (!result.module) {
+        result.timings.bridgeMs = bridgeSpan.finish();
+        result.diagnostics = diags.str();
+        return result;
+      }
+      result.adaptorStats = entry.adaptorStats;
+      lirText = std::move(entry.lirText);
+      bridgeFromCache = true;
+    }
+  }
+  if (!bridgeFromCache) {
+    if (!ensureMirModule(module, mirText, mctx, diags, result)) {
       result.timings.bridgeMs = bridgeSpan.finish();
       result.diagnostics = diags.str();
       return result;
     }
-  }
-  {
-    telemetry::Span lowerSpan("lower-to-lir", "flow-substage");
-    result.ctx = std::make_unique<lir::LContext>();
-    result.module =
-        lowering::lowerToLIR(module->get(), *result.ctx, options.lowering,
-                             diags);
-    result.spans.push_back({"bridge", "lower-to-lir", lowerSpan.finish()});
-    if (!result.module) {
+    {
+      telemetry::Span convertSpan("affine-to-scf", "flow-substage");
+      mir::MPassManager convert;
+      convert.add(mir::createAffineToScfPass());
+      convert.add(mir::createCanonicalizePass());
+      bool convertOk = convert.run(module->get(), diags);
+      result.spans.push_back({"bridge", "affine-to-scf", convertSpan.finish()});
+      if (!convertOk) {
+        result.timings.bridgeMs = bridgeSpan.finish();
+        result.diagnostics = diags.str();
+        return result;
+      }
+    }
+    {
+      telemetry::Span lowerSpan("lower-to-lir", "flow-substage");
+      result.ctx = std::make_unique<lir::LContext>();
+      result.module =
+          lowering::lowerToLIR(module->get(), *result.ctx, options.lowering,
+                               diags);
+      result.spans.push_back({"bridge", "lower-to-lir", lowerSpan.finish()});
+      if (!result.module) {
+        result.timings.bridgeMs = bridgeSpan.finish();
+        result.diagnostics = diags.str();
+        return result;
+      }
+    }
+    telemetry::Span adaptorSpan("adaptor-pipeline", "flow-substage");
+    lir::PassManager pm(/*verifyEach=*/true);
+    adaptor::buildAdaptorPipeline(pm, options.adaptor);
+    // A dedicated pool per call: the batch runner's pool must never run
+    // pass tasks (TaskGroup::wait does not steal — see setConcurrency).
+    std::unique_ptr<ThreadPool> passPool;
+    if (options.passJobs > 1) {
+      passPool =
+          std::make_unique<ThreadPool>(static_cast<unsigned>(options.passJobs));
+      pm.setConcurrency(passPool.get());
+    }
+    bool adaptorOk = pm.run(*result.module, diags);
+    result.adaptorStats = pm.totalStats();
+    result.spans.push_back(
+        {"bridge", "adaptor-pipeline", adaptorSpan.finish()});
+    if (!adaptorOk) {
       result.timings.bridgeMs = bridgeSpan.finish();
       result.diagnostics = diags.str();
       return result;
     }
+    if (options.useStageCache) {
+      lirText = lir::printModule(*result.module);
+      StageCache::global().storeBridge(
+          bridgeKey, {lirText, std::string(), result.adaptorStats});
+    }
   }
-  telemetry::Span adaptorSpan("adaptor-pipeline", "flow-substage");
-  lir::PassManager pm(/*verifyEach=*/true);
-  adaptor::buildAdaptorPipeline(pm, options.adaptor);
-  bool adaptorOk = pm.run(*result.module, diags);
-  result.adaptorStats = pm.totalStats();
-  result.spans.push_back({"bridge", "adaptor-pipeline", adaptorSpan.finish()});
   result.timings.bridgeMs = bridgeSpan.finish();
-  if (!adaptorOk) {
-    result.diagnostics = diags.str();
-    return result;
-  }
 
-  // Virtual HLS.
+  // Virtual HLS. On a synth cache hit the module is left in its bridge
+  // state (backend unrolling mutates in place but preserves semantics, so
+  // co-simulation is unaffected); only accepted reports are cached.
   telemetry::Span synthSpan("synth", "flow-stage");
   vhls::SynthesisOptions synthOpts = options.synthesis;
   if (synthOpts.topFunction.empty())
     synthOpts.topFunction = spec.name;
-  result.synth = vhls::synthesize(*result.module, synthOpts, diags);
+  bool synthFromCache = false;
+  uint64_t synthKey = 0;
+  if (options.useStageCache) {
+    synthKey = StageCache::synthKey(lirText, synthOpts);
+    synthFromCache = StageCache::global().lookupSynth(synthKey, result.synth);
+  }
+  if (!synthFromCache) {
+    result.synth = vhls::synthesize(*result.module, synthOpts, diags);
+    if (options.useStageCache && result.synth.accepted)
+      StageCache::global().storeSynth(synthKey, result.synth);
+  }
   result.timings.synthMs = synthSpan.finish();
   result.spans.push_back({"synth", "vhls", result.timings.synthMs});
   result.timings.totalMs = totalSpan.finish();
@@ -151,41 +316,91 @@ FlowResult runHlsCppFlow(const KernelSpec &spec, const KernelConfig &config,
 
   telemetry::Span mlirSpan("mlirOpt", "flow-stage");
   mir::MContext mctx;
-  auto module = prepareMlir(spec, config, mctx, options, diags);
+  std::optional<mir::OwnedModule> module;
+  std::string mirText;
+  bool mlirOk = runMlirStage(spec, config, mctx, options, diags, module,
+                             mirText);
   result.timings.mlirOptMs = mlirSpan.finish();
   result.spans.push_back({"mlirOpt", "prepare-mlir", result.timings.mlirOptMs});
-  if (!module) {
+  if (!mlirOk) {
     result.diagnostics = diags.str();
     return result;
   }
 
-  // Bridge: emit C++, re-parse with the HLS frontend.
+  // Bridge: emit C++, re-parse with the HLS frontend. A cache hit
+  // restores both the emitted source (part of the result contract) and
+  // the frontend's lir module.
   telemetry::Span bridgeSpan("bridge", "flow-stage");
-  {
-    telemetry::Span emitSpan("emit-hls-cpp", "flow-substage");
-    result.hlsCpp = hlscpp::emitHlsCpp(module->get(), diags);
-    result.spans.push_back({"bridge", "emit-hls-cpp", emitSpan.finish()});
-    if (result.hlsCpp.empty()) {
+  std::string lirText;
+  bool bridgeFromCache = false;
+  uint64_t bridgeKey = 0;
+  if (options.useStageCache) {
+    bridgeKey = hlsCppBridgeKey(mirText);
+    StageCache::BridgeEntry entry;
+    if (StageCache::global().lookupBridge(bridgeKey, entry)) {
+      telemetry::Span restoreSpan("bridge-cache-restore", "flow-substage");
+      result.ctx = std::make_unique<lir::LContext>();
+      result.module = lir::parseModule(entry.lirText, *result.ctx, diags);
+      result.spans.push_back(
+          {"bridge", "bridge-cache-restore", restoreSpan.finish()});
+      if (!result.module) {
+        result.timings.bridgeMs = bridgeSpan.finish();
+        result.diagnostics = diags.str();
+        return result;
+      }
+      result.hlsCpp = std::move(entry.hlsCpp);
+      lirText = std::move(entry.lirText);
+      bridgeFromCache = true;
+    }
+  }
+  if (!bridgeFromCache) {
+    if (!ensureMirModule(module, mirText, mctx, diags, result)) {
       result.timings.bridgeMs = bridgeSpan.finish();
       result.diagnostics = diags.str();
       return result;
     }
+    {
+      telemetry::Span emitSpan("emit-hls-cpp", "flow-substage");
+      result.hlsCpp = hlscpp::emitHlsCpp(module->get(), diags);
+      result.spans.push_back({"bridge", "emit-hls-cpp", emitSpan.finish()});
+      if (result.hlsCpp.empty()) {
+        result.timings.bridgeMs = bridgeSpan.finish();
+        result.diagnostics = diags.str();
+        return result;
+      }
+    }
+    telemetry::Span frontendSpan("hls-frontend", "flow-substage");
+    result.ctx = std::make_unique<lir::LContext>();
+    result.module = hlscpp::parseHlsCpp(result.hlsCpp, *result.ctx, diags);
+    result.spans.push_back({"bridge", "hls-frontend", frontendSpan.finish()});
+    if (!result.module) {
+      result.timings.bridgeMs = bridgeSpan.finish();
+      result.diagnostics = diags.str();
+      return result;
+    }
+    if (options.useStageCache) {
+      lirText = lir::printModule(*result.module);
+      StageCache::global().storeBridge(bridgeKey,
+                                       {lirText, result.hlsCpp, {}});
+    }
   }
-  telemetry::Span frontendSpan("hls-frontend", "flow-substage");
-  result.ctx = std::make_unique<lir::LContext>();
-  result.module = hlscpp::parseHlsCpp(result.hlsCpp, *result.ctx, diags);
-  result.spans.push_back({"bridge", "hls-frontend", frontendSpan.finish()});
   result.timings.bridgeMs = bridgeSpan.finish();
-  if (!result.module) {
-    result.diagnostics = diags.str();
-    return result;
-  }
 
   telemetry::Span synthSpan("synth", "flow-stage");
   vhls::SynthesisOptions synthOpts = options.synthesis;
   if (synthOpts.topFunction.empty())
     synthOpts.topFunction = spec.name;
-  result.synth = vhls::synthesize(*result.module, synthOpts, diags);
+  bool synthFromCache = false;
+  uint64_t synthKey = 0;
+  if (options.useStageCache) {
+    synthKey = StageCache::synthKey(lirText, synthOpts);
+    synthFromCache = StageCache::global().lookupSynth(synthKey, result.synth);
+  }
+  if (!synthFromCache) {
+    result.synth = vhls::synthesize(*result.module, synthOpts, diags);
+    if (options.useStageCache && result.synth.accepted)
+      StageCache::global().storeSynth(synthKey, result.synth);
+  }
   result.timings.synthMs = synthSpan.finish();
   result.spans.push_back({"synth", "vhls", result.timings.synthMs});
   result.timings.totalMs = totalSpan.finish();

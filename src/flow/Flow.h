@@ -77,6 +77,16 @@ struct FlowOptions {
   /// backend unroll. The adaptor flow then carries pre-unrolled IR; the
   /// C++ flow emits pre-unrolled source.
   bool unrollAtMlirLevel = false;
+  /// Consult the process-global StageCache: hash each stage's input and
+  /// skip the stage when its output is already cached (incremental
+  /// recompilation). Off by default; cold-run output is identical either
+  /// way. Shared by BatchRunner jobs, the DSE evaluator and the fuzz
+  /// oracle whenever their FlowOptions enable it.
+  bool useStageCache = false;
+  /// Run lir function passes function-at-a-time on this many workers
+  /// (<=1: serial). The flow creates a dedicated pass pool per call; see
+  /// lir::PassManager::setConcurrency for the determinism contract.
+  int passJobs = 1;
 };
 
 /// The paper's direct-IR path.

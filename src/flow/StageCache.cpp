@@ -1,0 +1,154 @@
+#include "flow/StageCache.h"
+
+#include "support/Hash.h"
+#include "support/Telemetry.h"
+
+#include <mutex>
+#include <unordered_map>
+
+namespace mha::flow {
+
+namespace {
+
+telemetry::Statistic statMlirHit("flow.cache", "mlir.hit",
+                                 "MLIR-stage cache hits");
+telemetry::Statistic statMlirMiss("flow.cache", "mlir.miss",
+                                  "MLIR-stage cache misses");
+telemetry::Statistic statBridgeHit("flow.cache", "bridge.hit",
+                                   "bridge-stage cache hits");
+telemetry::Statistic statBridgeMiss("flow.cache", "bridge.miss",
+                                    "bridge-stage cache misses");
+telemetry::Statistic statSynthHit("flow.cache", "synth.hit",
+                                  "synthesis-stage cache hits");
+telemetry::Statistic statSynthMiss("flow.cache", "synth.miss",
+                                   "synthesis-stage cache misses");
+
+/// Per-stage capacity bound. Eviction is whole-map: entries are small
+/// (printed IR of benchmark kernels) and the working set of any realistic
+/// batch/DSE/fuzz run is far below the bound, so a rare full flush beats
+/// per-entry LRU bookkeeping on every hot lookup.
+constexpr size_t kMaxEntriesPerStage = 4096;
+
+template <typename Value>
+bool mapLookup(std::mutex &mutex, std::unordered_map<uint64_t, Value> &map,
+               uint64_t key, Value &out, telemetry::Statistic &hit,
+               telemetry::Statistic &miss, int64_t &hitCount,
+               int64_t &missCount) {
+  std::lock_guard<std::mutex> guard(mutex);
+  auto it = map.find(key);
+  if (it == map.end()) {
+    ++miss;
+    ++missCount;
+    return false;
+  }
+  out = it->second;
+  ++hit;
+  ++hitCount;
+  return true;
+}
+
+template <typename Value>
+void mapStore(std::mutex &mutex, std::unordered_map<uint64_t, Value> &map,
+              uint64_t key, Value value) {
+  std::lock_guard<std::mutex> guard(mutex);
+  if (map.size() >= kMaxEntriesPerStage)
+    map.clear();
+  map[key] = std::move(value);
+}
+
+} // namespace
+
+struct StageCache::Impl {
+  mutable std::mutex mutex;
+  std::unordered_map<uint64_t, std::string> mlir;
+  std::unordered_map<uint64_t, BridgeEntry> bridge;
+  std::unordered_map<uint64_t, vhls::SynthesisReport> synth;
+  Counters counters;
+};
+
+StageCache::Impl &StageCache::impl() const {
+  static Impl instance;
+  return instance;
+}
+
+StageCache &StageCache::global() {
+  static StageCache instance;
+  return instance;
+}
+
+uint64_t StageCache::synthKey(const std::string &lirText,
+                              const vhls::SynthesisOptions &options) {
+  HashBuilder hb;
+  hb.str("synth").str(lirText);
+  const vhls::TargetSpec &t = options.target;
+  hb.f64Bits(t.clockPeriodNs).i64(t.memPortsPerBank);
+  for (const auto &[fuClass, limit] : t.fuLimits)
+    hb.str(fuClass).i64(limit);
+  hb.i64(t.deviceDsp)
+      .i64(t.deviceBram)
+      .i64(t.deviceLut)
+      .i64(t.deviceFf)
+      .i64(t.lutPerState)
+      .i64(t.ffPerState);
+  hb.str(options.topFunction)
+      .boolean(options.applyUnrollDirectives)
+      .boolean(options.strictAcceptance);
+  return hb.get();
+}
+
+bool StageCache::lookupMlir(uint64_t key, std::string &mirText) {
+  Impl &i = impl();
+  return mapLookup(i.mutex, i.mlir, key, mirText, statMlirHit, statMlirMiss,
+                   i.counters.mlirHits, i.counters.mlirMisses);
+}
+
+void StageCache::storeMlir(uint64_t key, std::string mirText) {
+  Impl &i = impl();
+  mapStore(i.mutex, i.mlir, key, std::move(mirText));
+}
+
+bool StageCache::lookupBridge(uint64_t key, BridgeEntry &entry) {
+  Impl &i = impl();
+  return mapLookup(i.mutex, i.bridge, key, entry, statBridgeHit,
+                   statBridgeMiss, i.counters.bridgeHits,
+                   i.counters.bridgeMisses);
+}
+
+void StageCache::storeBridge(uint64_t key, BridgeEntry entry) {
+  Impl &i = impl();
+  mapStore(i.mutex, i.bridge, key, std::move(entry));
+}
+
+bool StageCache::lookupSynth(uint64_t key, vhls::SynthesisReport &report) {
+  Impl &i = impl();
+  return mapLookup(i.mutex, i.synth, key, report, statSynthHit, statSynthMiss,
+                   i.counters.synthHits, i.counters.synthMisses);
+}
+
+void StageCache::storeSynth(uint64_t key, vhls::SynthesisReport report) {
+  Impl &i = impl();
+  mapStore(i.mutex, i.synth, key, std::move(report));
+}
+
+StageCache::Counters StageCache::counters() const {
+  Impl &i = impl();
+  std::lock_guard<std::mutex> guard(i.mutex);
+  return i.counters;
+}
+
+void StageCache::clear() {
+  Impl &i = impl();
+  std::lock_guard<std::mutex> guard(i.mutex);
+  i.mlir.clear();
+  i.bridge.clear();
+  i.synth.clear();
+  i.counters = Counters();
+}
+
+size_t StageCache::size() const {
+  Impl &i = impl();
+  std::lock_guard<std::mutex> guard(i.mutex);
+  return i.mlir.size() + i.bridge.size() + i.synth.size();
+}
+
+} // namespace mha::flow

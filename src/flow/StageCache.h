@@ -1,0 +1,91 @@
+// StageCache.h - content-addressed incremental-recompilation cache.
+//
+// Each flow stage hashes its *input* (the printed IR it consumes plus the
+// options that shape it) into a 64-bit key and looks up the stage's
+// *output* before doing any work. Keys are content-addressed, so the
+// cache composes transitively: an edit to one kernel invalidates exactly
+// that kernel's chain from the edited stage downward, and two kernels
+// that lower to identical IR share the downstream entries.
+//
+// Three stage kinds are cached:
+//   mlir    key = H(kernel, config, MLIR-level options)
+//           value = printed mir module after the shared MLIR preparation
+//   bridge  key = H(mir text, bridge options)   [per flow kind]
+//           value = printed lir module (+ adaptor stats / emitted C++)
+//   synth   key = H(lir text, synthesis options)
+//           value = the SynthesisReport
+//
+// The cache is process-global and thread-safe: BatchRunner jobs, the DSE
+// evaluator, and the fuzz oracle all share it through FlowOptions::
+// useStageCache (off by default — a cold run's behaviour and output are
+// bit-identical with the flag off). Only successful stage runs are
+// stored; failures always re-execute so diagnostics are regenerated.
+//
+// Hit/miss counts land in the "flow.cache" statistic group (--stats) and
+// are also readable structurally via counters() for tests.
+#pragma once
+
+#include "lir/PassManager.h"
+#include "vhls/Vhls.h"
+
+#include <cstdint>
+#include <string>
+
+namespace mha::flow {
+
+class StageCache {
+public:
+  /// The shared process-wide instance every flow uses.
+  static StageCache &global();
+
+  /// Bridge-stage output: the flow-specific leg from mir text to HLS-ready
+  /// lir text. The adaptor flow fills `adaptorStats`; the C++ flow fills
+  /// `hlsCpp` (the emitted source, part of its FlowResult contract).
+  struct BridgeEntry {
+    std::string lirText;
+    std::string hlsCpp;
+    lir::PassStats adaptorStats;
+  };
+
+  /// Structural hit/miss snapshot (mirrors the "flow.cache" statistics).
+  struct Counters {
+    int64_t mlirHits = 0, mlirMisses = 0;
+    int64_t bridgeHits = 0, bridgeMisses = 0;
+    int64_t synthHits = 0, synthMisses = 0;
+    int64_t hits() const { return mlirHits + bridgeHits + synthHits; }
+    int64_t misses() const { return mlirMisses + bridgeMisses + synthMisses; }
+  };
+
+  bool lookupMlir(uint64_t key, std::string &mirText);
+  void storeMlir(uint64_t key, std::string mirText);
+
+  bool lookupBridge(uint64_t key, BridgeEntry &entry);
+  void storeBridge(uint64_t key, BridgeEntry entry);
+
+  bool lookupSynth(uint64_t key, vhls::SynthesisReport &report);
+  void storeSynth(uint64_t key, vhls::SynthesisReport report);
+
+  /// Synth-stage key: the printed pre-synthesis lir module plus every
+  /// synthesis option (field by field — extend when SynthesisOptions
+  /// grows). Shared so the flows and the fuzz oracle address the same
+  /// entries for identical modules.
+  static uint64_t synthKey(const std::string &lirText,
+                           const vhls::SynthesisOptions &options);
+
+  Counters counters() const;
+
+  /// Drops every entry and zeroes the structural counters (tests; the
+  /// "flow.cache" statistics follow the global telemetry reset instead).
+  void clear();
+
+  /// Total cached entries across all three stage maps.
+  size_t size() const;
+
+private:
+  StageCache() = default;
+
+  struct Impl;
+  Impl &impl() const;
+};
+
+} // namespace mha::flow

@@ -8,11 +8,13 @@
 #include "fuzz/Oracle.h"
 
 #include "adaptor/Adaptor.h"
+#include "flow/StageCache.h"
 #include "hlscpp/Emitter.h"
 #include "hlscpp/Frontend.h"
 #include "interp/Interp.h"
 #include "lir/LContext.h"
 #include "lir/Parser.h"
+#include "lir/Printer.h"
 #include "lir/PassManager.h"
 #include "lir/Verifier.h"
 #include "lir/transforms/Transforms.h"
@@ -169,11 +171,25 @@ OracleResult checkKernel(const Program &program,
     return *failure;
 
   // Leg 4: the virtual HLS backend must accept what the adaptor produced.
+  // This leg is a pure function of the module + options, so it can share
+  // the flow stage cache (generated programs often collapse to identical
+  // post-adaptor IR).
   if (options.runVhls) {
     vhls::SynthesisOptions synthOpts;
     synthOpts.topFunction = spec.name;
-    vhls::SynthesisReport report =
-        vhls::synthesize(*lowered, synthOpts, diags);
+    uint64_t synthKey = 0;
+    vhls::SynthesisReport report;
+    bool cached = false;
+    if (options.useStageCache) {
+      synthKey =
+          flow::StageCache::synthKey(lir::printModule(*lowered), synthOpts);
+      cached = flow::StageCache::global().lookupSynth(synthKey, report);
+    }
+    if (!cached) {
+      report = vhls::synthesize(*lowered, synthOpts, diags);
+      if (options.useStageCache && report.accepted)
+        flow::StageCache::global().storeSynth(synthKey, report);
+    }
     if (!report.accepted)
       return fail(FailureKind::FlowError, "vhls",
                   "synthesis rejected: " + diags.str());

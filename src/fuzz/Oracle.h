@@ -58,6 +58,11 @@ struct OracleOptions {
   bool runHlsCppLeg = true;
   /// Run the O2-lite transform differential (ir mode, UB-free programs).
   bool runTransforms = true;
+  /// Share the process-global flow StageCache for the synthesis leg: two
+  /// programs whose post-adaptor IR prints identically skip the second
+  /// synthesis. Only the pure backend leg is cached — the differential
+  /// stages must always execute to attribute divergences.
+  bool useStageCache = false;
   /// Test hook: mutate the post-adaptor module before co-simulation (the
   /// oracle/reducer tests plant a miscompile here and must catch it).
   std::function<void(lir::Module &)> mutateAdaptorModule;

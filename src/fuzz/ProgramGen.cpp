@@ -22,6 +22,7 @@
 #include "mir/Builder.h"
 #include "mir/MContext.h"
 #include "mir/transforms/MirTransforms.h"
+#include "support/Json.h"
 #include "support/IntMath.h"
 #include "support/StringUtils.h"
 
@@ -172,7 +173,8 @@ std::string describeF(const Program &p, int idx) {
   case FExpr::Kind::LoadOut:
     return "Out[.]";
   case FExpr::Kind::ConstF:
-    return strfmt("%g", e.cst);
+    // Locale-independent (%g prints ',' decimals under e.g. de_DE).
+    return json::shortestDouble(e.cst);
   case FExpr::Kind::FromInt:
     return "int2fp(" + describeI(p, e.iexpr) + ")";
   case FExpr::Kind::Add:

@@ -1,11 +1,13 @@
 #include "hlscpp/Emitter.h"
 
 #include "mir/MContext.h"
+#include "support/Json.h"
 #include "support/StringUtils.h"
 
 #include <cmath>
 #include <map>
 #include <sstream>
+#include <unordered_map>
 
 namespace mha::hlscpp {
 
@@ -195,7 +197,8 @@ private:
         else if (std::isinf(v))
           text = v < 0 ? "-INFINITY" : "INFINITY";
         else
-          text = v == std::floor(v) ? strfmt("%.1f", v) : strfmt("%.17g", v);
+          // Shortest round-trip form; locale-independent unlike %f/%g.
+          text = json::shortestDouble(v);
         emitAssign(op, text);
       }
       return;
@@ -354,7 +357,9 @@ private:
 
   DiagnosticEngine &diags_;
   std::ostringstream os_;
-  std::map<mir::Value *, std::string> names_;
+  // Pointer-keyed and lookup-only — never iterate (pointer order is
+  // non-deterministic); emission order always follows the IR.
+  std::unordered_map<mir::Value *, std::string> names_;
   unsigned next_ = 0;
   unsigned loopId_ = 0;
   unsigned copyId_ = 0;

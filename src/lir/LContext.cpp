@@ -1,10 +1,14 @@
 #include "lir/LContext.h"
 
 #include "lir/Constants.h"
+#include "support/Arena.h"
+#include "support/Hash.h"
 #include "support/StringUtils.h"
 
+#include <atomic>
 #include <cassert>
 #include <cstring>
+#include <unordered_map>
 
 namespace mha::lir {
 
@@ -21,30 +25,57 @@ struct LContext::Impl {
       : voidTy(ctx, Type::Kind::Void), labelTy(ctx, Type::Kind::Label),
         floatTy(ctx, Type::Kind::Float), doubleTy(ctx, Type::Kind::Double) {}
 
+  BumpAllocator arena;
+
   SimpleType voidTy;
   SimpleType labelTy;
   SimpleType floatTy;
   SimpleType doubleTy;
 
-  std::map<unsigned, std::unique_ptr<IntType>> intTypes;
-  std::map<Type *, std::unique_ptr<PointerType>> ptrTypes;
-  std::unique_ptr<PointerType> opaquePtr;
-  std::map<std::pair<Type *, uint64_t>, std::unique_ptr<ArrayType>> arrayTypes;
-  std::vector<std::unique_ptr<StructType>> structTypes;
-  std::vector<std::unique_ptr<FunctionType>> fnTypes;
+  // Every uniquing method locks this so parallel function passes can
+  // create constants/types concurrently. Uncontended in serial mode.
+  std::mutex uniquingMutex;
+  // Guards shared-value use-lists while parallelUseLists is on.
+  std::mutex useListMutex;
+  std::atomic<bool> parallelUseLists{false};
 
-  std::map<std::pair<IntType *, int64_t>, std::unique_ptr<ConstantInt>>
-      intConsts;
-  // Keyed by bit pattern, not value: NaN never orders against other keys,
-  // so a std::map keyed on double treats NaN as equivalent to whatever it
-  // happens to be compared with, aliasing constFP(NaN) to an existing
-  // constant.
-  std::map<std::pair<Type *, uint64_t>, std::unique_ptr<ConstantFP>> fpConsts;
-  std::map<Type *, std::unique_ptr<UndefValue>> undefs;
+  std::unordered_map<unsigned, IntType *> intTypes;
+  std::unordered_map<Type *, PointerType *> ptrTypes;
+  PointerType *opaquePtr = nullptr;
+  // Composite-key maps use an FNV hash of the structure -> candidate
+  // list, verified structurally on each hit (collisions stay correct).
+  std::unordered_map<uint64_t, std::vector<ArrayType *>> arrayTypes;
+  std::unordered_map<uint64_t, std::vector<StructType *>> structTypes;
+  std::unordered_map<uint64_t, std::vector<FunctionType *>> fnTypes;
+
+  std::unordered_map<uint64_t, std::vector<ConstantInt *>> intConsts;
+  // Keyed by bit pattern, not value: keying on the double itself aliases
+  // every NaN payload onto one node and merges +0.0/-0.0.
+  std::unordered_map<uint64_t, std::vector<ConstantFP *>> fpConsts;
+  std::unordered_map<Type *, UndefValue *> undefs;
 };
+
+template <typename T, typename... Args> T *LContext::alloc(Args &&...args) {
+  void *mem = impl_->arena.allocate(sizeof(T), alignof(T));
+  T *obj = new (mem) T(std::forward<Args>(args)...);
+  impl_->arena.registerDestructor(obj);
+  return obj;
+}
 
 LContext::LContext() : impl_(std::make_unique<Impl>(*this)) {}
 LContext::~LContext() = default;
+
+void LContext::setParallelUseLists(bool enabled) {
+  impl_->parallelUseLists.store(enabled, std::memory_order_release);
+}
+
+bool LContext::parallelUseLists() const {
+  return impl_->parallelUseLists.load(std::memory_order_acquire);
+}
+
+std::mutex &LContext::useListMutex() { return impl_->useListMutex; }
+
+size_t LContext::arenaBytes() const { return impl_->arena.bytesAllocated(); }
 
 Type *LContext::voidTy() { return &impl_->voidTy; }
 Type *LContext::labelTy() { return &impl_->labelTy; }
@@ -53,49 +84,68 @@ Type *LContext::doubleTy() { return &impl_->doubleTy; }
 
 IntType *LContext::intTy(unsigned width) {
   assert(width >= 1 && width <= 64 && "unsupported integer width");
+  std::lock_guard<std::mutex> lock(impl_->uniquingMutex);
   auto &slot = impl_->intTypes[width];
   if (!slot)
-    slot.reset(new IntType(*this, width));
-  return slot.get();
+    slot = alloc<IntType>(*this, width);
+  return slot;
 }
 
 PointerType *LContext::ptrTy(Type *pointee) {
   assert(pointee && "use opaquePtrTy() for opaque pointers");
+  std::lock_guard<std::mutex> lock(impl_->uniquingMutex);
   auto &slot = impl_->ptrTypes[pointee];
   if (!slot)
-    slot.reset(new PointerType(*this, pointee));
-  return slot.get();
+    slot = alloc<PointerType>(*this, pointee);
+  return slot;
 }
 
 PointerType *LContext::opaquePtrTy() {
+  std::lock_guard<std::mutex> lock(impl_->uniquingMutex);
   if (!impl_->opaquePtr)
-    impl_->opaquePtr.reset(new PointerType(*this, nullptr));
-  return impl_->opaquePtr.get();
+    impl_->opaquePtr = alloc<PointerType>(*this, nullptr);
+  return impl_->opaquePtr;
 }
 
 ArrayType *LContext::arrayTy(Type *element, uint64_t count) {
-  auto &slot = impl_->arrayTypes[{element, count}];
-  if (!slot)
-    slot.reset(new ArrayType(*this, element, count));
-  return slot.get();
+  std::lock_guard<std::mutex> lock(impl_->uniquingMutex);
+  uint64_t key = HashBuilder().pointer(element).u64(count).get();
+  auto &bucket = impl_->arrayTypes[key];
+  for (ArrayType *at : bucket)
+    if (at->element() == element && at->numElements() == count)
+      return at;
+  bucket.push_back(alloc<ArrayType>(*this, element, count));
+  return bucket.back();
 }
 
 StructType *LContext::structTy(std::string name, std::vector<Type *> fields) {
   // Structs are uniqued by structural equality (name is cosmetic).
-  for (auto &st : impl_->structTypes)
+  std::lock_guard<std::mutex> lock(impl_->uniquingMutex);
+  HashBuilder h;
+  h.str(name).u64(fields.size());
+  for (Type *f : fields)
+    h.pointer(f);
+  auto &bucket = impl_->structTypes[h.get()];
+  for (StructType *st : bucket)
     if (st->fields() == fields && st->name() == name)
-      return st.get();
-  impl_->structTypes.emplace_back(
-      new StructType(*this, std::move(name), std::move(fields)));
-  return impl_->structTypes.back().get();
+      return st;
+  bucket.push_back(
+      alloc<StructType>(*this, std::move(name), std::move(fields)));
+  return bucket.back();
 }
 
 FunctionType *LContext::fnTy(Type *ret, std::vector<Type *> params) {
-  for (auto &ft : impl_->fnTypes)
+  std::lock_guard<std::mutex> lock(impl_->uniquingMutex);
+  HashBuilder h;
+  h.pointer(ret).u64(params.size());
+  for (Type *p : params)
+    h.pointer(p);
+  auto &bucket = impl_->fnTypes[h.get()];
+  for (FunctionType *ft : bucket)
     if (ft->returnType() == ret && ft->paramTypes() == params)
-      return ft.get();
-  impl_->fnTypes.emplace_back(new FunctionType(*this, ret, std::move(params)));
-  return impl_->fnTypes.back().get();
+      return ft;
+  bucket.push_back(alloc<FunctionType>(*this, ret, std::move(params)));
+  return bucket.back();
 }
 
 ConstantInt *LContext::constInt(IntType *type, int64_t value) {
@@ -107,10 +157,14 @@ ConstantInt *LContext::constInt(IntType *type, int64_t value) {
     uint64_t sign = uint64_t(1) << (type->width() - 1);
     value = static_cast<int64_t>((bits ^ sign) - sign);
   }
-  auto &slot = impl_->intConsts[{type, value}];
-  if (!slot)
-    slot.reset(new ConstantInt(type, value));
-  return slot.get();
+  std::lock_guard<std::mutex> lock(impl_->uniquingMutex);
+  uint64_t key = HashBuilder().pointer(type).i64(value).get();
+  auto &bucket = impl_->intConsts[key];
+  for (ConstantInt *c : bucket)
+    if (c->type() == type && c->value() == value)
+      return c;
+  bucket.push_back(alloc<ConstantInt>(type, value));
+  return bucket.back();
 }
 
 ConstantInt *LContext::constI1(bool value) {
@@ -130,17 +184,25 @@ ConstantFP *LContext::constFP(Type *type, double value) {
   uint64_t bits;
   static_assert(sizeof(bits) == sizeof(value));
   std::memcpy(&bits, &value, sizeof(bits));
-  auto &slot = impl_->fpConsts[{type, bits}];
-  if (!slot)
-    slot.reset(new ConstantFP(type, value));
-  return slot.get();
+  std::lock_guard<std::mutex> lock(impl_->uniquingMutex);
+  uint64_t key = HashBuilder().pointer(type).u64(bits).get();
+  auto &bucket = impl_->fpConsts[key];
+  for (ConstantFP *c : bucket) {
+    uint64_t cbits;
+    std::memcpy(&cbits, &c->value_, sizeof(cbits));
+    if (c->type() == type && cbits == bits)
+      return c;
+  }
+  bucket.push_back(alloc<ConstantFP>(type, value));
+  return bucket.back();
 }
 
 UndefValue *LContext::undef(Type *type) {
+  std::lock_guard<std::mutex> lock(impl_->uniquingMutex);
   auto &slot = impl_->undefs[type];
   if (!slot)
-    slot.reset(new UndefValue(type));
-  return slot.get();
+    slot = alloc<UndefValue>(type);
+  return slot;
 }
 
 // --- Type methods that need full definitions ---

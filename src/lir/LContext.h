@@ -1,11 +1,18 @@
 // LContext.h - owns and uniques MiniLLVM types and constants.
+//
+// Uniquing is hash-based (FNV composite keys into unordered maps with
+// structural verification) and node storage is a bump-pointer arena.
+// Uniquing methods are guarded by an internal mutex so per-function
+// parallel passes may create constants concurrently; the use-lists of
+// context-owned values (constants, functions) are additionally guarded
+// while parallel use-lists are enabled (see setParallelUseLists).
 #pragma once
 
 #include "lir/Type.h"
 
-#include <map>
+#include <cstddef>
 #include <memory>
-#include <tuple>
+#include <mutex>
 #include <vector>
 
 namespace mha::lir {
@@ -52,8 +59,26 @@ public:
   /// pointers; the MLIR lowering sets this, the adaptor clears it.
   bool emitOpaquePointers = true;
 
+  /// Shared-value use-list locking. Mutating the use-list of a value that
+  /// is visible to more than one function (constants, undef, functions)
+  /// races when function passes run in parallel; the pass manager enables
+  /// this around parallel sections and Use::set takes useListMutex() for
+  /// shared values while it is on. Off by default: serial compilation
+  /// pays no locking cost.
+  void setParallelUseLists(bool enabled);
+  bool parallelUseLists() const;
+  std::mutex &useListMutex();
+
+  /// Bytes currently held by the uniquing arena (telemetry/tests).
+  size_t arenaBytes() const;
+
 private:
   struct Impl;
+
+  /// Placement-constructs a node in the arena (nodes' constructors are
+  /// private with `friend class LContext`).
+  template <typename T, typename... Args> T *alloc(Args &&...args);
+
   std::unique_ptr<Impl> impl_;
 };
 

@@ -3,6 +3,7 @@
 #include "lir/Constants.h"
 #include "lir/Function.h"
 #include "lir/LContext.h"
+#include "support/Json.h"
 #include "support/StringUtils.h"
 
 #include <cmath>
@@ -13,9 +14,9 @@ namespace mha::lir {
 namespace {
 
 std::string fpLiteral(double v) {
-  if (v == std::floor(v) && std::abs(v) < 1e15 && std::isfinite(v))
-    return strfmt("%.1f", v);
-  return strfmt("%.17g", v);
+  // Shortest round-trip form, locale-independent ('%f'/'%g' honour
+  // LC_NUMERIC and break reparse under comma-decimal locales).
+  return json::shortestDouble(v);
 }
 
 } // namespace

@@ -56,6 +56,12 @@ public:
            kind_ == Kind::Undef;
   }
 
+  /// True for values visible to more than one function (context-owned
+  /// constants and functions themselves). Their use-lists are the only
+  /// cross-function shared mutable state, so parallel function passes
+  /// serialize mutations of them (see LContext::setParallelUseLists).
+  bool isShared() const { return isConstant() || kind_ == Kind::Function; }
+
 protected:
   Value(Kind kind, Type *type) : kind_(kind), type_(type) {}
 
@@ -80,17 +86,11 @@ public:
   User *user() const { return user_; }
   unsigned index() const { return index_; }
 
-  void set(Value *value) {
-    if (value_ == value)
-      return;
-    if (value_) {
-      auto &uses = value_->uses_;
-      uses.erase(std::find(uses.begin(), uses.end(), this));
-    }
-    value_ = value;
-    if (value_)
-      value_->uses_.push_back(this);
-  }
+  /// Retargets this edge. Out-of-line: when the old or new value is
+  /// shared across functions (constant, function) and parallel use-lists
+  /// are enabled on its context, the mutation takes the context's
+  /// use-list mutex.
+  void set(Value *value);
 
 private:
   friend class User;

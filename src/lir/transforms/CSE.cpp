@@ -38,22 +38,14 @@ CSEKey keyOf(const Instruction &inst) {
           inst.sourceElemType(), std::move(ops)};
 }
 
-class CSE : public ModulePass {
+class CSE : public FunctionPass {
 public:
   std::string name() const override { return "cse"; }
 
-  bool run(Module &module, PassStats &stats, DiagnosticEngine &) override {
-    bool changed = false;
-    for (Function *fn : module.functions()) {
-      if (fn->isDeclaration())
-        continue;
-      changed |= runOnFunction(*fn, stats);
-    }
-    return changed;
-  }
-
-private:
-  bool runOnFunction(Function &fn, PassStats &stats) {
+  bool runOnFunction(Function &fn, PassStats &stats,
+                     DiagnosticEngine &) override {
+    if (fn.isDeclaration())
+      return false;
     DominatorTree domTree(fn);
     std::map<BasicBlock *, std::vector<BasicBlock *>> domChildren;
     for (BasicBlock *bb : domTree.rpo())

@@ -9,27 +9,26 @@ namespace {
 telemetry::Statistic numRemoved("dce", "removed",
                                 "dead instructions removed");
 
-class DCE : public ModulePass {
+class DCE : public FunctionPass {
 public:
   std::string name() const override { return "dce"; }
 
-  bool run(Module &module, PassStats &stats, DiagnosticEngine &) override {
+  bool runOnFunction(Function &fn, PassStats &stats,
+                     DiagnosticEngine &) override {
     bool changed = false;
-    for (Function *fn : module.functions()) {
-      bool local = true;
-      while (local) {
-        local = false;
-        for (BasicBlock *bb : fn->blockPtrs()) {
-          std::vector<Instruction *> dead;
-          for (auto &inst : *bb)
-            if (!inst->hasUses() && !inst->hasSideEffects())
-              dead.push_back(inst.get());
-          for (Instruction *inst : dead) {
-            inst->eraseFromParent();
-            stats["dce.removed"]++;
-            ++numRemoved;
-            local = changed = true;
-          }
+    bool local = true;
+    while (local) {
+      local = false;
+      for (BasicBlock *bb : fn.blockPtrs()) {
+        std::vector<Instruction *> dead;
+        for (auto &inst : *bb)
+          if (!inst->hasUses() && !inst->hasSideEffects())
+            dead.push_back(inst.get());
+        for (Instruction *inst : dead) {
+          inst->eraseFromParent();
+          stats["dce.removed"]++;
+          ++numRemoved;
+          local = changed = true;
         }
       }
     }

@@ -112,29 +112,27 @@ bool evalICmp(CmpPred pred, int64_t a, int64_t b) {
   }
 }
 
-class InstCombine : public ModulePass {
+class InstCombine : public FunctionPass {
 public:
   std::string name() const override { return "instcombine"; }
 
-  bool run(Module &module, PassStats &stats, DiagnosticEngine &) override {
-    ctx_ = &module.context();
+  bool runOnFunction(Function &fn, PassStats &stats,
+                     DiagnosticEngine &) override {
     bool changed = false;
-    for (Function *fn : module.functions()) {
-      bool local = true;
-      while (local) {
-        local = false;
-        for (BasicBlock *bb : fn->blockPtrs()) {
-          for (auto &instPtr : *bb) {
-            Instruction *inst = instPtr.get();
-            if (Value *folded = simplify(inst)) {
-              inst->replaceAllUsesWith(folded);
-              stats["instcombine.simplified"]++;
-              local = changed = true;
-            }
+    bool local = true;
+    while (local) {
+      local = false;
+      for (BasicBlock *bb : fn.blockPtrs()) {
+        for (auto &instPtr : *bb) {
+          Instruction *inst = instPtr.get();
+          if (Value *folded = simplify(inst)) {
+            inst->replaceAllUsesWith(folded);
+            stats["instcombine.simplified"]++;
+            local = changed = true;
           }
-          if (local)
-            break; // instruction list may have stale iteration state
         }
+        if (local)
+          break; // instruction list may have stale iteration state
       }
     }
     return changed;
@@ -144,6 +142,9 @@ private:
   Value *simplify(Instruction *inst) {
     if (inst->hasUses() == false && !inst->hasSideEffects())
       return nullptr; // DCE's job
+    // Derive the context per call: a ctx_ member written from run() would
+    // be shared mutable state under parallel function-at-a-time execution.
+    LContext *ctx_ = &inst->type()->context();
     Opcode op = inst->opcode();
     if (inst->isBinaryOp())
       return simplifyBinop(inst);
@@ -215,6 +216,7 @@ private:
   }
 
   Value *simplifyBinop(Instruction *inst) {
+    LContext *ctx_ = &inst->type()->context();
     Opcode op = inst->opcode();
     Value *lhs = inst->operand(0);
     Value *rhs = inst->operand(1);
@@ -296,7 +298,6 @@ private:
     return nullptr;
   }
 
-  LContext *ctx_ = nullptr;
 };
 
 } // namespace

@@ -13,25 +13,24 @@ namespace {
 telemetry::Statistic numHoisted("licm", "hoisted",
                                 "loop-invariant instructions hoisted");
 
-class LICM : public ModulePass {
+class LICM : public FunctionPass {
 public:
   std::string name() const override { return "licm"; }
 
-  bool run(Module &module, PassStats &stats, DiagnosticEngine &) override {
+  bool runOnFunction(Function &fn, PassStats &stats,
+                     DiagnosticEngine &) override {
+    if (fn.isDeclaration())
+      return false;
     bool changed = false;
-    for (Function *fn : module.functions()) {
-      if (fn->isDeclaration())
-        continue;
-      // Hoisting can enable more hoisting in enclosing loops; iterate.
-      bool local = true;
-      while (local) {
-        local = false;
-        DominatorTree domTree(*fn);
-        LoopInfo loopInfo(*fn, domTree);
-        for (const auto &loop : loopInfo.loops())
-          local |= hoistFromLoop(*loop, stats);
-        changed |= local;
-      }
+    // Hoisting can enable more hoisting in enclosing loops; iterate.
+    bool local = true;
+    while (local) {
+      local = false;
+      DominatorTree domTree(fn);
+      LoopInfo loopInfo(fn, domTree);
+      for (const auto &loop : loopInfo.loops())
+        local |= hoistFromLoop(*loop, stats);
+      changed |= local;
     }
     return changed;
   }

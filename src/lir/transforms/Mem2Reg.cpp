@@ -40,22 +40,14 @@ bool isPromotable(const Instruction &alloca) {
   return true;
 }
 
-class Mem2Reg : public ModulePass {
+class Mem2Reg : public FunctionPass {
 public:
   std::string name() const override { return "mem2reg"; }
 
-  bool run(Module &module, PassStats &stats, DiagnosticEngine &) override {
-    bool changed = false;
-    for (Function *fn : module.functions()) {
-      if (fn->isDeclaration())
-        continue;
-      changed |= runOnFunction(*fn, stats);
-    }
-    return changed;
-  }
-
-private:
-  bool runOnFunction(Function &fn, PassStats &stats) {
+  bool runOnFunction(Function &fn, PassStats &stats,
+                     DiagnosticEngine &) override {
+    if (fn.isDeclaration())
+      return false;
     std::vector<Instruction *> allocas;
     for (auto &inst : *fn.entry())
       if (inst->opcode() == Opcode::Alloca && isPromotable(*inst))

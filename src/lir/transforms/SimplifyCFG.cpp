@@ -9,18 +9,17 @@ namespace mha::lir {
 
 namespace {
 
-class SimplifyCFG : public ModulePass {
+class SimplifyCFG : public FunctionPass {
 public:
   std::string name() const override { return "simplifycfg"; }
 
-  bool run(Module &module, PassStats &stats, DiagnosticEngine &) override {
+  bool runOnFunction(Function &fn, PassStats &stats,
+                     DiagnosticEngine &) override {
+    if (fn.isDeclaration())
+      return false;
     bool changed = false;
-    for (Function *fn : module.functions()) {
-      if (fn->isDeclaration())
-        continue;
-      while (runOnce(*fn, stats))
-        changed = true;
-    }
+    while (runOnce(fn, stats))
+      changed = true;
     return changed;
   }
 

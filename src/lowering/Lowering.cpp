@@ -7,6 +7,7 @@
 #include "support/StringUtils.h"
 
 #include <map>
+#include <unordered_map>
 
 namespace mha::lowering {
 
@@ -541,8 +542,12 @@ private:
   LoweringOptions options_;
   DiagnosticEngine &diags_;
   lir::Function *fnOut_ = nullptr;
-  std::map<mir::Value *, lir::Value *> valueMap_;
-  std::map<mir::Value *, LoweredMemRef> memrefs_;
+  // Pointer-keyed and lookup-only — never iterate these: iteration order
+  // would follow allocation addresses and vary run to run. Anything that
+  // needs an ordered walk must go through the mir function's own
+  // operation order instead.
+  std::unordered_map<mir::Value *, lir::Value *> valueMap_;
+  std::unordered_map<mir::Value *, LoweredMemRef> memrefs_;
 };
 
 } // namespace

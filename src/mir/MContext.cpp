@@ -1,10 +1,13 @@
 #include "mir/MContext.h"
 
+#include "support/Arena.h"
 #include "support/Compiler.h"
+#include "support/Hash.h"
 #include "support/StringUtils.h"
+#include "support/Json.h"
 
-#include <map>
-#include <tuple>
+#include <cstring>
+#include <unordered_map>
 #include <vector>
 
 namespace mha::mir {
@@ -14,37 +17,88 @@ class SimpleMType : public Type {
 public:
   SimpleMType(MContext &ctx, Kind kind) : Type(ctx, kind) {}
 };
+
+/// Key for the affine-expression uniquing map: leaves carry (tag, value),
+/// binaries carry (tag, lhs, rhs) over already-uniqued operands.
+struct AffineKey {
+  int tag;
+  int64_t value;
+  const AffineExpr *lhs;
+  const AffineExpr *rhs;
+
+  bool operator==(const AffineKey &o) const {
+    return tag == o.tag && value == o.value && lhs == o.lhs && rhs == o.rhs;
+  }
+};
+
+struct AffineKeyHash {
+  size_t operator()(const AffineKey &k) const {
+    return HashBuilder()
+        .u32(static_cast<uint32_t>(k.tag))
+        .i64(k.value)
+        .pointer(k.lhs)
+        .pointer(k.rhs)
+        .get();
+  }
+};
+
+uint64_t bitsOf(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
 } // namespace
 
 struct MContext::Impl {
   explicit Impl(MContext &ctx)
       : indexTy(ctx, Type::Kind::Index), noneTy(ctx, Type::Kind::None),
-        f32Ty(ctx, Type::Kind::Float), f64Ty(ctx, Type::Kind::Double) {}
+        f32Ty(ctx, Type::Kind::Float), f64Ty(ctx, Type::Kind::Double),
+        interner(arena) {}
 
+  BumpAllocator arena;
   SimpleMType indexTy, noneTy, f32Ty, f64Ty;
-  std::map<unsigned, std::unique_ptr<IntegerType>> intTypes;
-  std::vector<std::unique_ptr<MemRefType>> memrefTypes;
-  std::vector<std::unique_ptr<FunctionType>> fnTypes;
+  StringInterner interner;
 
-  std::map<int64_t, std::unique_ptr<IntegerAttr>> intAttrs;
-  std::map<double, std::unique_ptr<FloatAttr>> floatAttrs;
-  std::map<std::string, std::unique_ptr<StringAttr>> stringAttrs;
-  std::map<Type *, std::unique_ptr<TypeAttr>> typeAttrs;
-  std::vector<std::unique_ptr<ArrayAttr>> arrayAttrs;
-  std::vector<std::unique_ptr<AffineMapAttr>> mapAttrs;
-  std::unique_ptr<UnitAttr> unitAttr;
+  std::unordered_map<unsigned, IntegerType *> intTypes;
+  // Composite-key uniquing: FNV hash of the structure -> candidate list,
+  // with structural verification on every hit so hash collisions stay
+  // correct (just slower).
+  std::unordered_map<uint64_t, std::vector<MemRefType *>> memrefTypes;
+  std::unordered_map<uint64_t, std::vector<FunctionType *>> fnTypes;
 
-  std::vector<std::unique_ptr<AffineExpr>> affineExprs;
-  std::map<std::tuple<int, int64_t, const AffineExpr *, const AffineExpr *>,
-           const AffineExpr *>
+  std::unordered_map<int64_t, IntegerAttr *> intAttrs;
+  // Keyed on the bit pattern, not the double: a double-keyed map aliases
+  // every NaN payload onto one node and merges +0.0/-0.0.
+  std::unordered_map<uint64_t, FloatAttr *> floatAttrs;
+  // Keyed on views into each attr's own (arena-pinned) storage.
+  std::unordered_map<std::string_view, StringAttr *> stringAttrs;
+  std::unordered_map<Type *, TypeAttr *> typeAttrs;
+  std::unordered_map<uint64_t, std::vector<ArrayAttr *>> arrayAttrs;
+  std::unordered_map<uint64_t, std::vector<AffineMapAttr *>> mapAttrs;
+  UnitAttr *unitAttr = nullptr;
+
+  std::unordered_map<AffineKey, const AffineExpr *, AffineKeyHash>
       affineUnique;
 
-  const AffineExpr *makeBinary(AffineExpr::Kind kind, const AffineExpr *lhs,
-                               const AffineExpr *rhs);
+  const AffineExpr *makeBinary(MContext &ctx, AffineExpr::Kind kind,
+                               const AffineExpr *lhs, const AffineExpr *rhs);
 };
+
+template <typename T, typename... Args> T *MContext::alloc(Args &&...args) {
+  void *mem = impl_->arena.allocate(sizeof(T), alignof(T));
+  T *obj = new (mem) T(std::forward<Args>(args)...);
+  impl_->arena.registerDestructor(obj);
+  return obj;
+}
 
 MContext::MContext() : impl_(std::make_unique<Impl>(*this)) {}
 MContext::~MContext() = default;
+
+std::string_view MContext::internString(std::string_view s) {
+  return impl_->interner.intern(s);
+}
+
+size_t MContext::arenaBytes() const { return impl_->arena.bytesAllocated(); }
 
 Type *MContext::indexTy() { return &impl_->indexTy; }
 Type *MContext::noneTy() { return &impl_->noneTy; }
@@ -54,111 +108,135 @@ Type *MContext::f64() { return &impl_->f64Ty; }
 IntegerType *MContext::intTy(unsigned width) {
   auto &slot = impl_->intTypes[width];
   if (!slot)
-    slot.reset(new IntegerType(*this, width));
-  return slot.get();
+    slot = alloc<IntegerType>(*this, width);
+  return slot;
 }
 
 MemRefType *MContext::memrefTy(std::vector<int64_t> shape, Type *element) {
-  for (auto &mt : impl_->memrefTypes)
+  HashBuilder h;
+  h.pointer(element).u64(shape.size());
+  for (int64_t d : shape)
+    h.i64(d);
+  auto &bucket = impl_->memrefTypes[h.get()];
+  for (MemRefType *mt : bucket)
     if (mt->shape() == shape && mt->elementType() == element)
-      return mt.get();
-  impl_->memrefTypes.emplace_back(
-      new MemRefType(*this, std::move(shape), element));
-  return impl_->memrefTypes.back().get();
+      return mt;
+  bucket.push_back(alloc<MemRefType>(*this, std::move(shape), element));
+  return bucket.back();
 }
 
 FunctionType *MContext::fnTy(std::vector<Type *> inputs,
                              std::vector<Type *> results) {
-  for (auto &ft : impl_->fnTypes)
+  HashBuilder h;
+  h.u64(inputs.size());
+  for (Type *t : inputs)
+    h.pointer(t);
+  h.u64(results.size());
+  for (Type *t : results)
+    h.pointer(t);
+  auto &bucket = impl_->fnTypes[h.get()];
+  for (FunctionType *ft : bucket)
     if (ft->inputs() == inputs && ft->results() == results)
-      return ft.get();
-  impl_->fnTypes.emplace_back(
-      new FunctionType(*this, std::move(inputs), std::move(results)));
-  return impl_->fnTypes.back().get();
+      return ft;
+  bucket.push_back(
+      alloc<FunctionType>(*this, std::move(inputs), std::move(results)));
+  return bucket.back();
 }
 
 const IntegerAttr *MContext::intAttr(int64_t value) {
   auto &slot = impl_->intAttrs[value];
   if (!slot)
-    slot.reset(new IntegerAttr(value));
-  return slot.get();
+    slot = alloc<IntegerAttr>(value);
+  return slot;
 }
 
 const FloatAttr *MContext::floatAttr(double value) {
-  auto &slot = impl_->floatAttrs[value];
+  auto &slot = impl_->floatAttrs[bitsOf(value)];
   if (!slot)
-    slot.reset(new FloatAttr(value));
-  return slot.get();
+    slot = alloc<FloatAttr>(value);
+  return slot;
 }
 
 const StringAttr *MContext::stringAttr(std::string value) {
-  auto &slot = impl_->stringAttrs[value];
-  if (!slot)
-    slot.reset(new StringAttr(value));
-  return slot.get();
+  auto it = impl_->stringAttrs.find(std::string_view(value));
+  if (it != impl_->stringAttrs.end())
+    return it->second;
+  StringAttr *attr = alloc<StringAttr>(std::move(value));
+  // The key views the attr's own string: arena nodes never move, so the
+  // view stays valid for the context's lifetime.
+  impl_->stringAttrs.emplace(std::string_view(attr->value()), attr);
+  return attr;
 }
 
 const TypeAttr *MContext::typeAttr(Type *type) {
   auto &slot = impl_->typeAttrs[type];
   if (!slot)
-    slot.reset(new TypeAttr(type));
-  return slot.get();
+    slot = alloc<TypeAttr>(type);
+  return slot;
 }
 
 const ArrayAttr *MContext::arrayAttr(std::vector<const Attribute *> value) {
-  for (auto &a : impl_->arrayAttrs)
+  HashBuilder h;
+  h.u64(value.size());
+  for (const Attribute *a : value)
+    h.pointer(a);
+  auto &bucket = impl_->arrayAttrs[h.get()];
+  for (ArrayAttr *a : bucket)
     if (a->value() == value)
-      return a.get();
-  impl_->arrayAttrs.emplace_back(new ArrayAttr(std::move(value)));
-  return impl_->arrayAttrs.back().get();
+      return a;
+  bucket.push_back(alloc<ArrayAttr>(std::move(value)));
+  return bucket.back();
 }
 
 const AffineMapAttr *MContext::affineMapAttr(AffineMap map) {
-  for (auto &a : impl_->mapAttrs)
+  HashBuilder h;
+  h.u32(map.numDims()).u32(map.numSymbols()).u64(map.results().size());
+  for (const AffineExpr *e : map.results())
+    h.pointer(e);
+  auto &bucket = impl_->mapAttrs[h.get()];
+  for (AffineMapAttr *a : bucket)
     if (a->value() == map)
-      return a.get();
-  impl_->mapAttrs.emplace_back(new AffineMapAttr(std::move(map)));
-  return impl_->mapAttrs.back().get();
+      return a;
+  bucket.push_back(alloc<AffineMapAttr>(std::move(map)));
+  return bucket.back();
 }
 
 const UnitAttr *MContext::unitAttr() {
   if (!impl_->unitAttr)
-    impl_->unitAttr.reset(new UnitAttr());
-  return impl_->unitAttr.get();
+    impl_->unitAttr = alloc<UnitAttr>();
+  return impl_->unitAttr;
 }
 
 // --- Affine expressions ---
 
 const AffineExpr *MContext::affineConst(int64_t value) {
-  auto key = std::make_tuple(0, value, nullptr, nullptr);
+  AffineKey key{0, value, nullptr, nullptr};
   auto it = impl_->affineUnique.find(key);
   if (it != impl_->affineUnique.end())
     return it->second;
-  impl_->affineExprs.emplace_back(
-      new AffineExpr(AffineExpr::Kind::Constant, value, nullptr, nullptr));
-  return impl_->affineUnique[key] = impl_->affineExprs.back().get();
+  return impl_->affineUnique[key] =
+             alloc<AffineExpr>(AffineExpr::Kind::Constant, value, nullptr,
+                               nullptr);
 }
 
 const AffineExpr *MContext::affineDim(unsigned position) {
-  auto key = std::make_tuple(1, static_cast<int64_t>(position), nullptr,
-                             nullptr);
+  AffineKey key{1, static_cast<int64_t>(position), nullptr, nullptr};
   auto it = impl_->affineUnique.find(key);
   if (it != impl_->affineUnique.end())
     return it->second;
-  impl_->affineExprs.emplace_back(
-      new AffineExpr(AffineExpr::Kind::Dim, position, nullptr, nullptr));
-  return impl_->affineUnique[key] = impl_->affineExprs.back().get();
+  return impl_->affineUnique[key] =
+             alloc<AffineExpr>(AffineExpr::Kind::Dim, position, nullptr,
+                               nullptr);
 }
 
 const AffineExpr *MContext::affineSymbol(unsigned position) {
-  auto key = std::make_tuple(2, static_cast<int64_t>(position), nullptr,
-                             nullptr);
+  AffineKey key{2, static_cast<int64_t>(position), nullptr, nullptr};
   auto it = impl_->affineUnique.find(key);
   if (it != impl_->affineUnique.end())
     return it->second;
-  impl_->affineExprs.emplace_back(
-      new AffineExpr(AffineExpr::Kind::Symbol, position, nullptr, nullptr));
-  return impl_->affineUnique[key] = impl_->affineExprs.back().get();
+  return impl_->affineUnique[key] =
+             alloc<AffineExpr>(AffineExpr::Kind::Symbol, position, nullptr,
+                               nullptr);
 }
 
 static int kindTag(AffineExpr::Kind kind) {
@@ -200,14 +278,7 @@ const AffineExpr *MContext::affineAdd(const AffineExpr *lhs,
     return rhs;
   if (rhs->isConstant() && rhs->value() == 0)
     return lhs;
-  auto key = std::make_tuple(kindTag(AffineExpr::Kind::Add), int64_t(0), lhs,
-                             rhs);
-  auto it = impl_->affineUnique.find(key);
-  if (it != impl_->affineUnique.end())
-    return it->second;
-  impl_->affineExprs.emplace_back(
-      new AffineExpr(AffineExpr::Kind::Add, 0, lhs, rhs));
-  return impl_->affineUnique[key] = impl_->affineExprs.back().get();
+  return impl_->makeBinary(*this, AffineExpr::Kind::Add, lhs, rhs);
 }
 
 const AffineExpr *MContext::affineMul(const AffineExpr *lhs,
@@ -221,46 +292,39 @@ const AffineExpr *MContext::affineMul(const AffineExpr *lhs,
   if ((lhs->isConstant() && lhs->value() == 0) ||
       (rhs->isConstant() && rhs->value() == 0))
     return affineConst(0);
-  auto key = std::make_tuple(kindTag(AffineExpr::Kind::Mul), int64_t(0), lhs,
-                             rhs);
-  auto it = impl_->affineUnique.find(key);
-  if (it != impl_->affineUnique.end())
-    return it->second;
-  impl_->affineExprs.emplace_back(
-      new AffineExpr(AffineExpr::Kind::Mul, 0, lhs, rhs));
-  return impl_->affineUnique[key] = impl_->affineExprs.back().get();
+  return impl_->makeBinary(*this, AffineExpr::Kind::Mul, lhs, rhs);
 }
 
-const AffineExpr *MContext::Impl::makeBinary(AffineExpr::Kind kind,
+const AffineExpr *MContext::Impl::makeBinary(MContext &ctx,
+                                             AffineExpr::Kind kind,
                                              const AffineExpr *lhs,
                                              const AffineExpr *rhs) {
-  auto key = std::make_tuple(kindTag(kind), int64_t(0), lhs, rhs);
+  AffineKey key{kindTag(kind), 0, lhs, rhs};
   auto it = affineUnique.find(key);
   if (it != affineUnique.end())
     return it->second;
-  affineExprs.emplace_back(new AffineExpr(kind, 0, lhs, rhs));
-  return affineUnique[key] = affineExprs.back().get();
+  return affineUnique[key] = ctx.alloc<AffineExpr>(kind, 0, lhs, rhs);
 }
 
 const AffineExpr *MContext::affineMod(const AffineExpr *lhs,
                                       const AffineExpr *rhs) {
   if (lhs->isConstant() && rhs->isConstant() && rhs->value() != 0)
     return affineConst(euclidMod(lhs->value(), rhs->value()));
-  return impl_->makeBinary(AffineExpr::Kind::Mod, lhs, rhs);
+  return impl_->makeBinary(*this, AffineExpr::Kind::Mod, lhs, rhs);
 }
 
 const AffineExpr *MContext::affineFloorDiv(const AffineExpr *lhs,
                                            const AffineExpr *rhs) {
   if (lhs->isConstant() && rhs->isConstant() && rhs->value() != 0)
     return affineConst(floorDiv(lhs->value(), rhs->value()));
-  return impl_->makeBinary(AffineExpr::Kind::FloorDiv, lhs, rhs);
+  return impl_->makeBinary(*this, AffineExpr::Kind::FloorDiv, lhs, rhs);
 }
 
 const AffineExpr *MContext::affineCeilDiv(const AffineExpr *lhs,
                                           const AffineExpr *rhs) {
   if (lhs->isConstant() && rhs->isConstant() && rhs->value() != 0)
     return affineConst(ceilDiv(lhs->value(), rhs->value()));
-  return impl_->makeBinary(AffineExpr::Kind::CeilDiv, lhs, rhs);
+  return impl_->makeBinary(*this, AffineExpr::Kind::CeilDiv, lhs, rhs);
 }
 
 // --- AffineExpr / AffineMap methods ---
@@ -406,7 +470,9 @@ std::string Attribute::str() const {
     return strfmt("%lld", static_cast<long long>(
                               static_cast<const IntegerAttr *>(this)->value()));
   case Kind::Float:
-    return strfmt("%g", static_cast<const FloatAttr *>(this)->value());
+    // Shortest round-trip form, locale-independent: %g honours LC_NUMERIC
+    // and prints "1,5" under a comma-decimal locale, breaking reparse.
+    return json::shortestDouble(static_cast<const FloatAttr *>(this)->value());
   case Kind::String:
     return "\"" + static_cast<const StringAttr *>(this)->value() + "\"";
   case Kind::Type:

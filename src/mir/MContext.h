@@ -1,10 +1,18 @@
 // MContext.h - owns and uniques MiniMLIR types, attributes, affine exprs.
+//
+// Uniquing is hash-based (FNV composite keys into unordered maps, with
+// structural verification on bucket hits) and node storage is a
+// bump-pointer arena: a context allocates slabs, hands out interned
+// pointers, and frees everything at once on destruction. An MContext is
+// single-threaded by design — each flow job owns its own context.
 #pragma once
 
 #include "mir/Attributes.h"
 #include "mir/Types.h"
 
+#include <cstddef>
 #include <memory>
+#include <string_view>
 
 namespace mha::mir {
 
@@ -49,8 +57,20 @@ public:
   const AffineExpr *affineCeilDiv(const AffineExpr *lhs,
                                   const AffineExpr *rhs);
 
+  /// Interns `s` into the context arena and returns a view that stays
+  /// valid for the context's lifetime (same contents -> same pointer).
+  std::string_view internString(std::string_view s);
+
+  /// Bytes currently held by the uniquing arena (telemetry/tests).
+  size_t arenaBytes() const;
+
 private:
   struct Impl;
+
+  /// Placement-constructs a node in the arena. Member of MContext so the
+  /// nodes' private constructors (friend class MContext) stay reachable.
+  template <typename T, typename... Args> T *alloc(Args &&...args);
+
   std::unique_ptr<Impl> impl_;
 };
 

@@ -166,9 +166,17 @@ private:
       } else if (c == '.' || c == 'e' || c == 'E' ||
                  ((c == '+' || c == '-') &&
                   (text_[pos_ - 1] == 'e' || text_[pos_ - 1] == 'E'))) {
-        // Don't swallow the 'x' of shapes like 32x32 or dims like 1.5e3.
-        if (c == '.' || std::isdigit(static_cast<unsigned char>(
-                            pos_ + 1 < text_.size() ? text_[pos_ + 1] : 'q')))
+        // Don't swallow the 'x' of shapes like 32x32 or dims like 1.5e3,
+        // but do accept a signed exponent: the shortest-round-trip
+        // printer emits forms like 1e-05.
+        char next = pos_ + 1 < text_.size() ? text_[pos_ + 1] : 'q';
+        char after = pos_ + 2 < text_.size() ? text_[pos_ + 2] : 'q';
+        bool signedExponent =
+            (c == 'e' || c == 'E') && (next == '+' || next == '-') &&
+            std::isdigit(static_cast<unsigned char>(after));
+        if (c == '.' ||
+            std::isdigit(static_cast<unsigned char>(next)) ||
+            signedExponent)
           isFloat = true;
         else
           break;

@@ -1,6 +1,7 @@
 #include "mir/Printer.h"
 
 #include "mir/Ops.h"
+#include "support/Json.h"
 #include "support/StringUtils.h"
 
 #include <algorithm>
@@ -35,12 +36,10 @@ std::string attrStr(const Attribute *attr) {
   case Attribute::Kind::Integer:
     return strfmt("%lld",
                   static_cast<long long>(cast<IntegerAttr>(attr)->value()));
-  case Attribute::Kind::Float: {
-    double v = cast<FloatAttr>(attr)->value();
-    if (v == std::floor(v) && std::isfinite(v) && std::abs(v) < 1e15)
-      return strfmt("%.1f", v);
-    return strfmt("%.17g", v);
-  }
+  case Attribute::Kind::Float:
+    // Shortest round-trip form via to_chars: exact and locale-independent
+    // (%f/%g obey LC_NUMERIC and emit ',' decimals under e.g. de_DE).
+    return json::shortestDouble(cast<FloatAttr>(attr)->value());
   case Attribute::Kind::String:
     return "\"" + cast<StringAttr>(attr)->value() + "\"";
   case Attribute::Kind::Type:

@@ -1,0 +1,151 @@
+// Arena.h - bump-pointer allocation and string interning.
+//
+// The IR contexts unique types/attrs/constants for the lifetime of the
+// context; individually heap-allocated nodes waste a malloc header and a
+// pointer chase per node and make teardown O(nodes) frees. A BumpAllocator
+// hands out pointers from large slabs and frees them all at once; nodes
+// with non-trivial members (std::string, std::vector) register a
+// destructor so the arena can still run them at teardown.
+//
+// StringInterner stores each distinct string once in the arena and hands
+// out stable string_views, so uniquing maps can key on views into the
+// interned storage instead of owning copies.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <string_view>
+#include <type_traits>
+#include <unordered_set>
+#include <vector>
+
+namespace mha {
+
+class BumpAllocator {
+public:
+  BumpAllocator() = default;
+  BumpAllocator(const BumpAllocator &) = delete;
+  BumpAllocator &operator=(const BumpAllocator &) = delete;
+  ~BumpAllocator() { reset(); }
+
+  /// Raw aligned allocation. Never returns null (new[] throws on OOM).
+  void *allocate(size_t size, size_t align) {
+    size_t cur = reinterpret_cast<uintptr_t>(ptr_);
+    size_t aligned = (cur + align - 1) & ~(align - 1);
+    size_t padding = aligned - cur;
+    if (size + padding > static_cast<size_t>(end_ - ptr_)) {
+      newSlab(size + align);
+      cur = reinterpret_cast<uintptr_t>(ptr_);
+      aligned = (cur + align - 1) & ~(align - 1);
+      padding = aligned - cur;
+    }
+    ptr_ += padding + size;
+    bytesAllocated_ += padding + size;
+    return reinterpret_cast<void *>(aligned);
+  }
+
+  /// Constructs a T in the arena. Trivially-destructible Ts cost only the
+  /// bump; others are queued for destruction at reset()/teardown.
+  template <typename T, typename... Args> T *create(Args &&...args) {
+    T *obj = new (allocate(sizeof(T), alignof(T))) T(std::forward<Args>(args)...);
+    registerDestructor(obj);
+    return obj;
+  }
+
+  /// Records `obj` (already placement-constructed in this arena) for
+  /// destruction at teardown. No-op for trivially-destructible types.
+  template <typename T> void registerDestructor(T *obj) {
+    if constexpr (!std::is_trivially_destructible_v<T>)
+      destructors_.push_back({obj, [](void *p) { static_cast<T *>(p)->~T(); }});
+  }
+
+  /// Copies `s` into the arena; the result stays valid until reset().
+  std::string_view copyString(std::string_view s) {
+    if (s.empty())
+      return {};
+    char *mem = static_cast<char *>(allocate(s.size(), 1));
+    std::memcpy(mem, s.data(), s.size());
+    return std::string_view(mem, s.size());
+  }
+
+  /// Destroys registered objects (newest first) and frees every slab.
+  void reset() {
+    for (auto it = destructors_.rbegin(); it != destructors_.rend(); ++it)
+      it->destroy(it->object);
+    destructors_.clear();
+    for (char *slab : slabs_)
+      delete[] slab;
+    slabs_.clear();
+    ptr_ = end_ = nullptr;
+    bytesAllocated_ = 0;
+  }
+
+  size_t bytesAllocated() const { return bytesAllocated_; }
+  size_t numSlabs() const { return slabs_.size(); }
+
+private:
+  void newSlab(size_t minSize) {
+    // Start at 16 KiB and double up to 1 MiB so small contexts stay small
+    // while parser-heavy ones amortise the allocations.
+    size_t size = slabs_.empty() ? kInitialSlab
+                                 : std::min(kMaxSlab, slabSize_ * 2);
+    if (size < minSize)
+      size = minSize;
+    slabSize_ = size;
+    char *slab = new char[size];
+    slabs_.push_back(slab);
+    ptr_ = slab;
+    end_ = slab + size;
+  }
+
+  static constexpr size_t kInitialSlab = 16 * 1024;
+  static constexpr size_t kMaxSlab = 1024 * 1024;
+
+  struct Destructor {
+    void *object;
+    void (*destroy)(void *);
+  };
+
+  std::vector<char *> slabs_;
+  std::vector<Destructor> destructors_;
+  char *ptr_ = nullptr;
+  char *end_ = nullptr;
+  size_t slabSize_ = kInitialSlab;
+  size_t bytesAllocated_ = 0;
+};
+
+/// Uniques strings into a BumpAllocator. intern() returns a stable view;
+/// interning the same contents twice returns the identical view (pointer
+/// equality holds), so interned strings can be compared and hashed by
+/// address where profitable.
+class StringInterner {
+public:
+  explicit StringInterner(BumpAllocator &arena) : arena_(arena) {}
+
+  std::string_view intern(std::string_view s) {
+    auto it = strings_.find(s);
+    if (it != strings_.end())
+      return *it;
+    std::string_view stored = arena_.copyString(s);
+    strings_.insert(stored);
+    return stored;
+  }
+
+  size_t size() const { return strings_.size(); }
+
+private:
+  struct Hash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>()(s);
+    }
+  };
+  BumpAllocator &arena_;
+  std::unordered_set<std::string_view, Hash, std::equal_to<>> strings_;
+};
+
+} // namespace mha

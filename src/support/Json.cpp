@@ -56,6 +56,25 @@ std::string number(double value, int precision) {
   return out;
 }
 
+std::string shortestDouble(double value) {
+  if (std::isnan(value))
+    return "nan";
+  if (std::isinf(value))
+    return value < 0 ? "-inf" : "inf";
+  char buf[64];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  (void)ec; // 64 bytes always suffice for the shortest double form
+  std::string out(buf, ptr);
+  // to_chars emits "3" / "1e+20" for integral values; IR lexers key the
+  // int/float distinction off the token shape, so force a mantissa dot
+  // when neither '.' nor an exponent is present.
+  if (out.find('.') == std::string::npos &&
+      out.find('e') == std::string::npos &&
+      out.find('E') == std::string::npos)
+    out += ".0";
+  return out;
+}
+
 namespace {
 
 /// Minimal recursive-descent checker. Only answers "is this well-formed?"

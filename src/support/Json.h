@@ -93,6 +93,14 @@ std::string escape(std::string_view s);
 /// requested precision.
 std::string number(double value, int precision = 3);
 
+/// Formats `value` in the shortest form that round-trips exactly back to
+/// the same double (std::to_chars), locale-independent: '.' is always the
+/// decimal separator, and a ".0" suffix is appended to integral values
+/// ("3" -> "3.0") so IR lexers still see a float token. Handles
+/// non-finite values as "nan"/"inf"/"-inf"; callers whose grammar cannot
+/// spell those must special-case them first.
+std::string shortestDouble(double value);
+
 /// Returns true iff `text` is one complete well-formed JSON value with
 /// nothing but whitespace around it. On failure, `*error` (when non-null)
 /// describes the first problem and its byte offset.

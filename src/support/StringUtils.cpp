@@ -14,6 +14,14 @@ std::string strfmt(const char *fmt, ...) {
   int len = std::vsnprintf(nullptr, 0, fmt, args);
   va_end(args);
   std::string out;
+  if (len < 0) {
+    // vsnprintf reports encoding errors (e.g. a malformed multibyte
+    // sequence under a UTF-8 locale) as a negative length. Returning an
+    // empty string here would silently drop diagnostics, so surface the
+    // failure in-band instead of propagating garbage.
+    va_end(argsCopy);
+    return std::string("<strfmt-error:") + fmt + ">";
+  }
   if (len > 0) {
     out.resize(static_cast<size_t>(len));
     std::vsnprintf(out.data(), out.size() + 1, fmt, argsCopy);

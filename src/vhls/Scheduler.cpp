@@ -489,6 +489,10 @@ private:
         lir::analyzeLoopDependences(accesses);
 
     // --- ResMII ---
+    // Pointer-keyed, so iteration order varies run to run; that is safe
+    // here because both loops below only max-reduce into resMII. Don't
+    // let these maps leak into report ordering (arrays_ has an explicit
+    // `order` field for that reason).
     std::map<std::pair<const lir::Value *, int64_t>, int64_t> classCount;
     std::map<const lir::Value *, int64_t> unknownCount;
     for (const lir::MemAccess &access : accesses) {

@@ -1,0 +1,281 @@
+// Incremental recompilation (StageCache) and parallel pass execution.
+//
+// The stage cache must behave like a correct memo table: a second
+// identical compile answers every stage from cache with identical
+// results, and an edit invalidates exactly the edited stage and its
+// downstream — never upstream. Parallel function-pass execution must be
+// observationally identical to serial execution (same IR, same merged
+// stats), since results are merged in deterministic function order.
+#include "flow/BatchRunner.h"
+#include "flow/Flow.h"
+#include "flow/StageCache.h"
+#include "lir/LContext.h"
+#include "lir/Parser.h"
+#include "lir/Printer.h"
+#include "lir/transforms/Transforms.h"
+#include "support/StringUtils.h"
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+using namespace mha;
+
+namespace {
+
+flow::FlowOptions cachedOptions() {
+  flow::FlowOptions options;
+  options.useStageCache = true;
+  return options;
+}
+
+const flow::KernelSpec &gemm() {
+  const flow::KernelSpec *spec = flow::findKernel("gemm");
+  EXPECT_NE(spec, nullptr);
+  return *spec;
+}
+
+flow::StageCache::Counters delta(const flow::StageCache::Counters &before) {
+  flow::StageCache::Counters now = flow::StageCache::global().counters();
+  flow::StageCache::Counters d;
+  d.mlirHits = now.mlirHits - before.mlirHits;
+  d.mlirMisses = now.mlirMisses - before.mlirMisses;
+  d.bridgeHits = now.bridgeHits - before.bridgeHits;
+  d.bridgeMisses = now.bridgeMisses - before.bridgeMisses;
+  d.synthHits = now.synthHits - before.synthHits;
+  d.synthMisses = now.synthMisses - before.synthMisses;
+  return d;
+}
+
+} // namespace
+
+TEST(StageCache, SecondIdenticalCompileHitsEveryStage) {
+  flow::StageCache::global().clear();
+  flow::KernelConfig config;
+
+  auto before = flow::StageCache::global().counters();
+  flow::FlowResult cold = flow::runAdaptorFlow(gemm(), config,
+                                               cachedOptions());
+  ASSERT_TRUE(cold.ok) << cold.diagnostics;
+  auto coldDelta = delta(before);
+  EXPECT_EQ(coldDelta.hits(), 0);
+  EXPECT_EQ(coldDelta.mlirMisses, 1);
+  EXPECT_EQ(coldDelta.bridgeMisses, 1);
+  EXPECT_EQ(coldDelta.synthMisses, 1);
+
+  before = flow::StageCache::global().counters();
+  flow::FlowResult warm = flow::runAdaptorFlow(gemm(), config,
+                                               cachedOptions());
+  ASSERT_TRUE(warm.ok) << warm.diagnostics;
+  auto warmDelta = delta(before);
+  EXPECT_EQ(warmDelta.misses(), 0);
+  EXPECT_EQ(warmDelta.mlirHits, 1);
+  EXPECT_EQ(warmDelta.bridgeHits, 1);
+  EXPECT_EQ(warmDelta.synthHits, 1);
+
+  // Same answers from the cache: identical synthesis report and IR.
+  ASSERT_NE(cold.synth.top(), nullptr);
+  ASSERT_NE(warm.synth.top(), nullptr);
+  EXPECT_EQ(cold.synth.top()->latencyCycles, warm.synth.top()->latencyCycles);
+  EXPECT_EQ(cold.synth.top()->resources.dsp, warm.synth.top()->resources.dsp);
+  EXPECT_EQ(cold.adaptorStats, warm.adaptorStats);
+
+  // The restored module still co-simulates against the host reference.
+  std::string error;
+  EXPECT_TRUE(flow::cosimAgainstReference(warm, gemm(), error)) << error;
+}
+
+TEST(StageCache, HlsCppFlowRestoresEmittedSourceByteIdentical) {
+  flow::StageCache::global().clear();
+  flow::KernelConfig config;
+  flow::FlowResult cold = flow::runHlsCppFlow(gemm(), config,
+                                              cachedOptions());
+  ASSERT_TRUE(cold.ok) << cold.diagnostics;
+  flow::FlowResult warm = flow::runHlsCppFlow(gemm(), config,
+                                              cachedOptions());
+  ASSERT_TRUE(warm.ok) << warm.diagnostics;
+  EXPECT_FALSE(cold.hlsCpp.empty());
+  EXPECT_EQ(cold.hlsCpp, warm.hlsCpp);
+}
+
+TEST(StageCache, EditInvalidatesExactlyDownstreamStages) {
+  flow::StageCache::global().clear();
+  flow::KernelConfig config;
+  flow::FlowResult cold = flow::runAdaptorFlow(gemm(), config,
+                                               cachedOptions());
+  ASSERT_TRUE(cold.ok) << cold.diagnostics;
+
+  // Synthesis-only edit: upstream stages stay cached, synth recomputes.
+  auto before = flow::StageCache::global().counters();
+  flow::FlowOptions synthEdit = cachedOptions();
+  synthEdit.synthesis.target.clockPeriodNs = 7.5;
+  flow::FlowResult r1 = flow::runAdaptorFlow(gemm(), config, synthEdit);
+  ASSERT_TRUE(r1.ok) << r1.diagnostics;
+  auto d1 = delta(before);
+  EXPECT_EQ(d1.mlirHits, 1);
+  EXPECT_EQ(d1.bridgeHits, 1);
+  EXPECT_EQ(d1.synthMisses, 1);
+  EXPECT_EQ(d1.synthHits, 0);
+
+  // Bridge-level edit: the MLIR stage stays cached, bridge and synth
+  // recompute (the bridge output differs, so its synth key differs).
+  before = flow::StageCache::global().counters();
+  flow::FlowOptions bridgeEdit = cachedOptions();
+  bridgeEdit.adaptor.fusePasses = true;
+  flow::FlowResult r2 = flow::runAdaptorFlow(gemm(), config, bridgeEdit);
+  ASSERT_TRUE(r2.ok) << r2.diagnostics;
+  auto d2 = delta(before);
+  EXPECT_EQ(d2.mlirHits, 1);
+  EXPECT_EQ(d2.bridgeMisses, 1);
+  EXPECT_EQ(d2.bridgeHits, 0);
+
+  // Config edit: everything from the MLIR stage down recomputes.
+  before = flow::StageCache::global().counters();
+  flow::KernelConfig edited = config;
+  edited.unrollFactor = 2;
+  flow::FlowResult r3 = flow::runAdaptorFlow(gemm(), edited,
+                                             cachedOptions());
+  ASSERT_TRUE(r3.ok) << r3.diagnostics;
+  auto d3 = delta(before);
+  EXPECT_EQ(d3.mlirMisses, 1);
+  EXPECT_EQ(d3.mlirHits, 0);
+  EXPECT_EQ(d3.bridgeMisses, 1);
+  EXPECT_EQ(d3.synthMisses, 1);
+}
+
+TEST(StageCache, FusedPipelineMatchesUnfusedResults) {
+  flow::StageCache::global().clear();
+  flow::KernelConfig config;
+  flow::FlowOptions plain;
+  flow::FlowOptions fused;
+  fused.adaptor.fusePasses = true;
+  flow::FlowResult a = flow::runAdaptorFlow(gemm(), config, plain);
+  flow::FlowResult b = flow::runAdaptorFlow(gemm(), config, fused);
+  ASSERT_TRUE(a.ok) << a.diagnostics;
+  ASSERT_TRUE(b.ok) << b.diagnostics;
+  ASSERT_NE(a.module, nullptr);
+  ASSERT_NE(b.module, nullptr);
+  EXPECT_EQ(lir::printModule(*a.module), lir::printModule(*b.module));
+  // Stat keys are per-transform (not per-pass-instance), so fused and
+  // unfused runs aggregate identically.
+  EXPECT_EQ(a.adaptorStats, b.adaptorStats);
+  ASSERT_NE(a.synth.top(), nullptr);
+  ASSERT_NE(b.synth.top(), nullptr);
+  EXPECT_EQ(a.synth.top()->latencyCycles, b.synth.top()->latencyCycles);
+}
+
+TEST(StageCache, ConcurrentBatchSharesOneCache) {
+  // Many identical jobs racing on a cold cache: results must agree and
+  // nothing may crash or deadlock (run under TSan in CI). Exact hit
+  // counts are racy (two workers can miss the same key concurrently), so
+  // only aggregate sanity is asserted.
+  flow::StageCache::global().clear();
+  flow::KernelConfig config;
+  std::vector<flow::BatchJob> jobs;
+  for (int i = 0; i < 8; ++i)
+    jobs.push_back({&gemm(), config, flow::FlowKind::Adaptor,
+                    cachedOptions(), "cache-race"});
+  flow::BatchOptions batchOptions;
+  batchOptions.numThreads = 4;
+  flow::BatchOutcome outcome = flow::runBatch(jobs, batchOptions);
+  ASSERT_EQ(outcome.trace.failures, 0u);
+  const auto *top0 = outcome.results[0].synth.top();
+  ASSERT_NE(top0, nullptr);
+  for (const flow::FlowResult &result : outcome.results) {
+    ASSERT_TRUE(result.ok);
+    ASSERT_NE(result.synth.top(), nullptr);
+    EXPECT_EQ(result.synth.top()->latencyCycles, top0->latencyCycles);
+  }
+  auto counters = flow::StageCache::global().counters();
+  EXPECT_GT(counters.hits() + counters.misses(), 0);
+  EXPECT_GE(counters.misses(), 3); // at least one cold chain
+}
+
+TEST(ParallelPasses, MatchSerialExecutionExactly) {
+  // A module with several independent functions, run through the same
+  // cleanup pipeline serially and with a 4-worker pool: the printed IR
+  // and the merged statistics must be identical.
+  std::string text = "declare double @hls_sqrt(double)\n";
+  for (int i = 0; i < 6; ++i) {
+    char name = static_cast<char>('a' + i);
+    text += strfmt(R"(
+define i64 @fn_%c(i64 %%x) {
+entry:
+  %%0 = add i64 %%x, 0
+  %%1 = mul i64 %%0, 1
+  %%2 = add i64 %%1, %d
+  %%dead = add i64 %%2, 99
+  %%3 = add i64 %%2, %%2
+  ret i64 %%3
+}
+)",
+                   name, i);
+  }
+
+  auto runPipeline = [&](ThreadPool *pool, std::string &printed,
+                         lir::PassStats &stats) {
+    lir::LContext ctx;
+    DiagnosticEngine diags;
+    auto module = lir::parseModule(text, ctx, diags);
+    ASSERT_NE(module, nullptr) << diags.str();
+    lir::PassManager pm(/*verifyEach=*/true);
+    pm.add(lir::createInstCombinePass());
+    pm.add(lir::createCSEPass());
+    pm.add(lir::createDCEPass());
+    if (pool)
+      pm.setConcurrency(pool);
+    ASSERT_TRUE(pm.run(*module, diags)) << diags.str();
+    printed = lir::printModule(*module);
+    stats = pm.totalStats();
+  };
+
+  std::string serialIR, parallelIR;
+  lir::PassStats serialStats, parallelStats;
+  runPipeline(nullptr, serialIR, serialStats);
+  ThreadPool pool(4);
+  runPipeline(&pool, parallelIR, parallelStats);
+  EXPECT_EQ(serialIR, parallelIR);
+  EXPECT_EQ(serialStats, parallelStats);
+}
+
+TEST(ParallelPasses, FusedFunctionPassMatchesSequentialPasses) {
+  const char *text = R"(
+define i64 @f(i64 %x) {
+entry:
+  %0 = add i64 %x, 0
+  %dead = mul i64 %0, 7
+  %1 = add i64 %0, %0
+  ret i64 %1
+}
+define i64 @g(i64 %x) {
+entry:
+  %0 = mul i64 %x, 1
+  ret i64 %0
+}
+)";
+
+  auto run = [&](bool fuse) {
+    lir::LContext ctx;
+    DiagnosticEngine diags;
+    auto module = lir::parseModule(text, ctx, diags);
+    EXPECT_NE(module, nullptr) << diags.str();
+    lir::PassManager pm(/*verifyEach=*/true);
+    if (fuse) {
+      std::vector<std::unique_ptr<lir::FunctionPass>> fns;
+      for (auto make : {lir::createInstCombinePass, lir::createDCEPass}) {
+        auto pass = make();
+        lir::FunctionPass *fn = pass->asFunctionPass();
+        EXPECT_NE(fn, nullptr);
+        pass.release();
+        fns.emplace_back(fn);
+      }
+      pm.add(std::make_unique<lir::FusedFunctionPass>(std::move(fns)));
+    } else {
+      pm.add(lir::createInstCombinePass());
+      pm.add(lir::createDCEPass());
+    }
+    EXPECT_TRUE(pm.run(*module, diags)) << diags.str();
+    return lir::printModule(*module);
+  };
+
+  EXPECT_EQ(run(false), run(true));
+}

@@ -237,6 +237,29 @@ TEST(MirPrintParse, RoundTrip) {
       << verifyDiags.str();
 }
 
+TEST(MirPrintParse, SignedExponentFloatRoundTrip) {
+  // The shortest-round-trip printer emits forms like 1e-05; the lexer's
+  // shape guard (32x32) must still accept a signed exponent. Regression:
+  // reparsing cached MLIR stage text failed on exactly this.
+  MContext ctx;
+  OpBuilder builder(ctx);
+  OwnedModule module = OpBuilder::createModule();
+  builder.setInsertPoint(module.get().body());
+  FuncOp fn = builder.createFunc("eps", ctx.fnTy({}, {}));
+  builder.setInsertPoint(fn.entryBlock());
+  builder.constantFloat(1e-5, ctx.f64());
+  builder.constantFloat(-2.5e+17, ctx.f64());
+  builder.createReturn();
+
+  std::string printed = printModule(module.get());
+  EXPECT_NE(printed.find("1e-05"), std::string::npos) << printed;
+  MContext ctx2;
+  DiagnosticEngine diags;
+  auto reparsed = parseModule(printed, ctx2, diags);
+  ASSERT_TRUE(reparsed.has_value()) << diags.str() << "\n" << printed;
+  EXPECT_EQ(printModule(reparsed->get()), printed);
+}
+
 TEST(MirParseErrors, UnknownValue) {
   MContext ctx;
   DiagnosticEngine diags;

@@ -1,5 +1,7 @@
 // Unit tests for the support library.
+#include "support/Arena.h"
 #include "support/Diagnostics.h"
+#include "support/Hash.h"
 #include "support/Json.h"
 #include "support/StringUtils.h"
 #include "support/ThreadPool.h"
@@ -14,6 +16,7 @@
 #include <numeric>
 #include <set>
 #include <stdexcept>
+#include <cwchar>
 
 using namespace mha;
 
@@ -392,4 +395,109 @@ TEST(ThreadPool, WorkerIndexVisibleInTasks) {
     EXPECT_GE(index, 0);
     EXPECT_LT(index, 3);
   }
+}
+
+TEST(StringUtils, StrFmtSurfacesEncodingErrors) {
+  // An out-of-range wide character makes vsnprintf("%ls", ...) fail with
+  // a negative length (EILSEQ). The result must flag the failure in-band
+  // instead of returning an empty or garbage string.
+  wchar_t bad[2] = {static_cast<wchar_t>(0x110000), L'\0'};
+  std::string out = strfmt("ctx %ls", bad);
+  if (out == "ctx \xEF\xBF\xBF" || out.rfind("ctx ", 0) == 0)
+    GTEST_SKIP() << "libc formats out-of-range wchar_t without error";
+  EXPECT_EQ(out.rfind("<strfmt-error:", 0), 0u) << out;
+}
+
+TEST(Json, ShortestDoubleRoundTripsExactly) {
+  for (double v : {0.0, -0.0, 1.0, 0.5, 0.1, 1e20, -1e-20, 3.14159,
+                   1.0 / 3.0, 2.2250738585072014e-308}) {
+    std::string s = json::shortestDouble(v);
+    double back = std::strtod(s.c_str(), nullptr);
+    EXPECT_EQ(back, v) << s;
+    // Parsers of the IR grammar require a '.' or exponent marker.
+    EXPECT_TRUE(s.find('.') != std::string::npos ||
+                s.find('e') != std::string::npos ||
+                s.find('E') != std::string::npos)
+        << s;
+  }
+  EXPECT_EQ(json::shortestDouble(1.0), "1.0");
+  EXPECT_EQ(json::shortestDouble(0.5), "0.5");
+  EXPECT_EQ(json::shortestDouble(std::nan("")), "nan");
+  EXPECT_EQ(json::shortestDouble(HUGE_VAL), "inf");
+  EXPECT_EQ(json::shortestDouble(-HUGE_VAL), "-inf");
+}
+
+TEST(Json, ShortestDoubleIgnoresDecimalCommaLocales) {
+  // Float constants printed into IR text must lex back; a ','-decimal
+  // locale would corrupt them if the formatter went through printf.
+  const char *old = std::setlocale(LC_NUMERIC, nullptr);
+  std::string saved = old ? old : "C";
+  bool haveLocale = std::setlocale(LC_NUMERIC, "de_DE.UTF-8") != nullptr ||
+                    std::setlocale(LC_NUMERIC, "de_DE.utf8") != nullptr;
+  if (!haveLocale) {
+    std::setlocale(LC_NUMERIC, saved.c_str());
+    GTEST_SKIP() << "no decimal-comma locale installed";
+  }
+  std::string half = json::shortestDouble(0.5);
+  std::string big = json::shortestDouble(1234.5);
+  std::setlocale(LC_NUMERIC, saved.c_str());
+  EXPECT_EQ(half, "0.5");
+  EXPECT_EQ(big, "1234.5");
+}
+
+TEST(Hash, BuilderDistinguishesBoundariesAndBitPatterns) {
+  EXPECT_EQ(hashString("abc"), hashString("abc"));
+  EXPECT_NE(hashString("abc"), hashString("abd"));
+  // Length-prefixed strings: ("ab","c") != ("a","bc").
+  EXPECT_NE(HashBuilder().str("ab").str("c").get(),
+            HashBuilder().str("a").str("bc").get());
+  // Bit-pattern float hashing keeps +0.0/-0.0 and NaNs distinct.
+  EXPECT_NE(HashBuilder().f64Bits(0.0).get(),
+            HashBuilder().f64Bits(-0.0).get());
+  EXPECT_EQ(HashBuilder().f64Bits(std::nan("")).get(),
+            HashBuilder().f64Bits(std::nan("")).get());
+  EXPECT_EQ(HashBuilder().u64(7).boolean(true).get(),
+            HashBuilder().u64(7).boolean(true).get());
+  EXPECT_NE(HashBuilder().u64(7).boolean(true).get(),
+            HashBuilder().u64(7).boolean(false).get());
+}
+
+namespace {
+struct DtorCounter {
+  explicit DtorCounter(int *counter) : counter(counter) {}
+  ~DtorCounter() { ++*counter; }
+  int *counter;
+  // Non-trivial payload so the arena must register a destructor.
+  std::string payload = "payload";
+};
+} // namespace
+
+TEST(Arena, AllocatesAlignsAndRunsDestructors) {
+  int destroyed = 0;
+  {
+    BumpAllocator arena;
+    for (int i = 0; i < 100; ++i)
+      arena.create<DtorCounter>(&destroyed);
+    // Alignment for over-aligned types.
+    void *p = arena.allocate(64, 64);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % 64, 0u);
+    // Large allocation forces a dedicated slab.
+    void *big = arena.allocate(1 << 21, 8);
+    EXPECT_NE(big, nullptr);
+    EXPECT_GT(arena.bytesAllocated(), 0u);
+    EXPECT_EQ(destroyed, 0);
+  }
+  EXPECT_EQ(destroyed, 100);
+}
+
+TEST(Arena, InternerDeduplicatesStrings) {
+  BumpAllocator arena;
+  StringInterner interner(arena);
+  std::string a = "hello";
+  std::string b = "hello";
+  std::string_view ia = interner.intern(a);
+  std::string_view ib = interner.intern(b);
+  EXPECT_EQ(ia, "hello");
+  EXPECT_EQ(ia.data(), ib.data()); // same storage
+  EXPECT_NE(interner.intern("world").data(), ia.data());
 }

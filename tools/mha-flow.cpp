@@ -4,7 +4,8 @@
 //            [--batch] [--threads=N] [--trace=out.json]
 //            [--chrome-trace=out.json] [--time-passes] [--stats]
 //            [--ii=N] [--unroll=N] [--partition=N] [--dataflow]
-//            [--no-directives] [--cosim]
+//            [--no-directives] [--cosim] [--pass-jobs=N] [--stage-cache]
+//            [--no-times]
 //
 // Runs every (kernel, flow) pair and prints one row per job with
 // accept/reject status, latency and resources. Results are always in
@@ -15,8 +16,12 @@
 // worker, nested batch-job -> flow-stage -> pass spans) loadable in
 // chrome://tracing or Perfetto; --time-passes prints the aggregated
 // per-pass timing table and --stats the statistic-counter registry, both
-// on stderr. Exit status is 0 iff every job succeeded (and co-simulated,
-// with --cosim).
+// on stderr. --pass-jobs runs lir function passes function-at-a-time on N
+// workers; --stage-cache enables incremental recompilation (stage-hash
+// cache, shared across jobs in this process); --no-times suppresses every
+// timing in the output so two runs diff byte-identically (the CI
+// determinism check). Exit status is 0 iff every job succeeded (and
+// co-simulated, with --cosim).
 #include "flow/BatchRunner.h"
 #include "support/StringUtils.h"
 #include "support/Telemetry.h"
@@ -35,7 +40,8 @@ int usage() {
       "                [--batch] [--threads=N] [--trace=out.json]\n"
       "                [--chrome-trace=out.json] [--time-passes] [--stats]\n"
       "                [--ii=N] [--unroll=N] [--partition=N] [--dataflow]\n"
-      "                [--no-directives] [--cosim]\n");
+      "                [--no-directives] [--cosim] [--pass-jobs=N]\n"
+      "                [--stage-cache] [--no-times]\n");
   return 2;
 }
 
@@ -67,7 +73,8 @@ int main(int argc, char **argv) {
   std::string tracePath;
   std::string chromeTracePath;
   bool batch = false, cosim = false, timePasses = false, statsFlag = false;
-  int64_t threads = 0;
+  bool stageCache = false, noTimes = false;
+  int64_t threads = 0, passJobs = 1;
   flow::KernelConfig config;
   config.pipelineII = 1;
   config.partitionFactor = 2;
@@ -108,6 +115,13 @@ int main(int argc, char **argv) {
       config.applyDirectives = false;
     else if (arg == "--cosim")
       cosim = true;
+    else if (startsWith(arg, "--pass-jobs=")) {
+      if (!parseNumericFlag(arg, 12, "--pass-jobs", 1, 4096, passJobs))
+        return usage();
+    } else if (arg == "--stage-cache")
+      stageCache = true;
+    else if (arg == "--no-times")
+      noTimes = true;
     else if (arg == "--help" || arg == "-h")
       return usage();
     else {
@@ -152,10 +166,14 @@ int main(int argc, char **argv) {
     }
   }
 
+  flow::FlowOptions flowOptions;
+  flowOptions.useStageCache = stageCache;
+  flowOptions.passJobs = static_cast<int>(passJobs);
+
   std::vector<flow::BatchJob> jobs;
   for (const flow::KernelSpec *spec : kernels)
     for (flow::FlowKind kind : kinds)
-      jobs.push_back({spec, config, kind, {}, ""});
+      jobs.push_back({spec, config, kind, flowOptions, ""});
 
   flow::JsonFileTraceSink traceSink(tracePath);
   flow::BatchOptions options;
@@ -164,9 +182,13 @@ int main(int argc, char **argv) {
     options.sink = &traceSink;
   flow::BatchOutcome outcome = flow::runBatch(jobs, options);
 
-  std::printf("%-10s %-8s %-7s %12s %6s %6s %8s %8s %9s\n", "kernel",
-              "flow", "status", "latency", "DSP", "BRAM", "LUT", "FF",
-              "wall-ms");
+  if (noTimes)
+    std::printf("%-10s %-8s %-7s %12s %6s %6s %8s %8s\n", "kernel",
+                "flow", "status", "latency", "DSP", "BRAM", "LUT", "FF");
+  else
+    std::printf("%-10s %-8s %-7s %12s %6s %6s %8s %8s %9s\n", "kernel",
+                "flow", "status", "latency", "DSP", "BRAM", "LUT", "FF",
+                "wall-ms");
   int failures = 0;
   for (size_t i = 0; i < jobs.size(); ++i) {
     const flow::FlowResult &result = outcome.results[i];
@@ -189,22 +211,36 @@ int main(int argc, char **argv) {
       }
     }
     const vhls::FunctionReport *top = result.synth.top();
-    std::printf("%-10s %-8s %-7s %12lld %6lld %6lld %8lld %8lld %9.1f\n",
-                trace.kernel.c_str(), flow::flowKindName(trace.kind),
-                status.c_str(), static_cast<long long>(top->latencyCycles),
-                static_cast<long long>(top->resources.dsp),
-                static_cast<long long>(top->resources.bram),
-                static_cast<long long>(top->resources.lut),
-                static_cast<long long>(top->resources.ff), trace.wallMs);
+    if (noTimes)
+      std::printf("%-10s %-8s %-7s %12lld %6lld %6lld %8lld %8lld\n",
+                  trace.kernel.c_str(), flow::flowKindName(trace.kind),
+                  status.c_str(), static_cast<long long>(top->latencyCycles),
+                  static_cast<long long>(top->resources.dsp),
+                  static_cast<long long>(top->resources.bram),
+                  static_cast<long long>(top->resources.lut),
+                  static_cast<long long>(top->resources.ff));
+    else
+      std::printf("%-10s %-8s %-7s %12lld %6lld %6lld %8lld %8lld %9.1f\n",
+                  trace.kernel.c_str(), flow::flowKindName(trace.kind),
+                  status.c_str(), static_cast<long long>(top->latencyCycles),
+                  static_cast<long long>(top->resources.dsp),
+                  static_cast<long long>(top->resources.bram),
+                  static_cast<long long>(top->resources.lut),
+                  static_cast<long long>(top->resources.ff), trace.wallMs);
   }
-  std::printf("\n%zu jobs on %u threads: %.0f ms wall, %.0f ms serial "
-              "(%.2fx), %zu failed\n",
-              outcome.trace.jobCount, outcome.trace.threads,
-              outcome.trace.wallMs, outcome.trace.serialMs,
-              outcome.trace.wallMs > 0
-                  ? outcome.trace.serialMs / outcome.trace.wallMs
-                  : 0.0,
-              outcome.trace.failures);
+  if (noTimes)
+    // No thread count either: serial and parallel runs must diff clean.
+    std::printf("\n%zu jobs: %zu failed\n", outcome.trace.jobCount,
+                outcome.trace.failures);
+  else
+    std::printf("\n%zu jobs on %u threads: %.0f ms wall, %.0f ms serial "
+                "(%.2fx), %zu failed\n",
+                outcome.trace.jobCount, outcome.trace.threads,
+                outcome.trace.wallMs, outcome.trace.serialMs,
+                outcome.trace.wallMs > 0
+                    ? outcome.trace.serialMs / outcome.trace.wallMs
+                    : 0.0,
+                outcome.trace.failures);
   if (timePasses)
     std::fprintf(stderr, "%s", tracer.passTimesTable().c_str());
   if (statsFlag)

@@ -37,7 +37,8 @@ int usage() {
       "usage: mha-fuzz [--budget=N] [--seed=N] [--jobs=N]\n"
       "                [--mode=kernel|ir|both] [--json=out.json]\n"
       "                [--artifacts=DIR] [--no-reduce] [--reduce=repro.json]\n"
-      "                [--plant] [--chrome-trace=out.json] [--stats]\n");
+      "                [--plant] [--chrome-trace=out.json] [--stats]\n"
+      "                [--stage-cache]\n");
   return 2;
 }
 
@@ -122,6 +123,8 @@ int main(int argc, char **argv) {
       options.reduce = false;
     else if (startsWith(arg, "--reduce="))
       replayPath = arg.substr(9);
+    else if (arg == "--stage-cache")
+      options.oracle.useStageCache = true;
     else if (arg == "--plant")
       plant = true;
     else if (startsWith(arg, "--chrome-trace="))

@@ -5,6 +5,7 @@
 //   mha-opt file.ll --synthesize [--top=name] [--json]
 //   mha-opt file.ll --passes=adaptor --time-passes --stats
 //          --chrome-trace=out.json --print-ir-after=dce
+//   mha-opt file.ll --passes=adaptor --pass-jobs=4
 //
 // Reads from stdin when no file is given. Pass names:
 //   mem2reg simplifycfg instcombine cse dce licm
@@ -27,6 +28,7 @@
 #include "lir/transforms/Transforms.h"
 #include "support/StringUtils.h"
 #include "support/Telemetry.h"
+#include "support/ThreadPool.h"
 #include "vhls/Vhls.h"
 
 #include <cstdio>
@@ -76,7 +78,8 @@ int usage() {
                "               [--print-ir-before=p|--print-ir-before-all]\n"
                "               [--print-ir-after=p|--print-ir-after-all]\n"
                "               [--synthesize [--top=name] [--json] "
-               "[--strict]]\n");
+               "[--strict]]\n"
+               "               [--pass-jobs=N]\n");
   return 2;
 }
 
@@ -87,6 +90,7 @@ int main(int argc, char **argv) {
   std::string passList;
   bool verify = false, stats = false, synthesizeIt = false, json = false;
   bool strict = false, timePasses = false;
+  long passJobs = 1;
   std::string top;
   std::string chromeTracePath;
   lir::PrintIRInstrumentation::Options printIR;
@@ -116,6 +120,14 @@ int main(int argc, char **argv) {
       json = true;
     else if (arg == "--strict")
       strict = true;
+    else if (startsWith(arg, "--pass-jobs=")) {
+      std::optional<int64_t> parsed = parseInt(arg.substr(12));
+      if (!parsed || *parsed < 1 || *parsed > 4096) {
+        std::fprintf(stderr, "invalid value for --pass-jobs\n");
+        return usage();
+      }
+      passJobs = static_cast<long>(*parsed);
+    }
     else if (startsWith(arg, "--top="))
       top = arg.substr(6);
     else if (arg == "--help" || arg == "-h")
@@ -170,6 +182,12 @@ int main(int argc, char **argv) {
 
   if (!passList.empty()) {
     lir::PassManager pm(/*verifyEach=*/true);
+    // Dedicated pool: function passes run function-at-a-time across it.
+    std::unique_ptr<ThreadPool> passPool;
+    if (passJobs > 1) {
+      passPool = std::make_unique<ThreadPool>(static_cast<unsigned>(passJobs));
+      pm.setConcurrency(passPool.get());
+    }
     lir::PrintIRInstrumentation printer(printIR, std::cerr);
     if (printIR.beforeAll || printIR.afterAll ||
         !printIR.beforePasses.empty() || !printIR.afterPasses.empty())
