@@ -64,6 +64,36 @@ std::string configKey(const flow::KernelConfig &config) {
                 config.dataflow ? 1 : 0, config.applyDirectives ? 1 : 0);
 }
 
+std::optional<flow::KernelConfig> parseConfigKey(std::string_view key) {
+  // "ii=I|unroll=U|part=P|df=D|dir=A", all fields required, in order.
+  const std::string_view names[] = {"ii=", "unroll=", "part=", "df=", "dir="};
+  int64_t values[5];
+  for (size_t i = 0; i < 5; ++i) {
+    if (key.substr(0, names[i].size()) != names[i])
+      return std::nullopt;
+    key.remove_prefix(names[i].size());
+    size_t end = i + 1 < 5 ? key.find('|') : key.size();
+    if (end == std::string_view::npos)
+      return std::nullopt;
+    std::optional<int64_t> value = parseInt(key.substr(0, end));
+    if (!value)
+      return std::nullopt;
+    values[i] = *value;
+    key.remove_prefix(i + 1 < 5 ? end + 1 : end);
+  }
+  if (!key.empty())
+    return std::nullopt;
+  if ((values[3] != 0 && values[3] != 1) || (values[4] != 0 && values[4] != 1))
+    return std::nullopt;
+  flow::KernelConfig config;
+  config.pipelineII = values[0];
+  config.unrollFactor = values[1];
+  config.partitionFactor = values[2];
+  config.dataflow = values[3] != 0;
+  config.applyDirectives = values[4] != 0;
+  return config;
+}
+
 DesignSpace::DesignSpace(const flow::KernelSpec &spec,
                          DesignSpaceOptions options)
     : spec_(&spec), options_(std::move(options)) {

@@ -20,6 +20,9 @@
 
 #include "flow/Kernels.h"
 
+#include <optional>
+#include <string_view>
+
 namespace mha::dse {
 
 struct DesignSpaceOptions {
@@ -84,5 +87,12 @@ private:
 /// "ii=I|unroll=U|part=P|df=D|dir=A". Lexicographic comparison of keys is
 /// the subsystem's deterministic tie-breaker.
 std::string configKey(const flow::KernelConfig &config);
+
+/// Inverse of configKey: reconstructs the config from its key, so the
+/// persisted QoR cache (whose entries are keyed strings) can re-seed a
+/// Pareto archive on --resume. Returns nullopt for malformed keys;
+/// round-trips exactly (configKey(*parseConfigKey(k)) == k for keys
+/// produced by configKey).
+std::optional<flow::KernelConfig> parseConfigKey(std::string_view key);
 
 } // namespace mha::dse

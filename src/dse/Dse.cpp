@@ -1,8 +1,12 @@
 #include "dse/Dse.h"
 
+#include "dse/QoREstimation.h"
 #include "support/Json.h"
 #include "support/StringUtils.h"
 #include "support/Telemetry.h"
+
+#include <cmath>
+#include <set>
 
 namespace mha::dse {
 
@@ -38,10 +42,28 @@ std::string DseResult::json() const {
   out += strfmt("  \"budget\": %zu,\n", budget);
   out += strfmt("  \"space_size\": %zu,\n", spaceSize);
   out += strfmt("  \"evaluated\": %zu,\n", evaluated);
+  out += strfmt("  \"estimated\": %zu,\n", estimated);
+  out += strfmt("  \"warm_started\": %zu,\n", warmStarted);
   out += strfmt("  \"synth_runs\": %lld,\n",
                 static_cast<long long>(synthRuns));
   out += strfmt("  \"cache_hits\": %lld,\n",
                 static_cast<long long>(cacheHits));
+  out += strfmt("  \"cache_waits\": %lld,\n",
+                static_cast<long long>(cacheWaits));
+  out += strfmt("  \"estimator\": {\"used\": %s, \"probe_runs\": %lld, "
+                "\"estimates\": %lld, \"error_samples\": %zu, "
+                "\"latency_mean_abs_pct\": %s, \"latency_max_abs_pct\": %s, "
+                "\"dsp_mean_abs_pct\": %s, \"bram_mean_abs_pct\": %s, "
+                "\"lut_mean_abs_pct\": %s},\n",
+                estimator.used ? "true" : "false",
+                static_cast<long long>(estimator.probeRuns),
+                static_cast<long long>(estimator.estimates),
+                estimator.errorSamples,
+                json::shortestDouble(estimator.latencyMeanAbsPct).c_str(),
+                json::shortestDouble(estimator.latencyMaxAbsPct).c_str(),
+                json::shortestDouble(estimator.dspMeanAbsPct).c_str(),
+                json::shortestDouble(estimator.bramMeanAbsPct).c_str(),
+                json::shortestDouble(estimator.lutMeanAbsPct).c_str());
   out += "  \"objectives\": [";
   for (size_t i = 0; i < objectives.size(); ++i)
     out += strfmt("%s\"%s\"", i ? ", " : "", objectiveName(objectives[i]));
@@ -73,6 +95,21 @@ runDse(const DesignSpace &space, Evaluator &evaluator,
                        {{"kernel", space.spec().name},
                         {"strategy", strategy->name()}});
   ParetoArchive archive(objectives);
+
+  // Warm start (--resume): re-seed the archive from every completed cache
+  // entry whose key parses back to a point of this space. The previous
+  // run's frontier survives even if this run's strategy never revisits it.
+  size_t warmStarted = 0;
+  if (options.warmStart) {
+    for (const auto &[key, qor] : evaluator.cachedResults()) {
+      std::optional<flow::KernelConfig> config = parseConfigKey(key);
+      if (!config || !space.contains(*config))
+        continue;
+      if (archive.insert(*config, qor))
+        ++warmStarted;
+    }
+  }
+
   StrategyResult search = strategy->run(space, evaluator, archive, options);
 
   DseResult result;
@@ -82,11 +119,54 @@ runDse(const DesignSpace &space, Evaluator &evaluator,
   result.budget = options.budget;
   result.spaceSize = space.size();
   result.evaluated = search.evaluated;
+  result.estimated = search.estimated;
+  result.warmStarted = warmStarted;
   result.synthRuns = evaluator.synthRuns();
   result.cacheHits = evaluator.cacheHits();
+  result.cacheWaits = evaluator.cacheWaits();
   result.objectives = objectives;
   result.visited = std::move(search.visited);
   result.pareto = archive.entries();
+
+  // Estimator accounting. The error statistics compare predictions
+  // against this run's synthesized visits; under estimateOnly the visits
+  // *are* predictions, so only the usage counters are meaningful there.
+  result.estimator.probeRuns = evaluator.probeRuns();
+  result.estimator.estimates = evaluator.estimates();
+  result.estimator.used =
+      result.estimator.probeRuns > 0 || result.estimator.estimates > 0;
+  const QoREstimation *model = evaluator.estimator(/*buildIfNeeded=*/false);
+  if (model && !options.estimateOnly) {
+    double latSum = 0, latMax = 0, dspSum = 0, bramSum = 0, lutSum = 0;
+    std::set<std::string> seen;
+    auto absPct = [](int64_t predicted, int64_t actual) {
+      if (actual == 0)
+        return predicted == 0 ? 0.0 : 100.0;
+      return 100.0 * std::abs(double(predicted) - double(actual)) /
+             double(actual);
+    };
+    for (const VisitedPoint &point : result.visited) {
+      if (!point.qor.ok || !seen.insert(configKey(point.config)).second)
+        continue;
+      QoR predicted = model->estimate(point.config);
+      double latErr = absPct(predicted.latencyCycles,
+                             point.qor.latencyCycles);
+      latSum += latErr;
+      latMax = std::max(latMax, latErr);
+      dspSum += absPct(predicted.dsp, point.qor.dsp);
+      bramSum += absPct(predicted.bram, point.qor.bram);
+      lutSum += absPct(predicted.lut, point.qor.lut);
+      ++result.estimator.errorSamples;
+    }
+    if (result.estimator.errorSamples > 0) {
+      double n = double(result.estimator.errorSamples);
+      result.estimator.latencyMeanAbsPct = latSum / n;
+      result.estimator.latencyMaxAbsPct = latMax;
+      result.estimator.dspMeanAbsPct = dspSum / n;
+      result.estimator.bramMeanAbsPct = bramSum / n;
+      result.estimator.lutMeanAbsPct = lutSum / n;
+    }
+  }
   return result;
 }
 

@@ -1,5 +1,6 @@
 #include "dse/Evaluator.h"
 
+#include "dse/QoREstimation.h"
 #include "support/Json.h"
 #include "support/StringUtils.h"
 #include "support/Telemetry.h"
@@ -15,12 +16,22 @@ telemetry::Statistic numSynthRuns("dse", "synth-runs",
                                   "design points synthesized");
 telemetry::Statistic numCacheHits("dse", "cache-hits",
                                   "design points answered from the QoR cache");
+telemetry::Statistic numCacheWaits("dse", "cache-waits",
+                                   "cache hits that blocked on an in-flight "
+                                   "synthesis of the same point");
+telemetry::Statistic numEstimates("dse", "estimates",
+                                  "design points scored analytically");
+telemetry::Statistic numProbeRuns("dse", "probe-runs",
+                                  "synthesis runs spent building the "
+                                  "QoR estimator");
 
 } // namespace
 
 Evaluator::Evaluator(const flow::KernelSpec &spec, EvaluatorOptions options)
     : spec_(&spec), options_(std::move(options)),
       pool_(std::make_unique<ThreadPool>(options_.numThreads)) {}
+
+Evaluator::~Evaluator() = default;
 
 QoR Evaluator::runFlow(const flow::KernelConfig &config,
                        const std::string &key) {
@@ -62,9 +73,20 @@ QoR Evaluator::evaluate(const flow::KernelConfig &config) {
   auto [it, inserted] = cache_.try_emplace(key);
   Entry &entry = it->second;
   if (!inserted) {
-    // Someone already has (or is producing) this point.
-    while (!entry.done)
-      ready_.wait(lock);
+    // Someone already has (or is producing) this point. A wait on an
+    // in-flight entry gets its own distinctly-named span: the producer's
+    // dse:evaluate span owns the synthesis wall time, and booking the
+    // same interval again under dse:evaluate would double-count it in
+    // trace totals. dse:cache-wait intervals are idle time, not work.
+    if (!entry.done) {
+      telemetry::Span span(strfmt("dse:cache-wait:%s", spec_->name.c_str()),
+                           "dse",
+                           {{"kernel", spec_->name}, {"config", key}});
+      ++cacheWaits_;
+      ++numCacheWaits;
+      while (!entry.done)
+        ready_.wait(lock);
+    }
     ++cacheHits_;
     ++numCacheHits;
     return entry.qor;
@@ -88,6 +110,82 @@ Evaluator::evaluateAll(const std::vector<flow::KernelConfig> &configs) {
   return results;
 }
 
+void Evaluator::seedProbe(const flow::KernelConfig &config, const QoR &qor) {
+  // Probes are real synthesis results, so they can pre-fill the QoR
+  // cache — but only when co-simulation is off: a cached entry must mean
+  // the same thing evaluate() would have produced, and probes skip cosim.
+  if (options_.cosim)
+    return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = cache_.try_emplace(configKey(config));
+  if (!inserted)
+    return;
+  it->second.done = true;
+  it->second.qor = qor;
+}
+
+const QoREstimation *Evaluator::estimator(bool buildIfNeeded) {
+  // Double-checked: after the build attempt a relaxed acquire load is the
+  // whole fast path, so a parallel estimateAll never serializes here.
+  if (estimatorReady_.load(std::memory_order_acquire))
+    return estimator_.get();
+  if (!buildIfNeeded)
+    return nullptr;
+  std::lock_guard<std::mutex> lock(estimatorMutex_);
+  if (!estimatorBuilt_) {
+    estimatorBuilt_ = true;
+    telemetry::Span span(strfmt("dse:probe:%s", spec_->name.c_str()), "dse",
+                         {{"kernel", spec_->name}});
+    estimator_ = QoREstimation::build(*spec_, options_.flow,
+                                      &estimatorError_);
+    int64_t probes = QoREstimation::kProbeRuns;
+    {
+      std::lock_guard<std::mutex> countLock(mutex_);
+      probeRuns_ += probes;
+      synthRuns_ += probes;
+    }
+    numProbeRuns += probes;
+    numSynthRuns += probes;
+    if (estimator_) {
+      seedProbe(estimator_->baselineProbeConfig(),
+                estimator_->baselineProbeQoR());
+      seedProbe(estimator_->pipelinedProbeConfig(),
+                estimator_->pipelinedProbeQoR());
+    }
+    estimatorReady_.store(true, std::memory_order_release);
+  }
+  return estimator_.get();
+}
+
+QoR Evaluator::estimate(const flow::KernelConfig &config) {
+  const QoREstimation *est = estimator();
+  estimates_.fetch_add(1, std::memory_order_relaxed);
+  ++numEstimates;
+  if (!est) {
+    QoR qor;
+    std::lock_guard<std::mutex> lock(estimatorMutex_);
+    qor.error = estimatorError_.empty() ? "estimator unavailable"
+                                        : estimatorError_;
+    return qor;
+  }
+  return est->estimate(config);
+}
+
+std::vector<QoR>
+Evaluator::estimateAll(const std::vector<flow::KernelConfig> &configs) {
+  // Build once up front so the batch's parallel arithmetic never
+  // serializes on the probe synthesis.
+  estimator();
+  telemetry::Span span(strfmt("dse:estimate-batch:%s", spec_->name.c_str()),
+                       "dse",
+                       {{"kernel", spec_->name},
+                        {"points", strfmt("%zu", configs.size())}});
+  std::vector<QoR> results(configs.size());
+  parallelFor(*pool_, configs.size(),
+              [&](size_t i) { results[i] = estimate(configs[i]); });
+  return results;
+}
+
 int64_t Evaluator::synthRuns() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return synthRuns_;
@@ -98,9 +196,33 @@ int64_t Evaluator::cacheHits() const {
   return cacheHits_;
 }
 
+int64_t Evaluator::cacheWaits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return cacheWaits_;
+}
+
+int64_t Evaluator::estimates() const {
+  return estimates_.load(std::memory_order_relaxed);
+}
+
+int64_t Evaluator::probeRuns() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return probeRuns_;
+}
+
 size_t Evaluator::cacheSize() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return cache_.size();
+}
+
+std::vector<std::pair<std::string, QoR>> Evaluator::cachedResults() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, QoR>> out;
+  out.reserve(cache_.size());
+  for (const auto &[key, entry] : cache_)
+    if (entry.done)
+      out.emplace_back(key, entry.qor);
+  return out;
 }
 
 std::string Evaluator::cacheJson() const {

@@ -2,7 +2,7 @@
 //
 // A strategy decides *which* points to evaluate and in what order; the
 // Evaluator decides *how* (parallel flow runs behind the QoR cache) and
-// the ParetoArchive accumulates whatever survives domination. Three
+// the ParetoArchive accumulates whatever survives domination. Six
 // strategies ship:
 //
 //  * exhaustive — every enumerated point (truncated to the budget);
@@ -15,8 +15,27 @@
 //                (resources, then config key, break ties), stopping at a
 //                local optimum or when the budget runs out.
 //
-// All visited points are offered to the archive, so a strategy's archive
-// is the frontier of its visited set.
+// Three more are estimator-guided: they score points analytically through
+// Evaluator::estimateAll (two probe synthesis runs, then arithmetic) and
+// spend the synthesis budget only on predicted winners:
+//
+//  * refine    — estimates the whole space, then synthesizes every point
+//                the slack rule keeps: a point is skipped only when some
+//                estimated-frontier point dominates it *and* improves
+//                latency by more than `refineSlack`, so estimator error
+//                up to the slack cannot drop a true-frontier point;
+//  * genetic   — seeded tournament selection + knob crossover/mutation,
+//                generations scored entirely on estimates; the final
+//                estimated frontier is synthesized;
+//  * anneal    — threshold-accepting walk over one-knob neighbors (accept
+//                when the estimated latency regression is within a
+//                linearly cooling integer threshold — deterministic, no
+//                transcendentals); the visited estimated frontier is
+//                synthesized.
+//
+// All synthesized points are offered to the archive, so a strategy's
+// archive is the frontier of its visited set. With estimateOnly set,
+// visits archive estimates instead — no synthesis beyond the probes.
 #pragma once
 
 #include "dse/DesignSpace.h"
@@ -34,6 +53,27 @@ struct StrategyOptions {
   size_t budget = 0;
   /// Seed for randomized strategies; the same seed replays the same walk.
   uint64_t seed = 0;
+  /// Cap on analytical estimates spent by estimator-guided strategies
+  /// (0 = unlimited). Estimates are not evaluator requests and never
+  /// count against `budget`.
+  size_t estimateBudget = 0;
+  /// Latency slack for refine's promotion rule: an estimated-frontier
+  /// point prunes a candidate only when it dominates it and improves
+  /// latency by more than this fraction. Calibrated to ~3x the measured
+  /// worst-case estimator latency error.
+  double refineSlack = 0.15;
+  /// Genetic-strategy knobs.
+  size_t populationSize = 16;
+  size_t generations = 8;
+  /// Threshold-accepting walk length.
+  size_t annealSteps = 64;
+  /// Archive analytical estimates instead of synthesizing: every visit
+  /// goes through Evaluator::estimateAll, so the only synthesis runs are
+  /// the estimator's probes.
+  bool estimateOnly = false;
+  /// Re-seed the Pareto archive from the evaluator's completed cache
+  /// entries before searching (runDse honours this; see Dse.h).
+  bool warmStart = false;
 };
 
 struct VisitedPoint {
@@ -43,7 +83,8 @@ struct VisitedPoint {
 
 struct StrategyResult {
   std::string strategy;
-  size_t evaluated = 0; // evaluator requests issued
+  size_t evaluated = 0; // evaluator requests issued (estimates excluded)
+  size_t estimated = 0; // analytical estimates issued
   /// Every evaluated point in the strategy's deterministic visit order.
   std::vector<VisitedPoint> visited;
 };
@@ -58,7 +99,7 @@ public:
 };
 
 /// Factory over the registered strategy names ("exhaustive", "random",
-/// "greedy"); nullptr for unknown names.
+/// "greedy", "refine", "genetic", "anneal"); nullptr for unknown names.
 std::unique_ptr<SearchStrategy> createStrategy(std::string_view name);
 
 /// Registered names, in documentation order.

@@ -1,5 +1,7 @@
 #include "vhls/Vhls.h"
 
+#include "vhls/Estimate.h"
+
 #include "lir/LContext.h"
 #include "lir/analysis/Dependence.h"
 #include "lir/analysis/Dominators.h"
@@ -406,7 +408,8 @@ private:
 
     if (lr.pipelined) {
       moduloSchedule(*canonical, targetII, lr);
-      lr.totalLatency = lr.iterationLatency + (trip - 1) * lr.achievedII + 2;
+      lr.totalLatency =
+          pipelinedLoopLatency(lr.iterationLatency, trip, lr.achievedII);
     } else if (tryFlatten(loop, loopInfo, trip, lr)) {
       // Perfect nest over a pipelined inner loop: flatten (Vitis default)
       // so the pipeline fill/flush is paid once, not per outer iteration.
@@ -420,7 +423,7 @@ private:
       for (lir::Loop *sub : loop->subLoops())
         iter += loopTotal_[sub];
       lr.iterationLatency = iter;
-      lr.totalLatency = trip * iter + 1;
+      lr.totalLatency = sequentialLoopLatency(trip, iter);
     }
     loopTotal_[loop] = lr.totalLatency;
     loopReports_[loop] = lr;
@@ -468,8 +471,8 @@ private:
     lr.tripCount = trip * innerIters; // flattened trip
     lr.pipelined = true;
     lr.note = "flattened";
-    lr.totalLatency =
-        sub.iterationLatency + (lr.tripCount - 1) * sub.achievedII + 2;
+    lr.totalLatency = pipelinedLoopLatency(sub.iterationLatency, lr.tripCount,
+                                           sub.achievedII);
     return true;
   }
 
@@ -507,14 +510,14 @@ private:
     int64_t resMII = 1;
     for (auto &[key, count] : classCount) {
       int64_t total = count + unknownCount[key.first];
-      resMII = std::max(resMII, (total + target_.memPortsPerBank - 1) /
-                                    target_.memPortsPerBank);
+      resMII = std::max(resMII,
+                        portLimitedMII(total, target_.memPortsPerBank));
     }
     for (auto &[base, count] : unknownCount) {
       int64_t banks = banksOf(base);
       (void)banks;
-      resMII = std::max(resMII, (count + target_.memPortsPerBank - 1) /
-                                    target_.memPortsPerBank);
+      resMII = std::max(resMII,
+                        portLimitedMII(count, target_.memPortsPerBank));
     }
     // Functional-unit allocation limits contribute too.
     if (!target_.fuLimits.empty()) {
@@ -526,7 +529,7 @@ private:
       }
       for (auto &[cls, count] : classOps) {
         int64_t limit = target_.fuLimitFor(cls);
-        resMII = std::max(resMII, (count + limit - 1) / limit);
+        resMII = std::max(resMII, allocationLimitedMII(count, limit));
       }
     }
     lr.resMII = resMII;
@@ -590,7 +593,7 @@ private:
       if (path == kNegInf)
         path = 0;
       int64_t cycleLen = latOf(ops[si->second]) + path;
-      recMII = std::max(recMII, (cycleLen + dep.distance - 1) / dep.distance);
+      recMII = std::max(recMII, recurrenceMII(cycleLen, dep.distance));
     }
     lr.recMII = recMII;
 
@@ -740,7 +743,7 @@ private:
       }
       for (auto &[cls, count] : perBody) {
         int64_t ii = pipeIt->second;
-        fuCount[cls] = std::max(fuCount[cls], (count + ii - 1) / ii);
+        fuCount[cls] = std::max(fuCount[cls], pipelinedFuDemand(count, ii));
       }
       for (auto &[cls, cycles] : perCycle)
         for (auto &[cycle, count] : cycles)
@@ -758,8 +761,7 @@ private:
       total.ff += cost.ff * count;
     }
     // Control FSM overhead.
-    total.lut += report_.fsmStates * target_.lutPerState;
-    total.ff += report_.fsmStates * target_.ffPerState;
+    total += fsmOverhead(report_.fsmStates, target_);
 
     // Memories, in deterministic discovery order (arguments first, then
     // allocas as encountered) rather than pointer order.
@@ -784,7 +786,7 @@ private:
                        info.partition.dim,
                        static_cast<long long>(info.partition.factor))
               : "-";
-      ar.bramBlocks = ar.banks * bramBlocksFor(info.bytes / ar.banks);
+      ar.bramBlocks = partitionedBramBlocks(info.bytes, ar.banks);
       ar.onChip = info.onChip;
       if (info.onChip)
         total.bram += ar.bramBlocks;

@@ -3,6 +3,7 @@
 // Pareto archive, and the search strategies (exhaustive frontier
 // exactness vs the legacy hand-rolled sweep, seeded determinism).
 #include "dse/Dse.h"
+#include "dse/QoREstimation.h"
 #include "lir/transforms/LoopUnroll.h"
 #include "support/Json.h"
 
@@ -408,4 +409,130 @@ TEST(Dse, ReportJsonValidatesAndCarriesTheRun) {
   for (const char *field : {"ii", "unroll", "partition", "latency", "dsp",
                             "bram", "lut", "ff"})
     EXPECT_NE(point.get(field), nullptr) << field;
+
+  // The estimator/warm-start accounting fields are always present.
+  for (const char *field :
+       {"estimated", "warm_started", "cache_waits", "estimator"})
+    EXPECT_NE(doc->get(field), nullptr) << field;
+  const json::Value *estimator = doc->get("estimator");
+  for (const char *field :
+       {"used", "probe_runs", "estimates", "error_samples",
+        "latency_mean_abs_pct", "latency_max_abs_pct", "dsp_mean_abs_pct",
+        "bram_mean_abs_pct", "lut_mean_abs_pct"})
+    EXPECT_NE(estimator->get(field), nullptr) << field;
+}
+
+// ---------------------------------------------------------------------------
+// Config-key parsing (the --resume warm-start path)
+
+TEST(ConfigKey, ParseRoundTripsEveryEnumeratedPoint) {
+  DesignSpace space(kernel("gesummv")); // multi-nest: dataflow keys too
+  for (const flow::KernelConfig &config : space.points()) {
+    std::string key = configKey(config);
+    std::optional<flow::KernelConfig> parsed = parseConfigKey(key);
+    ASSERT_TRUE(parsed.has_value()) << key;
+    EXPECT_EQ(configKey(*parsed), key);
+  }
+}
+
+TEST(ConfigKey, ParseRejectsMalformedKeys) {
+  for (const char *bad :
+       {"", "ii=1", "ii=1|unroll=2|part=4|df=0", "ii=x|unroll=2|part=4|df=0|dir=1",
+        "ii=1|unroll=2|part=4|df=2|dir=1", "unroll=2|ii=1|part=4|df=0|dir=1",
+        "ii=1|unroll=2|part=4|df=0|dir=1|extra=9"})
+    EXPECT_FALSE(parseConfigKey(bad).has_value()) << bad;
+}
+
+TEST(Dse, WarmStartReseedsArchiveFromCache) {
+  DesignSpace space(kernel("fir"), smallGrid());
+
+  // First run: exhaustive, populating the cache (as --cache would persist).
+  Evaluator first(kernel("fir"));
+  std::optional<DseResult> full = runDse(space, first, "exhaustive", {});
+  ASSERT_TRUE(full.has_value());
+
+  // Second run resumes from the same cache with a tiny budget. Without
+  // warm start the archive would only hold the single visited point; with
+  // it, the previous frontier survives.
+  Evaluator second(kernel("fir"));
+  std::string error;
+  ASSERT_TRUE(second.loadCacheJson(first.cacheJson(), &error)) << error;
+  StrategyOptions options;
+  options.budget = 1;
+  options.warmStart = true;
+  std::optional<DseResult> resumed =
+      runDse(space, second, "exhaustive", options);
+  ASSERT_TRUE(resumed.has_value());
+  EXPECT_GT(resumed->warmStarted, 0u);
+  EXPECT_EQ(resumed->evaluated, 1u);
+  EXPECT_EQ(archiveKeys(resumed->pareto), archiveKeys(full->pareto));
+  // And the resumed run performed no synthesis at all (all cached).
+  EXPECT_EQ(second.synthRuns(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Estimator-guided strategies
+
+TEST(Strategies, RefineFrontierContainsExhaustiveFrontier) {
+  DesignSpace space(kernel("fir"), smallGrid());
+  Evaluator exhaustiveEval(kernel("fir"));
+  std::optional<DseResult> full =
+      runDse(space, exhaustiveEval, "exhaustive", {});
+  ASSERT_TRUE(full.has_value());
+
+  Evaluator refineEval(kernel("fir"));
+  std::optional<DseResult> refined = runDse(space, refineEval, "refine", {});
+  ASSERT_TRUE(refined.has_value());
+  EXPECT_GT(refined->estimated, 0u);
+
+  std::set<std::string> refinedKeys = archiveKeys(refined->pareto);
+  for (const ArchiveEntry &entry : full->pareto)
+    EXPECT_TRUE(refinedKeys.count(entry.key))
+        << entry.key << " on the exhaustive frontier but not refine's";
+}
+
+TEST(Strategies, GeneticAndAnnealAreSeedDeterministic) {
+  for (const char *name : {"genetic", "anneal"}) {
+    DesignSpace space(kernel("fir"), smallGrid());
+    StrategyOptions options;
+    options.seed = 42;
+    options.populationSize = 4;
+    options.generations = 3;
+    options.annealSteps = 12;
+    Evaluator a(kernel("fir"));
+    Evaluator b(kernel("fir"));
+    std::optional<DseResult> first = runDse(space, a, name, options);
+    std::optional<DseResult> second = runDse(space, b, name, options);
+    ASSERT_TRUE(first.has_value()) << name;
+    ASSERT_TRUE(second.has_value()) << name;
+    EXPECT_EQ(visitKeys(first->visited), visitKeys(second->visited)) << name;
+    EXPECT_EQ(first->estimated, second->estimated) << name;
+    EXPECT_EQ(archiveKeys(first->pareto), archiveKeys(second->pareto))
+        << name;
+  }
+}
+
+TEST(Strategies, EstimateOnlySynthesizesOnlyTheProbes) {
+  DesignSpace space(kernel("fir"), smallGrid());
+  Evaluator evaluator(kernel("fir"));
+  StrategyOptions options;
+  options.estimateOnly = true;
+  std::optional<DseResult> result =
+      runDse(space, evaluator, "exhaustive", options);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->evaluated, space.size());
+  EXPECT_EQ(result->estimated, space.size());
+  EXPECT_EQ(evaluator.synthRuns(), QoREstimation::kProbeRuns);
+  EXPECT_GE(evaluator.estimates(), static_cast<int64_t>(space.size()));
+  EXPECT_FALSE(result->pareto.empty());
+}
+
+TEST(Evaluator, CacheWaitCounterStartsAtZeroAndHitsDoNotWait) {
+  Evaluator evaluator(kernel("fir"));
+  flow::KernelConfig config; // default directive point
+  evaluator.evaluate(config);
+  evaluator.evaluate(config); // sequential re-visit: a hit, not a wait
+  EXPECT_EQ(evaluator.synthRuns(), 1);
+  EXPECT_EQ(evaluator.cacheHits(), 1);
+  EXPECT_EQ(evaluator.cacheWaits(), 0);
 }

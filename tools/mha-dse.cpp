@@ -1,7 +1,9 @@
 // mha-dse - design-space exploration over the adaptor flow.
 //
-//   mha-dse --kernel=NAME [--strategy=exhaustive|random|greedy]
-//           [--budget=N] [--seed=N] [--threads=N] [--cosim]
+//   mha-dse --kernel=NAME
+//           [--strategy=exhaustive|random|greedy|refine|genetic|anneal]
+//           [--budget=N] [--estimate-budget=N] [--estimate-only]
+//           [--seed=N] [--threads=N] [--cosim]
 //           [--ii=0,1,2] [--unroll=1,2,4,8] [--partition=1,2,4,8]
 //           [--no-dataflow] [--json=out.json] [--cache=qor.json]
 //           [--resume] [--chrome-trace=out.json] [--stats]
@@ -13,8 +15,16 @@
 // visited point with the Pareto-archive members marked. Evaluations run
 // in parallel on a thread pool behind a config-keyed QoR cache;
 // --cache=FILE persists the cache (schema "mha.dse.cache.v1") and
-// --resume pre-loads it so re-runs and refinements skip synthesis for
-// every point already measured. --json=FILE writes the run (visited
+// --resume pre-loads it, re-seeds the Pareto archive from the cached
+// points, and skips synthesis for every point already measured.
+//
+// The refine/genetic/anneal strategies are estimator-guided: they score
+// candidates with the analytical QoR estimator (two probe synthesis runs,
+// then arithmetic) and only synthesize predicted-frontier points;
+// --estimate-budget caps the analytical work and --estimate-only skips
+// promotion synthesis entirely (the archive then holds predictions). Every
+// run reports the estimator's measured error against its synthesized
+// points, on stdout and in the JSON. --json=FILE writes the run (visited
 // points + Pareto archive, schema "mha.dse.v1"); --chrome-trace/--stats
 // expose the telemetry layer like the other tools. Exit status 0 iff
 // every visited point synthesized (and co-simulated, with --cosim).
@@ -33,8 +43,11 @@ namespace {
 int usage() {
   std::fprintf(
       stderr,
-      "usage: mha-dse --kernel=NAME [--strategy=exhaustive|random|greedy]\n"
-      "               [--budget=N] [--seed=N] [--threads=N] [--cosim]\n"
+      "usage: mha-dse --kernel=NAME\n"
+      "               [--strategy=exhaustive|random|greedy|refine|genetic|"
+      "anneal]\n"
+      "               [--budget=N] [--estimate-budget=N] [--estimate-only]\n"
+      "               [--seed=N] [--threads=N] [--cosim]\n"
       "               [--ii=0,1,2] [--unroll=1,2,4,8] [--partition=1,2,4,8]\n"
       "               [--no-dataflow] [--json=out.json] [--cache=qor.json]\n"
       "               [--resume] [--chrome-trace=out.json] [--stats]\n");
@@ -89,7 +102,8 @@ int main(int argc, char **argv) {
   std::string strategyName = "exhaustive";
   std::string jsonPath, cachePath, chromeTracePath;
   bool resume = false, cosim = false, statsFlag = false;
-  int64_t budget = 0, seed = 0, threads = 0;
+  bool estimateOnly = false;
+  int64_t budget = 0, estimateBudget = 0, seed = 0, threads = 0;
   dse::DesignSpaceOptions spaceOptions;
 
   for (int i = 1; i < argc; ++i) {
@@ -101,7 +115,13 @@ int main(int argc, char **argv) {
     else if (startsWith(arg, "--budget=")) {
       if (!parseNumericFlag(arg, 9, "--budget", 0, 1 << 30, budget))
         return usage();
-    } else if (startsWith(arg, "--seed=")) {
+    } else if (startsWith(arg, "--estimate-budget=")) {
+      if (!parseNumericFlag(arg, 18, "--estimate-budget", 0, 1 << 30,
+                            estimateBudget))
+        return usage();
+    } else if (arg == "--estimate-only")
+      estimateOnly = true;
+    else if (startsWith(arg, "--seed=")) {
       if (!parseNumericFlag(arg, 7, "--seed", 0, INT64_MAX, seed))
         return usage();
     } else if (startsWith(arg, "--threads=")) {
@@ -190,7 +210,10 @@ int main(int argc, char **argv) {
 
   dse::StrategyOptions searchOptions;
   searchOptions.budget = static_cast<size_t>(budget);
+  searchOptions.estimateBudget = static_cast<size_t>(estimateBudget);
   searchOptions.seed = static_cast<uint64_t>(seed);
+  searchOptions.estimateOnly = estimateOnly;
+  searchOptions.warmStart = resume;
 
   std::printf("exploring %s: %zu valid points (min innermost trip %lld%s), "
               "strategy %s\n\n",
@@ -245,6 +268,24 @@ int main(int argc, char **argv) {
               static_cast<long long>(result->synthRuns),
               static_cast<long long>(result->cacheHits),
               result->pareto.size());
+  if (result->warmStarted > 0)
+    std::printf("warm start: %zu cached points re-seeded the archive\n",
+                result->warmStarted);
+  if (result->estimator.used) {
+    std::printf("estimator: %lld estimates from %lld probe runs",
+                static_cast<long long>(result->estimator.estimates),
+                static_cast<long long>(result->estimator.probeRuns));
+    if (result->estimator.errorSamples > 0)
+      std::printf("; error vs %zu synthesized points: latency mean "
+                  "%.1f%% max %.1f%%, dsp %.1f%%, bram %.1f%%, lut %.1f%%",
+                  result->estimator.errorSamples,
+                  result->estimator.latencyMeanAbsPct,
+                  result->estimator.latencyMaxAbsPct,
+                  result->estimator.dspMeanAbsPct,
+                  result->estimator.bramMeanAbsPct,
+                  result->estimator.lutMeanAbsPct);
+    std::printf("\n");
+  }
   if (!result->pareto.empty()) {
     const dse::ArchiveEntry &fastest = result->pareto.front();
     std::printf("fastest design: II=%lld unroll=%lld partition=%lld%s -> "
