@@ -1,0 +1,130 @@
+// Metrics overhead gate — the table4 corpus with the metrics gate off vs
+// on, enforcing the ≤2% overhead budget the instrumentation promises.
+//
+// Both arms run the full corpus (every kernel through both flows, via the
+// BatchRunner so the instrumented paths — pool submit/run, stage-cache
+// lookups, pass timing — are all exercised). Timing is the per-job serial
+// sum (wall time measured *inside* each job), min over --reps interleaved
+// repetitions per arm, so scheduler noise and one-time warm-up cannot
+// charge the enabled arm. Exits non-zero when the measured overhead
+// exceeds the budget — CI turns a regression into a red build, not a
+// footnote.
+//
+//   metrics_overhead [--reps=N] [--max-overhead-pct=P] [--json=FILE]
+#include "BenchCommon.h"
+
+#include "support/Metrics.h"
+#include "support/StringUtils.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace mha;
+using namespace mha::bench;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: metrics_overhead [--reps=N] [--max-overhead-pct=P]\n"
+               "                        [--json=FILE]\n");
+  return 2;
+}
+
+/// One corpus pass: every kernel through both flows. Returns the serial
+/// sum of per-job wall times in milliseconds (aborts on any job failure —
+/// an overhead number for a broken run is meaningless).
+double corpusSerialMs(ThreadPool &pool) {
+  std::vector<flow::BatchJob> jobs;
+  for (const flow::KernelSpec &spec : flow::allKernels())
+    for (flow::FlowKind kind :
+         {flow::FlowKind::Adaptor, flow::FlowKind::HlsCpp})
+      jobs.push_back({&spec, defaultConfig(), kind, {}, "metrics-overhead"});
+  flow::BatchOptions options;
+  options.pool = &pool;
+  flow::BatchOutcome out = flow::runBatch(jobs, options);
+  if (out.trace.failures != 0) {
+    std::fprintf(stderr, "metrics_overhead: corpus batch had failures\n");
+    std::exit(1);
+  }
+  return out.trace.serialMs;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  JsonReport report("metrics_overhead", argc, argv);
+  int64_t reps = 5;
+  double maxOverheadPct = 2.0;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (startsWith(arg, "--reps=")) {
+      std::optional<int64_t> parsed = parseInt(arg.substr(7));
+      if (!parsed || *parsed < 1 || *parsed > 100) {
+        std::fprintf(stderr, "invalid value for --reps\n");
+        return usage();
+      }
+      reps = *parsed;
+    } else if (startsWith(arg, "--max-overhead-pct=")) {
+      std::optional<int64_t> parsed = parseInt(arg.substr(19));
+      if (!parsed || *parsed < 1 || *parsed > 100) {
+        std::fprintf(stderr, "invalid value for --max-overhead-pct\n");
+        return usage();
+      }
+      maxOverheadPct = static_cast<double>(*parsed);
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      return usage();
+    }
+  }
+
+  ThreadPool pool;
+
+  // Warm-up pass: fault in code, fill allocator pools, spin up workers.
+  // Not measured in either arm.
+  metrics::setEnabled(false);
+  corpusSerialMs(pool);
+
+  // Interleave the arms so slow drift (thermal, background load) hits
+  // both equally; keep the minimum per arm.
+  double minDisabledMs = 0, minEnabledMs = 0;
+  for (int64_t rep = 0; rep < reps; ++rep) {
+    metrics::setEnabled(false);
+    double disabledMs = corpusSerialMs(pool);
+    metrics::setEnabled(true);
+    double enabledMs = corpusSerialMs(pool);
+    metrics::setEnabled(false);
+    if (rep == 0 || disabledMs < minDisabledMs)
+      minDisabledMs = disabledMs;
+    if (rep == 0 || enabledMs < minEnabledMs)
+      minEnabledMs = enabledMs;
+    std::fprintf(stderr, "[rep %lld/%lld] disabled %.1f ms, enabled %.1f ms\n",
+                 static_cast<long long>(rep + 1),
+                 static_cast<long long>(reps), disabledMs, enabledMs);
+    report.beginRow();
+    report.field("rep", rep + 1);
+    report.field("disabled_ms", disabledMs);
+    report.field("enabled_ms", enabledMs);
+  }
+
+  double overheadPct =
+      minDisabledMs > 0
+          ? 100.0 * (minEnabledMs - minDisabledMs) / minDisabledMs
+          : 0.0;
+  bool pass = overheadPct <= maxOverheadPct;
+  std::printf("metrics overhead: disabled %.1f ms, enabled %.1f ms "
+              "(min of %lld) -> %+.2f%% (budget %.1f%%): %s\n",
+              minDisabledMs, minEnabledMs, static_cast<long long>(reps),
+              overheadPct, maxOverheadPct, pass ? "PASS" : "FAIL");
+
+  report.beginRow();
+  report.field("mode", "summary");
+  report.field("reps", reps);
+  report.field("disabled_ms", minDisabledMs);
+  report.field("enabled_ms", minEnabledMs);
+  report.field("overhead_pct", overheadPct);
+  report.field("budget_pct", maxOverheadPct);
+  report.field("pass", pass);
+  return report.finish(pass ? 0 : 1);
+}

@@ -2,6 +2,7 @@
 
 #include "dse/QoREstimation.h"
 #include "support/Json.h"
+#include "support/Metrics.h"
 #include "support/StringUtils.h"
 #include "support/Telemetry.h"
 
@@ -25,6 +26,29 @@ telemetry::Statistic numProbeRuns("dse", "probe-runs",
                                   "synthesis runs spent building the "
                                   "QoR estimator");
 
+/// Evaluator latency histograms: where a design point's answer came from
+/// and what it cost. synth = a full virtual-synthesis flow run; estimate
+/// = the analytical model; cache_wait = idle time blocked on another
+/// thread's in-flight synthesis of the same point.
+metrics::Histogram &synthUsHistogram() {
+  static metrics::Histogram &hist = metrics::Registry::global().histogram(
+      "mha_dse_synth_us", "full synthesis flow latency per design point");
+  return hist;
+}
+
+metrics::Histogram &estimateUsHistogram() {
+  static metrics::Histogram &hist = metrics::Registry::global().histogram(
+      "mha_dse_estimate_us", "analytical QoR estimate latency");
+  return hist;
+}
+
+metrics::Histogram &cacheWaitUsHistogram() {
+  static metrics::Histogram &hist = metrics::Registry::global().histogram(
+      "mha_dse_cache_wait_us",
+      "time blocked on an in-flight synthesis of the same point");
+  return hist;
+}
+
 } // namespace
 
 Evaluator::Evaluator(const flow::KernelSpec &spec, EvaluatorOptions options)
@@ -37,6 +61,7 @@ QoR Evaluator::runFlow(const flow::KernelConfig &config,
                        const std::string &key) {
   telemetry::Span span(strfmt("dse:evaluate:%s", spec_->name.c_str()), "dse",
                        {{"kernel", spec_->name}, {"config", key}});
+  metrics::Timer timer(synthUsHistogram());
   QoR qor;
   flow::FlowResult result = flow::runAdaptorFlow(*spec_, config,
                                                  options_.flow);
@@ -82,6 +107,7 @@ QoR Evaluator::evaluate(const flow::KernelConfig &config) {
       telemetry::Span span(strfmt("dse:cache-wait:%s", spec_->name.c_str()),
                            "dse",
                            {{"kernel", spec_->name}, {"config", key}});
+      metrics::Timer timer(cacheWaitUsHistogram());
       ++cacheWaits_;
       ++numCacheWaits;
       while (!entry.done)
@@ -159,6 +185,7 @@ const QoREstimation *Evaluator::estimator(bool buildIfNeeded) {
 
 QoR Evaluator::estimate(const flow::KernelConfig &config) {
   const QoREstimation *est = estimator();
+  metrics::Timer timer(estimateUsHistogram());
   estimates_.fetch_add(1, std::memory_order_relaxed);
   ++numEstimates;
   if (!est) {

@@ -1,10 +1,13 @@
 #include "flow/BatchRunner.h"
 
 #include "support/Json.h"
+#include "support/Metrics.h"
 #include "support/StringUtils.h"
 #include "support/Telemetry.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <fstream>
 #include <mutex>
 #include <sstream>
@@ -22,6 +25,17 @@ double msBetween(Clock::time_point from, Clock::time_point to) {
 std::string firstLine(const std::string &text) {
   size_t eol = text.find('\n');
   return eol == std::string::npos ? text : text.substr(0, eol);
+}
+
+/// Exact nearest-rank percentile over sorted values (p in [0, 100]).
+double exactPercentile(const std::vector<double> &sorted, double p) {
+  if (sorted.empty())
+    return 0;
+  size_t rank = static_cast<size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+  if (rank < 1)
+    rank = 1;
+  return sorted[std::min(rank, sorted.size()) - 1];
 }
 
 /// Runs one job with full error containment: any exception becomes a
@@ -60,6 +74,9 @@ std::string BatchTrace::json() const {
      << ",\n  \"serial_ms\": " << json::number(serialMs) << ",\n";
   os << "  \"speedup\": "
      << json::number(wallMs > 0 ? serialMs / wallMs : 0.0) << ",\n";
+  os << "  \"e2e_ms_p50\": " << json::number(e2eP50Ms)
+     << ",\n  \"e2e_ms_p90\": " << json::number(e2eP90Ms)
+     << ",\n  \"e2e_ms_p99\": " << json::number(e2eP99Ms) << ",\n";
   os << "  \"jobs_per_worker\": [";
   for (size_t w = 0; w < jobsPerWorker.size(); ++w)
     os << (w ? ", " : "") << jobsPerWorker[w];
@@ -195,14 +212,26 @@ BatchOutcome runBatch(const std::vector<BatchJob> &jobs,
   batchSpan.finish();
   out.trace.wallMs = msBetween(batchStart, Clock::now());
 
+  static metrics::Histogram &jobE2eUs = metrics::Registry::global().histogram(
+      "mha_batch_job_e2e_us",
+      "per-job end-to-end latency (queue wait + flow execution)");
+  std::vector<double> e2eMs;
+  e2eMs.reserve(out.trace.jobs.size());
   for (const JobTrace &trace : out.trace.jobs) {
     out.trace.serialMs += trace.wallMs;
+    e2eMs.push_back(trace.queueMs + trace.wallMs);
+    jobE2eUs.record(
+        static_cast<int64_t>((trace.queueMs + trace.wallMs) * 1000.0));
     if (!trace.ok)
       ++out.trace.failures;
     if (trace.worker >= 0 &&
         static_cast<size_t>(trace.worker) < out.trace.jobsPerWorker.size())
       ++out.trace.jobsPerWorker[static_cast<size_t>(trace.worker)];
   }
+  std::sort(e2eMs.begin(), e2eMs.end());
+  out.trace.e2eP50Ms = exactPercentile(e2eMs, 50);
+  out.trace.e2eP90Ms = exactPercentile(e2eMs, 90);
+  out.trace.e2eP99Ms = exactPercentile(e2eMs, 99);
   if (options.sink)
     options.sink->onBatchFinished(out.trace);
   return out;

@@ -59,6 +59,12 @@ struct BatchTrace {
   size_t failures = 0;
   double wallMs = 0;   // whole-batch wall clock (harness view)
   double serialMs = 0; // sum of per-job wall times (the serial cost)
+  /// Per-job end-to-end latency (queueMs + wallMs) percentiles, computed
+  /// exactly (nearest-rank over the sorted per-job values, not bucketed).
+  /// 0 when the batch had no jobs.
+  double e2eP50Ms = 0;
+  double e2eP90Ms = 0;
+  double e2eP99Ms = 0;
   std::vector<JobTrace> jobs;
   std::vector<size_t> jobsPerWorker; // occupancy histogram, one per worker
 

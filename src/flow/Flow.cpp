@@ -14,6 +14,7 @@
 #include "mir/Verifier.h"
 #include "mir/transforms/MirTransforms.h"
 #include "support/Hash.h"
+#include "support/Metrics.h"
 #include "support/StringUtils.h"
 #include "support/Telemetry.h"
 #include "support/ThreadPool.h"
@@ -70,6 +71,14 @@ std::optional<mir::OwnedModule> prepareMlir(const KernelSpec &spec,
 // matching hash* helper or the cache will serve stale entries for runs
 // that differ only in the new field.
 
+/// The shared key-compute-time histogram (same series StageCache::synthKey
+/// records into, so `mha_stage_cache_key_us` covers all four key kinds).
+metrics::Histogram &stageKeyHistogram() {
+  static metrics::Histogram &hist = metrics::Registry::global().histogram(
+      "mha_stage_cache_key_us", "stage-cache key computation time");
+  return hist;
+}
+
 void hashConfig(HashBuilder &hb, const KernelConfig &config) {
   hb.i64(config.pipelineII)
       .i64(config.unrollFactor)
@@ -83,6 +92,7 @@ void hashConfig(HashBuilder &hb, const KernelConfig &config) {
 /// static, so the name determines the built IR.
 uint64_t mlirStageKey(const KernelSpec &spec, const KernelConfig &config,
                       const FlowOptions &options) {
+  metrics::Timer timer(stageKeyHistogram());
   HashBuilder hb;
   hb.str("mlir").str(spec.name);
   hashConfig(hb, config);
@@ -94,6 +104,7 @@ uint64_t mlirStageKey(const KernelSpec &spec, const KernelConfig &config,
 /// lowering and the adaptor pipeline.
 uint64_t adaptorBridgeKey(const std::string &mirText,
                           const FlowOptions &options) {
+  metrics::Timer timer(stageKeyHistogram());
   HashBuilder hb;
   hb.str("bridge-adaptor").str(mirText);
   const lowering::LoweringOptions &lo = options.lowering;
@@ -117,6 +128,7 @@ uint64_t adaptorBridgeKey(const std::string &mirText,
 /// Stage 2 input (C++ flow): emission and the HLS frontend take no
 /// options, so the mir text alone addresses the output.
 uint64_t hlsCppBridgeKey(const std::string &mirText) {
+  metrics::Timer timer(stageKeyHistogram());
   HashBuilder hb;
   hb.str("bridge-hlscpp").str(mirText);
   return hb.get();

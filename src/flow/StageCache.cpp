@@ -1,6 +1,7 @@
 #include "flow/StageCache.h"
 
 #include "support/Hash.h"
+#include "support/Metrics.h"
 #include "support/Telemetry.h"
 
 #include <mutex>
@@ -29,31 +30,110 @@ telemetry::Statistic statSynthMiss("flow.cache", "synth.miss",
 /// per-entry LRU bookkeeping on every hot lookup.
 constexpr size_t kMaxEntriesPerStage = 4096;
 
+/// Per-stage metrics-registry handles (hit/miss counters gated on
+/// metrics::enabled(); the resident-bytes gauge tracks the structural
+/// byte total unconditionally so it always matches counters()).
+struct StageMetrics {
+  metrics::Counter &hits;
+  metrics::Counter &misses;
+  metrics::Gauge &bytes;
+
+  static StageMetrics make(const char *stage) {
+    metrics::Registry &reg = metrics::Registry::global();
+    metrics::Labels labels = {{"stage", stage}};
+    return StageMetrics{
+        reg.counter("mha_stage_cache_hits_total", "stage-cache lookup hits",
+                    labels),
+        reg.counter("mha_stage_cache_misses_total",
+                    "stage-cache lookup misses", labels),
+        reg.gauge("mha_stage_cache_bytes",
+                  "payload bytes resident in the stage map", labels)};
+  }
+
+  static StageMetrics &mlir() {
+    static StageMetrics m = make("mlir");
+    return m;
+  }
+  static StageMetrics &bridge() {
+    static StageMetrics m = make("bridge");
+    return m;
+  }
+  static StageMetrics &synth() {
+    static StageMetrics m = make("synth");
+    return m;
+  }
+};
+
+/// Structural payload size of a cached value: strings at their length,
+/// report structures via sizeof plus owned string/vector payloads. An
+/// approximation (malloc slack and map-node overhead are not counted) but
+/// a consistent one: store/evict adjustments always agree.
+int64_t entryBytes(const std::string &text) {
+  return static_cast<int64_t>(text.size());
+}
+
+int64_t entryBytes(const StageCache::BridgeEntry &entry) {
+  int64_t n = static_cast<int64_t>(sizeof(entry) + entry.lirText.size() +
+                                   entry.hlsCpp.size());
+  for (const auto &[name, value] : entry.adaptorStats)
+    n += static_cast<int64_t>(name.size() + sizeof(value));
+  return n;
+}
+
+int64_t entryBytes(const vhls::SynthesisReport &report) {
+  int64_t n = static_cast<int64_t>(sizeof(report) + report.topName.size());
+  for (const auto &[name, value] : report.compat.violations)
+    n += static_cast<int64_t>(name.size() + sizeof(value));
+  for (const vhls::FunctionReport &fn : report.functions) {
+    n += static_cast<int64_t>(sizeof(fn) + fn.name.size());
+    for (const vhls::LoopReport &loop : fn.loops)
+      n += static_cast<int64_t>(sizeof(loop) + loop.name.size() +
+                                loop.note.size());
+    for (const vhls::ArrayReport &array : fn.arrays)
+      n += static_cast<int64_t>(sizeof(array) + array.name.size() +
+                                array.partition.size());
+  }
+  return n;
+}
+
 template <typename Value>
 bool mapLookup(std::mutex &mutex, std::unordered_map<uint64_t, Value> &map,
                uint64_t key, Value &out, telemetry::Statistic &hit,
-               telemetry::Statistic &miss, int64_t &hitCount,
+               telemetry::Statistic &miss, StageMetrics &sm, int64_t &hitCount,
                int64_t &missCount) {
   std::lock_guard<std::mutex> guard(mutex);
   auto it = map.find(key);
   if (it == map.end()) {
     ++miss;
     ++missCount;
+    ++sm.misses;
     return false;
   }
   out = it->second;
   ++hit;
   ++hitCount;
+  ++sm.hits;
   return true;
 }
 
+/// Stores `value` and keeps `byteTotal` (and the stage's bytes gauge) in
+/// step: overwrites subtract the replaced payload, and the whole-map
+/// eviction resets the total before the fresh entry lands.
 template <typename Value>
 void mapStore(std::mutex &mutex, std::unordered_map<uint64_t, Value> &map,
-              uint64_t key, Value value) {
+              uint64_t key, Value value, StageMetrics &sm,
+              int64_t &byteTotal) {
   std::lock_guard<std::mutex> guard(mutex);
-  if (map.size() >= kMaxEntriesPerStage)
+  if (map.size() >= kMaxEntriesPerStage) {
     map.clear();
+    byteTotal = 0;
+  }
+  auto it = map.find(key);
+  if (it != map.end())
+    byteTotal -= entryBytes(it->second);
+  byteTotal += entryBytes(value);
   map[key] = std::move(value);
+  sm.bytes.set(byteTotal);
 }
 
 } // namespace
@@ -78,6 +158,9 @@ StageCache &StageCache::global() {
 
 uint64_t StageCache::synthKey(const std::string &lirText,
                               const vhls::SynthesisOptions &options) {
+  static metrics::Histogram &keyUs = metrics::Registry::global().histogram(
+      "mha_stage_cache_key_us", "stage-cache key computation time");
+  metrics::Timer timer(keyUs);
   HashBuilder hb;
   hb.str("synth").str(lirText);
   const vhls::TargetSpec &t = options.target;
@@ -99,35 +182,40 @@ uint64_t StageCache::synthKey(const std::string &lirText,
 bool StageCache::lookupMlir(uint64_t key, std::string &mirText) {
   Impl &i = impl();
   return mapLookup(i.mutex, i.mlir, key, mirText, statMlirHit, statMlirMiss,
-                   i.counters.mlirHits, i.counters.mlirMisses);
+                   StageMetrics::mlir(), i.counters.mlirHits,
+                   i.counters.mlirMisses);
 }
 
 void StageCache::storeMlir(uint64_t key, std::string mirText) {
   Impl &i = impl();
-  mapStore(i.mutex, i.mlir, key, std::move(mirText));
+  mapStore(i.mutex, i.mlir, key, std::move(mirText), StageMetrics::mlir(),
+           i.counters.mlirBytes);
 }
 
 bool StageCache::lookupBridge(uint64_t key, BridgeEntry &entry) {
   Impl &i = impl();
   return mapLookup(i.mutex, i.bridge, key, entry, statBridgeHit,
-                   statBridgeMiss, i.counters.bridgeHits,
-                   i.counters.bridgeMisses);
+                   statBridgeMiss, StageMetrics::bridge(),
+                   i.counters.bridgeHits, i.counters.bridgeMisses);
 }
 
 void StageCache::storeBridge(uint64_t key, BridgeEntry entry) {
   Impl &i = impl();
-  mapStore(i.mutex, i.bridge, key, std::move(entry));
+  mapStore(i.mutex, i.bridge, key, std::move(entry), StageMetrics::bridge(),
+           i.counters.bridgeBytes);
 }
 
 bool StageCache::lookupSynth(uint64_t key, vhls::SynthesisReport &report) {
   Impl &i = impl();
   return mapLookup(i.mutex, i.synth, key, report, statSynthHit, statSynthMiss,
-                   i.counters.synthHits, i.counters.synthMisses);
+                   StageMetrics::synth(), i.counters.synthHits,
+                   i.counters.synthMisses);
 }
 
 void StageCache::storeSynth(uint64_t key, vhls::SynthesisReport report) {
   Impl &i = impl();
-  mapStore(i.mutex, i.synth, key, std::move(report));
+  mapStore(i.mutex, i.synth, key, std::move(report), StageMetrics::synth(),
+           i.counters.synthBytes);
 }
 
 StageCache::Counters StageCache::counters() const {
@@ -143,6 +231,9 @@ void StageCache::clear() {
   i.bridge.clear();
   i.synth.clear();
   i.counters = Counters();
+  StageMetrics::mlir().bytes.set(0);
+  StageMetrics::bridge().bytes.set(0);
+  StageMetrics::synth().bytes.set(0);
 }
 
 size_t StageCache::size() const {

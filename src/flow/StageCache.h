@@ -47,13 +47,24 @@ public:
     lir::PassStats adaptorStats;
   };
 
-  /// Structural hit/miss snapshot (mirrors the "flow.cache" statistics).
+  /// Structural hit/miss/bytes snapshot (mirrors the "flow.cache"
+  /// statistics and the mha_stage_cache_* metrics). Byte totals count the
+  /// payloads currently resident per stage map: strings at their length,
+  /// report structures at their structural size (fixed fields via sizeof
+  /// plus owned string/vector payloads).
   struct Counters {
     int64_t mlirHits = 0, mlirMisses = 0;
     int64_t bridgeHits = 0, bridgeMisses = 0;
     int64_t synthHits = 0, synthMisses = 0;
+    int64_t mlirBytes = 0, bridgeBytes = 0, synthBytes = 0;
     int64_t hits() const { return mlirHits + bridgeHits + synthHits; }
     int64_t misses() const { return mlirMisses + bridgeMisses + synthMisses; }
+    int64_t bytes() const { return mlirBytes + bridgeBytes + synthBytes; }
+    /// hits / (hits + misses), 0 when no lookups happened.
+    double hitRate() const {
+      int64_t total = hits() + misses();
+      return total ? double(hits()) / double(total) : 0.0;
+    }
   };
 
   bool lookupMlir(uint64_t key, std::string &mirText);
@@ -73,6 +84,10 @@ public:
                            const vhls::SynthesisOptions &options);
 
   Counters counters() const;
+
+  /// The observability-layer name for counters(): one consistent snapshot
+  /// of hits, misses, resident bytes and hitRate().
+  Counters stats() const { return counters(); }
 
   /// Drops every entry and zeroes the structural counters (tests; the
   /// "flow.cache" statistics follow the global telemetry reset instead).

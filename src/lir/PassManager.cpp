@@ -4,6 +4,7 @@
 #include "lir/LContext.h"
 #include "lir/Printer.h"
 #include "lir/Verifier.h"
+#include "support/Metrics.h"
 #include "support/StringUtils.h"
 #include "support/Telemetry.h"
 #include "support/ThreadPool.h"
@@ -164,6 +165,8 @@ bool PassManager::run(Module &module, DiagnosticEngine &diags) {
     telemetry::Span span(record.passName, "lir-pass");
     runOnePass(*pass, module, diags, record);
     record.millis = span.finish();
+    metrics::recordPassDuration("lir", record.passName,
+                                static_cast<int64_t>(record.millis * 1000.0));
     countModuleSize(module, record.instsAfter, record.blocksAfter);
     if (tracer.timePassesEnabled())
       tracer.recordPassTime("lir", record.passName, record.millis,

@@ -2,6 +2,7 @@
 
 #include "mir/Ops.h"
 #include "mir/Verifier.h"
+#include "support/Metrics.h"
 #include "support/StringUtils.h"
 #include "support/Telemetry.h"
 
@@ -25,6 +26,8 @@ bool MPassManager::run(ModuleOp module, DiagnosticEngine &diags) {
     telemetry::Span span(record.passName, "mir-pass");
     record.changed = pass->run(module, record.stats, diags);
     record.millis = span.finish();
+    metrics::recordPassDuration("mir", record.passName,
+                                static_cast<int64_t>(record.millis * 1000.0));
     record.opsAfter = countOps(module);
     if (tracer.timePassesEnabled())
       tracer.recordPassTime("mir", record.passName, record.millis,

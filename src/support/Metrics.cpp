@@ -1,0 +1,528 @@
+#include "support/Metrics.h"
+
+#include "support/Json.h"
+#include "support/StringUtils.h"
+#include "support/Telemetry.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+
+namespace mha::metrics {
+
+namespace {
+
+std::atomic<bool> gEnabled{false};
+
+/// Renders "name{k1=\"v1\",k2=\"v2\"}" — the registry key and the
+/// Prometheus sample name in one.
+std::string renderKey(std::string_view name, const Labels &labels) {
+  std::string out(name);
+  if (labels.empty())
+    return out;
+  out += "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i)
+      out += ",";
+    out += labels[i].first;
+    out += "=\"";
+    out += json::escape(labels[i].second);
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+} // namespace
+
+bool enabled() { return gEnabled.load(std::memory_order_relaxed); }
+void setEnabled(bool on) { gEnabled.store(on, std::memory_order_relaxed); }
+
+int bucketIndex(int64_t value) {
+  if (value <= 0)
+    return 0;
+  int bucket = 64 - std::countl_zero(static_cast<uint64_t>(value));
+  return bucket < kBuckets ? bucket : kBuckets - 1;
+}
+
+int64_t bucketLowerBound(int bucket) {
+  return bucket <= 0 ? 0 : int64_t(1) << (bucket - 1);
+}
+
+int64_t bucketUpperBound(int bucket) {
+  return bucket <= 0 ? 1 : int64_t(1) << bucket;
+}
+
+namespace detail {
+
+int shardIndex() {
+  static std::atomic<int> nextShard{0};
+  thread_local int tlShard =
+      nextShard.fetch_add(1, std::memory_order_relaxed) & (kShards - 1);
+  return tlShard;
+}
+
+} // namespace detail
+
+// --- Counter ----------------------------------------------------------
+
+int64_t Counter::value() const {
+  int64_t total = 0;
+  for (const detail::CounterShard &shard : shards_)
+    total += shard.value.load(std::memory_order_relaxed);
+  return total;
+}
+
+void Counter::reset() {
+  for (detail::CounterShard &shard : shards_)
+    shard.value.store(0, std::memory_order_relaxed);
+}
+
+// --- Histogram --------------------------------------------------------
+
+void Histogram::recordAlways(int64_t value) {
+  if (value < 0)
+    value = 0;
+  detail::HistogramShard &shard = shards_[detail::shardIndex()];
+  shard.count.fetch_add(1, std::memory_order_relaxed);
+  shard.sum.fetch_add(value, std::memory_order_relaxed);
+  shard.buckets[bucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  int64_t seen = shard.min.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !shard.min.compare_exchange_weak(seen, value,
+                                          std::memory_order_relaxed))
+    ;
+  seen = shard.max.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !shard.max.compare_exchange_weak(seen, value,
+                                          std::memory_order_relaxed))
+    ;
+}
+
+void Histogram::reset() {
+  for (detail::HistogramShard &shard : shards_) {
+    shard.count.store(0, std::memory_order_relaxed);
+    shard.sum.store(0, std::memory_order_relaxed);
+    shard.min.store(INT64_MAX, std::memory_order_relaxed);
+    shard.max.store(INT64_MIN, std::memory_order_relaxed);
+    for (std::atomic<int64_t> &bucket : shard.buckets)
+      bucket.store(0, std::memory_order_relaxed);
+  }
+}
+
+Histogram::Merged Histogram::merged() const {
+  Merged out;
+  int64_t minSeen = INT64_MAX, maxSeen = INT64_MIN;
+  for (const detail::HistogramShard &shard : shards_) {
+    out.count += shard.count.load(std::memory_order_relaxed);
+    out.sum += shard.sum.load(std::memory_order_relaxed);
+    minSeen = std::min(minSeen, shard.min.load(std::memory_order_relaxed));
+    maxSeen = std::max(maxSeen, shard.max.load(std::memory_order_relaxed));
+    for (int b = 0; b < kBuckets; ++b)
+      out.buckets[b] += shard.buckets[b].load(std::memory_order_relaxed);
+  }
+  out.min = out.count ? minSeen : 0;
+  out.max = out.count ? maxSeen : 0;
+  return out;
+}
+
+double Histogram::Merged::percentile(double p) const {
+  if (count == 0)
+    return 0;
+  p = std::clamp(p, 0.0, 100.0);
+  int64_t rank = static_cast<int64_t>(std::ceil(p / 100.0 * double(count)));
+  if (rank < 1)
+    rank = 1;
+  int64_t cumulative = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    if (buckets[b] == 0)
+      continue;
+    if (cumulative + buckets[b] >= rank) {
+      double lo = double(bucketLowerBound(b));
+      double hi = double(bucketUpperBound(b));
+      double within = double(rank - cumulative) / double(buckets[b]);
+      double value = lo + (hi - lo) * within;
+      return std::clamp(value, double(min), double(max));
+    }
+    cumulative += buckets[b];
+  }
+  return double(max);
+}
+
+// --- Registry ---------------------------------------------------------
+
+namespace {
+
+template <typename Metric> struct Registered {
+  std::string name;
+  Labels labels;
+  std::string help;
+  // Metrics are heap-allocated once and never freed: references handed to
+  // call sites must outlive any resetForTest()/registry growth.
+  std::unique_ptr<Metric> metric;
+};
+
+} // namespace
+
+struct Registry::Impl {
+  mutable std::mutex mutex;
+  telemetry::Clock::time_point epoch = telemetry::Clock::now();
+  // Keyed by renderKey(name, labels); std::map keeps exports sorted.
+  std::map<std::string, Registered<Counter>> counters;
+  std::map<std::string, Registered<Gauge>> gauges;
+  std::map<std::string, Registered<Histogram>> histograms;
+};
+
+Registry::Registry() = default;
+
+Registry::Impl &Registry::impl() const {
+  static Impl instance;
+  return instance;
+}
+
+Registry &Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+namespace {
+
+template <typename Metric>
+Metric &createOrGet(std::map<std::string, Registered<Metric>> &map,
+                    std::string_view name, std::string_view help,
+                    Labels labels) {
+  std::string key = renderKey(name, labels);
+  auto it = map.find(key);
+  if (it == map.end()) {
+    Registered<Metric> entry;
+    entry.name = std::string(name);
+    entry.labels = std::move(labels);
+    entry.help = std::string(help);
+    entry.metric = std::unique_ptr<Metric>(new Metric());
+    it = map.emplace(std::move(key), std::move(entry)).first;
+  } else if (it->second.help.empty() && !help.empty()) {
+    it->second.help = std::string(help);
+  }
+  return *it->second.metric;
+}
+
+} // namespace
+
+Counter &Registry::counter(std::string_view name, std::string_view help,
+                           Labels labels) {
+  Impl &i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  return createOrGet(i.counters, name, help, std::move(labels));
+}
+
+Gauge &Registry::gauge(std::string_view name, std::string_view help,
+                       Labels labels) {
+  Impl &i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  return createOrGet(i.gauges, name, help, std::move(labels));
+}
+
+Histogram &Registry::histogram(std::string_view name, std::string_view help,
+                               Labels labels) {
+  Impl &i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  return createOrGet(i.histograms, name, help, std::move(labels));
+}
+
+Snapshot Registry::snapshot() const {
+  Impl &i = impl();
+  Snapshot out;
+  {
+    std::lock_guard<std::mutex> lock(i.mutex);
+    out.uptimeMs = std::chrono::duration<double, std::milli>(
+                       telemetry::Clock::now() - i.epoch)
+                       .count();
+    for (const auto &[key, entry] : i.counters)
+      out.counters.push_back(
+          {entry.name, entry.labels, entry.help, entry.metric->value()});
+    for (const auto &[key, entry] : i.gauges)
+      out.gauges.push_back(
+          {entry.name, entry.labels, entry.help, entry.metric->value()});
+    for (const auto &[key, entry] : i.histograms)
+      out.histograms.push_back(
+          {entry.name, entry.labels, entry.help, entry.metric->merged()});
+  }
+  // One walk of the telemetry registry feeds both this snapshot and
+  // --stats (same non-zero filter), so the two reports cannot diverge.
+  for (const telemetry::StatisticValue &stat : telemetry::statisticValues())
+    out.stats.push_back({stat.group, stat.name, stat.value});
+  return out;
+}
+
+void Registry::resetForTest() {
+  Impl &i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  i.epoch = telemetry::Clock::now();
+  for (auto &[key, entry] : i.counters)
+    entry.metric->reset();
+  for (auto &[key, entry] : i.gauges)
+    entry.metric->reset();
+  for (auto &[key, entry] : i.histograms)
+    entry.metric->reset();
+}
+
+// --- Exporters --------------------------------------------------------
+
+namespace {
+
+void appendLabelsJson(std::ostringstream &os, const Labels &labels) {
+  os << "\"labels\": {";
+  for (size_t i = 0; i < labels.size(); ++i)
+    os << (i ? ", " : "") << "\"" << json::escape(labels[i].first)
+       << "\": \"" << json::escape(labels[i].second) << "\"";
+  os << "}";
+}
+
+} // namespace
+
+std::string Snapshot::json() const {
+  std::ostringstream os;
+  os << "{\n  \"schema\": \"mha.metrics.v1\",\n";
+  os << "  \"uptime_ms\": " << json::number(uptimeMs) << ",\n";
+  os << "  \"counters\": [";
+  for (size_t i = 0; i < counters.size(); ++i) {
+    const CounterSnapshot &c = counters[i];
+    os << (i ? ",\n    " : "\n    ") << "{\"name\": \""
+       << json::escape(c.name) << "\", ";
+    appendLabelsJson(os, c.labels);
+    os << ", \"value\": " << c.value << "}";
+  }
+  os << "\n  ],\n  \"gauges\": [";
+  for (size_t i = 0; i < gauges.size(); ++i) {
+    const GaugeSnapshot &g = gauges[i];
+    os << (i ? ",\n    " : "\n    ") << "{\"name\": \""
+       << json::escape(g.name) << "\", ";
+    appendLabelsJson(os, g.labels);
+    os << ", \"value\": " << g.value << "}";
+  }
+  os << "\n  ],\n  \"histograms\": [";
+  for (size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramSnapshot &h = histograms[i];
+    const Histogram::Merged &m = h.merged;
+    os << (i ? ",\n    " : "\n    ") << "{\"name\": \""
+       << json::escape(h.name) << "\", ";
+    appendLabelsJson(os, h.labels);
+    os << ", \"count\": " << m.count << ", \"sum\": " << m.sum
+       << ", \"min\": " << m.min << ", \"max\": " << m.max
+       << ", \"mean\": " << json::number(m.mean())
+       << ", \"p50\": " << json::number(m.percentile(50))
+       << ", \"p90\": " << json::number(m.percentile(90))
+       << ", \"p99\": " << json::number(m.percentile(99))
+       << ", \"buckets\": [";
+    bool first = true;
+    for (int b = 0; b < kBuckets; ++b) {
+      if (m.buckets[b] == 0)
+        continue;
+      os << (first ? "" : ", ") << "{\"le\": " << bucketUpperBound(b)
+         << ", \"count\": " << m.buckets[b] << "}";
+      first = false;
+    }
+    os << "]}";
+  }
+  os << "\n  ],\n  \"stats\": [";
+  for (size_t i = 0; i < stats.size(); ++i) {
+    const StatSnapshot &s = stats[i];
+    os << (i ? ",\n    " : "\n    ") << "{\"group\": \""
+       << json::escape(s.group) << "\", \"name\": \"" << json::escape(s.name)
+       << "\", \"value\": " << s.value << "}";
+  }
+  os << "\n  ]\n}\n";
+  return os.str();
+}
+
+std::string Snapshot::prometheus() const {
+  std::ostringstream os;
+  auto sampleName = [](const std::string &name, const Labels &labels,
+                       const char *suffix = "",
+                       const Labels &extra = {}) {
+    std::string out = name;
+    out += suffix;
+    Labels all = labels;
+    all.insert(all.end(), extra.begin(), extra.end());
+    out += all.empty() ? "" : renderKey("", all);
+    return out;
+  };
+  std::string lastTyped;
+  auto typeLine = [&](const std::string &name, const char *type,
+                      const std::string &help) {
+    if (name == lastTyped)
+      return; // one TYPE/HELP line per metric family
+    lastTyped = name;
+    if (!help.empty())
+      os << "# HELP " << name << " " << help << "\n";
+    os << "# TYPE " << name << " " << type << "\n";
+  };
+  for (const CounterSnapshot &c : counters) {
+    typeLine(c.name, "counter", c.help);
+    os << sampleName(c.name, c.labels) << " " << c.value << "\n";
+  }
+  lastTyped.clear();
+  for (const GaugeSnapshot &g : gauges) {
+    typeLine(g.name, "gauge", g.help);
+    os << sampleName(g.name, g.labels) << " " << g.value << "\n";
+  }
+  lastTyped.clear();
+  for (const HistogramSnapshot &h : histograms) {
+    typeLine(h.name, "histogram", h.help);
+    const Histogram::Merged &m = h.merged;
+    int64_t cumulative = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+      if (m.buckets[b] == 0)
+        continue;
+      cumulative += m.buckets[b];
+      os << sampleName(h.name, h.labels, "_bucket",
+                       {{"le", strfmt("%lld", static_cast<long long>(
+                                                  bucketUpperBound(b)))}})
+         << " " << cumulative << "\n";
+    }
+    os << sampleName(h.name, h.labels, "_bucket", {{"le", "+Inf"}}) << " "
+       << m.count << "\n";
+    os << sampleName(h.name, h.labels, "_sum") << " " << m.sum << "\n";
+    os << sampleName(h.name, h.labels, "_count") << " " << m.count << "\n";
+  }
+  if (!stats.empty()) {
+    os << "# TYPE mha_stat counter\n";
+    for (const StatSnapshot &s : stats)
+      os << "mha_stat{group=\"" << json::escape(s.group) << "\",name=\""
+         << json::escape(s.name) << "\"} " << s.value << "\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+bool writeTextFile(const std::string &path, const std::string &text,
+                   std::string *error) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    if (error)
+      *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  out << text;
+  out.close();
+  if (!out) {
+    if (error)
+      *error = "write to " + path + " failed";
+    return false;
+  }
+  return true;
+}
+
+} // namespace
+
+bool Registry::writeJsonFile(const std::string &path,
+                             std::string *error) const {
+  std::string rendered = snapshot().json();
+  std::string validateError;
+  if (!json::validate(rendered, &validateError)) {
+    if (error)
+      *error = "metrics snapshot is not well-formed JSON: " + validateError;
+    return false;
+  }
+  return writeTextFile(path, rendered, error);
+}
+
+bool Registry::writePrometheusFile(const std::string &path,
+                                   std::string *error) const {
+  return writeTextFile(path, snapshot().prometheus(), error);
+}
+
+void recordPassDuration(std::string_view pipeline, std::string_view pass,
+                        int64_t us) {
+  if (!enabled())
+    return;
+  Registry::global()
+      .histogram("mha_pass_duration_us", "per-pass execution time",
+                 {{"pipeline", std::string(pipeline)},
+                  {"pass", std::string(pass)}})
+      .recordAlways(us);
+}
+
+// --- Exporter ---------------------------------------------------------
+
+Exporter::~Exporter() { stop(); }
+
+bool Exporter::start(std::string path, int64_t intervalMs,
+                     std::string *error) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (running_) {
+    if (error)
+      *error = "exporter already running";
+    return false;
+  }
+  if (intervalMs < 1) {
+    if (error)
+      *error = "exporter interval must be >= 1 ms";
+    return false;
+  }
+  // A previous stop() may have left a joined-out thread object behind.
+  if (thread_.joinable())
+    thread_.join();
+  path_ = std::move(path);
+  intervalMs_ = intervalMs;
+  stopRequested_ = false;
+  running_ = true;
+  thread_ = std::thread([this] {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!stopRequested_) {
+      if (wake_.wait_for(lock, std::chrono::milliseconds(intervalMs_),
+                         [this] { return stopRequested_; }))
+        break;
+      std::string path = path_;
+      lock.unlock();
+      // Best-effort: a periodic write failure (e.g. disk full) is not
+      // fatal; the final stop() write surfaces the error.
+      if (Registry::global().writeJsonFile(path))
+        writeCount_.fetch_add(1, std::memory_order_relaxed);
+      lock.lock();
+    }
+  });
+  return true;
+}
+
+bool Exporter::stop(std::string *error) {
+  std::thread worker;
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_) {
+      // Reap a thread a concurrent stop() already signalled but did not
+      // own; harmless when there is none.
+      if (thread_.joinable())
+        thread_.join();
+      return true;
+    }
+    stopRequested_ = true;
+    running_ = false;
+    worker = std::move(thread_);
+    path = path_;
+  }
+  wake_.notify_all();
+  if (worker.joinable())
+    worker.join();
+  if (!Registry::global().writeJsonFile(path, error))
+    return false;
+  writeCount_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool Exporter::running() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return running_;
+}
+
+int64_t Exporter::writeCount() const {
+  return writeCount_.load(std::memory_order_relaxed);
+}
+
+} // namespace mha::metrics

@@ -16,7 +16,67 @@ namespace {
 // claimed on first use so unnamed threads still get a stable id.
 thread_local int tlsLane = -1;
 
+// --- Span-id tracking -------------------------------------------------
+
+std::atomic<bool> gSpanTracking{false};
+std::atomic<uint64_t> gNextSpanId{1};
+thread_local uint64_t tlsCurrentSpan = 0;
+
+struct SpanObserverSlot {
+  std::mutex mutex;
+  std::function<void(const SpanRecord &)> observer;
+
+  static SpanObserverSlot &get() {
+    static SpanObserverSlot slot;
+    return slot;
+  }
+};
+
 } // namespace
+
+uint64_t currentSpanId() { return tlsCurrentSpan; }
+
+bool spanTrackingEnabled() {
+  return gSpanTracking.load(std::memory_order_relaxed);
+}
+
+void setSpanTracking(bool on) {
+  gSpanTracking.store(on, std::memory_order_relaxed);
+}
+
+void setSpanObserver(std::function<void(const SpanRecord &)> observer) {
+  SpanObserverSlot &slot = SpanObserverSlot::get();
+  std::lock_guard<std::mutex> lock(slot.mutex);
+  slot.observer = std::move(observer);
+}
+
+namespace detail {
+
+uint64_t beginSpan(uint64_t &parentOut) {
+  uint64_t id = gNextSpanId.fetch_add(1, std::memory_order_relaxed);
+  parentOut = tlsCurrentSpan;
+  tlsCurrentSpan = id;
+  return id;
+}
+
+void endSpan(uint64_t id, uint64_t parent, std::string_view name,
+             std::string_view category, double ms) {
+  // Spans are RAII so per-thread ends are LIFO; an early finish() with a
+  // live inner span briefly rewinds past it, which the inner span's own
+  // end repairs. Correlation is best-effort, not a parent ledger.
+  tlsCurrentSpan = parent;
+  // Copy under the lock so close() cannot destroy the callable mid-call.
+  std::function<void(const SpanRecord &)> observer;
+  {
+    SpanObserverSlot &slot = SpanObserverSlot::get();
+    std::lock_guard<std::mutex> lock(slot.mutex);
+    observer = slot.observer;
+  }
+  if (observer)
+    observer(SpanRecord{id, parent, name, category, ms});
+}
+
+} // namespace detail
 
 Tracer &Tracer::global() {
   static Tracer tracer;

@@ -33,6 +33,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -43,6 +44,46 @@ namespace mha::telemetry {
 
 using Clock = std::chrono::steady_clock;
 using SpanArgs = std::vector<std::pair<std::string, std::string>>;
+
+// --- Span-id tracking -------------------------------------------------
+//
+// When enabled (the structured event log turns it on), every Span claims
+// a process-unique id and pushes itself onto a per-thread stack, so any
+// code running inside the span can stamp its output with
+// currentSpanId() — the correlation key between event-log lines and the
+// span that produced them. Off by default: a disabled process pays one
+// relaxed load per Span construction and nothing else.
+
+/// The innermost live tracked span on the calling thread (0 = none or
+/// tracking disabled).
+uint64_t currentSpanId();
+
+bool spanTrackingEnabled();
+void setSpanTracking(bool on);
+
+/// A finished tracked span, delivered to the registered observer.
+struct SpanRecord {
+  uint64_t id = 0;
+  uint64_t parent = 0; // 0 = top-level on its thread
+  std::string_view name;
+  std::string_view category;
+  double ms = 0;
+};
+
+/// Registers the (single) observer called on every tracked span finish,
+/// from the finishing thread. Pass nullptr to clear. The observer must be
+/// thread-safe; the event log uses this to journal span history.
+void setSpanObserver(std::function<void(const SpanRecord &)> observer);
+
+namespace detail {
+/// Claims a fresh span id, records the previous innermost id in
+/// `parentOut` and makes the new id current. Returns the id.
+uint64_t beginSpan(uint64_t &parentOut);
+/// Restores `parent` as the thread's current span and notifies the
+/// observer (when one is registered).
+void endSpan(uint64_t id, uint64_t parent, std::string_view name,
+             std::string_view category, double ms);
+} // namespace detail
 
 /// One recorded trace event (Chrome trace-event model).
 struct TraceEvent {
@@ -149,7 +190,11 @@ public:
   explicit Span(std::string name, std::string category = "default",
                 SpanArgs args = {})
       : name_(std::move(name)), category_(std::move(category)),
-        args_(std::move(args)), start_(Clock::now()) {}
+        args_(std::move(args)) {
+    if (spanTrackingEnabled())
+      id_ = detail::beginSpan(parent_);
+    start_ = Clock::now();
+  }
   ~Span() { finish(); }
 
   Span(const Span &) = delete;
@@ -170,6 +215,8 @@ public:
     done_ = true;
     Clock::time_point end = Clock::now();
     ms_ = std::chrono::duration<double, std::milli>(end - start_).count();
+    if (id_)
+      detail::endSpan(id_, parent_, name_, category_, ms_);
     Tracer &tracer = Tracer::global();
     if (tracer.enabled())
       tracer.recordSpan(std::move(name_), std::move(category_), start_, end,
@@ -177,10 +224,16 @@ public:
     return ms_;
   }
 
+  /// This span's tracked id (0 when span tracking was off at
+  /// construction).
+  uint64_t id() const { return id_; }
+
 private:
   std::string name_;
   std::string category_;
   SpanArgs args_;
+  uint64_t id_ = 0;
+  uint64_t parent_ = 0;
   Clock::time_point start_;
   double ms_ = 0;
   bool done_ = false;

@@ -1,5 +1,7 @@
 #include "support/ThreadPool.h"
 
+#include "support/Metrics.h"
+
 #include <algorithm>
 #include <utility>
 
@@ -7,6 +9,38 @@ namespace mha {
 
 namespace {
 thread_local int tlWorkerIndex = -1;
+
+/// Process-wide pool metrics, shared by every ThreadPool instance (the
+/// tools create one pool; were there several, their numbers sum).
+/// Worker utilization is derivable from the exported series:
+///   busy_us_total / (workers * uptime_us).
+struct PoolMetrics {
+  metrics::Gauge &queueDepth;
+  metrics::Gauge &workers;
+  metrics::Counter &tasks;
+  metrics::Counter &busyUs;
+  metrics::Histogram &waitUs;
+  metrics::Histogram &runUs;
+
+  static PoolMetrics &get() {
+    static PoolMetrics m{
+        metrics::Registry::global().gauge(
+            "mha_pool_queue_depth", "tasks queued but not yet started"),
+        metrics::Registry::global().gauge("mha_pool_workers",
+                                          "live pool worker threads"),
+        metrics::Registry::global().counter("mha_pool_tasks_total",
+                                            "pool tasks executed"),
+        metrics::Registry::global().counter(
+            "mha_pool_busy_us_total",
+            "microseconds workers spent running tasks (utilization = "
+            "busy_us / (workers * uptime_us))"),
+        metrics::Registry::global().histogram(
+            "mha_pool_task_wait_us", "task latency from submit to start"),
+        metrics::Registry::global().histogram(
+            "mha_pool_task_run_us", "task execution wall time")};
+    return m;
+  }
+};
 } // namespace
 
 ThreadPool::ThreadPool(unsigned numThreads) {
@@ -15,6 +49,7 @@ ThreadPool::ThreadPool(unsigned numThreads) {
   workers_.reserve(numThreads);
   for (unsigned i = 0; i < numThreads; ++i)
     workers_.emplace_back([this, i] { workerLoop(i); });
+  PoolMetrics::get().workers.add(static_cast<int64_t>(numThreads));
 }
 
 ThreadPool::~ThreadPool() {
@@ -25,14 +60,23 @@ ThreadPool::~ThreadPool() {
   wakeWorker_.notify_all();
   for (std::thread &t : workers_)
     t.join();
+  PoolMetrics::get().workers.add(-static_cast<int64_t>(workers_.size()));
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  QueuedTask item;
+  item.fn = std::move(task);
+  if (metrics::enabled()) {
+    item.enqueued = std::chrono::steady_clock::now();
+    item.timed = true;
+  }
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(std::move(item));
     ++inFlight_;
   }
+  // Unconditional so push/pop stay balanced across enable() flips.
+  PoolMetrics::get().queueDepth.add(1);
   wakeWorker_.notify_one();
 }
 
@@ -56,7 +100,7 @@ size_t ThreadPool::queueDepth() const {
 void ThreadPool::workerLoop(unsigned index) {
   tlWorkerIndex = static_cast<int>(index);
   for (;;) {
-    std::function<void()> task;
+    QueuedTask item;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       wakeWorker_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
@@ -65,8 +109,18 @@ void ThreadPool::workerLoop(unsigned index) {
           return;
         continue;
       }
-      task = std::move(queue_.front());
+      item = std::move(queue_.front());
       queue_.pop_front();
+    }
+    PoolMetrics &pm = PoolMetrics::get();
+    pm.queueDepth.add(-1);
+    std::chrono::steady_clock::time_point runStart;
+    if (item.timed) {
+      runStart = std::chrono::steady_clock::now();
+      pm.waitUs.recordAlways(
+          std::chrono::duration_cast<std::chrono::microseconds>(runStart -
+                                                                item.enqueued)
+              .count());
     }
     // The decrement must happen on every exit path — a skipped decrement
     // deadlocks wait() forever — so it lives in a scope guard.
@@ -79,11 +133,19 @@ void ThreadPool::workerLoop(unsigned index) {
       }
     } guard{*this};
     try {
-      task();
+      item.fn();
     } catch (...) {
       std::lock_guard<std::mutex> lock(mutex_);
       if (!firstError_)
         firstError_ = std::current_exception();
+    }
+    if (item.timed) {
+      int64_t runUs = std::chrono::duration_cast<std::chrono::microseconds>(
+                          std::chrono::steady_clock::now() - runStart)
+                          .count();
+      pm.runUs.recordAlways(runUs);
+      ++pm.tasks;
+      pm.busyUs.add(runUs);
     }
   }
 }

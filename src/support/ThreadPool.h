@@ -11,6 +11,7 @@
 // window are dropped.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <exception>
@@ -53,10 +54,19 @@ public:
 private:
   friend class TaskGroup;
 
+  /// A queued task plus its enqueue timestamp. The timestamp is taken
+  /// only when metrics were enabled at submit time (`timed`), feeding the
+  /// mha_pool_task_wait_us histogram when the task is dequeued.
+  struct QueuedTask {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued;
+    bool timed = false;
+  };
+
   void workerLoop(unsigned index);
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<QueuedTask> queue_;
   mutable std::mutex mutex_;
   std::condition_variable wakeWorker_;
   std::condition_variable idle_;

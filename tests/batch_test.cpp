@@ -236,6 +236,28 @@ TEST(BatchRunner, TraceJsonIsWellFormed) {
             std::string::npos);
 }
 
+TEST(BatchRunner, TraceCarriesEndToEndPercentiles) {
+  std::vector<BatchJob> jobs;
+  for (const char *name : {"gemm", "fir", "conv2d"})
+    if (const KernelSpec *spec = findKernel(name))
+      jobs.push_back(makeJob(spec, FlowKind::Adaptor));
+  ASSERT_GE(jobs.size(), 2u);
+  BatchOptions options;
+  options.numThreads = 2;
+  BatchOutcome outcome = runBatch(jobs, options);
+
+  // Exact nearest-rank percentiles over per-job queue+wall time: with
+  // every sample non-negative they are ordered and land in the trace JSON
+  // (never on stdout — the summary line stays byte-identical).
+  EXPECT_GE(outcome.trace.e2eP50Ms, 0.0);
+  EXPECT_LE(outcome.trace.e2eP50Ms, outcome.trace.e2eP90Ms);
+  EXPECT_LE(outcome.trace.e2eP90Ms, outcome.trace.e2eP99Ms);
+  std::string json = outcome.trace.json();
+  EXPECT_NE(json.find("\"e2e_ms_p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"e2e_ms_p90\""), std::string::npos);
+  EXPECT_NE(json.find("\"e2e_ms_p99\""), std::string::npos);
+}
+
 TEST(BatchRunner, ChromeTraceHasWorkerLanesAndNestedSpans) {
   namespace tel = mha::telemetry;
   tel::Tracer &tracer = tel::Tracer::global();

@@ -28,6 +28,8 @@
 // points + Pareto archive, schema "mha.dse.v1"); --chrome-trace/--stats
 // expose the telemetry layer like the other tools. Exit status 0 iff
 // every visited point synthesized (and co-simulated, with --cosim).
+#include "ObservabilityCli.h"
+
 #include "dse/Dse.h"
 #include "support/Json.h"
 #include "support/StringUtils.h"
@@ -50,7 +52,10 @@ int usage() {
       "               [--seed=N] [--threads=N] [--cosim]\n"
       "               [--ii=0,1,2] [--unroll=1,2,4,8] [--partition=1,2,4,8]\n"
       "               [--no-dataflow] [--json=out.json] [--cache=qor.json]\n"
-      "               [--resume] [--chrome-trace=out.json] [--stats]\n");
+      "               [--resume] [--chrome-trace=out.json] [--stats]\n"
+      "               [--metrics-out=m.json] [--metrics-interval=MS]\n"
+      "               [--metrics-prom=m.prom] [--event-log=e.jsonl]\n"
+      "               [--event-log-level=debug|info|warn|error]\n");
   return 2;
 }
 
@@ -106,9 +111,14 @@ int main(int argc, char **argv) {
   int64_t budget = 0, estimateBudget = 0, seed = 0, threads = 0;
   dse::DesignSpaceOptions spaceOptions;
 
+  obscli::Options obsOptions;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
-    if (startsWith(arg, "--kernel="))
+    bool obsOk = true;
+    if (obscli::parseFlag(arg, obsOptions, obsOk)) {
+      if (!obsOk)
+        return usage();
+    } else if (startsWith(arg, "--kernel="))
       kernelName = arg.substr(9);
     else if (startsWith(arg, "--strategy="))
       strategyName = arg.substr(11);
@@ -189,6 +199,10 @@ int main(int argc, char **argv) {
     telemetry::Tracer::setThreadLane(1000, "main");
   }
 
+  obscli::Session obs;
+  if (!obs.begin(obsOptions))
+    return usage();
+
   dse::DesignSpace space(*spec, spaceOptions);
   dse::EvaluatorOptions evalOptions;
   evalOptions.cosim = cosim;
@@ -222,12 +236,20 @@ int main(int argc, char **argv) {
               space.multiNest() ? ", multi-nest" : "",
               strategyName.c_str());
 
+  elog::info("dse", "exploration starting",
+             {{"kernel", spec->name},
+              {"strategy", strategyName},
+              {"points", strfmt("%zu", space.size())}});
   std::optional<dse::DseResult> result =
       dse::runDse(space, evaluator, strategyName, searchOptions);
   if (!result) { // createStrategy already vetted the name
     std::fprintf(stderr, "strategy construction failed\n");
     return 1;
   }
+  elog::info("dse", "exploration finished",
+             {{"kernel", spec->name},
+              {"evaluated", strfmt("%zu", result->evaluated)},
+              {"pareto", strfmt("%zu", result->pareto.size())}});
 
   std::printf("%-4s %-7s %-10s %-9s %12s %6s %6s %8s %8s  %s\n", "II",
               "unroll", "partition", "dataflow", "latency", "DSP", "BRAM",
@@ -336,5 +358,7 @@ int main(int argc, char **argv) {
   }
   if (statsFlag)
     std::fprintf(stderr, "%s", telemetry::statisticsReport().c_str());
+  if (!obs.finish())
+    return 1;
   return status;
 }

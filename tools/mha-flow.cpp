@@ -18,11 +18,18 @@
 // per-pass timing table and --stats the statistic-counter registry, both
 // on stderr. --pass-jobs runs lir function passes function-at-a-time on N
 // workers; --stage-cache enables incremental recompilation (stage-hash
-// cache, shared across jobs in this process); --no-times suppresses every
-// timing in the output so two runs diff byte-identically (the CI
-// determinism check). Exit status is 0 iff every job succeeded (and
-// co-simulated, with --cosim).
+// cache, shared across jobs in this process) and prints a one-line cache
+// summary on stderr at exit; --no-times suppresses every timing in the
+// output so two runs diff byte-identically (the CI determinism check).
+// The shared observability flags (--metrics-out, --metrics-interval,
+// --metrics-prom, --event-log, --event-log-level) are documented in
+// ObservabilityCli.h. Exit status is 0 iff every job succeeded (and
+// co-simulated, with --cosim) and every requested output file was
+// written.
+#include "ObservabilityCli.h"
+
 #include "flow/BatchRunner.h"
+#include "flow/StageCache.h"
 #include "support/StringUtils.h"
 #include "support/Telemetry.h"
 
@@ -41,7 +48,10 @@ int usage() {
       "                [--chrome-trace=out.json] [--time-passes] [--stats]\n"
       "                [--ii=N] [--unroll=N] [--partition=N] [--dataflow]\n"
       "                [--no-directives] [--cosim] [--pass-jobs=N]\n"
-      "                [--stage-cache] [--no-times]\n");
+      "                [--stage-cache] [--no-times]\n"
+      "                [--metrics-out=m.json] [--metrics-interval=MS]\n"
+      "                [--metrics-prom=m.prom] [--event-log=e.jsonl]\n"
+      "                [--event-log-level=debug|info|warn|error]\n");
   return 2;
 }
 
@@ -79,9 +89,14 @@ int main(int argc, char **argv) {
   config.pipelineII = 1;
   config.partitionFactor = 2;
 
+  obscli::Options obsOptions;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
-    if (startsWith(arg, "--kernels="))
+    bool obsOk = true;
+    if (obscli::parseFlag(arg, obsOptions, obsOk)) {
+      if (!obsOk)
+        return usage();
+    } else if (startsWith(arg, "--kernels="))
       kernelList = arg.substr(10);
     else if (startsWith(arg, "--flow="))
       flowName = arg.substr(7);
@@ -138,6 +153,10 @@ int main(int argc, char **argv) {
   if (timePasses)
     tracer.setTimePasses(true);
 
+  obscli::Session obs;
+  if (!obs.begin(obsOptions))
+    return usage();
+
   std::vector<flow::FlowKind> kinds;
   if (flowName == "adaptor")
     kinds = {flow::FlowKind::Adaptor};
@@ -180,7 +199,13 @@ int main(int argc, char **argv) {
   options.numThreads = batch ? static_cast<unsigned>(threads) : 1;
   if (!tracePath.empty())
     options.sink = &traceSink;
+  elog::info("flow", "batch starting",
+             {{"jobs", strfmt("%zu", jobs.size())},
+              {"threads", strfmt("%u", options.numThreads)}});
   flow::BatchOutcome outcome = flow::runBatch(jobs, options);
+  elog::info("flow", "batch finished",
+             {{"jobs", strfmt("%zu", outcome.trace.jobCount)},
+              {"failures", strfmt("%zu", outcome.trace.failures)}});
 
   if (noTimes)
     std::printf("%-10s %-8s %-7s %12s %6s %6s %8s %8s\n", "kernel",
@@ -245,6 +270,18 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "%s", tracer.passTimesTable().c_str());
   if (statsFlag)
     std::fprintf(stderr, "%s", telemetry::statisticsReport().c_str());
+  if (stageCache) {
+    // One-line cache summary on stderr — stdout must stay byte-identical
+    // between cached and uncached runs (the CI determinism diff).
+    flow::StageCache::Counters cache = flow::StageCache::global().stats();
+    std::fprintf(stderr,
+                 "stage-cache: %lld hits, %lld misses (%.1f%% hit rate), "
+                 "%lld bytes resident\n",
+                 static_cast<long long>(cache.hits()),
+                 static_cast<long long>(cache.misses()),
+                 100.0 * cache.hitRate(),
+                 static_cast<long long>(cache.bytes()));
+  }
   if (!tracePath.empty()) {
     if (!traceSink.ok()) {
       std::fprintf(stderr, "trace: %s\n", traceSink.error().c_str());
@@ -261,5 +298,7 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "chrome trace written to %s\n",
                  chromeTracePath.c_str());
   }
+  if (!obs.finish())
+    return 1;
   return failures == 0 ? 0 : 1;
 }

@@ -16,6 +16,8 @@
 // deliberate miscompile after the adaptor stage (a+b -> a+a on the first
 // fadd) to prove the oracle and reducer actually fire. Exit status 0 iff
 // the campaign is clean.
+#include "ObservabilityCli.h"
+
 #include "fuzz/Fuzz.h"
 #include "lir/Function.h"
 #include "lir/Instruction.h"
@@ -38,7 +40,10 @@ int usage() {
       "                [--mode=kernel|ir|both] [--json=out.json]\n"
       "                [--artifacts=DIR] [--no-reduce] [--reduce=repro.json]\n"
       "                [--plant] [--chrome-trace=out.json] [--stats]\n"
-      "                [--stage-cache]\n");
+      "                [--stage-cache]\n"
+      "                [--metrics-out=m.json] [--metrics-interval=MS]\n"
+      "                [--metrics-prom=m.prom] [--event-log=e.jsonl]\n"
+      "                [--event-log-level=debug|info|warn|error]\n");
   return 2;
 }
 
@@ -90,9 +95,14 @@ int main(int argc, char **argv) {
   bool statsFlag = false, plant = false;
   int64_t budget = 100, seed = 1, jobs = 1;
 
+  obscli::Options obsOptions;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
-    if (startsWith(arg, "--budget=")) {
+    bool obsOk = true;
+    if (obscli::parseFlag(arg, obsOptions, obsOk)) {
+      if (!obsOk)
+        return usage();
+    } else if (startsWith(arg, "--budget=")) {
       if (!parseNumericFlag(arg, 9, "--budget", 1, 1 << 20, budget))
         return usage();
     } else if (startsWith(arg, "--seed=")) {
@@ -150,6 +160,10 @@ int main(int argc, char **argv) {
     tracer.setEnabled(true);
     telemetry::Tracer::setThreadLane(1000, "main");
   }
+
+  obscli::Session obs;
+  if (!obs.begin(obsOptions))
+    return usage();
 
   int status = 0;
   std::string reportJson;
@@ -221,5 +235,7 @@ int main(int argc, char **argv) {
   }
   if (statsFlag)
     std::fprintf(stderr, "%s", telemetry::statisticsReport().c_str());
+  if (!obs.finish())
+    return 1;
   return status;
 }

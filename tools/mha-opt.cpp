@@ -19,6 +19,8 @@
 //                            registry (LLVM-style Statistic dump)
 //   --chrome-trace=FILE      Chrome trace-event JSON of every pass span
 //   --print-ir-before[-all]/--print-ir-after[-all]  IR around passes
+#include "ObservabilityCli.h"
+
 #include "adaptor/Adaptor.h"
 #include "lir/HlsCompat.h"
 #include "lir/LContext.h"
@@ -79,7 +81,12 @@ int usage() {
                "               [--print-ir-after=p|--print-ir-after-all]\n"
                "               [--synthesize [--top=name] [--json] "
                "[--strict]]\n"
-               "               [--pass-jobs=N]\n");
+               "               [--pass-jobs=N]\n"
+               "               [--metrics-out=m.json] "
+               "[--metrics-interval=MS]\n"
+               "               [--metrics-prom=m.prom] "
+               "[--event-log=e.jsonl]\n"
+               "               [--event-log-level=debug|info|warn|error]\n");
   return 2;
 }
 
@@ -94,9 +101,14 @@ int main(int argc, char **argv) {
   std::string top;
   std::string chromeTracePath;
   lir::PrintIRInstrumentation::Options printIR;
+  obscli::Options obsOptions;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
-    if (startsWith(arg, "--passes="))
+    bool obsOk = true;
+    if (obscli::parseFlag(arg, obsOptions, obsOk)) {
+      if (!obsOk)
+        return usage();
+    } else if (startsWith(arg, "--passes="))
       passList = arg.substr(9);
     else if (arg == "--verify")
       verify = true;
@@ -147,6 +159,10 @@ int main(int argc, char **argv) {
   }
   if (timePasses)
     tracer.setTimePasses(true);
+
+  obscli::Session obs;
+  if (!obs.begin(obsOptions))
+    return usage();
 
   std::string source;
   if (file.empty()) {
@@ -240,9 +256,11 @@ int main(int argc, char **argv) {
     if (!synthDiags.diagnostics().empty())
       std::fprintf(stderr, "%s", synthDiags.str().c_str());
     std::fputs(json ? report.json().c_str() : report.str().c_str(), stdout);
+    if (!obs.finish())
+      return 1;
     return report.accepted ? 0 : 1;
   }
 
   std::fputs(lir::printModule(*module).c_str(), stdout);
-  return 0;
+  return obs.finish() ? 0 : 1;
 }
