@@ -172,6 +172,22 @@ bool ensureMirModule(std::optional<mir::OwnedModule> &module,
   return module.has_value();
 }
 
+/// Stage-boundary gate: notifies the progress observer and polls the
+/// cancellation flag. Returns false (after marking the result cancelled)
+/// when the caller must abandon the run instead of entering `stage`.
+bool enterStage(const char *stage, const FlowOptions &options,
+                FlowResult &result) {
+  if (options.cancelFlag &&
+      options.cancelFlag->load(std::memory_order_relaxed)) {
+    result.cancelled = true;
+    result.diagnostics = strfmt("flow cancelled before %s stage", stage);
+    return false;
+  }
+  if (options.onStage)
+    options.onStage(stage);
+  return true;
+}
+
 } // namespace
 
 const char *flowKindName(FlowKind kind) {
@@ -186,6 +202,8 @@ FlowResult runAdaptorFlow(const KernelSpec &spec, const KernelConfig &config,
   DiagnosticEngine diags;
   telemetry::Span totalSpan(strfmt("flow:adaptor:%s", spec.name.c_str()),
                             "flow", flowSpanArgs(spec, FlowKind::Adaptor));
+  if (!enterStage("mlirOpt", options, result))
+    return result;
 
   // MLIR level: exactly the shared preparation both flows run, so Table 4's
   // mlirOptMs windows compare like with like. With the stage cache on, a
@@ -208,6 +226,8 @@ FlowResult runAdaptorFlow(const KernelSpec &spec, const KernelConfig &config,
   // directly), so it is charged to bridgeMs, mirroring how the C++ flow
   // charges its emission leg. A cache hit replaces the whole leg with one
   // lir parse (the module must live for synthesis and co-simulation).
+  if (!enterStage("bridge", options, result))
+    return result;
   telemetry::Span bridgeSpan("bridge", "flow-stage");
   std::string lirText; // bridge output text; addresses the synth stage
   bool bridgeFromCache = false;
@@ -294,6 +314,8 @@ FlowResult runAdaptorFlow(const KernelSpec &spec, const KernelConfig &config,
   // Virtual HLS. On a synth cache hit the module is left in its bridge
   // state (backend unrolling mutates in place but preserves semantics, so
   // co-simulation is unaffected); only accepted reports are cached.
+  if (!enterStage("synth", options, result))
+    return result;
   telemetry::Span synthSpan("synth", "flow-stage");
   vhls::SynthesisOptions synthOpts = options.synthesis;
   if (synthOpts.topFunction.empty())
@@ -309,6 +331,7 @@ FlowResult runAdaptorFlow(const KernelSpec &spec, const KernelConfig &config,
     if (options.useStageCache && result.synth.accepted)
       StageCache::global().storeSynth(synthKey, result.synth);
   }
+  result.synthFromCache = synthFromCache;
   result.timings.synthMs = synthSpan.finish();
   result.spans.push_back({"synth", "vhls", result.timings.synthMs});
   result.timings.totalMs = totalSpan.finish();
@@ -325,6 +348,8 @@ FlowResult runHlsCppFlow(const KernelSpec &spec, const KernelConfig &config,
   DiagnosticEngine diags;
   telemetry::Span totalSpan(strfmt("flow:hls-c++:%s", spec.name.c_str()),
                             "flow", flowSpanArgs(spec, FlowKind::HlsCpp));
+  if (!enterStage("mlirOpt", options, result))
+    return result;
 
   telemetry::Span mlirSpan("mlirOpt", "flow-stage");
   mir::MContext mctx;
@@ -342,6 +367,8 @@ FlowResult runHlsCppFlow(const KernelSpec &spec, const KernelConfig &config,
   // Bridge: emit C++, re-parse with the HLS frontend. A cache hit
   // restores both the emitted source (part of the result contract) and
   // the frontend's lir module.
+  if (!enterStage("bridge", options, result))
+    return result;
   telemetry::Span bridgeSpan("bridge", "flow-stage");
   std::string lirText;
   bool bridgeFromCache = false;
@@ -398,6 +425,8 @@ FlowResult runHlsCppFlow(const KernelSpec &spec, const KernelConfig &config,
   }
   result.timings.bridgeMs = bridgeSpan.finish();
 
+  if (!enterStage("synth", options, result))
+    return result;
   telemetry::Span synthSpan("synth", "flow-stage");
   vhls::SynthesisOptions synthOpts = options.synthesis;
   if (synthOpts.topFunction.empty())
@@ -413,6 +442,7 @@ FlowResult runHlsCppFlow(const KernelSpec &spec, const KernelConfig &config,
     if (options.useStageCache && result.synth.accepted)
       StageCache::global().storeSynth(synthKey, result.synth);
   }
+  result.synthFromCache = synthFromCache;
   result.timings.synthMs = synthSpan.finish();
   result.spans.push_back({"synth", "vhls", result.timings.synthMs});
   result.timings.totalMs = totalSpan.finish();

@@ -17,6 +17,8 @@
 #include "lowering/Lowering.h"
 #include "vhls/Vhls.h"
 
+#include <atomic>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -48,6 +50,13 @@ struct StageSpan {
 
 struct FlowResult {
   bool ok = false;
+  /// The run was abandoned at a stage boundary because
+  /// FlowOptions::cancelFlag was set (cooperative cancellation — the
+  /// compile-service path). Always implies !ok.
+  bool cancelled = false;
+  /// The synthesis stage (the final result) was served from the
+  /// StageCache — the whole-pipeline "warm hit" signal mha-serve reports.
+  bool synthFromCache = false;
   FlowKind kind = FlowKind::Adaptor;
   std::string kernelName;
   vhls::SynthesisReport synth;
@@ -87,6 +96,17 @@ struct FlowOptions {
   /// (<=1: serial). The flow creates a dedicated pass pool per call; see
   /// lir::PassManager::setConcurrency for the determinism contract.
   int passJobs = 1;
+  /// Cooperative cancellation: when non-null, the flow checks the flag at
+  /// every stage boundary (before mlirOpt, bridge and synth) and abandons
+  /// the run with FlowResult::cancelled set instead of starting the next
+  /// stage. Mid-stage work is never interrupted — a cancelled flow still
+  /// leaves the process in a consistent state (the StageCache keeps any
+  /// stage that completed).
+  const std::atomic<bool> *cancelFlag = nullptr;
+  /// Stage-progress observer: called at the start of each stage
+  /// ("mlirOpt", "bridge", "synth") from the flow's thread. mha-serve
+  /// streams these as per-stage progress events to the requesting client.
+  std::function<void(const char *stage)> onStage;
 };
 
 /// The paper's direct-IR path.

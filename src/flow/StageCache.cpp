@@ -4,6 +4,7 @@
 #include "support/Metrics.h"
 #include "support/Telemetry.h"
 
+#include <list>
 #include <mutex>
 #include <unordered_map>
 
@@ -23,19 +24,21 @@ telemetry::Statistic statSynthHit("flow.cache", "synth.hit",
                                   "synthesis-stage cache hits");
 telemetry::Statistic statSynthMiss("flow.cache", "synth.miss",
                                    "synthesis-stage cache misses");
+telemetry::Statistic statEvicted("flow.cache", "evicted",
+                                 "stage-cache entries evicted (LRU)");
 
-/// Per-stage capacity bound. Eviction is whole-map: entries are small
-/// (printed IR of benchmark kernels) and the working set of any realistic
-/// batch/DSE/fuzz run is far below the bound, so a rare full flush beats
-/// per-entry LRU bookkeeping on every hot lookup.
+/// Per-stage entry-count backstop, independent of the byte cap: even an
+/// unlimited cache sheds its coldest entry once a stage map reaches this
+/// many entries.
 constexpr size_t kMaxEntriesPerStage = 4096;
 
-/// Per-stage metrics-registry handles (hit/miss counters gated on
-/// metrics::enabled(); the resident-bytes gauge tracks the structural
+/// Per-stage metrics-registry handles (hit/miss/eviction counters gated
+/// on metrics::enabled(); the resident-bytes gauge tracks the structural
 /// byte total unconditionally so it always matches counters()).
 struct StageMetrics {
   metrics::Counter &hits;
   metrics::Counter &misses;
+  metrics::Counter &evictions;
   metrics::Gauge &bytes;
 
   static StageMetrics make(const char *stage) {
@@ -46,6 +49,8 @@ struct StageMetrics {
                     labels),
         reg.counter("mha_stage_cache_misses_total",
                     "stage-cache lookup misses", labels),
+        reg.counter("mha_stage_cache_evictions_total",
+                    "stage-cache entries evicted (LRU)", labels),
         reg.gauge("mha_stage_cache_bytes",
                   "payload bytes resident in the stage map", labels)};
   }
@@ -96,54 +101,122 @@ int64_t entryBytes(const vhls::SynthesisReport &report) {
   return n;
 }
 
-template <typename Value>
-bool mapLookup(std::mutex &mutex, std::unordered_map<uint64_t, Value> &map,
-               uint64_t key, Value &out, telemetry::Statistic &hit,
-               telemetry::Statistic &miss, StageMetrics &sm, int64_t &hitCount,
-               int64_t &missCount) {
-  std::lock_guard<std::mutex> guard(mutex);
-  auto it = map.find(key);
-  if (it == map.end()) {
-    ++miss;
-    ++missCount;
-    ++sm.misses;
-    return false;
-  }
-  out = it->second;
-  ++hit;
-  ++hitCount;
-  ++sm.hits;
-  return true;
-}
+/// LRU bookkeeping per stage map. The recency list holds (key, seq)
+/// pairs, most-recent at the front; `seq` is a cache-wide monotonic touch
+/// counter, so the backs of the three stage lists can be compared to find
+/// the globally coldest entry when the byte cap needs space.
+using LruList = std::list<std::pair<uint64_t, uint64_t>>;
 
-/// Stores `value` and keeps `byteTotal` (and the stage's bytes gauge) in
-/// step: overwrites subtract the replaced payload, and the whole-map
-/// eviction resets the total before the fresh entry lands.
 template <typename Value>
-void mapStore(std::mutex &mutex, std::unordered_map<uint64_t, Value> &map,
-              uint64_t key, Value value, StageMetrics &sm,
-              int64_t &byteTotal) {
-  std::lock_guard<std::mutex> guard(mutex);
-  if (map.size() >= kMaxEntriesPerStage) {
-    map.clear();
-    byteTotal = 0;
+struct StageMap {
+  struct Node {
+    Value value;
+    LruList::iterator lru;
+  };
+  std::unordered_map<uint64_t, Node> map;
+  LruList lru;
+
+  /// `seq` of the least-recently-used entry (the eviction candidate);
+  /// UINT64_MAX when the map is empty so it never wins the coldest race.
+  uint64_t coldestSeq() const {
+    return lru.empty() ? UINT64_MAX : lru.back().second;
   }
-  auto it = map.find(key);
-  if (it != map.end())
-    byteTotal -= entryBytes(it->second);
-  byteTotal += entryBytes(value);
-  map[key] = std::move(value);
-  sm.bytes.set(byteTotal);
-}
+};
 
 } // namespace
 
 struct StageCache::Impl {
   mutable std::mutex mutex;
-  std::unordered_map<uint64_t, std::string> mlir;
-  std::unordered_map<uint64_t, BridgeEntry> bridge;
-  std::unordered_map<uint64_t, vhls::SynthesisReport> synth;
+  StageMap<std::string> mlir;
+  StageMap<BridgeEntry> bridge;
+  StageMap<vhls::SynthesisReport> synth;
   Counters counters;
+  int64_t limitBytes = 0; // 0 = unbounded
+  uint64_t nextSeq = 0;
+
+  /// Drops the LRU entry of `stage`, keeping its byte total, eviction
+  /// counters and resident-bytes gauge in step.
+  template <typename Value>
+  void evictColdest(StageMap<Value> &stage, StageMetrics &sm,
+                    int64_t &byteTotal, int64_t &evictedCount) {
+    auto it = stage.map.find(stage.lru.back().first);
+    byteTotal -= entryBytes(it->second.value);
+    stage.map.erase(it);
+    stage.lru.pop_back();
+    ++evictedCount;
+    ++sm.evictions;
+    ++statEvicted;
+    sm.bytes.set(byteTotal);
+  }
+
+  /// Evicts globally-coldest entries (across all three stages) until the
+  /// total payload fits the byte cap again.
+  void enforceLimit() {
+    if (limitBytes <= 0)
+      return;
+    while (counters.bytes() > limitBytes) {
+      uint64_t mlirSeq = mlir.coldestSeq();
+      uint64_t bridgeSeq = bridge.coldestSeq();
+      uint64_t synthSeq = synth.coldestSeq();
+      if (mlirSeq == UINT64_MAX && bridgeSeq == UINT64_MAX &&
+          synthSeq == UINT64_MAX)
+        return; // all maps empty (cannot happen while bytes() > 0)
+      if (mlirSeq <= bridgeSeq && mlirSeq <= synthSeq)
+        evictColdest(mlir, StageMetrics::mlir(), counters.mlirBytes,
+                     counters.mlirEvictions);
+      else if (bridgeSeq <= synthSeq)
+        evictColdest(bridge, StageMetrics::bridge(), counters.bridgeBytes,
+                     counters.bridgeEvictions);
+      else
+        evictColdest(synth, StageMetrics::synth(), counters.synthBytes,
+                     counters.synthEvictions);
+    }
+  }
+
+  template <typename Value>
+  bool lookup(StageMap<Value> &stage, uint64_t key, Value &out,
+              telemetry::Statistic &hit, telemetry::Statistic &miss,
+              StageMetrics &sm, int64_t &hitCount, int64_t &missCount) {
+    std::lock_guard<std::mutex> guard(mutex);
+    auto it = stage.map.find(key);
+    if (it == stage.map.end()) {
+      ++miss;
+      ++missCount;
+      ++sm.misses;
+      return false;
+    }
+    // Refresh recency: a hit entry moves to the front with a fresh seq.
+    stage.lru.erase(it->second.lru);
+    stage.lru.emplace_front(key, nextSeq++);
+    it->second.lru = stage.lru.begin();
+    out = it->second.value;
+    ++hit;
+    ++hitCount;
+    ++sm.hits;
+    return true;
+  }
+
+  template <typename Value>
+  void store(StageMap<Value> &stage, uint64_t key, Value value,
+             StageMetrics &sm, int64_t &byteTotal, int64_t &evictedCount) {
+    std::lock_guard<std::mutex> guard(mutex);
+    if (stage.map.size() >= kMaxEntriesPerStage &&
+        stage.map.find(key) == stage.map.end())
+      evictColdest(stage, sm, byteTotal, evictedCount);
+    auto it = stage.map.find(key);
+    if (it != stage.map.end()) {
+      byteTotal -= entryBytes(it->second.value);
+      stage.lru.erase(it->second.lru);
+      stage.map.erase(it);
+    }
+    byteTotal += entryBytes(value);
+    stage.lru.emplace_front(key, nextSeq++);
+    stage.map.emplace(key,
+                      typename StageMap<Value>::Node{std::move(value),
+                                                     stage.lru.begin()});
+    sm.bytes.set(byteTotal);
+    enforceLimit();
+  }
 };
 
 StageCache::Impl &StageCache::impl() const {
@@ -181,41 +254,54 @@ uint64_t StageCache::synthKey(const std::string &lirText,
 
 bool StageCache::lookupMlir(uint64_t key, std::string &mirText) {
   Impl &i = impl();
-  return mapLookup(i.mutex, i.mlir, key, mirText, statMlirHit, statMlirMiss,
-                   StageMetrics::mlir(), i.counters.mlirHits,
-                   i.counters.mlirMisses);
+  return i.lookup(i.mlir, key, mirText, statMlirHit, statMlirMiss,
+                  StageMetrics::mlir(), i.counters.mlirHits,
+                  i.counters.mlirMisses);
 }
 
 void StageCache::storeMlir(uint64_t key, std::string mirText) {
   Impl &i = impl();
-  mapStore(i.mutex, i.mlir, key, std::move(mirText), StageMetrics::mlir(),
-           i.counters.mlirBytes);
+  i.store(i.mlir, key, std::move(mirText), StageMetrics::mlir(),
+          i.counters.mlirBytes, i.counters.mlirEvictions);
 }
 
 bool StageCache::lookupBridge(uint64_t key, BridgeEntry &entry) {
   Impl &i = impl();
-  return mapLookup(i.mutex, i.bridge, key, entry, statBridgeHit,
-                   statBridgeMiss, StageMetrics::bridge(),
-                   i.counters.bridgeHits, i.counters.bridgeMisses);
+  return i.lookup(i.bridge, key, entry, statBridgeHit, statBridgeMiss,
+                  StageMetrics::bridge(), i.counters.bridgeHits,
+                  i.counters.bridgeMisses);
 }
 
 void StageCache::storeBridge(uint64_t key, BridgeEntry entry) {
   Impl &i = impl();
-  mapStore(i.mutex, i.bridge, key, std::move(entry), StageMetrics::bridge(),
-           i.counters.bridgeBytes);
+  i.store(i.bridge, key, std::move(entry), StageMetrics::bridge(),
+          i.counters.bridgeBytes, i.counters.bridgeEvictions);
 }
 
 bool StageCache::lookupSynth(uint64_t key, vhls::SynthesisReport &report) {
   Impl &i = impl();
-  return mapLookup(i.mutex, i.synth, key, report, statSynthHit, statSynthMiss,
-                   StageMetrics::synth(), i.counters.synthHits,
-                   i.counters.synthMisses);
+  return i.lookup(i.synth, key, report, statSynthHit, statSynthMiss,
+                  StageMetrics::synth(), i.counters.synthHits,
+                  i.counters.synthMisses);
 }
 
 void StageCache::storeSynth(uint64_t key, vhls::SynthesisReport report) {
   Impl &i = impl();
-  mapStore(i.mutex, i.synth, key, std::move(report), StageMetrics::synth(),
-           i.counters.synthBytes);
+  i.store(i.synth, key, std::move(report), StageMetrics::synth(),
+          i.counters.synthBytes, i.counters.synthEvictions);
+}
+
+void StageCache::setLimitBytes(int64_t limitBytes) {
+  Impl &i = impl();
+  std::lock_guard<std::mutex> guard(i.mutex);
+  i.limitBytes = limitBytes > 0 ? limitBytes : 0;
+  i.enforceLimit();
+}
+
+int64_t StageCache::limitBytes() const {
+  Impl &i = impl();
+  std::lock_guard<std::mutex> guard(i.mutex);
+  return i.limitBytes;
 }
 
 StageCache::Counters StageCache::counters() const {
@@ -227,9 +313,12 @@ StageCache::Counters StageCache::counters() const {
 void StageCache::clear() {
   Impl &i = impl();
   std::lock_guard<std::mutex> guard(i.mutex);
-  i.mlir.clear();
-  i.bridge.clear();
-  i.synth.clear();
+  i.mlir.map.clear();
+  i.mlir.lru.clear();
+  i.bridge.map.clear();
+  i.bridge.lru.clear();
+  i.synth.map.clear();
+  i.synth.lru.clear();
   i.counters = Counters();
   StageMetrics::mlir().bytes.set(0);
   StageMetrics::bridge().bytes.set(0);
@@ -239,7 +328,7 @@ void StageCache::clear() {
 size_t StageCache::size() const {
   Impl &i = impl();
   std::lock_guard<std::mutex> guard(i.mutex);
-  return i.mlir.size() + i.bridge.size() + i.synth.size();
+  return i.mlir.map.size() + i.bridge.map.size() + i.synth.map.size();
 }
 
 } // namespace mha::flow

@@ -16,13 +16,21 @@
 //           value = the SynthesisReport
 //
 // The cache is process-global and thread-safe: BatchRunner jobs, the DSE
-// evaluator, and the fuzz oracle all share it through FlowOptions::
-// useStageCache (off by default — a cold run's behaviour and output are
-// bit-identical with the flag off). Only successful stage runs are
-// stored; failures always re-execute so diagnostics are regenerated.
+// evaluator, the fuzz oracle and mha-serve sessions all share it through
+// FlowOptions::useStageCache (off by default — a cold run's behaviour and
+// output are bit-identical with the flag off). Only successful stage runs
+// are stored; failures always re-execute so diagnostics are regenerated.
 //
-// Hit/miss counts land in the "flow.cache" statistic group (--stats) and
-// are also readable structurally via counters() for tests.
+// Residency is bounded two ways: a per-stage entry-count backstop and an
+// optional process-wide byte cap (setLimitBytes, `--stage-cache-limit` on
+// mha-serve). Both evict least-recently-used entries — every lookup hit
+// and store refreshes its entry's recency, and the byte cap always evicts
+// the globally coldest entry across the three stage maps, so a resident
+// daemon serving millions of requests converges on its hot working set
+// instead of growing without bound.
+//
+// Hit/miss/eviction counts land in the "flow.cache" statistic group
+// (--stats) and are also readable structurally via counters() for tests.
 #pragma once
 
 #include "lir/PassManager.h"
@@ -57,9 +65,13 @@ public:
     int64_t bridgeHits = 0, bridgeMisses = 0;
     int64_t synthHits = 0, synthMisses = 0;
     int64_t mlirBytes = 0, bridgeBytes = 0, synthBytes = 0;
+    int64_t mlirEvictions = 0, bridgeEvictions = 0, synthEvictions = 0;
     int64_t hits() const { return mlirHits + bridgeHits + synthHits; }
     int64_t misses() const { return mlirMisses + bridgeMisses + synthMisses; }
     int64_t bytes() const { return mlirBytes + bridgeBytes + synthBytes; }
+    int64_t evictions() const {
+      return mlirEvictions + bridgeEvictions + synthEvictions;
+    }
     /// hits / (hits + misses), 0 when no lookups happened.
     double hitRate() const {
       int64_t total = hits() + misses();
@@ -82,6 +94,15 @@ public:
   /// entries for identical modules.
   static uint64_t synthKey(const std::string &lirText,
                            const vhls::SynthesisOptions &options);
+
+  /// Caps total resident payload bytes across the three stage maps
+  /// (0 = unbounded, the default). When a store pushes the total past the
+  /// cap, least-recently-used entries are evicted — globally, coldest
+  /// first, regardless of stage — until the total fits again. An entry
+  /// larger than the whole cap is evicted immediately after landing, so
+  /// the resident-bytes gauges never exceed the cap after any store.
+  void setLimitBytes(int64_t limitBytes);
+  int64_t limitBytes() const;
 
   Counters counters() const;
 

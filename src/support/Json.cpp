@@ -580,4 +580,29 @@ std::optional<Value> parse(std::string_view text, std::string *error) {
   return Parser(text).run(error);
 }
 
+std::string compact(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  bool inString = false;
+  bool escaped = false;
+  for (char c : text) {
+    if (inString) {
+      out += c;
+      if (escaped)
+        escaped = false;
+      else if (c == '\\')
+        escaped = true;
+      else if (c == '"')
+        inString = false;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r')
+      continue;
+    out += c;
+    if (c == '"')
+      inString = true;
+  }
+  return out;
+}
+
 } // namespace mha::json

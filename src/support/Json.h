@@ -106,4 +106,10 @@ std::string shortestDouble(double value);
 /// describes the first problem and its byte offset.
 bool validate(std::string_view text, std::string *error = nullptr);
 
+/// Removes all insignificant whitespace from a JSON document (string-
+/// aware: whitespace inside string literals is preserved). Turns a
+/// pretty-printed document into a single line — what NDJSON framing
+/// (mha-serve) needs before embedding one document inside another.
+std::string compact(std::string_view text);
+
 } // namespace mha::json

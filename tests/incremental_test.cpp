@@ -279,3 +279,76 @@ entry:
 
   EXPECT_EQ(run(false), run(true));
 }
+
+// --- LRU byte-cap eviction (--stage-cache-limit) ----------------------
+
+TEST(StageCacheLimit, ByteCapEvictsGloballyColdestFirst) {
+  flow::StageCache &cache = flow::StageCache::global();
+  cache.clear();
+  cache.setLimitBytes(250);
+
+  cache.storeMlir(1, std::string(100, 'a'));
+  cache.storeMlir(2, std::string(100, 'b'));
+  std::string text;
+  ASSERT_TRUE(cache.lookupMlir(1, text)); // refresh key 1's recency
+
+  auto before = cache.counters();
+  cache.storeMlir(3, std::string(100, 'c'));
+  auto after = cache.counters();
+
+  // Key 2 was the coldest; exactly one eviction brings the total back
+  // under the cap, and the resident-bytes counter respects it.
+  EXPECT_EQ(after.mlirEvictions - before.mlirEvictions, 1);
+  EXPECT_LE(after.bytes(), cache.limitBytes());
+  EXPECT_TRUE(cache.lookupMlir(1, text));
+  EXPECT_TRUE(cache.lookupMlir(3, text));
+  EXPECT_FALSE(cache.lookupMlir(2, text));
+
+  cache.setLimitBytes(0);
+  cache.clear();
+}
+
+TEST(StageCacheLimit, SetLimitEnforcesImmediatelyAndOversizedEntryLeaves) {
+  flow::StageCache &cache = flow::StageCache::global();
+  cache.clear();
+  cache.setLimitBytes(0);
+  for (uint64_t key = 1; key <= 8; ++key)
+    cache.storeMlir(key, std::string(100, 'x'));
+  EXPECT_EQ(cache.counters().bytes(), 800);
+
+  // Tightening the cap evicts immediately, not on the next store.
+  cache.setLimitBytes(350);
+  EXPECT_LE(cache.counters().bytes(), 350);
+  EXPECT_GE(cache.counters().mlirEvictions, 5);
+
+  // An entry larger than the whole cap never stays resident.
+  cache.storeMlir(99, std::string(1000, 'y'));
+  std::string text;
+  EXPECT_FALSE(cache.lookupMlir(99, text));
+  EXPECT_LE(cache.counters().bytes(), 350);
+
+  cache.setLimitBytes(0);
+  cache.clear();
+}
+
+TEST(StageCacheLimit, CappedCacheStillServesWarmFlows) {
+  flow::StageCache &cache = flow::StageCache::global();
+  cache.clear();
+  // Generous cap: both flows' entries for one kernel fit comfortably, so
+  // a warm rerun is a full-chain hit even with eviction armed.
+  cache.setLimitBytes(64 << 20);
+  flow::KernelConfig config;
+  flow::FlowResult cold = flow::runAdaptorFlow(gemm(), config,
+                                               cachedOptions());
+  ASSERT_TRUE(cold.ok) << cold.diagnostics;
+  auto before = cache.counters();
+  flow::FlowResult warm = flow::runAdaptorFlow(gemm(), config,
+                                               cachedOptions());
+  ASSERT_TRUE(warm.ok) << warm.diagnostics;
+  auto now = cache.counters();
+  EXPECT_EQ(now.misses() - before.misses(), 0);
+  EXPECT_TRUE(warm.synthFromCache);
+  EXPECT_LE(now.bytes(), cache.limitBytes());
+  cache.setLimitBytes(0);
+  cache.clear();
+}

@@ -180,6 +180,27 @@ int main(int argc, char **argv) {
   if (!spec) {
     std::fprintf(stderr, "unknown kernel '%s'\n%s\n", kernelName.c_str(),
                  flow::availableKernelsHint().c_str());
+    // Structured consumers (--json) get the same teaching structurally:
+    // an error document listing the valid kernel names (the field the
+    // mha-serve protocol also carries on unknown_kernel errors).
+    if (!jsonPath.empty()) {
+      std::string text = strfmt(
+          "{\"schema\": \"mha.dse.error.v1\", \"error\": "
+          "\"unknown_kernel\", \"kernel\": \"%s\", \"available_kernels\": [",
+          json::escape(kernelName).c_str());
+      bool first = true;
+      for (const flow::KernelSpec &k : flow::allKernels()) {
+        text += strfmt("%s\"%s\"", first ? "" : ", ",
+                       json::escape(k.name).c_str());
+        first = false;
+      }
+      text += "]}";
+      std::string error;
+      if (json::validate(text, &error)) {
+        std::ofstream out(jsonPath, std::ios::binary);
+        out << text;
+      }
+    }
     return 2;
   }
   if (!dse::createStrategy(strategyName)) {

@@ -1,0 +1,33 @@
+#!/bin/sh
+# serve_roundtrip.sh <mha-serve> <mha-client> <socket-path>
+#
+# CLI smoke test: start the daemon, wait for the socket, run a client mix
+# (ping, cold compile, warm compile, unknown kernel must fail), then shut
+# down gracefully and require the daemon itself to exit 0.
+set -e
+SERVE=$1
+CLIENT=$2
+SOCK=$3
+
+rm -f "$SOCK"
+"$SERVE" --socket="$SOCK" --max-inflight=2 --max-queue=4 &
+PID=$!
+trap 'kill "$PID" 2>/dev/null || true' EXIT
+
+i=0
+while [ $i -lt 100 ] && [ ! -S "$SOCK" ]; do
+  sleep 0.1
+  i=$((i + 1))
+done
+[ -S "$SOCK" ] || { echo "daemon socket never appeared"; exit 1; }
+
+"$CLIENT" --socket="$SOCK" --ping
+"$CLIENT" --socket="$SOCK" --kernel=fir --ii=1 --quiet
+"$CLIENT" --socket="$SOCK" --kernel=fir --ii=1 --quiet
+if "$CLIENT" --socket="$SOCK" --kernel=frobnicate --quiet; then
+  echo "unknown kernel unexpectedly succeeded"
+  exit 1
+fi
+"$CLIENT" --socket="$SOCK" --shutdown
+wait "$PID"
+trap - EXIT
