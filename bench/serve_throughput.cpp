@@ -368,6 +368,7 @@ int main(int argc, char **argv) {
     serve::Request blocker;
     blocker.id = "blocker";
     blocker.mlir = slowInlineMlir(16);
+    blocker.top = "conv2d_0"; // multi-function inline MLIR needs an explicit top
     client.sendLine(serve::renderCompileRequest("blocker", blocker));
     // Wait for the worker to be demonstrably inside the blocker's flow.
     std::string line;

@@ -32,6 +32,19 @@
 namespace mha::adaptor {
 
 struct AdaptorOptions {
+  /// Call legalization (multi-function input): rec2iter, then the
+  /// bottom-up inliner, then call-site privatization — before any of the
+  /// single-function stages below.
+  bool runCallLegalization = true;
+  /// Inliner size budget (instructions); callees above it stay calls.
+  unsigned inlineBudget = 256;
+  /// Default explicit-stack depth for rewritten self-recursion (a
+  /// `mha.rec_depth=N` function attribute overrides it per function).
+  unsigned recursionDepth = 64;
+  /// Function the inliner must keep even when fully inlined away (the
+  /// flow's synthesis top); empty keeps every never-called function only.
+  std::string topFunction;
+
   /// Skip switches for the ablation bench (fig4): each disables one stage.
   bool runDescriptorElimination = true;
   bool runIntrinsicLegalize = true;

@@ -59,6 +59,20 @@ std::unique_ptr<lir::ModulePass> createHlsCompatVerifyPass() {
 
 void buildAdaptorPipeline(lir::PassManager &pm,
                           const AdaptorOptions &options) {
+  if (options.runCallLegalization) {
+    pm.add(lir::createRec2IterPass(options.recursionDepth));
+    lir::InlinerOptions io;
+    io.sizeBudget = options.inlineBudget;
+    io.preservedFunction = options.topFunction;
+    pm.add(lir::createInlinerPass(io));
+    pm.add(lir::createCallSitePrivatizationPass());
+    if (options.runCleanups) {
+      std::vector<std::unique_ptr<lir::ModulePass>> group;
+      group.push_back(lir::createDCEPass());
+      group.push_back(lir::createSimplifyCFGPass());
+      addCleanupGroup(pm, options.fusePasses, std::move(group));
+    }
+  }
   if (options.runDescriptorElimination)
     pm.add(createDescriptorEliminationPass());
   if (options.runIntrinsicLegalize)

@@ -100,20 +100,12 @@ uint64_t mlirStageKey(const KernelSpec &spec, const KernelConfig &config,
   return hb.get();
 }
 
-/// Stage 2 input (adaptor flow): the mir text plus everything that shapes
-/// lowering and the adaptor pipeline.
-uint64_t adaptorBridgeKey(const std::string &mirText,
-                          const FlowOptions &options) {
-  metrics::Timer timer(stageKeyHistogram());
-  HashBuilder hb;
-  hb.str("bridge-adaptor").str(mirText);
-  const lowering::LoweringOptions &lo = options.lowering;
-  hb.boolean(lo.useOpaquePointers)
-      .boolean(lo.fuseMulAdd)
-      .boolean(lo.useMemcpyIntrinsic)
-      .boolean(lo.emitModernAttributes);
-  const adaptor::AdaptorOptions &ao = options.adaptor;
-  hb.boolean(ao.runDescriptorElimination)
+void hashAdaptorOptions(HashBuilder &hb, const adaptor::AdaptorOptions &ao) {
+  hb.boolean(ao.runCallLegalization)
+      .i64(ao.inlineBudget)
+      .i64(ao.recursionDepth)
+      .str(ao.topFunction)
+      .boolean(ao.runDescriptorElimination)
       .boolean(ao.runIntrinsicLegalize)
       .boolean(ao.runGepCanonicalize)
       .boolean(ao.runPointerTypeRecovery)
@@ -122,7 +114,48 @@ uint64_t adaptorBridgeKey(const std::string &mirText,
       .boolean(ao.verifyCompat)
       .boolean(ao.runCleanups)
       .boolean(ao.fusePasses);
+}
+
+/// Stage 2 input (adaptor flow): the mir text plus everything that shapes
+/// lowering and the adaptor pipeline. `ao` is the *effective* adaptor
+/// option set (after the flow resolves the top-function hint) — the whole
+/// post-inline module shape depends on it, so it addresses the cache.
+uint64_t adaptorBridgeKey(const std::string &mirText,
+                          const FlowOptions &options,
+                          const adaptor::AdaptorOptions &ao) {
+  metrics::Timer timer(stageKeyHistogram());
+  HashBuilder hb;
+  hb.str("bridge-adaptor").str(mirText);
+  const lowering::LoweringOptions &lo = options.lowering;
+  hb.boolean(lo.useOpaquePointers)
+      .boolean(lo.fuseMulAdd)
+      .boolean(lo.useMemcpyIntrinsic)
+      .boolean(lo.emitModernAttributes);
+  hashAdaptorOptions(hb, ao);
   return hb.get();
+}
+
+/// Bridge key for the direct-LIR entry (no mir stage): the input module
+/// text plus the effective adaptor options.
+uint64_t lirBridgeKey(const std::string &lirText,
+                      const adaptor::AdaptorOptions &ao) {
+  metrics::Timer timer(stageKeyHistogram());
+  HashBuilder hb;
+  hb.str("bridge-lir").str(lirText);
+  hashAdaptorOptions(hb, ao);
+  return hb.get();
+}
+
+/// The adaptor passes need to know the synthesis top (the inliner must
+/// not erase it even when every call site is gone).
+adaptor::AdaptorOptions effectiveAdaptorOptions(const FlowOptions &options,
+                                                const std::string &topName) {
+  adaptor::AdaptorOptions ao = options.adaptor;
+  if (ao.topFunction.empty())
+    ao.topFunction = options.synthesis.topFunction.empty()
+                         ? topName
+                         : options.synthesis.topFunction;
+  return ao;
 }
 
 /// Stage 2 input (C++ flow): emission and the HLS frontend take no
@@ -229,11 +262,13 @@ FlowResult runAdaptorFlow(const KernelSpec &spec, const KernelConfig &config,
   if (!enterStage("bridge", options, result))
     return result;
   telemetry::Span bridgeSpan("bridge", "flow-stage");
+  adaptor::AdaptorOptions adaptorOpts =
+      effectiveAdaptorOptions(options, spec.name);
   std::string lirText; // bridge output text; addresses the synth stage
   bool bridgeFromCache = false;
   uint64_t bridgeKey = 0;
   if (options.useStageCache) {
-    bridgeKey = adaptorBridgeKey(mirText, options);
+    bridgeKey = adaptorBridgeKey(mirText, options, adaptorOpts);
     StageCache::BridgeEntry entry;
     if (StageCache::global().lookupBridge(bridgeKey, entry)) {
       telemetry::Span restoreSpan("bridge-cache-restore", "flow-substage");
@@ -285,7 +320,7 @@ FlowResult runAdaptorFlow(const KernelSpec &spec, const KernelConfig &config,
     }
     telemetry::Span adaptorSpan("adaptor-pipeline", "flow-substage");
     lir::PassManager pm(/*verifyEach=*/true);
-    adaptor::buildAdaptorPipeline(pm, options.adaptor);
+    adaptor::buildAdaptorPipeline(pm, adaptorOpts);
     // A dedicated pool per call: the batch runner's pool must never run
     // pass tasks (TaskGroup::wait does not steal — see setConcurrency).
     std::unique_ptr<ThreadPool> passPool;
@@ -324,6 +359,137 @@ FlowResult runAdaptorFlow(const KernelSpec &spec, const KernelConfig &config,
   uint64_t synthKey = 0;
   if (options.useStageCache) {
     synthKey = StageCache::synthKey(lirText, synthOpts);
+    synthFromCache = StageCache::global().lookupSynth(synthKey, result.synth);
+  }
+  if (!synthFromCache) {
+    result.synth = vhls::synthesize(*result.module, synthOpts, diags);
+    if (options.useStageCache && result.synth.accepted)
+      StageCache::global().storeSynth(synthKey, result.synth);
+  }
+  result.synthFromCache = synthFromCache;
+  result.timings.synthMs = synthSpan.finish();
+  result.spans.push_back({"synth", "vhls", result.timings.synthMs});
+  result.timings.totalMs = totalSpan.finish();
+  result.diagnostics = diags.str();
+  result.ok = result.synth.accepted;
+  return result;
+}
+
+FlowResult runLirAdaptorFlow(const std::string &lirText,
+                             const std::string &topFunction,
+                             const FlowOptions &options) {
+  FlowResult result;
+  result.kind = FlowKind::Adaptor;
+  result.kernelName = topFunction;
+  DiagnosticEngine diags;
+  telemetry::Span totalSpan("flow:adaptor:lir-input", "flow");
+
+  if (!enterStage("bridge", options, result))
+    return result;
+  telemetry::Span bridgeSpan("bridge", "flow-stage");
+  {
+    telemetry::Span parseSpan("parse-lir", "flow-substage");
+    result.ctx = std::make_unique<lir::LContext>();
+    result.module = lir::parseModule(lirText, *result.ctx, diags);
+    result.spans.push_back({"bridge", "parse-lir", parseSpan.finish()});
+  }
+  if (!result.module) {
+    result.timings.bridgeMs = bridgeSpan.finish();
+    result.diagnostics = diags.str();
+    return result;
+  }
+
+  // Resolve the synthesis top before hashing anything: it feeds the
+  // inliner's preserved-function option, so it is part of the bridge key.
+  std::string top = topFunction;
+  if (top.empty()) {
+    std::vector<lir::Function *> defs;
+    for (lir::Function *fn : result.module->functions())
+      if (!fn->isDeclaration())
+        defs.push_back(fn);
+    if (defs.size() != 1) {
+      diags.error(strfmt("lir module defines %zu functions; a top function "
+                         "must be named",
+                         defs.size()));
+      result.timings.bridgeMs = bridgeSpan.finish();
+      result.diagnostics = diags.str();
+      return result;
+    }
+    top = defs.front()->name();
+  } else if (!result.module->getFunction(top)) {
+    diags.error(strfmt("top function '%s' not found in lir module",
+                       top.c_str()));
+    result.timings.bridgeMs = bridgeSpan.finish();
+    result.diagnostics = diags.str();
+    return result;
+  }
+  result.kernelName = top;
+  adaptor::AdaptorOptions adaptorOpts = options.adaptor;
+  if (adaptorOpts.topFunction.empty())
+    adaptorOpts.topFunction = top;
+
+  std::string lirOut; // post-adaptor text; addresses the synth stage
+  bool bridgeFromCache = false;
+  uint64_t bridgeKey = 0;
+  if (options.useStageCache) {
+    bridgeKey = lirBridgeKey(lirText, adaptorOpts);
+    StageCache::BridgeEntry entry;
+    if (StageCache::global().lookupBridge(bridgeKey, entry)) {
+      telemetry::Span restoreSpan("bridge-cache-restore", "flow-substage");
+      // The input-parse module must die before the LContext it was built
+      // in — replacing ctx first would free the context under the live
+      // module (its destructor walks context-owned constants).
+      result.module.reset();
+      result.ctx = std::make_unique<lir::LContext>();
+      result.module = lir::parseModule(entry.lirText, *result.ctx, diags);
+      result.spans.push_back(
+          {"bridge", "bridge-cache-restore", restoreSpan.finish()});
+      if (!result.module) {
+        result.timings.bridgeMs = bridgeSpan.finish();
+        result.diagnostics = diags.str();
+        return result;
+      }
+      result.adaptorStats = entry.adaptorStats;
+      lirOut = std::move(entry.lirText);
+      bridgeFromCache = true;
+    }
+  }
+  if (!bridgeFromCache) {
+    telemetry::Span adaptorSpan("adaptor-pipeline", "flow-substage");
+    lir::PassManager pm(/*verifyEach=*/true);
+    adaptor::buildAdaptorPipeline(pm, adaptorOpts);
+    std::unique_ptr<ThreadPool> passPool;
+    if (options.passJobs > 1) {
+      passPool =
+          std::make_unique<ThreadPool>(static_cast<unsigned>(options.passJobs));
+      pm.setConcurrency(passPool.get());
+    }
+    bool adaptorOk = pm.run(*result.module, diags);
+    result.adaptorStats = pm.totalStats();
+    result.spans.push_back(
+        {"bridge", "adaptor-pipeline", adaptorSpan.finish()});
+    if (!adaptorOk) {
+      result.timings.bridgeMs = bridgeSpan.finish();
+      result.diagnostics = diags.str();
+      return result;
+    }
+    if (options.useStageCache) {
+      lirOut = lir::printModule(*result.module);
+      StageCache::global().storeBridge(
+          bridgeKey, {lirOut, std::string(), result.adaptorStats});
+    }
+  }
+  result.timings.bridgeMs = bridgeSpan.finish();
+
+  if (!enterStage("synth", options, result))
+    return result;
+  telemetry::Span synthSpan("synth", "flow-stage");
+  vhls::SynthesisOptions synthOpts = options.synthesis;
+  synthOpts.topFunction = top;
+  bool synthFromCache = false;
+  uint64_t synthKey = 0;
+  if (options.useStageCache) {
+    synthKey = StageCache::synthKey(lirOut, synthOpts);
     synthFromCache = StageCache::global().lookupSynth(synthKey, result.synth);
   }
   if (!synthFromCache) {

@@ -117,6 +117,16 @@ FlowResult runAdaptorFlow(const KernelSpec &spec, const KernelConfig &config,
 FlowResult runHlsCppFlow(const KernelSpec &spec, const KernelConfig &config,
                          const FlowOptions &options = {});
 
+/// Direct-LIR entry: parses `lirText` (a possibly multi-function module
+/// with calls/recursion), runs the adaptor pipeline and synthesizes
+/// `topFunction`. The whole input module addresses the bridge stage of
+/// the StageCache, so an edit anywhere — including a callee body — is a
+/// cache miss. `topFunction` empty picks the module's only function and
+/// errors when that is ambiguous.
+FlowResult runLirAdaptorFlow(const std::string &lirText,
+                             const std::string &topFunction,
+                             const FlowOptions &options = {});
+
 /// Executes the flow's final IR against the host reference. Returns true
 /// when every output buffer matches bit-for-bit; `error` explains any
 /// mismatch. Runs on the flattened (one pointer per array) convention.

@@ -73,9 +73,11 @@ std::string loweredLirText(const Program &program,
 
 std::string genOptionsJson(const GenOptions &gen) {
   return strfmt("{\"maxLoopDepth\":%d,\"maxStmts\":%d,\"maxExprDepth\":%d,"
-                "\"maxIrInsts\":%d,\"irArgSets\":%d}",
+                "\"maxIrInsts\":%d,\"irArgSets\":%d,\"maxCallHelpers\":%d,"
+                "\"maxCallOps\":%d,\"callArgSets\":%d}",
                 gen.maxLoopDepth, gen.maxStmts, gen.maxExprDepth,
-                gen.maxIrInsts, gen.irArgSets);
+                gen.maxIrInsts, gen.irArgSets, gen.maxCallHelpers,
+                gen.maxCallOps, gen.callArgSets);
 }
 
 std::optional<GenOptions> genOptionsFromJson(const json::Value &v) {
@@ -91,6 +93,9 @@ std::optional<GenOptions> genOptionsFromJson(const json::Value &v) {
   gen.maxExprDepth = field("maxExprDepth", gen.maxExprDepth);
   gen.maxIrInsts = field("maxIrInsts", gen.maxIrInsts);
   gen.irArgSets = field("irArgSets", gen.irArgSets);
+  gen.maxCallHelpers = field("maxCallHelpers", gen.maxCallHelpers);
+  gen.maxCallOps = field("maxCallOps", gen.maxCallOps);
+  gen.callArgSets = field("callArgSets", gen.callArgSets);
   return gen;
 }
 
@@ -107,6 +112,10 @@ std::optional<FuzzFailure> checkOne(const std::string &mode, uint64_t seed,
     Program program = gen.genKernel();
     size = program.size();
     result = checkKernel(program, options.oracle);
+  } else if (mode == "calls") {
+    CallProgram program = gen.genCalls();
+    size = program.size();
+    result = checkCalls(program, options.oracle);
   } else {
     IrProgram program = gen.genIr();
     size = program.size();
@@ -138,6 +147,16 @@ void reduceFailure(FuzzFailure &failure, const FuzzOptions &options) {
     failure.reduceAttempts = trace.attempts;
     failure.reducedDescription = reduced.describe();
     failure.reducedLir = loweredLirText(reduced, options.oracle.config);
+  } else if (failure.mode == "calls") {
+    CallProgram program = gen.genCalls();
+    CallProgram reduced =
+        options.reduce ? reduceCalls(program, failure.result, options.oracle,
+                                     options.reducer, &trace)
+                       : program;
+    failure.reducedSize = reduced.size();
+    failure.reduceAttempts = trace.attempts;
+    failure.reducedDescription = reduced.describe();
+    failure.reducedLir = reduced.lir();
   } else {
     IrProgram program = gen.genIr();
     IrProgram reduced =
@@ -179,8 +198,12 @@ const char *fuzzModeName(FuzzOptions::Mode mode) {
     return "kernel";
   case FuzzOptions::Mode::Ir:
     return "ir";
+  case FuzzOptions::Mode::Calls:
+    return "calls";
   case FuzzOptions::Mode::Both:
     return "both";
+  case FuzzOptions::Mode::All:
+    return "all";
   }
   return "?";
 }
@@ -209,9 +232,10 @@ std::string FuzzReport::json() const {
   out += strfmt(",\"budget\":%d", budget);
   out += ",\"mode\":\"" + json::escape(mode) + "\"";
   out += strfmt(",\"jobs\":%u", jobs);
-  out += strfmt(",\"programs\":{\"kernel\":%llu,\"ir\":%llu}",
+  out += strfmt(",\"programs\":{\"kernel\":%llu,\"ir\":%llu,\"calls\":%llu}",
                 static_cast<unsigned long long>(kernelPrograms),
-                static_cast<unsigned long long>(irPrograms));
+                static_cast<unsigned long long>(irPrograms),
+                static_cast<unsigned long long>(callsPrograms));
   out += ",\"elapsedMs\":" + json::number(elapsedMs);
   out += ",\"clean\":" + std::string(clean() ? "true" : "false");
   out += ",\"failures\":[";
@@ -249,10 +273,17 @@ FuzzReport runFuzz(const FuzzOptions &options) {
   report.jobs = options.jobs == 0 ? 1 : options.jobs;
 
   std::vector<std::string> modes;
-  if (options.mode != FuzzOptions::Mode::Ir)
+  if (options.mode == FuzzOptions::Mode::Kernel ||
+      options.mode == FuzzOptions::Mode::Both ||
+      options.mode == FuzzOptions::Mode::All)
     modes.push_back("kernel");
-  if (options.mode != FuzzOptions::Mode::Kernel)
+  if (options.mode == FuzzOptions::Mode::Ir ||
+      options.mode == FuzzOptions::Mode::Both ||
+      options.mode == FuzzOptions::Mode::All)
     modes.push_back("ir");
+  if (options.mode == FuzzOptions::Mode::Calls ||
+      options.mode == FuzzOptions::Mode::All)
+    modes.push_back("calls");
 
   // (mode, program seed) work list; seeds depend only on the campaign
   // seed and position, never on thread scheduling.
@@ -276,9 +307,12 @@ FuzzReport runFuzz(const FuzzOptions &options) {
       slots[i] = checkOne(work[i].first, work[i].second, options);
   }
 
-  for (const std::string &mode : modes)
-    (mode == "kernel" ? report.kernelPrograms : report.irPrograms) +=
-        static_cast<uint64_t>(options.budget);
+  for (const std::string &mode : modes) {
+    uint64_t &counter = mode == "kernel" ? report.kernelPrograms
+                        : mode == "calls" ? report.callsPrograms
+                                          : report.irPrograms;
+    counter += static_cast<uint64_t>(options.budget);
+  }
 
   // Reduction is serial and in campaign order: reproducibility over
   // latency (failures are the rare case).
@@ -313,8 +347,10 @@ std::optional<FuzzFailure> replayRepro(const std::string &reproJson,
     return std::nullopt;
   }
   const json::Value *mode = doc->get("mode");
-  if (!mode || (mode->asString() != "kernel" && mode->asString() != "ir")) {
-    error = "reproducer mode must be \"kernel\" or \"ir\"";
+  if (!mode ||
+      (mode->asString() != "kernel" && mode->asString() != "ir" &&
+       mode->asString() != "calls")) {
+    error = "reproducer mode must be \"kernel\", \"ir\" or \"calls\"";
     return std::nullopt;
   }
   const json::Value *seedField = doc->get("seed");

@@ -25,7 +25,8 @@ struct FuzzOptions {
   uint64_t seed = 1;
   int budget = 100; // programs per enabled mode
   unsigned jobs = 1;
-  enum class Mode { Kernel, Ir, Both };
+  /// Both = kernel + ir (the historical default); All adds calls mode.
+  enum class Mode { Kernel, Ir, Calls, Both, All };
   Mode mode = Mode::Both;
   bool reduce = true;
   GenOptions gen;
@@ -39,7 +40,7 @@ struct FuzzOptions {
 const char *fuzzModeName(FuzzOptions::Mode mode);
 
 struct FuzzFailure {
-  std::string mode; // "kernel" | "ir"
+  std::string mode; // "kernel" | "ir" | "calls"
   uint64_t programSeed = 0;
   OracleResult result;
   size_t originalSize = 0;
@@ -62,6 +63,7 @@ struct FuzzReport {
   unsigned jobs = 1;
   uint64_t kernelPrograms = 0;
   uint64_t irPrograms = 0;
+  uint64_t callsPrograms = 0;
   double elapsedMs = 0;
   std::vector<FuzzFailure> failures;
 

@@ -276,4 +276,97 @@ OracleResult checkIr(const IrProgram &program, const OracleOptions &options) {
   return OracleResult{};
 }
 
+OracleResult checkCalls(const CallProgram &program,
+                        const OracleOptions &options) {
+  std::string text = program.lir();
+  DiagnosticEngine diags;
+  lir::LContext ctx;
+  std::unique_ptr<lir::Module> module = lir::parseModule(text, ctx, diags);
+  if (!module)
+    return fail(FailureKind::FlowError, "parse", diags.str() + "\n" + text);
+  if (!lir::verifyModule(*module, diags))
+    return fail(FailureKind::Verifier, "parse", diags.str());
+  lir::Function *fn = module->getFunction("fuzz_calls");
+  if (!fn)
+    return fail(FailureKind::FlowError, "parse", "@fuzz_calls missing");
+
+  // Stage 1: interpret the multi-function module (calls executed by the
+  // interpreter's call stack) against the host reference. Calls-mode
+  // programs are trap-free by construction, so every set must agree.
+  auto runSets =
+      [&](const std::string &stage) -> std::optional<OracleResult> {
+    for (size_t s = 0; s < program.argSets.size(); ++s) {
+      int64_t ref = evalCallsReference(program, program.argSets[s]);
+      std::vector<interp::RtValue> rtArgs;
+      for (int64_t a : program.argSets[s])
+        rtArgs.push_back(interp::RtValue::ofInt(a));
+      DiagnosticEngine runDiags;
+      interp::Interpreter interpreter(*module);
+      auto run = interpreter.run(fn, rtArgs, runDiags);
+      if (!run)
+        return fail(FailureKind::InterpError, stage,
+                    strfmt("argset %zu: ", s) + runDiags.str());
+      if (run->i != ref)
+        return fail(FailureKind::Mismatch, stage,
+                    strfmt("argset %zu: interp=%lld reference=%lld", s,
+                           static_cast<long long>(run->i),
+                           static_cast<long long>(ref)));
+    }
+    return std::nullopt;
+  };
+  if (auto failure = runSets("interp"))
+    return *failure;
+
+  // Stage 2: the call-legalization pipeline (exactly the passes the
+  // adaptor flow front-loads) must preserve behavior.
+  {
+    lir::PassManager pm(/*verifyEach=*/true);
+    pm.add(lir::createRec2IterPass(64));
+    lir::InlinerOptions io;
+    io.preservedFunction = "fuzz_calls";
+    pm.add(lir::createInlinerPass(io));
+    pm.add(lir::createCallSitePrivatizationPass());
+    pm.add(lir::createDCEPass());
+    pm.add(lir::createSimplifyCFGPass());
+    pm.add(lir::createMem2RegPass());
+    pm.add(lir::createInstCombinePass());
+    pm.add(lir::createCSEPass());
+    pm.add(lir::createDCEPass());
+    if (!pm.run(*module, diags))
+      return fail(FailureKind::Verifier, "call-legalize", diags.str());
+  }
+  if (options.mutateAdaptorModule)
+    options.mutateAdaptorModule(*module);
+  fn = module->getFunction("fuzz_calls");
+  if (!fn)
+    return fail(FailureKind::FlowError, "call-legalize",
+                "@fuzz_calls erased by legalization");
+  if (auto failure = runSets("call-legalize"))
+    return *failure;
+
+  // Stage 3: the virtual HLS backend must accept the legalized module
+  // (residual noinline helpers synthesize bottom-up).
+  if (options.runVhls) {
+    vhls::SynthesisOptions synthOpts;
+    synthOpts.topFunction = "fuzz_calls";
+    uint64_t synthKey = 0;
+    vhls::SynthesisReport report;
+    bool cached = false;
+    if (options.useStageCache) {
+      synthKey =
+          flow::StageCache::synthKey(lir::printModule(*module), synthOpts);
+      cached = flow::StageCache::global().lookupSynth(synthKey, report);
+    }
+    if (!cached) {
+      report = vhls::synthesize(*module, synthOpts, diags);
+      if (options.useStageCache && report.accepted)
+        flow::StageCache::global().storeSynth(synthKey, report);
+    }
+    if (!report.accepted)
+      return fail(FailureKind::FlowError, "vhls",
+                  "synthesis rejected: " + diags.str());
+  }
+  return OracleResult{};
+}
+
 } // namespace mha::fuzz

@@ -77,4 +77,13 @@ OracleResult checkKernel(const Program &program,
 OracleResult checkIr(const IrProgram &program,
                      const OracleOptions &options = {});
 
+/// Differentially checks a calls-mode program: parses the multi-function
+/// module, interprets it against evalCallsReference on every argument
+/// set, runs the call-legalization pipeline (rec2iter, inlining,
+/// call-site privatization + cleanups) and re-checks, then (with
+/// runVhls) requires the virtual HLS backend to accept the legalized
+/// module.
+OracleResult checkCalls(const CallProgram &program,
+                        const OracleOptions &options = {});
+
 } // namespace mha::fuzz

@@ -680,6 +680,258 @@ IrEval evalIrReference(const IrProgram &program,
   return result;
 }
 
+// --- CallProgram (calls mode) ---
+
+namespace {
+
+/// Masked recursion argument: every template clamps to [0, 15] before
+/// comparing/recursing, so termination does not depend on the input.
+constexpr int64_t kRecMask = 15;
+
+/// Name of function-table entry `index` in the emitted module.
+std::string callFnName(const CallProgram &p, int index) {
+  if (index == p.arrayIndex())
+    return "arr_fill";
+  if (index == p.recIndex())
+    return "rec";
+  return strfmt("h%d", index);
+}
+
+/// Argument count of function-table entry `index` (helpers take two
+/// scalars; the special functions take one).
+unsigned callFnArity(const CallProgram &p, int index) {
+  return index < static_cast<int>(p.helpers.size()) ? 2u : 1u;
+}
+
+std::string callOperand(const CallFn &fn, unsigned numArgs, int value) {
+  unsigned v = static_cast<unsigned>(value);
+  if (v < numArgs)
+    return strfmt("%%a%u", v);
+  v -= numArgs;
+  if (v < fn.consts.size())
+    return strfmt("%lld", static_cast<long long>(fn.consts[v]));
+  return strfmt("%%v%u", static_cast<unsigned>(v - fn.consts.size()));
+}
+
+const char *callOpName(CallOp::Kind kind) {
+  switch (kind) {
+  case CallOp::Kind::Add:
+    return "add";
+  case CallOp::Kind::Sub:
+    return "sub";
+  case CallOp::Kind::Mul:
+    return "mul";
+  case CallOp::Kind::And:
+    return "and";
+  case CallOp::Kind::Or:
+    return "or";
+  case CallOp::Kind::Xor:
+    return "xor";
+  case CallOp::Kind::ShlC:
+    return "shl";
+  case CallOp::Kind::Call:
+    return "call";
+  }
+  return "?";
+}
+
+/// Renders one straight-line body (shared by helpers and the top).
+std::string callFnBody(const CallProgram &p, const CallFn &fn,
+                       unsigned numArgs) {
+  std::string out = "entry:\n";
+  for (size_t i = 0; i < fn.ops.size(); ++i) {
+    const CallOp &op = fn.ops[i];
+    if (op.kind == CallOp::Kind::Call) {
+      std::string args =
+          "i64 " + callOperand(fn, numArgs, op.a);
+      if (callFnArity(p, op.callee) == 2)
+        args += ", i64 " + callOperand(fn, numArgs, op.b);
+      out += strfmt("  %%v%zu = call i64 @%s(%s)\n", i,
+                    callFnName(p, op.callee).c_str(), args.c_str());
+    } else if (op.kind == CallOp::Kind::ShlC) {
+      out += strfmt("  %%v%zu = shl i64 %s, %u\n", i,
+                    callOperand(fn, numArgs, op.a).c_str(), op.amount);
+    } else {
+      out += strfmt("  %%v%zu = %s i64 %s, %s\n", i, callOpName(op.kind),
+                    callOperand(fn, numArgs, op.a).c_str(),
+                    callOperand(fn, numArgs, op.b).c_str());
+    }
+  }
+  out += strfmt("  ret i64 %s\n", callOperand(fn, numArgs, fn.ret).c_str());
+  return out;
+}
+
+} // namespace
+
+size_t CallProgram::size() const {
+  size_t n = top.ops.size();
+  for (const CallFn &fn : helpers)
+    n += fn.ops.size();
+  if (hasArrayHelper)
+    ++n;
+  if (hasRecursion)
+    ++n;
+  return n;
+}
+
+std::string CallProgram::lir() const {
+  std::string out;
+  for (size_t h = 0; h < helpers.size(); ++h) {
+    out += strfmt("define i64 @h%zu(i64 %%a0, i64 %%a1)%s {\n", h,
+                  helpers[h].noinline ? " #[noinline]" : "");
+    out += callFnBody(*this, helpers[h], 2);
+    out += "}\n\n";
+  }
+  if (hasArrayHelper) {
+    // Fill a local array from affine functions of the argument, read it
+    // back, xor-combine. Stays function-local: the pointer never escapes.
+    out += "define i64 @arr_fill(i64 %a0) {\nentry:\n";
+    out += "  %buf = alloca [8 x i64]\n";
+    for (int k = 0; k < 8; ++k) {
+      out += strfmt("  %%m%d = mul i64 %%a0, %lld\n", k,
+                    static_cast<long long>(arrCoef[k]));
+      out += strfmt("  %%s%d = add i64 %%m%d, %lld\n", k, k,
+                    static_cast<long long>(arrAdd[k]));
+      out += strfmt("  %%p%d = getelementptr [8 x i64], [8 x i64]* %%buf, "
+                    "i64 0, i64 %d\n",
+                    k, k);
+      out += strfmt("  store i64 %%s%d, i64* %%p%d\n", k, k);
+    }
+    for (int k = 0; k < 8; ++k)
+      out += strfmt("  %%l%d = load i64, i64* %%p%d\n", k, k);
+    out += "  %x1 = xor i64 %l0, %l1\n";
+    for (int k = 2; k < 8; ++k)
+      out += strfmt("  %%x%d = xor i64 %%x%d, %%l%d\n", k, k - 1, k);
+    out += "  ret i64 %x7\n}\n\n";
+  }
+  if (hasRecursion) {
+    out += "define i64 @rec(i64 %a0) #[mha.rec_depth=24] {\nentry:\n";
+    out += strfmt("  %%n = and i64 %%a0, %lld\n",
+                  static_cast<long long>(kRecMask));
+    out += "  %cmp = icmp sle i64 %n, 1\n";
+    out += "  br i1 %cmp, label %base, label %step\nbase:\n";
+    out += strfmt("  ret i64 %lld\nstep:\n",
+                  static_cast<long long>(recBase));
+    out += "  %n1 = sub i64 %n, 1\n";
+    out += "  %r1 = call i64 @rec(i64 %n1)\n";
+    switch (recKind) {
+    case RecKind::Factorial:
+      out += "  %v = mul i64 %n, %r1\n";
+      break;
+    case RecKind::Sum:
+      out += "  %v = add i64 %n, %r1\n";
+      break;
+    case RecKind::Fib:
+      out += "  %n2 = sub i64 %n, 2\n";
+      out += "  %r2 = call i64 @rec(i64 %n2)\n";
+      out += "  %v = add i64 %r1, %r2\n";
+      break;
+    }
+    out += "  ret i64 %v\n}\n\n";
+  }
+  out += "define i64 @fuzz_calls(";
+  for (unsigned i = 0; i < numArgs; ++i)
+    out += strfmt("%si64 %%a%u", i ? ", " : "", i);
+  out += ") {\n";
+  out += callFnBody(*this, top, numArgs);
+  out += "}\n";
+  return out;
+}
+
+std::string CallProgram::describe() const { return lir(); }
+
+namespace {
+
+/// Evaluates a straight-line body; `callFn` resolves Call ops.
+int64_t evalCallFn(const CallFn &fn, const std::vector<int64_t> &args,
+                   const std::function<int64_t(int, int64_t, int64_t)> &call) {
+  std::vector<int64_t> values(args);
+  for (int64_t c : fn.consts)
+    values.push_back(c);
+  for (const CallOp &op : fn.ops) {
+    int64_t a = op.a >= 0 ? values[static_cast<size_t>(op.a)] : 0;
+    int64_t b = op.b >= 0 ? values[static_cast<size_t>(op.b)] : 0;
+    int64_t v = 0;
+    switch (op.kind) {
+    case CallOp::Kind::Add:
+      v = wrapAdd(a, b);
+      break;
+    case CallOp::Kind::Sub:
+      v = wrapSub(a, b);
+      break;
+    case CallOp::Kind::Mul:
+      v = wrapMul(a, b);
+      break;
+    case CallOp::Kind::And:
+      v = a & b;
+      break;
+    case CallOp::Kind::Or:
+      v = a | b;
+      break;
+    case CallOp::Kind::Xor:
+      v = a ^ b;
+      break;
+    case CallOp::Kind::ShlC:
+      v = static_cast<int64_t>(static_cast<uint64_t>(a) << op.amount);
+      break;
+    case CallOp::Kind::Call:
+      v = call(op.callee, a, b);
+      break;
+    }
+    values.push_back(v);
+  }
+  return fn.ret >= 0 ? values[static_cast<size_t>(fn.ret)] : 0;
+}
+
+int64_t evalArrayHelper(const CallProgram &p, int64_t x) {
+  int64_t slots[8];
+  for (int k = 0; k < 8; ++k)
+    slots[k] = wrapAdd(wrapMul(x, p.arrCoef[k]), p.arrAdd[k]);
+  int64_t acc = slots[0] ^ slots[1];
+  for (int k = 2; k < 8; ++k)
+    acc ^= slots[k];
+  return acc;
+}
+
+int64_t evalRec(const CallProgram &p, int64_t arg) {
+  int64_t n = arg & kRecMask;
+  if (n <= 1)
+    return p.recBase;
+  switch (p.recKind) {
+  case RecKind::Factorial:
+    return wrapMul(n, evalRec(p, n - 1));
+  case RecKind::Sum:
+    return wrapAdd(n, evalRec(p, n - 1));
+  case RecKind::Fib:
+    return wrapAdd(evalRec(p, n - 1), evalRec(p, n - 2));
+  }
+  return 0;
+}
+
+int64_t evalCallTarget(const CallProgram &p, int callee, int64_t a,
+                       int64_t b) {
+  if (callee == p.arrayIndex())
+    return evalArrayHelper(p, a);
+  if (callee == p.recIndex())
+    return evalRec(p, a);
+  const CallFn &fn = p.helpers[static_cast<size_t>(callee)];
+  return evalCallFn(fn, {a, b}, [&](int c, int64_t x, int64_t y) {
+    return evalCallTarget(p, c, x, y);
+  });
+}
+
+} // namespace
+
+int64_t evalCallsReference(const CallProgram &program,
+                           const std::vector<int64_t> &args) {
+  std::vector<int64_t> padded(args);
+  padded.resize(program.numArgs, 0);
+  return evalCallFn(program.top, padded,
+                    [&](int c, int64_t x, int64_t y) {
+                      return evalCallTarget(program, c, x, y);
+                    });
+}
+
 // --- ProgramGen ---
 
 ProgramGen::ProgramGen(uint64_t seed, GenOptions options)
@@ -1022,6 +1274,137 @@ IrProgram ProgramGen::genIr() {
       } else if (roll < 50) {
         args.push_back(INT64_MIN);
       } else if (roll < 65) {
+        args.push_back(INT64_MAX);
+      } else {
+        args.push_back(static_cast<int64_t>(rng.next()));
+      }
+    }
+    p.argSets.push_back(std::move(args));
+  }
+  return p;
+}
+
+CallProgram ProgramGen::genCalls() {
+  SplitMix64 rng(seed_ * 0x9e3779b97f4a7c15ull + 0x63616c6c73ull);
+  CallProgram p;
+  p.seed = seed_;
+  p.numArgs = 3;
+
+  // Constants restricted to wrap-safe values (every op is trap-free, so
+  // any int64 works; the pool biases toward interesting bit patterns).
+  auto pickConst = [&]() -> int64_t {
+    unsigned roll = static_cast<unsigned>(rng.below(100));
+    if (roll < 60)
+      return kIntConstPool[rng.below(std::size(kIntConstPool))];
+    return static_cast<int64_t>(rng.next());
+  };
+
+  // A straight-line body over `numArgs` arguments whose Call ops may
+  // target function-table entries in [0, calleeLimit).
+  auto genBody = [&](unsigned numArgs, int calleeLimit, unsigned callPct) {
+    CallFn fn;
+    size_t numConsts = 2 + rng.below(3);
+    for (size_t c = 0; c < numConsts; ++c)
+      fn.consts.push_back(pickConst());
+    size_t numOps =
+        3 + rng.below(static_cast<uint64_t>(options_.maxCallOps - 2));
+    auto numValues = [&] {
+      return static_cast<int>(numArgs + fn.consts.size() + fn.ops.size());
+    };
+    auto pickValue = [&] {
+      return static_cast<int>(rng.below(static_cast<uint64_t>(numValues())));
+    };
+    for (size_t i = 0; i < numOps; ++i) {
+      CallOp op;
+      unsigned roll = static_cast<unsigned>(rng.below(100));
+      if (calleeLimit > 0 && roll < callPct) {
+        op.kind = CallOp::Kind::Call;
+        op.callee = static_cast<int>(
+            rng.below(static_cast<uint64_t>(calleeLimit)));
+        op.a = pickValue();
+        op.b = pickValue();
+      } else if (roll < callPct + 10) {
+        op.kind = CallOp::Kind::ShlC;
+        op.a = pickValue();
+        op.amount = static_cast<unsigned>(rng.below(8));
+      } else {
+        static const CallOp::Kind kBinops[] = {
+            CallOp::Kind::Add, CallOp::Kind::Sub, CallOp::Kind::Mul,
+            CallOp::Kind::And, CallOp::Kind::Or,  CallOp::Kind::Xor};
+        op.kind = kBinops[rng.below(std::size(kBinops))];
+        op.a = pickValue();
+        op.b = pickValue();
+      }
+      fn.ops.push_back(op);
+    }
+    fn.ret = numValues() - 1; // last op keeps the whole tail live
+    return fn;
+  };
+
+  size_t numHelpers =
+      1 + rng.below(static_cast<uint64_t>(options_.maxCallHelpers));
+  for (size_t h = 0; h < numHelpers; ++h) {
+    CallFn fn = genBody(2, static_cast<int>(h), 20);
+    fn.noinline = rng.below(100) < 30;
+    p.helpers.push_back(std::move(fn));
+  }
+
+  p.hasArrayHelper = rng.below(100) < 50;
+  if (p.hasArrayHelper)
+    for (int k = 0; k < 8; ++k) {
+      p.arrCoef[k] = pickConst();
+      p.arrAdd[k] = pickConst();
+    }
+
+  p.hasRecursion = rng.below(100) < 75;
+  if (p.hasRecursion) {
+    static const RecKind kKinds[] = {RecKind::Factorial, RecKind::Sum,
+                                     RecKind::Fib};
+    p.recKind = kKinds[rng.below(std::size(kKinds))];
+    p.recBase = 1 + static_cast<int64_t>(rng.below(7));
+  }
+
+  p.top = genBody(p.numArgs, p.numFunctions(), 35);
+  // Guarantee the special functions are exercised: append one call to
+  // each, then a combiner so the return depends on everything.
+  int topValues = static_cast<int>(p.numArgs + p.top.consts.size() +
+                                   p.top.ops.size());
+  auto appendCall = [&](int callee) {
+    CallOp op;
+    op.kind = CallOp::Kind::Call;
+    op.callee = callee;
+    op.a = static_cast<int>(rng.below(static_cast<uint64_t>(topValues)));
+    op.b = static_cast<int>(rng.below(static_cast<uint64_t>(topValues)));
+    p.top.ops.push_back(op);
+    ++topValues;
+  };
+  int beforeSpecials = topValues;
+  if (p.hasArrayHelper)
+    appendCall(p.arrayIndex());
+  if (p.hasRecursion)
+    appendCall(p.recIndex());
+  for (int v = beforeSpecials; v < topValues; ++v) {
+    CallOp fold;
+    fold.kind = CallOp::Kind::Xor;
+    fold.a = p.top.ret;
+    fold.b = v;
+    p.top.ops.push_back(fold);
+    p.top.ret = topValues + (v - beforeSpecials);
+  }
+  topValues = static_cast<int>(p.numArgs + p.top.consts.size() +
+                               p.top.ops.size());
+
+  size_t numSets = static_cast<size_t>(options_.callArgSets);
+  for (size_t s = 0; s < numSets; ++s) {
+    std::vector<int64_t> args;
+    for (unsigned a = 0; a < p.numArgs; ++a) {
+      unsigned roll = static_cast<unsigned>(rng.below(100));
+      if (roll < 40) {
+        static const int64_t pool[] = {0, 1, -1, 2, 7, 15, -13, 255};
+        args.push_back(pool[rng.below(std::size(pool))]);
+      } else if (roll < 55) {
+        args.push_back(INT64_MIN);
+      } else if (roll < 70) {
         args.push_back(INT64_MAX);
       } else {
         args.push_back(static_cast<int64_t>(rng.next()));

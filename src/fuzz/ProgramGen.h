@@ -18,6 +18,16 @@
 //    boundary inputs like INT64_MIN. Evaluated against a host reference
 //    with LLVM semantics (wrap-around, trapping sdiv overflow and
 //    out-of-range shifts).
+//
+//  * Calls-mode `CallProgram`: a multi-function i64 module exercising the
+//    call-legalization passes (rec2iter, inlining, call-site
+//    privatization): a DAG of straight-line helpers (some `noinline`), an
+//    optional self-recursive template (factorial/sum/fib, argument masked
+//    so every evaluation terminates trap-free within a small bounded
+//    depth), an optional local-array helper (alloca + stores/loads), and
+//    a top @fuzz_calls combining them. Scalar i64 values only cross call
+//    boundaries — pointers stay function-local — so pointer type
+//    recovery stays a per-function problem.
 #pragma once
 
 #include "flow/Kernels.h"
@@ -35,6 +45,9 @@ struct GenOptions {
   int maxExprDepth = 3; // kernel mode: FP/integer expression tree depth
   int maxIrInsts = 24;  // ir mode: instruction count drawn from [4, max]
   int irArgSets = 3;    // ir mode: input tuples evaluated per program
+  int maxCallHelpers = 3; // calls mode: straight-line helpers [1, max]
+  int maxCallOps = 12;    // calls mode: ops per function body [3, max]
+  int callArgSets = 3;    // calls mode: input tuples per program
 };
 
 /// Integer expression over loop induction variables. Two's-complement
@@ -164,6 +177,77 @@ struct IrEval {
 IrEval evalIrReference(const IrProgram &program,
                        const std::vector<int64_t> &args);
 
+/// One straight-line operation in a calls-mode function body. Operand
+/// indices address the enclosing function's value space: [0, numArgs)
+/// the i64 arguments, then the constants, then one value per op. All
+/// kinds are trap-free (wrap-around arithmetic, literal in-range shift
+/// amounts), so calls-mode programs never need trap agreement.
+struct CallOp {
+  enum class Kind { Add, Sub, Mul, And, Or, Xor, ShlC, Call };
+  Kind kind = Kind::Add;
+  int a = -1, b = -1; // value operands (Call: the actual arguments)
+  int callee = -1;    // Call: index into the program's function table
+  unsigned amount = 0; // ShlC: literal shift amount in [0, 63]
+};
+
+/// A straight-line i64 function body (the helpers and the top share the
+/// shape; only numArgs differs).
+struct CallFn {
+  bool noinline = false;
+  std::vector<int64_t> consts;
+  std::vector<CallOp> ops;
+  int ret = 0; // value index returned
+};
+
+/// The self-recursive template baked into a calls-mode program. Every
+/// variant masks its argument (`and n, 15`) and bottoms out at n <= 1, so
+/// evaluation terminates within ~16 frames on any int64 input.
+enum class RecKind { Factorial, Sum, Fib };
+
+/// A calls-mode program. The function table the top's Call ops index is:
+/// helpers[0..H), then the array helper (if any), then the recursive
+/// function (if any). Helper i may only call helpers j < i (a DAG); the
+/// recursive function only calls itself; the array helper calls nothing.
+struct CallProgram {
+  uint64_t seed = 0;
+  unsigned numArgs = 3; // top arguments, all i64
+  std::vector<CallFn> helpers; // 2-argument straight-line helpers
+  bool hasArrayHelper = false;
+  int64_t arrCoef[8] = {0}, arrAdd[8] = {0}; // array fill parameters
+  bool hasRecursion = false;
+  RecKind recKind = RecKind::Factorial;
+  int64_t recBase = 1; // value returned at the n <= 1 base case
+  CallFn top;          // numArgs-argument body; Call may target anything
+  std::vector<std::vector<int64_t>> argSets;
+
+  /// Function-table size (helpers + array helper + recursive function).
+  int numFunctions() const {
+    return static_cast<int>(helpers.size()) + (hasArrayHelper ? 1 : 0) +
+           (hasRecursion ? 1 : 0);
+  }
+  /// Index of the array helper / recursive function in the table.
+  int arrayIndex() const {
+    return hasArrayHelper ? static_cast<int>(helpers.size()) : -1;
+  }
+  int recIndex() const {
+    return hasRecursion
+               ? static_cast<int>(helpers.size()) + (hasArrayHelper ? 1 : 0)
+               : -1;
+  }
+  /// Total ops across every function (the reducer's size measure), plus
+  /// one per special function.
+  size_t size() const;
+  std::string describe() const;
+  /// Renders the program as a parseable multi-function .lir module whose
+  /// top is @fuzz_calls.
+  std::string lir() const;
+};
+
+/// Evaluates `program`'s top on `args` (wrap-around i64 semantics; never
+/// traps by construction).
+int64_t evalCallsReference(const CallProgram &program,
+                           const std::vector<int64_t> &args);
+
 /// Deterministic generator: the same seed always yields the same program,
 /// on every platform (SplitMix64, no std::uniform_int_distribution).
 class ProgramGen {
@@ -174,6 +258,8 @@ public:
   Program genKernel();
   /// Generates the IR-mode program for this generator's seed.
   IrProgram genIr();
+  /// Generates the calls-mode program for this generator's seed.
+  CallProgram genCalls();
 
 private:
   uint64_t seed_;

@@ -250,6 +250,183 @@ std::vector<IrEdit> irEdits(const IrProgram &p) {
   return edits;
 }
 
+using CallEdit = std::function<void(CallProgram &)>;
+
+/// Op-level DCE inside one calls-mode function: drops ops the return
+/// does not reach (sound — every op is pure and terminating), remapping
+/// operand indices. Returns true when anything was removed.
+bool dceCallFn(CallFn &fn, unsigned numArgs) {
+  int opBase = static_cast<int>(numArgs + fn.consts.size());
+  std::vector<bool> live(fn.ops.size(), false);
+  std::function<void(int)> mark = [&](int v) {
+    if (v < opBase)
+      return;
+    size_t idx = static_cast<size_t>(v - opBase);
+    if (live[idx])
+      return;
+    live[idx] = true;
+    mark(fn.ops[idx].a);
+    mark(fn.ops[idx].b);
+  };
+  mark(fn.ret);
+  std::vector<int> remap(fn.ops.size(), -1);
+  std::vector<CallOp> kept;
+  for (size_t i = 0; i < fn.ops.size(); ++i) {
+    if (!live[i])
+      continue;
+    remap[i] = opBase + static_cast<int>(kept.size());
+    kept.push_back(fn.ops[i]);
+  }
+  if (kept.size() == fn.ops.size())
+    return false;
+  auto remapOperand = [&](int &v) {
+    if (v >= opBase)
+      v = remap[static_cast<size_t>(v - opBase)];
+  };
+  for (CallOp &op : kept) {
+    remapOperand(op.a);
+    remapOperand(op.b);
+  }
+  remapOperand(fn.ret);
+  fn.ops = std::move(kept);
+  return true;
+}
+
+/// Marks function-table entries reachable from the top via Call ops.
+std::vector<bool> reachableCallFns(const CallProgram &p) {
+  std::vector<bool> seen(static_cast<size_t>(p.numFunctions()), false);
+  std::function<void(const CallFn &)> visit = [&](const CallFn &fn) {
+    for (const CallOp &op : fn.ops) {
+      if (op.kind != CallOp::Kind::Call || op.callee < 0)
+        continue;
+      size_t callee = static_cast<size_t>(op.callee);
+      if (callee >= seen.size() || seen[callee])
+        continue;
+      seen[callee] = true;
+      if (op.callee < static_cast<int>(p.helpers.size()))
+        visit(p.helpers[callee]);
+    }
+  };
+  visit(p.top);
+  return seen;
+}
+
+/// Drops unreachable trailing helpers and unreachable special functions,
+/// shifting the array/recursion table indices in every body.
+bool gcCallFns(CallProgram &p) {
+  std::vector<bool> seen = reachableCallFns(p);
+  int oldArr = p.arrayIndex(), oldRec = p.recIndex();
+  bool dropArr = p.hasArrayHelper && !seen[static_cast<size_t>(oldArr)];
+  bool dropRec = p.hasRecursion && !seen[static_cast<size_t>(oldRec)];
+  size_t keepHelpers = p.helpers.size();
+  while (keepHelpers > 0 && !seen[keepHelpers - 1])
+    --keepHelpers;
+  if (!dropArr && !dropRec && keepHelpers == p.helpers.size())
+    return false;
+  p.helpers.resize(keepHelpers);
+  if (dropArr)
+    p.hasArrayHelper = false;
+  if (dropRec)
+    p.hasRecursion = false;
+  int newArr = p.arrayIndex(), newRec = p.recIndex();
+  auto retarget = [&](CallFn &fn) {
+    for (CallOp &op : fn.ops) {
+      if (op.kind != CallOp::Kind::Call)
+        continue;
+      if (op.callee == oldArr)
+        op.callee = newArr;
+      else if (op.callee == oldRec)
+        op.callee = newRec;
+    }
+  };
+  for (CallFn &fn : p.helpers)
+    retarget(fn);
+  retarget(p.top);
+  return true;
+}
+
+void dceCallProgram(CallProgram &p) {
+  for (CallFn &fn : p.helpers)
+    dceCallFn(fn, 2);
+  dceCallFn(p.top, p.numArgs);
+  gcCallFns(p);
+}
+
+std::vector<CallEdit> callEdits(const CallProgram &p) {
+  std::vector<CallEdit> edits;
+  // Replace a call site with a bitwise op over its operands, then
+  // garbage-collect whatever became unreachable.
+  auto decall = [&](bool top, size_t fnIdx) {
+    const CallFn &fn = top ? p.top : p.helpers[fnIdx];
+    for (size_t i = 0; i < fn.ops.size(); ++i) {
+      if (fn.ops[i].kind != CallOp::Kind::Call)
+        continue;
+      edits.push_back([top, fnIdx, i](CallProgram &q) {
+        CallFn &f = top ? q.top : q.helpers[fnIdx];
+        f.ops[i].kind = CallOp::Kind::Xor;
+        if (f.ops[i].b < 0)
+          f.ops[i].b = f.ops[i].a;
+        dceCallProgram(q);
+      });
+    }
+  };
+  decall(true, 0);
+  for (size_t h = 0; h < p.helpers.size(); ++h)
+    decall(false, h);
+  // Retarget the top's return to an earlier value, then garbage-collect.
+  {
+    int opBase = static_cast<int>(p.numArgs + p.top.consts.size());
+    if (p.top.ret >= opBase)
+      for (int v = 0; v < p.top.ret; ++v)
+        edits.push_back([v](CallProgram &q) {
+          q.top.ret = v;
+          dceCallProgram(q);
+        });
+  }
+  {
+    CallProgram probe = p;
+    dceCallProgram(probe);
+    if (probe.size() < p.size() ||
+        probe.numFunctions() < p.numFunctions())
+      edits.push_back([](CallProgram &q) { dceCallProgram(q); });
+  }
+  if (p.hasRecursion && p.recKind == RecKind::Fib)
+    edits.push_back([](CallProgram &q) { q.recKind = RecKind::Sum; });
+  for (size_t h = 0; h < p.helpers.size(); ++h)
+    if (p.helpers[h].noinline)
+      edits.push_back(
+          [h](CallProgram &q) { q.helpers[h].noinline = false; });
+  auto zeroConsts = [&](bool top, size_t fnIdx) {
+    const CallFn &fn = top ? p.top : p.helpers[fnIdx];
+    for (size_t c = 0; c < fn.consts.size(); ++c)
+      if (fn.consts[c] != 0)
+        edits.push_back([top, fnIdx, c](CallProgram &q) {
+          (top ? q.top : q.helpers[fnIdx]).consts[c] = 0;
+        });
+  };
+  zeroConsts(true, 0);
+  for (size_t h = 0; h < p.helpers.size(); ++h)
+    zeroConsts(false, h);
+  if (p.hasArrayHelper)
+    for (int k = 0; k < 8; ++k) {
+      if (p.arrCoef[k] != 0)
+        edits.push_back([k](CallProgram &q) { q.arrCoef[k] = 0; });
+      if (p.arrAdd[k] != 0)
+        edits.push_back([k](CallProgram &q) { q.arrAdd[k] = 0; });
+    }
+  if (p.argSets.size() > 1)
+    for (size_t s = 0; s < p.argSets.size(); ++s)
+      edits.push_back([s](CallProgram &q) {
+        q.argSets.erase(q.argSets.begin() + static_cast<long>(s));
+      });
+  for (size_t s = 0; s < p.argSets.size(); ++s)
+    for (size_t a = 0; a < p.argSets[s].size(); ++a)
+      if (p.argSets[s][a] != 0)
+        edits.push_back(
+            [s, a](CallProgram &q) { q.argSets[s][a] = 0; });
+  return edits;
+}
+
 } // namespace
 
 Program reduceKernel(const Program &program, const OracleResult &failure,
@@ -298,6 +475,36 @@ IrProgram reduceIr(const IrProgram &program, const OracleResult &failure,
       edit(candidate);
       ++t.attempts;
       if (checkIr(candidate, oracle).sameFailure(failure)) {
+        current = std::move(candidate);
+        ++t.accepted;
+        improved = true;
+        break;
+      }
+    }
+  }
+  t.finalSize = current.size();
+  return current;
+}
+
+CallProgram reduceCalls(const CallProgram &program,
+                        const OracleResult &failure,
+                        const OracleOptions &oracle,
+                        const ReducerOptions &options,
+                        ReductionTrace *trace) {
+  ReductionTrace local;
+  ReductionTrace &t = trace ? *trace : local;
+  t.initialSize = program.size();
+  CallProgram current = program;
+  bool improved = true;
+  while (improved && t.attempts < options.maxAttempts) {
+    improved = false;
+    for (const CallEdit &edit : callEdits(current)) {
+      if (t.attempts >= options.maxAttempts)
+        break;
+      CallProgram candidate = current;
+      edit(candidate);
+      ++t.attempts;
+      if (checkCalls(candidate, oracle).sameFailure(failure)) {
         current = std::move(candidate);
         ++t.accepted;
         improved = true;

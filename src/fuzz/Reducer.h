@@ -41,4 +41,14 @@ IrProgram reduceIr(const IrProgram &program, const OracleResult &failure,
                    const ReducerOptions &options = {},
                    ReductionTrace *trace = nullptr);
 
+/// Shrinks a calls-mode reproducer (same contract as reduceKernel).
+/// Calls-mode ops are pure and terminating, so edits may drop any op the
+/// return does not reach, replace call sites with bitwise ops, strip
+/// noinline/recursion/array features and zero constants.
+CallProgram reduceCalls(const CallProgram &program,
+                        const OracleResult &failure,
+                        const OracleOptions &oracle,
+                        const ReducerOptions &options = {},
+                        ReductionTrace *trace = nullptr);
+
 } // namespace mha::fuzz

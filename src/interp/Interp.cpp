@@ -30,14 +30,33 @@ struct Frame {
 
 class Engine {
 public:
-  Engine(lir::Module &module, uint64_t stepLimit, DiagnosticEngine &diags)
-      : module_(module), stepLimit_(stepLimit), diags_(diags) {}
+  Engine(lir::Module &module, uint64_t stepLimit, uint64_t callDepthLimit,
+         DiagnosticEngine &diags)
+      : module_(module), stepLimit_(stepLimit),
+        callDepthLimit_(callDepthLimit), diags_(diags) {}
 
   uint64_t steps() const { return steps_; }
 
   std::optional<RtValue> call(lir::Function *fn, std::vector<RtValue> args) {
     if (fn->isDeclaration())
       return callExternal(*fn, args);
+    // IR calls recurse on the host stack; bound the depth so runaway IR
+    // recursion is a diagnostic, not a host stack overflow.
+    if (callDepth_ >= callDepthLimit_) {
+      diags_.error(strfmt("interp: call depth limit exceeded (%llu frames) "
+                          "calling @%s — unbounded recursion?",
+                          static_cast<unsigned long long>(callDepthLimit_),
+                          fn->name().c_str()));
+      return std::nullopt;
+    }
+    ++callDepth_;
+    auto result = callImpl(fn, std::move(args));
+    --callDepth_;
+    return result;
+  }
+
+  std::optional<RtValue> callImpl(lir::Function *fn,
+                                  std::vector<RtValue> args) {
     Frame frame;
     for (unsigned i = 0; i < fn->numArgs(); ++i)
       frame.values[fn->arg(i)] = args[i];
@@ -154,21 +173,25 @@ private:
       }
       return RtValue::ofPtr(base + offset);
     }
-    case Opcode::ICmp:
+    case Opcode::ICmp: {
       // i1 true is canonically -1 (all bits set, sign-extended), matching
-      // LContext::constInt's normalization of i1 constants.
-      return RtValue::ofInt(
-          evalICmp(inst->predicate(), eval(inst->operand(0), frame),
-                   eval(inst->operand(1), frame),
-                   inst->operand(0)->type()->isPointer())
-              ? -1
-              : 0);
-    case Opcode::FCmp:
-      return RtValue::ofInt(evalFCmp(inst->predicate(),
-                                     eval(inst->operand(0), frame).f,
-                                     eval(inst->operand(1), frame).f)
+      // LContext::constInt's normalization of i1 constants. Operands are
+      // evaluated left-to-right in sequenced statements — as C++ call
+      // arguments the order (and thus any diagnostic order) would be
+      // compiler-dependent.
+      RtValue lhs = eval(inst->operand(0), frame);
+      RtValue rhs = eval(inst->operand(1), frame);
+      return RtValue::ofInt(evalICmp(inst->predicate(), lhs, rhs,
+                                     inst->operand(0)->type()->isPointer())
                                 ? -1
                                 : 0);
+    }
+    case Opcode::FCmp: {
+      RtValue lhs = eval(inst->operand(0), frame);
+      RtValue rhs = eval(inst->operand(1), frame);
+      return RtValue::ofInt(
+          evalFCmp(inst->predicate(), lhs.f, rhs.f) ? -1 : 0);
+    }
     case Opcode::Select: {
       bool cond = eval(inst->operand(0), frame).i != 0;
       return eval(inst->operand(cond ? 1 : 2), frame);
@@ -212,11 +235,16 @@ private:
       unsigned bytes = static_cast<unsigned>(type->sizeInBytes());
       int64_t v = 0;
       std::memcpy(&v, addr, bytes);
-      // Sign-extend.
+      // Mask to the value's width, then sign-extend: a stored canonical
+      // value occupies whole bytes, so sub-byte widths (i1 slots from
+      // rec2iter's demoted compares) carry set padding bits the extension
+      // must not see.
       unsigned width = cast<lir::IntType>(type)->width();
       if (width < 64) {
+        uint64_t mask = (uint64_t(1) << width) - 1;
         uint64_t sign = uint64_t(1) << (width - 1);
-        v = static_cast<int64_t>((static_cast<uint64_t>(v) ^ sign) - sign);
+        v = static_cast<int64_t>(
+            (((static_cast<uint64_t>(v)) & mask) ^ sign) - sign);
       }
       return RtValue::ofInt(v);
     }
@@ -485,8 +513,10 @@ private:
 
   lir::Module &module_;
   uint64_t stepLimit_;
+  uint64_t callDepthLimit_;
   DiagnosticEngine &diags_;
   uint64_t steps_ = 0;
+  uint64_t callDepth_ = 0;
 };
 
 } // namespace
@@ -499,7 +529,7 @@ std::optional<RtValue> Interpreter::run(lir::Function *fn,
                        fn->name().c_str(), fn->numArgs(), args.size()));
     return std::nullopt;
   }
-  Engine engine(module_, stepLimit, diags);
+  Engine engine(module_, stepLimit, callDepthLimit, diags);
   auto result = engine.call(fn, std::move(args));
   steps_ = engine.steps();
   return result;

@@ -51,6 +51,11 @@ public:
   /// broken IR). Default: 200M steps.
   uint64_t stepLimit = 200'000'000;
 
+  /// Maximum IR call-stack depth. Recursion beyond it is diagnosed
+  /// ("interp: call depth limit exceeded") instead of overflowing the
+  /// host stack — the interpreter executes IR calls with host recursion.
+  uint64_t callDepthLimit = 1000;
+
   /// Total instructions executed by the last run().
   uint64_t stepsExecuted() const { return steps_; }
 

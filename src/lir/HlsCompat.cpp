@@ -16,7 +16,8 @@ bool isLegacyArgAttr(const std::string &attr) {
 }
 
 bool isLegacyFnAttr(const std::string &attr) {
-  static const std::set<std::string> ok = {"nounwind", "norecurse"};
+  static const std::set<std::string> ok = {"nounwind", "norecurse",
+                                           "readnone", "noinline"};
   return ok.count(attr) > 0;
 }
 

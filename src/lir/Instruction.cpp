@@ -237,6 +237,17 @@ Function *Instruction::calledFunction() const {
   return dyn_cast<Function>(operand(0));
 }
 
+bool Instruction::isTriviallyDead() const {
+  if (hasUses())
+    return false;
+  if (!hasSideEffects())
+    return true;
+  if (op_ != Opcode::Call)
+    return false;
+  Function *callee = calledFunction();
+  return callee && !callee->isDeclaration() && callee->hasAttr("readnone");
+}
+
 BasicBlock *Instruction::brDest() const {
   assert(op_ == Opcode::Br);
   return cast<BasicBlock>(operand(0));

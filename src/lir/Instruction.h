@@ -116,6 +116,11 @@ public:
     return op_ == Opcode::Store || op_ == Opcode::Call || isTerminator();
   }
 
+  /// True if the instruction can be deleted: no uses, and either free of
+  /// side effects or a call to a defined `readnone` callee (the inliner
+  /// marks those so post-inline cleanup can drop residual calls).
+  bool isTriviallyDead() const;
+
   // --- Payload accessors ---
   CmpPred predicate() const { return pred_; }
   void setPredicate(CmpPred pred) { pred_ = pred; }

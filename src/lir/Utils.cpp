@@ -37,4 +37,53 @@ BasicBlock *splitBlockBefore(Instruction *inst, const std::string &name) {
   return newBB;
 }
 
+BasicBlock *cloneBlocksInto(Function *src, Function *dst,
+                            std::map<Value *, Value *> &valueMap,
+                            const std::string &nameSuffix) {
+  BasicBlock *entryClone = nullptr;
+  std::vector<Instruction *> clones;
+
+  // First create every block and instruction so forward references (phis,
+  // branches to later blocks) have a map entry before operands are rewired.
+  for (BasicBlock *bb : src->blockPtrs()) {
+    BasicBlock *bbClone = dst->createBlock(bb->name() + nameSuffix);
+    valueMap[bb] = bbClone;
+    if (!entryClone)
+      entryClone = bbClone;
+    for (auto &inst : *bb) {
+      Instruction *instClone = bbClone->append(inst->clone());
+      valueMap[inst.get()] = instClone;
+      clones.push_back(instClone);
+    }
+  }
+
+  for (Instruction *inst : clones) {
+    for (unsigned i = 0; i < inst->numOperands(); ++i) {
+      auto it = valueMap.find(inst->operand(i));
+      if (it != valueMap.end())
+        inst->setOperand(i, it->second);
+    }
+  }
+  return entryClone;
+}
+
+Function *cloneFunction(Function *src, const std::string &newName) {
+  Module *module = src->parentModule();
+  Function *dst = module->createFunction(src->functionType(), newName);
+  dst->attrs() = src->attrs();
+  std::map<Value *, Value *> valueMap;
+  for (unsigned i = 0; i < src->numArgs(); ++i) {
+    Argument *from = src->arg(i);
+    Argument *to = dst->arg(i);
+    to->setName(from->name());
+    to->attrs() = from->attrs();
+    for (const auto &[key, node] : from->metadata())
+      to->metadata()[key] = node->clone();
+    valueMap[from] = to;
+  }
+  if (!src->isDeclaration())
+    cloneBlocksInto(src, dst, valueMap, "");
+  return dst;
+}
+
 } // namespace mha::lir

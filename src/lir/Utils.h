@@ -3,6 +3,8 @@
 
 #include "lir/Function.h"
 
+#include <map>
+
 namespace mha::lir {
 
 /// Splits `inst`'s block before `inst`: everything from `inst` onward moves
@@ -10,5 +12,20 @@ namespace mha::lir {
 /// unconditional branch to it. Phi users in the old successors are
 /// retargeted. Returns the new block.
 BasicBlock *splitBlockBefore(Instruction *inst, const std::string &name);
+
+/// Clones every block of `src` (a definition) into `dst`, appending the new
+/// blocks at the end of `dst`. `valueMap` seeds the operand remapping
+/// (typically src arguments -> replacement values) and on return also maps
+/// every src block and instruction to its clone. Operands with no map
+/// entry (constants, functions, values defined outside `src`) are shared.
+/// Block names get `nameSuffix` appended. Returns the clone of src's entry.
+BasicBlock *cloneBlocksInto(Function *src, Function *dst,
+                            std::map<Value *, Value *> &valueMap,
+                            const std::string &nameSuffix);
+
+/// Clones `src` wholesale into a new function named `newName` in the same
+/// module: signature, argument attributes/metadata, function attributes and
+/// body. Returns the clone.
+Function *cloneFunction(Function *src, const std::string &newName);
 
 } // namespace mha::lir

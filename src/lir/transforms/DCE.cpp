@@ -22,7 +22,7 @@ public:
       for (BasicBlock *bb : fn.blockPtrs()) {
         std::vector<Instruction *> dead;
         for (auto &inst : *bb)
-          if (!inst->hasUses() && !inst->hasSideEffects())
+          if (inst->isTriviallyDead())
             dead.push_back(inst.get());
         for (Instruction *inst : dead) {
           inst->eraseFromParent();

@@ -33,4 +33,32 @@ std::unique_ptr<ModulePass> createCSEPass();
 /// put (memory motion is the scheduler's business in an HLS flow).
 std::unique_ptr<ModulePass> createLICMPass();
 
+// --- Call legalization (multi-function adaptor input) ---
+
+struct InlinerOptions {
+  /// Callees with more instructions than this are left as calls (with a
+  /// remark) rather than inlined.
+  unsigned sizeBudget = 256;
+  /// Function name never erased even when every call site was inlined
+  /// (the flow's synthesis top).
+  std::string preservedFunction;
+};
+
+/// Bottom-up size-budgeted inliner. Calls to external, `noinline` or
+/// recursive callees are left in place and reported as diagnostics.
+/// Callees whose body became side-effect-free are marked `readnone` so DCE
+/// can drop unused residual calls; fully-inlined helpers are erased.
+std::unique_ptr<ModulePass> createInlinerPass(InlinerOptions options = {});
+
+/// Rewrites directly self-recursive functions into an explicit-stack loop:
+/// every SSA value gets a per-frame slot in a local array sized by the
+/// recursion depth bound (`mha.rec_depth=N` function attribute, else
+/// `defaultMaxDepth`); exceeding the bound executes `unreachable`.
+std::unique_ptr<ModulePass> createRec2IterPass(unsigned defaultMaxDepth = 64);
+
+/// Clones callees whose pointer arguments bind distinct buffers at
+/// different call sites, so downstream array partitioning and port mapping
+/// stay per-call-site.
+std::unique_ptr<ModulePass> createCallSitePrivatizationPass();
+
 } // namespace mha::lir

@@ -91,7 +91,7 @@ ParsedRequest parseRequest(const std::string &line) {
   Request req;
   req.id = id;
   bool sawSchema = false, sawId = false, sawType = false;
-  bool sawKernel = false, sawMlir = false;
+  bool sawKernel = false, sawMlir = false, sawTop = false;
   std::string error;
   for (const auto &[key, value] : doc->members()) {
     if (key == "schema") {
@@ -113,6 +113,10 @@ ParsedRequest parseRequest(const std::string &line) {
     } else if (key == "mlir") {
       sawMlir = true;
       if (!stringField(value, "mlir", req.mlir, error))
+        return fail(errc::BadRequest, error, id);
+    } else if (key == "top") {
+      sawTop = true;
+      if (!stringField(value, "top", req.top, error))
         return fail(errc::BadRequest, error, id);
     } else if (key == "flow") {
       if (!stringField(value, "flow", flowName, error))
@@ -173,7 +177,7 @@ ParsedRequest parseRequest(const std::string &line) {
 
   if (req.type != RequestType::Compile) {
     // Admin requests carry no compile payload.
-    if (sawKernel || sawMlir)
+    if (sawKernel || sawMlir || sawTop)
       return fail(errc::BadRequest,
                   strfmt("type '%s' takes no kernel/mlir payload",
                          typeName.c_str()),
@@ -193,6 +197,13 @@ ParsedRequest parseRequest(const std::string &line) {
     return fail(errc::BadRequest,
                 strfmt("inline MLIR too large (%zu bytes, limit %zu)",
                        req.mlir.size(), kMaxInlineMlirBytes),
+                req.id);
+  if (sawTop && req.top.empty())
+    return fail(errc::BadRequest, "field 'top' must be non-empty", req.id);
+  if (sawTop && !sawMlir)
+    return fail(errc::BadRequest,
+                "field 'top' applies only to inline-mlir compile requests "
+                "(named kernels define their own top)",
                 req.id);
 
   if (flowName == "adaptor")
@@ -221,10 +232,13 @@ std::string renderCompileRequest(const std::string &id, const Request &req) {
   std::string line =
       strfmt("{\"schema\": \"%s\", \"id\": \"%s\", \"type\": \"compile\"",
              kRequestSchema, json::escape(id).c_str());
-  if (!req.mlir.empty())
+  if (!req.mlir.empty()) {
     line += strfmt(", \"mlir\": \"%s\"", json::escape(req.mlir).c_str());
-  else
+    if (!req.top.empty())
+      line += strfmt(", \"top\": \"%s\"", json::escape(req.top).c_str());
+  } else {
     line += strfmt(", \"kernel\": \"%s\"", json::escape(req.kernel).c_str());
+  }
   line += strfmt(", \"flow\": \"%s\"", flowWireName(req.flowKind));
   line += strfmt(", \"ii\": %lld, \"unroll\": %lld, \"partition\": %lld",
                  static_cast<long long>(req.config.pipelineII),
@@ -312,6 +326,21 @@ std::string renderError(const std::string &id, const std::string &code,
     line += "]";
   }
   line += "}";
+  return line;
+}
+
+std::string renderErrorWithCandidates(
+    const std::string &id, const std::string &code,
+    const std::string &message,
+    const std::vector<std::string> &candidates) {
+  std::string line = head(id, "error");
+  line += strfmt(", \"code\": \"%s\", \"message\": \"%s\"",
+                 json::escape(code).c_str(), json::escape(message).c_str());
+  line += ", \"candidates\": [";
+  for (size_t i = 0; i < candidates.size(); ++i)
+    line += strfmt("%s\"%s\"", i ? ", " : "",
+                   json::escape(candidates[i]).c_str());
+  line += "]}";
   return line;
 }
 

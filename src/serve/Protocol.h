@@ -10,7 +10,7 @@
 //    "kernel":"gemm","flow":"adaptor","ii":1,"unroll":2,"partition":2,
 //    "dataflow":false,"directives":true,"estimate":false}
 //   {"schema":"mha.serve.req.v1","id":"r2","type":"compile",
-//    "mlir":"module { ... }"}
+//    "mlir":"module { ... }","top":"gemm"}
 //   {"schema":"mha.serve.req.v1","id":"r1","type":"cancel"}   (id = target)
 //   {"schema":"mha.serve.req.v1","id":"p","type":"ping"}
 //   {"schema":"mha.serve.req.v1","id":"s","type":"shutdown"}
@@ -36,6 +36,7 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
 namespace mha::serve {
 
@@ -55,6 +56,9 @@ inline constexpr const char *Busy = "busy";
 inline constexpr const char *ShuttingDown = "shutting_down";
 inline constexpr const char *FlowError = "flow_error";
 inline constexpr const char *Cancelled = "cancelled";
+/// Inline-MLIR compile with multiple functions and no 'top' field: the
+/// daemon refuses to guess and lists the candidates instead.
+inline constexpr const char *AmbiguousTop = "ambiguous_top";
 } // namespace errc
 
 enum class RequestType { Compile, Cancel, Ping, Shutdown };
@@ -66,6 +70,10 @@ struct Request {
   std::string kernel;
   /// Inline MLIR module text (empty when `kernel` names a built-in).
   std::string mlir;
+  /// Top function to synthesize from an inline MLIR module. Optional for
+  /// single-function modules; required (else errc::AmbiguousTop) when the
+  /// module defines several. Only valid together with `mlir`.
+  std::string top;
   flow::FlowKind flowKind = flow::FlowKind::Adaptor;
   flow::KernelConfig config;
   /// Analytical QoR estimation instead of synthesis (DSE probe path).
@@ -108,6 +116,13 @@ std::string renderEstimateResult(const std::string &id, const Request &req,
 std::string renderError(const std::string &id, const std::string &code,
                         const std::string &message,
                         bool withAvailableKernels = false);
+/// Error event carrying an explicit "candidates" array — used by
+/// errc::AmbiguousTop (the module's function names) and by a 'top' that
+/// matches none of them, so a client can retry without guessing.
+std::string renderErrorWithCandidates(const std::string &id,
+                                      const std::string &code,
+                                      const std::string &message,
+                                      const std::vector<std::string> &candidates);
 std::string renderDone(const std::string &id, bool ok,
                        const std::string &code, bool cached, int64_t queueUs,
                        int64_t compileUs);

@@ -136,6 +136,46 @@ SessionOutcome runSession(const Request &req, const SessionOptions &options,
       return outcome;
     }
 
+    // Resolve the top function. A single-function module needs no 'top';
+    // anything else must name one — the daemon never guesses, because
+    // funcs.front() depends on definition order the client may not
+    // control (generated modules, concatenated files).
+    std::vector<std::string> candidates;
+    candidates.reserve(funcs.size());
+    for (mir::FuncOp &fn : funcs)
+      candidates.push_back(fn.name());
+    std::string top;
+    if (!req.top.empty()) {
+      for (const std::string &name : candidates)
+        if (name == req.top)
+          top = name;
+      if (top.empty()) {
+        SessionOutcome outcome;
+        outcome.code = errc::BadRequest;
+        emit(renderErrorWithCandidates(
+            req.id, outcome.code,
+            strfmt("top function '%s' not found in inline MLIR module",
+                   req.top.c_str()),
+            candidates));
+        return outcome;
+      }
+    } else if (funcs.size() > 1) {
+      SessionOutcome outcome;
+      outcome.code = errc::AmbiguousTop;
+      std::string names;
+      for (size_t i = 0; i < candidates.size(); ++i)
+        names += (i ? ", " : "") + candidates[i];
+      emit(renderErrorWithCandidates(
+          req.id, outcome.code,
+          strfmt("inline MLIR module defines %zu functions (%s); set "
+                 "'top' to pick one",
+                 candidates.size(), names.c_str()),
+          candidates));
+      return outcome;
+    } else {
+      top = candidates.front();
+    }
+
     flow::KernelSpec spec;
     spec.name = inlineKernelName(req.mlir);
     spec.description = "inline MLIR request";
@@ -149,9 +189,10 @@ SessionOutcome runSession(const Request &req, const SessionOptions &options,
     };
 
     flow::FlowOptions fo = makeFlowOptions(req, options, cancelFlag, emit);
-    // spec.name is a hash, not a function; synthesize the module's first
-    // function as top (clients submit single-kernel modules).
-    fo.synthesis.topFunction = funcs.front().name();
+    // spec.name is a hash, not a function name; synthesize the resolved
+    // top (the StageCache synth key includes it, so per-top results of
+    // the same module never collide).
+    fo.synthesis.topFunction = top;
     flow::FlowResult result =
         req.flowKind == flow::FlowKind::Adaptor
             ? flow::runAdaptorFlow(spec, req.config, fo)

@@ -5,6 +5,7 @@
 #include "lir/Instruction.h"
 #include "lir/LContext.h"
 #include "lir/Parser.h"
+#include "lir/Verifier.h"
 #include "support/Json.h"
 
 #include <gtest/gtest.h>
@@ -205,4 +206,129 @@ TEST(FuzzCampaign, ReplayRejectsMalformedDocuments) {
                    options, error)
                    .has_value());
   EXPECT_NE(error.find("seed"), std::string::npos);
+}
+
+// --- Calls mode ---------------------------------------------------------
+
+namespace {
+
+/// Planted miscompile for calls mode: after legalization, rewrite the
+/// first add's second operand to its first (a+b -> a+a).
+void plantAddMiscompile(lir::Module &module) {
+  for (lir::Function *fn : module.functions())
+    for (auto &block : *fn)
+      for (auto &inst : *block)
+        if (inst->opcode() == lir::Opcode::Add &&
+            inst->operand(0) != inst->operand(1)) {
+          inst->setOperand(1, inst->operand(0));
+          return;
+        }
+}
+
+std::optional<std::pair<uint64_t, OracleResult>> findPlantedCallsFailure() {
+  OracleOptions oracle;
+  oracle.runVhls = false;
+  oracle.mutateAdaptorModule = plantAddMiscompile;
+  for (uint64_t seed = 1; seed <= 60; ++seed) {
+    ProgramGen gen(seed, GenOptions{});
+    CallProgram program = gen.genCalls();
+    OracleResult result = checkCalls(program, oracle);
+    if (result.failed())
+      return std::make_pair(seed, result);
+  }
+  return std::nullopt;
+}
+
+} // namespace
+
+TEST(FuzzGen, CallsProgramsAreDeterministicPerSeed) {
+  for (uint64_t seed : {1ull, 7ull, 424242ull}) {
+    ProgramGen a(seed, GenOptions{});
+    ProgramGen b(seed, GenOptions{});
+    EXPECT_EQ(a.genCalls().lir(), b.genCalls().lir());
+  }
+  ProgramGen a(1, GenOptions{});
+  ProgramGen b(2, GenOptions{});
+  EXPECT_NE(a.genCalls().lir(), b.genCalls().lir());
+}
+
+TEST(FuzzGen, CallsProgramsParseVerifyAndDescribe) {
+  for (uint64_t seed = 1; seed <= 15; ++seed) {
+    ProgramGen gen(seed, GenOptions{});
+    CallProgram program = gen.genCalls();
+    lir::LContext ctx;
+    DiagnosticEngine diags;
+    auto module = lir::parseModule(program.lir(), ctx, diags);
+    ASSERT_NE(module, nullptr) << "seed " << seed << ": " << diags.str()
+                               << "\n" << program.lir();
+    EXPECT_TRUE(lir::verifyModule(*module, diags))
+        << "seed " << seed << ": " << diags.str();
+    EXPECT_NE(module->getFunction("fuzz_calls"), nullptr);
+    EXPECT_FALSE(program.describe().empty());
+    EXPECT_GT(program.size(), 0u);
+  }
+}
+
+TEST(FuzzOracle, CallsCleanOnSmallSeeds) {
+  OracleOptions oracle;
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    ProgramGen gen(seed, GenOptions{});
+    OracleResult result = checkCalls(gen.genCalls(), oracle);
+    EXPECT_TRUE(result.ok) << "calls seed " << seed << ": "
+                           << failureKindName(result.kind) << " at "
+                           << result.stage << ": " << result.detail;
+  }
+}
+
+TEST(FuzzOracle, CallsCatchesPlantedMiscompile) {
+  auto found = findPlantedCallsFailure();
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->second.kind, FailureKind::Mismatch);
+  EXPECT_EQ(found->second.stage, "call-legalize");
+}
+
+TEST(FuzzReducer, ShrinksPlantedCallsMiscompileKeepingTheFailure) {
+  auto found = findPlantedCallsFailure();
+  ASSERT_TRUE(found.has_value());
+  OracleOptions oracle;
+  oracle.runVhls = false;
+  oracle.mutateAdaptorModule = plantAddMiscompile;
+  ProgramGen gen(found->first, GenOptions{});
+  CallProgram program = gen.genCalls();
+  ReductionTrace trace;
+  CallProgram reduced =
+      reduceCalls(program, found->second, oracle, ReducerOptions{}, &trace);
+  EXPECT_LE(reduced.size(), program.size());
+  EXPECT_EQ(trace.finalSize, reduced.size());
+  OracleResult again = checkCalls(reduced, oracle);
+  EXPECT_TRUE(again.sameFailure(found->second))
+      << failureKindName(again.kind) << " at " << again.stage;
+}
+
+TEST(FuzzCampaign, CallsModeRunsCleanAndReports) {
+  FuzzOptions options;
+  options.budget = 20;
+  options.seed = 5;
+  options.mode = FuzzOptions::Mode::Calls;
+  FuzzReport report = runFuzz(options);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.callsPrograms, 20u);
+  EXPECT_EQ(report.kernelPrograms, 0u);
+  EXPECT_EQ(report.irPrograms, 0u);
+  std::string text = report.json();
+  std::string error;
+  EXPECT_TRUE(json::validate(text, &error)) << error << "\n" << text;
+  EXPECT_NE(text.find("\"calls\""), std::string::npos);
+}
+
+TEST(FuzzCampaign, AllModeCoversEveryGenerator) {
+  FuzzOptions options;
+  options.budget = 5;
+  options.seed = 2;
+  options.mode = FuzzOptions::Mode::All;
+  FuzzReport report = runFuzz(options);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.kernelPrograms, 5u);
+  EXPECT_EQ(report.irPrograms, 5u);
+  EXPECT_EQ(report.callsPrograms, 5u);
 }

@@ -352,3 +352,65 @@ TEST(StageCacheLimit, CappedCacheStillServesWarmFlows) {
   cache.setLimitBytes(0);
   cache.clear();
 }
+
+// A multi-function LIR module addresses the bridge stage with the *whole*
+// module text, so editing only a callee body — the top function unchanged
+// — must miss the cache and produce the new answer, not replay the old
+// chain.
+TEST(StageCache, CalleeBodyEditInvalidatesLirFlow) {
+  flow::StageCache::global().clear();
+  auto moduleText = [](const char *addend) {
+    return std::string(R"(
+define i64 @helper(i64 %x) {
+entry:
+  %v = add i64 %x, )") +
+           addend + R"(
+  ret i64 %v
+}
+
+define void @top([16 x i64]* noalias %out) {
+entry:
+  br label %header
+header:
+  %iv = phi i64 [ 0, %entry ], [ %next, %body ]
+  %cmp = icmp slt i64 %iv, 16
+  br i1 %cmp, label %body, label %exit
+body:
+  %v = call i64 @helper(i64 %iv)
+  %p = getelementptr [16 x i64], [16 x i64]* %out, i64 0, i64 %iv
+  store i64 %v, i64* %p
+  %next = add i64 %iv, 1
+  br label %header
+exit:
+  ret void
+}
+)";
+  };
+
+  auto before = flow::StageCache::global().counters();
+  flow::FlowResult cold =
+      flow::runLirAdaptorFlow(moduleText("1"), "top", cachedOptions());
+  ASSERT_TRUE(cold.ok) << cold.diagnostics;
+  auto coldDelta = delta(before);
+  EXPECT_EQ(coldDelta.bridgeMisses, 1);
+  EXPECT_EQ(coldDelta.synthMisses, 1);
+  EXPECT_EQ(coldDelta.hits(), 0);
+
+  before = flow::StageCache::global().counters();
+  flow::FlowResult warm =
+      flow::runLirAdaptorFlow(moduleText("1"), "top", cachedOptions());
+  ASSERT_TRUE(warm.ok) << warm.diagnostics;
+  auto warmDelta = delta(before);
+  EXPECT_EQ(warmDelta.bridgeHits, 1);
+  EXPECT_EQ(warmDelta.misses(), 0);
+
+  // Edit only @helper: same @top text, different callee body. The whole
+  // post-inline module keys the chain, so this is a cold compile again.
+  before = flow::StageCache::global().counters();
+  flow::FlowResult edited =
+      flow::runLirAdaptorFlow(moduleText("2"), "top", cachedOptions());
+  ASSERT_TRUE(edited.ok) << edited.diagnostics;
+  auto editedDelta = delta(before);
+  EXPECT_EQ(editedDelta.bridgeMisses, 1);
+  EXPECT_EQ(editedDelta.bridgeHits, 0);
+}

@@ -425,3 +425,121 @@ entry:
   EXPECT_FALSE(result.has_value());
   EXPECT_NE(diags.str().find("expects 1 args"), std::string::npos);
 }
+
+// --- Multi-function / recursion regressions -----------------------------
+
+// Unbounded self-recursion must produce a diagnostic, not overflow the
+// host stack (the interpreter executes IR calls via host recursion, so
+// the depth limit is the only thing standing between bad IR and a
+// segfault).
+TEST(Interp, CallDepthLimitDiagnosesRunawayRecursion) {
+  Program p(R"(
+define i64 @f(i64 %n) {
+entry:
+  %n1 = add i64 %n, 1
+  %r = call i64 @f(i64 %n1)
+  ret i64 %r
+}
+)");
+  DiagnosticEngine diags;
+  Interpreter interp(*p.module);
+  interp.callDepthLimit = 64;
+  auto result = interp.run(p.module->getFunction("f"),
+                           {RtValue::ofInt(0)}, diags);
+  EXPECT_FALSE(result.has_value());
+  EXPECT_NE(diags.str().find("call depth limit exceeded"),
+            std::string::npos);
+  EXPECT_NE(diags.str().find("64"), std::string::npos);
+}
+
+// Recursion that stays under the limit is fine — the limit counts live
+// frames, not total calls.
+TEST(Interp, BoundedRecursionUnderTheLimitSucceeds) {
+  Program p(R"(
+define i64 @fact(i64 %n) {
+entry:
+  %cmp = icmp sle i64 %n, 1
+  br i1 %cmp, label %base, label %rec
+base:
+  ret i64 1
+rec:
+  %n1 = sub i64 %n, 1
+  %r = call i64 @fact(i64 %n1)
+  %v = mul i64 %n, %r
+  ret i64 %v
+}
+)");
+  DiagnosticEngine diags;
+  Interpreter interp(*p.module);
+  interp.callDepthLimit = 16;
+  auto result = interp.run(p.module->getFunction("fact"),
+                           {RtValue::ofInt(10)}, diags);
+  ASSERT_TRUE(result.has_value()) << diags.str();
+  EXPECT_EQ(result->i, 3628800);
+}
+
+// Call arguments evaluate left-to-right: each argument expression can
+// observe memory effects of the ones before it. Pinned because the
+// differential oracle depends on a deterministic order.
+TEST(Interp, CallArgumentsEvaluateLeftToRight) {
+  Program p(R"(
+define i64 @pair(i64 %a, i64 %b) {
+entry:
+  %hi = mul i64 %a, 100
+  %v = add i64 %hi, %b
+  ret i64 %v
+}
+
+define i64 @f() {
+entry:
+  %slot = alloca i64
+  store i64 1, i64* %slot
+  %first = load i64, i64* %slot
+  store i64 2, i64* %slot
+  %second = load i64, i64* %slot
+  %r = call i64 @pair(i64 %first, i64 %second)
+  ret i64 %r
+}
+)");
+  DiagnosticEngine diags;
+  auto result = p.run("f", {}, diags);
+  ASSERT_TRUE(result.has_value()) << diags.str();
+  EXPECT_EQ(result->i, 102);
+}
+
+// Mutual recursion is just recursion: parity via two functions calling
+// each other, depth bounded by the argument.
+TEST(Interp, MutualRecursionComputesParity) {
+  Program p(R"(
+define i64 @is_even(i64 %n) {
+entry:
+  %cmp = icmp eq i64 %n, 0
+  br i1 %cmp, label %yes, label %rec
+yes:
+  ret i64 1
+rec:
+  %n1 = sub i64 %n, 1
+  %r = call i64 @is_odd(i64 %n1)
+  ret i64 %r
+}
+
+define i64 @is_odd(i64 %n) {
+entry:
+  %cmp = icmp eq i64 %n, 0
+  br i1 %cmp, label %no, label %rec
+no:
+  ret i64 0
+rec:
+  %n1 = sub i64 %n, 1
+  %r = call i64 @is_even(i64 %n1)
+  ret i64 %r
+}
+)");
+  DiagnosticEngine diags;
+  auto even = p.run("is_even", {RtValue::ofInt(10)}, diags);
+  ASSERT_TRUE(even.has_value()) << diags.str();
+  EXPECT_EQ(even->i, 1);
+  auto odd = p.run("is_even", {RtValue::ofInt(7)}, diags);
+  ASSERT_TRUE(odd.has_value()) << diags.str();
+  EXPECT_EQ(odd->i, 0);
+}

@@ -93,6 +93,7 @@ Request blockerRequest(int copies = 16) {
   Request req;
   req.id = "blocker";
   req.mlir = replicatedKernelMlir(copies);
+  req.top = "conv2d_0"; // multi-function inline MLIR needs an explicit top
   return req;
 }
 
@@ -181,6 +182,35 @@ TEST(ServeProtocol, RejectsForeignSchemaAndAdminPayloads) {
                             "\"p\", \"type\": \"ping\", \"kernel\": "
                             "\"fir\"}")
                    .ok);
+}
+
+TEST(ServeProtocol, TopFieldRoundTripsThroughCanonicalRequest) {
+  Request req;
+  req.id = "t";
+  req.mlir = "module {}";
+  req.top = "gemm_tile";
+  ParsedRequest parsed = parseRequest(renderCompileRequest("t", req));
+  ASSERT_TRUE(parsed.ok) << parsed.errorMessage;
+  EXPECT_EQ(parsed.request.top, "gemm_tile");
+  EXPECT_EQ(parsed.request.mlir, "module {}");
+}
+
+TEST(ServeProtocol, RejectsTopWithoutMlirOrEmptyOrOnAdmin) {
+  // 'top' only makes sense for inline-mlir compiles: a named kernel
+  // defines its own top, and admin requests carry no payload at all.
+  ParsedRequest withKernel = parseRequest(
+      "{\"schema\": \"mha.serve.req.v1\", \"id\": \"k\", \"type\": "
+      "\"compile\", \"kernel\": \"fir\", \"top\": \"fir\"}");
+  EXPECT_FALSE(withKernel.ok);
+  EXPECT_EQ(withKernel.errorCode, errc::BadRequest);
+  ParsedRequest empty = parseRequest(
+      "{\"schema\": \"mha.serve.req.v1\", \"id\": \"e\", \"type\": "
+      "\"compile\", \"mlir\": \"module {}\", \"top\": \"\"}");
+  EXPECT_FALSE(empty.ok);
+  ParsedRequest onPing = parseRequest(
+      "{\"schema\": \"mha.serve.req.v1\", \"id\": \"p\", \"type\": "
+      "\"ping\", \"top\": \"f\"}");
+  EXPECT_FALSE(onPing.ok);
 }
 
 TEST(ServeProtocol, EveryRenderedEventValidatesAsJson) {
@@ -411,6 +441,87 @@ TEST(ServeSession, PresetCancelFlagAbandonsAtFirstStageBoundary) {
   ASSERT_EQ(lines.size(), 1u);
   EXPECT_NE(lines[0].find("\"error\""), std::string::npos);
   EXPECT_NE(lines[0].find(errc::Cancelled), std::string::npos);
+}
+
+TEST(ServeSession, MultiFunctionModuleWithoutTopIsAmbiguous) {
+  Request req;
+  req.id = "amb";
+  req.mlir = replicatedKernelMlir(2); // defines @conv2d_0 and @conv2d_1
+  std::vector<std::string> lines;
+  SessionOutcome outcome =
+      runSession(req, SessionOptions{}, nullptr,
+                 [&](const std::string &line) { lines.push_back(line); });
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_EQ(outcome.code, errc::AmbiguousTop);
+  // The single error event names the code and lists both candidates in a
+  // structured array the client can retry from.
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find(errc::AmbiguousTop), std::string::npos);
+  EXPECT_NE(lines[0].find("\"candidates\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"conv2d_0\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"conv2d_1\""), std::string::npos);
+  std::string error;
+  EXPECT_TRUE(json::validate(lines[0], &error)) << error << "\n" << lines[0];
+}
+
+TEST(ServeSession, UnknownTopIsBadRequestWithCandidates) {
+  Request req;
+  req.id = "bad-top";
+  req.mlir = replicatedKernelMlir(2);
+  req.top = "conv2d_9";
+  std::vector<std::string> lines;
+  SessionOutcome outcome =
+      runSession(req, SessionOptions{}, nullptr,
+                 [&](const std::string &line) { lines.push_back(line); });
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_EQ(outcome.code, errc::BadRequest);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("conv2d_9"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"candidates\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"conv2d_0\""), std::string::npos);
+}
+
+TEST(ServeServer, ExplicitTopCompilesMultiFunctionModuleDeterministically) {
+  flow::StageCache::global().clear();
+  std::string socket = testSocketPath();
+  Server server(testOptions(socket));
+  ASSERT_TRUE(server.start());
+  Client client;
+  ASSERT_TRUE(client.connect(socket));
+
+  Request req;
+  req.id = "t1";
+  req.mlir = replicatedKernelMlir(2);
+  req.top = "conv2d_1";
+  Client::CompileOutcome cold = client.runCompile(req);
+  ASSERT_TRUE(cold.transportOk) << cold.error;
+  EXPECT_TRUE(cold.ok) << cold.code;
+  EXPECT_FALSE(cold.cached);
+
+  req.id = "t2";
+  Client::CompileOutcome warm = client.runCompile(req);
+  ASSERT_TRUE(warm.transportOk) << warm.error;
+  EXPECT_TRUE(warm.ok);
+  EXPECT_TRUE(warm.cached);
+  // Byte-deterministic result: only the ids differ between cold and warm.
+  std::string coldLine = cold.resultLine, warmLine = warm.resultLine;
+  size_t coldId = coldLine.find("\"id\": \"t1\"");
+  size_t warmId = warmLine.find("\"id\": \"t2\"");
+  ASSERT_NE(coldId, std::string::npos);
+  ASSERT_NE(warmId, std::string::npos);
+  coldLine.replace(coldId, 10, "\"id\": \"X\"");
+  warmLine.replace(warmId, 10, "\"id\": \"X\"");
+  EXPECT_EQ(coldLine, warmLine);
+
+  // The other function of the same module is a distinct design point:
+  // same module text, different top, no cache collision.
+  req.id = "t3";
+  req.top = "conv2d_0";
+  Client::CompileOutcome other = client.runCompile(req);
+  ASSERT_TRUE(other.transportOk) << other.error;
+  EXPECT_TRUE(other.ok);
+  EXPECT_FALSE(other.cached);
+  server.stop();
 }
 
 TEST(ServeServer, UnknownKernelErrorTeachesAvailableNames) {

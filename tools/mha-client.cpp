@@ -3,7 +3,8 @@
 //   mha-client --socket=<path> --kernel=<name> [--flow=adaptor|hls-cpp]
 //              [--ii=N] [--unroll=N] [--partition=N] [--dataflow]
 //              [--no-directives] [--estimate] [--id=<id>] [--quiet]
-//   mha-client --socket=<path> --mlir-file=<path> [flow/knob flags]
+//   mha-client --socket=<path> --mlir-file=<path> [--top=<fn>]
+//              [flow/knob flags]
 //   mha-client --socket=<path> --ping | --shutdown
 //
 // Sends one request over the daemon's Unix-domain socket and streams
@@ -30,6 +31,8 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: mha-client --socket=<path> --kernel=<name> | --mlir-file=<p>\n"
+      "                  [--top=<fn>] (with --mlir-file: the function to\n"
+      "                  synthesize; required for multi-function modules)\n"
       "                  [--flow=adaptor|hls-cpp] [--ii=N] [--unroll=N]\n"
       "                  [--partition=N] [--dataflow] [--no-directives]\n"
       "                  [--estimate] [--id=<id>] [--quiet]\n"
@@ -72,6 +75,8 @@ int main(int argc, char **argv) {
       req.kernel = arg.substr(9);
     else if (startsWith(arg, "--mlir-file="))
       mlirFile = arg.substr(12);
+    else if (startsWith(arg, "--top="))
+      req.top = arg.substr(6);
     else if (startsWith(arg, "--flow=")) {
       std::string flow = arg.substr(7);
       if (flow == "adaptor")
@@ -126,6 +131,10 @@ int main(int argc, char **argv) {
   }
   if (id.empty()) {
     std::fprintf(stderr, "--id must be non-empty\n");
+    return usage();
+  }
+  if (!req.top.empty() && mlirFile.empty()) {
+    std::fprintf(stderr, "--top requires --mlir-file\n");
     return usage();
   }
 

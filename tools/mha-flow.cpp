@@ -6,6 +6,8 @@
 //            [--ii=N] [--unroll=N] [--partition=N] [--dataflow]
 //            [--no-directives] [--cosim] [--pass-jobs=N] [--stage-cache]
 //            [--no-times]
+//   mha-flow --lir=module.lir [--top=fn] [--pass-jobs=N] [--stage-cache]
+//            [--no-times] [--stats] [--time-passes]
 //
 // Runs every (kernel, flow) pair and prints one row per job with
 // accept/reject status, latency and resources. Results are always in
@@ -26,15 +28,24 @@
 // ObservabilityCli.h. Exit status is 0 iff every job succeeded (and
 // co-simulated, with --cosim) and every requested output file was
 // written.
+//
+// --lir runs the second mode: the direct-LIR entry. The file is parsed
+// as a (possibly multi-function) MiniLLVM module, call legalization
+// (rec2iter, inlining, call-site privatization) runs before the usual
+// adaptor pipeline, and --top names the function to synthesize (optional
+// when the module defines exactly one function).
 #include "ObservabilityCli.h"
 
 #include "flow/BatchRunner.h"
+#include "flow/Flow.h"
 #include "flow/StageCache.h"
 #include "support/StringUtils.h"
 #include "support/Telemetry.h"
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 
 using namespace mha;
 
@@ -49,6 +60,8 @@ int usage() {
       "                [--ii=N] [--unroll=N] [--partition=N] [--dataflow]\n"
       "                [--no-directives] [--cosim] [--pass-jobs=N]\n"
       "                [--stage-cache] [--no-times]\n"
+      "       mha-flow --lir=module.lir [--top=fn] [--pass-jobs=N]\n"
+      "                [--stage-cache] [--no-times] [--stats]\n"
       "                [--metrics-out=m.json] [--metrics-interval=MS]\n"
       "                [--metrics-prom=m.prom] [--event-log=e.jsonl]\n"
       "                [--event-log-level=debug|info|warn|error]\n");
@@ -84,6 +97,7 @@ int main(int argc, char **argv) {
   std::string chromeTracePath;
   bool batch = false, cosim = false, timePasses = false, statsFlag = false;
   bool stageCache = false, noTimes = false;
+  std::string lirPath, topName;
   int64_t threads = 0, passJobs = 1;
   flow::KernelConfig config;
   config.pipelineII = 1;
@@ -133,7 +147,11 @@ int main(int argc, char **argv) {
     else if (startsWith(arg, "--pass-jobs=")) {
       if (!parseNumericFlag(arg, 12, "--pass-jobs", 1, 4096, passJobs))
         return usage();
-    } else if (arg == "--stage-cache")
+    } else if (startsWith(arg, "--lir="))
+      lirPath = arg.substr(6);
+    else if (startsWith(arg, "--top="))
+      topName = arg.substr(6);
+    else if (arg == "--stage-cache")
       stageCache = true;
     else if (arg == "--no-times")
       noTimes = true;
@@ -156,6 +174,56 @@ int main(int argc, char **argv) {
   obscli::Session obs;
   if (!obs.begin(obsOptions))
     return usage();
+
+  if (!lirPath.empty()) {
+    std::ifstream in(lirPath);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", lirPath.c_str());
+      return 1;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+
+    flow::FlowOptions flowOptions;
+    flowOptions.useStageCache = stageCache;
+    flowOptions.passJobs = static_cast<int>(passJobs);
+    flow::FlowResult result =
+        flow::runLirAdaptorFlow(buffer.str(), topName, flowOptions);
+    if (!result.ok) {
+      std::fprintf(stderr, "%s: flow failed\n%s", lirPath.c_str(),
+                   result.diagnostics.c_str());
+      return 1;
+    }
+    const vhls::FunctionReport *top = result.synth.top();
+    if (!top) {
+      std::fprintf(stderr, "%s: no synthesis report for top '%s'\n",
+                   lirPath.c_str(), result.kernelName.c_str());
+      return 1;
+    }
+    std::printf("%-16s %-7s %12s %6s %6s %8s %8s\n", "top", "status",
+                "latency", "DSP", "BRAM", "LUT", "FF");
+    std::printf("%-16s %-7s %12lld %6lld %6lld %8lld %8lld\n",
+                result.kernelName.c_str(), "ok",
+                static_cast<long long>(top->latencyCycles),
+                static_cast<long long>(top->resources.dsp),
+                static_cast<long long>(top->resources.bram),
+                static_cast<long long>(top->resources.lut),
+                static_cast<long long>(top->resources.ff));
+    if (timePasses)
+      std::fprintf(stderr, "%s",
+                   telemetry::Tracer::global().passTimesTable().c_str());
+    if (statsFlag)
+      std::fprintf(stderr, "%s", telemetry::statisticsReport().c_str());
+    if (stageCache) {
+      flow::StageCache::Counters cache = flow::StageCache::global().stats();
+      std::fprintf(stderr, "stage-cache: %lld hits, %lld misses\n",
+                   static_cast<long long>(cache.hits()),
+                   static_cast<long long>(cache.misses()));
+    }
+    if (!obs.finish())
+      return 1;
+    return 0;
+  }
 
   std::vector<flow::FlowKind> kinds;
   if (flowName == "adaptor")

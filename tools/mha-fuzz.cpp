@@ -1,6 +1,7 @@
 // mha-fuzz - differential fuzzing over the compilation pipeline.
 //
-//   mha-fuzz [--budget=N] [--seed=N] [--jobs=N] [--mode=kernel|ir|both]
+//   mha-fuzz [--budget=N] [--seed=N] [--jobs=N]
+//            [--mode=kernel|ir|calls|both|all]
 //            [--json=out.json] [--artifacts=DIR] [--no-reduce]
 //            [--reduce=repro.json] [--plant] [--chrome-trace=out.json]
 //            [--stats]
@@ -10,7 +11,10 @@
 // (HLS-C++ round-trip, lowering, adaptor, virtual HLS backend) and every
 // stage's interpreted outputs must match the host reference; IR-mode
 // programs exercise the LIR parser, interpreter (including trap/UB
-// agreement) and the O2-lite transform pipeline. Failures are reduced
+// agreement) and the O2-lite transform pipeline; calls-mode programs
+// build multi-function modules (helper DAGs, bounded self-recursion,
+// local arrays) and must survive the call-legalization passes and the
+// virtual HLS backend unchanged. Failures are reduced
 // bugpoint-style and reported with an embedded reproducer document;
 // --reduce=FILE replays such a document on its own. --plant injects a
 // deliberate miscompile after the adaptor stage (a+b -> a+a on the first
@@ -37,7 +41,7 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: mha-fuzz [--budget=N] [--seed=N] [--jobs=N]\n"
-      "                [--mode=kernel|ir|both] [--json=out.json]\n"
+      "                [--mode=kernel|ir|calls|both|all] [--json=out.json]\n"
       "                [--artifacts=DIR] [--no-reduce] [--reduce=repro.json]\n"
       "                [--plant] [--chrome-trace=out.json] [--stats]\n"
       "                [--stage-cache]\n"
@@ -117,11 +121,16 @@ int main(int argc, char **argv) {
         options.mode = fuzz::FuzzOptions::Mode::Kernel;
       else if (mode == "ir")
         options.mode = fuzz::FuzzOptions::Mode::Ir;
+      else if (mode == "calls")
+        options.mode = fuzz::FuzzOptions::Mode::Calls;
       else if (mode == "both")
         options.mode = fuzz::FuzzOptions::Mode::Both;
+      else if (mode == "all")
+        options.mode = fuzz::FuzzOptions::Mode::All;
       else {
         std::fprintf(stderr,
-                     "unknown mode '%s' (expected kernel, ir or both)\n",
+                     "unknown mode '%s' (expected kernel, ir, calls, both "
+                     "or all)\n",
                      mode.c_str());
         return usage();
       }
@@ -197,10 +206,11 @@ int main(int argc, char **argv) {
     fuzz::FuzzReport report = fuzz::runFuzz(options);
     for (const fuzz::FuzzFailure &f : report.failures)
       printFailure(f);
-    std::printf("fuzzed %llu kernel + %llu ir programs (seed %llu, %u "
-                "jobs) in %.1f ms: %zu failure%s\n",
+    std::printf("fuzzed %llu kernel + %llu ir + %llu calls programs "
+                "(seed %llu, %u jobs) in %.1f ms: %zu failure%s\n",
                 static_cast<unsigned long long>(report.kernelPrograms),
                 static_cast<unsigned long long>(report.irPrograms),
+                static_cast<unsigned long long>(report.callsPrograms),
                 static_cast<unsigned long long>(report.seed), report.jobs,
                 report.elapsedMs, report.failures.size(),
                 report.failures.size() == 1 ? "" : "s");
